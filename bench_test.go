@@ -1,0 +1,237 @@
+// Benchmarks regenerating the paper's evaluation (experiments E1–E6 in
+// DESIGN.md): run `go test -bench=. -benchmem` and compare the ns/op
+// ratios against the table shapes recorded in EXPERIMENTS.md. Absolute
+// numbers are machine-dependent; the *shape* — who wins, by what factor —
+// is the reproduction target.
+package bohrium_test
+
+import (
+	"fmt"
+	"testing"
+
+	"bohrium"
+	"bohrium/internal/bench"
+	"bohrium/internal/bytecode"
+	"bohrium/internal/chains"
+	"bohrium/internal/rewrite"
+	"bohrium/internal/tensor"
+	"bohrium/internal/vm"
+)
+
+const benchN = 1 << 20
+
+// runProg executes one program b.N times on a fused multicore machine.
+func runProg(b *testing.B, prog *bytecode.Program, bind func(*vm.Machine)) {
+	b.Helper()
+	if err := prog.Validate(); err != nil {
+		b.Fatal(err)
+	}
+	machine := vm.New(vm.Config{Fusion: true, SkipValidation: true})
+	defer machine.Close()
+	if bind != nil {
+		bind(machine)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := machine.Run(prog); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// optimizeWith applies a pipeline, failing the benchmark on error.
+func optimizeWith(b *testing.B, pl *rewrite.Pipeline, prog *bytecode.Program) *bytecode.Program {
+	b.Helper()
+	out, _, err := pl.Optimize(prog)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return out
+}
+
+// BenchmarkE1AddMerge — paper Listings 1–3: k repeated "a += 1" sweeps,
+// raw versus constant-merged. Expect optimized time roughly k/1 lower.
+func BenchmarkE1AddMerge(b *testing.B) {
+	for _, k := range []int{3, 8, 16} {
+		prog := bench.AddMergeProgram(k, benchN, tensor.Float64)
+		b.Run(fmt.Sprintf("k=%d/raw", k), func(b *testing.B) {
+			runProg(b, prog.Clone(), nil)
+		})
+		b.Run(fmt.Sprintf("k=%d/merged", k), func(b *testing.B) {
+			pl := rewrite.NewPipeline(rewrite.CanonicalizeRule{}, rewrite.AddMergeRule{})
+			runProg(b, optimizeWith(b, pl, prog), nil)
+		})
+	}
+}
+
+// BenchmarkE2PowerChain — paper Listings 4–5: x¹⁰ as one BH_POWER versus
+// the three expansion strategies (9, 5, and 4 multiplies).
+func BenchmarkE2PowerChain(b *testing.B) {
+	prog := bench.PowerProgram(10, benchN)
+	b.Run("bh_power", func(b *testing.B) {
+		runProg(b, prog.Clone(), nil)
+	})
+	for _, st := range []struct {
+		name  string
+		strat chains.Strategy
+	}{
+		{"naive9", chains.StrategyNaive},
+		{"paper5", chains.StrategySquareIncrement},
+		{"binary4", chains.StrategyBinary},
+	} {
+		b.Run(st.name, func(b *testing.B) {
+			pl := rewrite.Build(rewrite.Options{
+				PowerExpand: true, PowerStrategy: st.strat, PowerNoCostModel: true,
+			})
+			runProg(b, optimizeWith(b, pl, prog), nil)
+		})
+	}
+}
+
+// BenchmarkE3PowerSweep — conclusion claim: exponent sweep, BH_POWER vs
+// expanded chains; the naive strategy crosses over, binary never does.
+func BenchmarkE3PowerSweep(b *testing.B) {
+	for _, n := range []int64{4, 16, 32, 64} {
+		prog := bench.PowerProgram(n, benchN)
+		b.Run(fmt.Sprintf("n=%d/power", n), func(b *testing.B) {
+			runProg(b, prog.Clone(), nil)
+		})
+		b.Run(fmt.Sprintf("n=%d/naive", n), func(b *testing.B) {
+			pl := rewrite.Build(rewrite.Options{
+				PowerExpand: true, PowerStrategy: chains.StrategyNaive, PowerNoCostModel: true,
+			})
+			runProg(b, optimizeWith(b, pl, prog), nil)
+		})
+		b.Run(fmt.Sprintf("n=%d/binary", n), func(b *testing.B) {
+			pl := rewrite.Build(rewrite.Options{
+				PowerExpand: true, PowerStrategy: chains.StrategyBinary, PowerNoCostModel: true,
+			})
+			runProg(b, optimizeWith(b, pl, prog), nil)
+		})
+	}
+}
+
+// BenchmarkE4Solve — equation (2): x = A⁻¹·B versus the rewritten
+// BH_SOLVE across system sizes.
+func BenchmarkE4Solve(b *testing.B) {
+	for _, m := range []int{32, 64, 128, 256} {
+		prog := bench.SolveProgram(m)
+		bind := solveBinder(m)
+		b.Run(fmt.Sprintf("m=%d/inverse", m), func(b *testing.B) {
+			runProg(b, prog.Clone(), bind)
+		})
+		b.Run(fmt.Sprintf("m=%d/solve", m), func(b *testing.B) {
+			runProg(b, optimizeWith(b, rewrite.Default(), prog), bind)
+		})
+	}
+}
+
+func solveBinder(m int) func(*vm.Machine) {
+	a := tensor.MustNew(tensor.Float64, tensor.MustShape(m, m))
+	a.FillRandom(42, -1, 1)
+	for i := 0; i < m; i++ {
+		a.SetAt(float64(m)+2, i, i)
+	}
+	rhs := tensor.MustNew(tensor.Float64, tensor.MustShape(m))
+	rhs.FillRandom(43, -1, 1)
+	return func(machine *vm.Machine) {
+		machine.Bind(0, a)
+		machine.Bind(2, rhs)
+	}
+}
+
+// BenchmarkE5Workloads — end-to-end scientific kernels through the public
+// API, optimizer+fusion off versus fully on.
+func BenchmarkE5Workloads(b *testing.B) {
+	off := rewrite.Options{}
+	configs := []struct {
+		name string
+		cfg  *bohrium.Config
+	}{
+		{"baseline", &bohrium.Config{Optimizer: &off, DisableFusion: true}},
+		{"optimized", nil},
+	}
+	type wl struct {
+		name string
+		run  func(*bohrium.Context) (float64, error)
+	}
+	workloads := []wl{
+		{"heat2d", func(c *bohrium.Context) (float64, error) { return bench.Heat2D(c, 96, 20) }},
+		{"blackscholes", func(c *bohrium.Context) (float64, error) { return bench.BlackScholes(c, benchN/4) }},
+		{"leibnizpi", func(c *bohrium.Context) (float64, error) { return bench.LeibnizPi(c, benchN/4) }},
+		{"montecarlopi", func(c *bohrium.Context) (float64, error) { return bench.MonteCarloPi(c, benchN/4) }},
+	}
+	for _, w := range workloads {
+		for _, cfg := range configs {
+			b.Run(w.name+"/"+cfg.name, func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					ctx := bohrium.NewContext(cfg.cfg)
+					if _, err := w.run(ctx); err != nil {
+						ctx.Close()
+						b.Fatal(err)
+					}
+					ctx.Close()
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkE6Fusion — ablation D4: the identical byte-code stream executed
+// with and without sweep fusion.
+func BenchmarkE6Fusion(b *testing.B) {
+	prog := bench.AddMergeProgram(8, benchN, tensor.Float64)
+	for _, fusion := range []bool{false, true} {
+		name := "off"
+		if fusion {
+			name = "on"
+		}
+		b.Run("fusion="+name, func(b *testing.B) {
+			machine := vm.New(vm.Config{Fusion: fusion, SkipValidation: true})
+			defer machine.Close()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := machine.Run(prog); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE6GapTolerance — ablation D1: optimizing the noisy stream with
+// adjacent-only versus interference-aware matching (rewrite cost itself is
+// negligible; the executed program differs).
+func BenchmarkE6GapTolerance(b *testing.B) {
+	prog := bench.AddMergeNoisyProgram(8, benchN, tensor.Int64)
+	b.Run("adjacent-only", func(b *testing.B) {
+		pl := rewrite.NewPipeline(rewrite.AddMergeRule{AdjacentOnly: true})
+		runProg(b, optimizeWith(b, pl, prog), nil)
+	})
+	b.Run("gap-tolerant", func(b *testing.B) {
+		pl := rewrite.NewPipeline(rewrite.AddMergeRule{})
+		runProg(b, optimizeWith(b, pl, prog), nil)
+	})
+}
+
+// BenchmarkOptimizerOverhead measures the rewrite pipeline itself — the
+// cost the runtime pays per flush before execution.
+func BenchmarkOptimizerOverhead(b *testing.B) {
+	progs := map[string]*bytecode.Program{
+		"listing2":  bench.AddMergeProgram(3, 10, tensor.Float64),
+		"noisy-k16": bench.AddMergeNoisyProgram(16, 10, tensor.Int64),
+		"power-x10": bench.PowerProgram(10, 10),
+		"solve-m8":  bench.SolveProgram(8),
+	}
+	for name, prog := range progs {
+		b.Run(name, func(b *testing.B) {
+			pl := rewrite.Default()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := pl.Optimize(prog); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,309 @@
+// Package bohrium is a Go reproduction of the Bohrium runtime studied in
+// M. O. Larsen, "Algebraic Transformation of Descriptive Vector Byte-code
+// Sequences" (Middleware Doctoral Symposium '16): a NumPy-style lazy array
+// front-end that records vector byte-code, an algebraic rewrite engine
+// that optimizes the byte-code (constant merging, power expansion over
+// addition chains, inverse→LU-solve rewriting, fusion-friendly cleanup),
+// and a multicore virtual machine that executes it.
+//
+// The programming model mirrors "import bohrium as np": array operations
+// build byte-code instead of computing; a Flush (or any value access)
+// optimizes and executes the batch:
+//
+//	ctx := bohrium.NewContext(nil)
+//	defer ctx.Close()
+//	a := ctx.Zeros(10)
+//	a.AddC(1).AddC(1).AddC(1) // records three BH_ADDs
+//	fmt.Println(a.MustData()) // optimizer merges them into one, VM runs it
+package bohrium
+
+import (
+	"errors"
+	"fmt"
+
+	"bohrium/internal/bytecode"
+	"bohrium/internal/rewrite"
+	"bohrium/internal/tensor"
+	"bohrium/internal/vm"
+)
+
+// ErrClosed is returned when using a Context after Close.
+var ErrClosed = errors.New("bohrium: context is closed")
+
+// Config tunes a Context. The zero value (or nil) gives the full
+// optimizer pipeline and the fused multicore engine.
+type Config struct {
+	// Optimizer selects the rewrite options; nil means the full default
+	// pipeline, an explicitly zeroed Options disables all rewrites.
+	Optimizer *rewrite.Options
+	// Workers is the VM worker pool width (0: GOMAXPROCS).
+	Workers int
+	// DisableFusion turns off fused-sweep execution.
+	DisableFusion bool
+	// CollectReports keeps per-flush optimizer reports (LastReport).
+	CollectReports bool
+}
+
+// Context owns a byte-code recording buffer and the virtual machine that
+// executes flushed batches. It is not safe for concurrent use — like a
+// NumPy session, one goroutine drives it; parallelism happens inside the
+// VM.
+type Context struct {
+	cfg      Config
+	pipeline *rewrite.Pipeline
+	machine  *vm.Machine
+	pending  *bytecode.Program
+	defined  map[bytecode.RegID]bool // registers materialized by earlier flushes
+	keptRegs map[bytecode.RegID]bool // registers whose values must survive flushes
+	lastRep  *rewrite.Report
+	closed   bool
+}
+
+// NewContext creates a session. Pass nil for defaults.
+func NewContext(cfg *Config) *Context {
+	c := Config{}
+	if cfg != nil {
+		c = *cfg
+	}
+	opts := rewrite.DefaultOptions()
+	if c.Optimizer != nil {
+		opts = *c.Optimizer
+	}
+	return &Context{
+		cfg:      c,
+		pipeline: rewrite.Build(opts),
+		machine: vm.New(vm.Config{
+			Workers: c.Workers,
+			Fusion:  !c.DisableFusion,
+		}),
+		pending:  bytecode.NewProgram(),
+		defined:  map[bytecode.RegID]bool{},
+		keptRegs: map[bytecode.RegID]bool{},
+	}
+}
+
+// Close releases the VM worker pool. The context must not be used after.
+func (c *Context) Close() {
+	if c.closed {
+		return
+	}
+	c.closed = true
+	c.machine.Close()
+}
+
+// LastReport returns the optimizer report of the most recent flush, when
+// CollectReports is enabled.
+func (c *Context) LastReport() *rewrite.Report { return c.lastRep }
+
+// Stats exposes cumulative VM counters (sweeps, fused instructions, ...).
+func (c *Context) Stats() vm.Stats { return c.machine.Stats() }
+
+// PendingProgram returns a copy of the not-yet-flushed byte-code — the
+// stream the optimizer will see. Examples and tools use it to show
+// "before" listings.
+func (c *Context) PendingProgram() *bytecode.Program { return c.pending.Clone() }
+
+// Flush optimizes and executes all recorded byte-code. Arrays read after
+// a flush observe the computed values. Flushing an empty buffer is a
+// no-op.
+func (c *Context) Flush() error {
+	if c.closed {
+		return ErrClosed
+	}
+	if c.pending.Len() == 0 {
+		return nil
+	}
+	// Mark externally observable registers: everything explicitly kept
+	// (creation-function arrays, Keep/Sync'd arrays) plus *leaf*
+	// temporaries — pure-op results no other byte-code consumes, which
+	// the caller almost certainly holds. Consumed temporaries stay
+	// droppable; that is what allows the equation (2) rewrite to delete
+	// a discarded inverse.
+	batch := c.pending.Clone()
+	consumed := batchReads(batch)
+	for r := range batch.Regs {
+		id := bytecode.RegID(r)
+		if c.keptRegs[id] || (writtenBy(batch, id) && !consumed[id]) {
+			batch.MarkOutput(id)
+		}
+	}
+	optimized, report, err := c.pipeline.Optimize(batch)
+	if err != nil {
+		return fmt.Errorf("bohrium: optimize failed: %w", err)
+	}
+	if c.cfg.CollectReports {
+		c.lastRep = report
+	}
+	if err := c.machine.Run(optimized); err != nil {
+		return fmt.Errorf("bohrium: execution failed: %w", err)
+	}
+	// Start a fresh batch that inherits the register declarations: every
+	// register defined so far is an input of the next batch.
+	next := bytecode.NewProgram()
+	next.Regs = append([]bytecode.RegInfo(nil), optimized.Regs...)
+	for r := range optimized.Regs {
+		id := bytecode.RegID(r)
+		if c.materialized(optimized, id) {
+			next.MarkInput(id)
+			c.defined[id] = true
+		}
+	}
+	c.pending = next
+	return nil
+}
+
+// materialized reports whether register r holds data after running prog
+// (either carried in as input or written by it).
+func (c *Context) materialized(prog *bytecode.Program, r bytecode.RegID) bool {
+	if c.defined[r] {
+		return true
+	}
+	for i := range prog.Instrs {
+		if prog.Instrs[i].WritesReg(r) {
+			return true
+		}
+	}
+	return false
+}
+
+// MustFlush is Flush that panics on error, for examples.
+func (c *Context) MustFlush() {
+	if err := c.Flush(); err != nil {
+		panic(err)
+	}
+}
+
+// batchReads returns the registers any instruction computationally reads
+// (BH_SYNC is a materialization fence, not a consumer).
+func batchReads(p *bytecode.Program) map[bytecode.RegID]bool {
+	reads := map[bytecode.RegID]bool{}
+	for i := range p.Instrs {
+		in := &p.Instrs[i]
+		if in.Op == bytecode.OpSync {
+			continue
+		}
+		for _, opnd := range in.Inputs() {
+			if opnd.IsReg() {
+				reads[opnd.Reg] = true
+			}
+		}
+	}
+	return reads
+}
+
+func writtenBy(p *bytecode.Program, r bytecode.RegID) bool {
+	for i := range p.Instrs {
+		if p.Instrs[i].WritesReg(r) {
+			return true
+		}
+	}
+	return false
+}
+
+// newArray declares a kept register (creation-function arrays).
+func (c *Context) newArray(dt tensor.DType, shape tensor.Shape) *Array {
+	a := c.newTempArray(dt, shape)
+	c.keptRegs[a.reg] = true
+	return a
+}
+
+// newTempArray declares a droppable register (pure-operation results).
+func (c *Context) newTempArray(dt tensor.DType, shape tensor.Shape) *Array {
+	reg := c.pending.NewReg(dt, shape.Size())
+	return &Array{
+		ctx:  c,
+		reg:  reg,
+		view: tensor.NewView(shape),
+		dt:   dt,
+	}
+}
+
+// Zeros returns a float64 array of the given shape filled with 0.
+func (c *Context) Zeros(dims ...int) *Array {
+	return c.Full(0, dims...)
+}
+
+// Ones returns a float64 array of the given shape filled with 1.
+func (c *Context) Ones(dims ...int) *Array {
+	return c.Full(1, dims...)
+}
+
+// Full returns a float64 array of the given shape filled with v. Integral
+// fills record integer constants, matching the paper's listing format.
+func (c *Context) Full(v float64, dims ...int) *Array {
+	a := c.newArray(tensor.Float64, tensor.MustShape(dims...))
+	if v == float64(int64(v)) {
+		a.emitIdentityConst(bytecode.ConstInt(int64(v)))
+	} else {
+		a.emitIdentityConst(bytecode.ConstFloat(v))
+	}
+	return a
+}
+
+// ZerosTyped returns an array of the given dtype and shape filled with 0.
+func (c *Context) ZerosTyped(dt tensor.DType, dims ...int) *Array {
+	a := c.newArray(dt, tensor.MustShape(dims...))
+	a.emitIdentityConst(bytecode.ConstOf(dt, 0))
+	return a
+}
+
+// FullInt returns an int64 array filled with v.
+func (c *Context) FullInt(v int64, dims ...int) *Array {
+	a := c.newArray(tensor.Int64, tensor.MustShape(dims...))
+	a.emitIdentityConst(bytecode.ConstInt(v))
+	return a
+}
+
+// Arange returns a float64 vector [0, 1, ..., n-1].
+func (c *Context) Arange(n int) *Array {
+	a := c.newArray(tensor.Float64, tensor.MustShape(n))
+	c.pending.Emit(bytecode.Instruction{Op: bytecode.OpRange, Out: a.operand()})
+	return a
+}
+
+// Linspace returns n evenly spaced float64 values over [lo, hi].
+func (c *Context) Linspace(lo, hi float64, n int) *Array {
+	a := c.Arange(n)
+	if n > 1 {
+		a.MulC((hi - lo) / float64(n-1))
+	}
+	a.AddC(lo)
+	return a
+}
+
+// Random returns a float64 array of uniform values in [0, 1) drawn from
+// the deterministic counter-based stream for seed.
+func (c *Context) Random(seed uint64, dims ...int) *Array {
+	a := c.newArray(tensor.Float64, tensor.MustShape(dims...))
+	c.pending.Emit(bytecode.Instruction{
+		Op:  bytecode.OpRandom,
+		Out: a.operand(),
+		In1: bytecode.Const(bytecode.ConstInt(int64(seed))),
+		In2: bytecode.Const(bytecode.ConstInt(0)),
+	})
+	return a
+}
+
+// FromSlice copies values into a new float64 array of the given shape.
+// The data is bound directly to the VM register (no byte-code needed).
+func (c *Context) FromSlice(values []float64, dims ...int) (*Array, error) {
+	shape := tensor.MustShape(dims...)
+	tt, err := tensor.FromFloat64s(values, shape)
+	if err != nil {
+		return nil, err
+	}
+	a := c.newArray(tensor.Float64, shape)
+	c.machine.Bind(a.reg, tt)
+	c.pending.MarkInput(a.reg)
+	c.defined[a.reg] = true
+	return a, nil
+}
+
+// MustFromSlice is FromSlice that panics on error, for examples.
+func (c *Context) MustFromSlice(values []float64, dims ...int) *Array {
+	a, err := c.FromSlice(values, dims...)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}

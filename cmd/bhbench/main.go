@@ -1,0 +1,63 @@
+// Command bhbench regenerates the paper's evaluation tables (experiments
+// E1–E6 in DESIGN.md / EXPERIMENTS.md): byte-code counts before/after
+// optimization, baseline vs optimized wall-clock times, and the ablation
+// rows for the design decisions D1–D4.
+//
+// Usage:
+//
+//	bhbench [-experiment all|E1|E2|E3|E4|E5|E6] [-n elements] [-repeats r]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"bohrium/internal/bench"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "bhbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("bhbench", flag.ContinueOnError)
+	exp := fs.String("experiment", "all", "which experiment to run: all, E1, E2, E3, E4, E5, E6")
+	n := fs.Int("n", 1<<20, "elementwise vector length")
+	solveMax := fs.Int("solve-max", 256, "largest linear-system size for E4")
+	repeats := fs.Int("repeats", 3, "timing repetitions (best-of)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	scale := bench.Scale{VectorN: *n, SolveMax: *solveMax, Repeats: *repeats}
+	runners := map[string]func(bench.Scale) ([]bench.Row, error){
+		"E1": bench.E1AddMerge,
+		"E2": bench.E2PowerChain,
+		"E3": bench.E3PowerSweep,
+		"E4": bench.E4Solve,
+		"E5": bench.E5Workloads,
+		"E6": bench.E6Ablations,
+	}
+
+	var rows []bench.Row
+	var err error
+	if *exp == "all" {
+		rows, err = bench.All(scale)
+	} else {
+		runner, ok := runners[*exp]
+		if !ok {
+			return fmt.Errorf("unknown experiment %q", *exp)
+		}
+		rows, err = runner(scale)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(stdout, bench.Table(rows))
+	return nil
+}

@@ -1,0 +1,24 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBhbenchSingleExperiment(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-experiment", "E2", "-n", "4096", "-repeats", "1"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "E2") || !strings.Contains(got, "Listing 5") {
+		t.Errorf("output:\n%s", got)
+	}
+}
+
+func TestBhbenchUnknownExperiment(t *testing.T) {
+	if err := run([]string{"-experiment", "E99"}, &strings.Builder{}); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}

@@ -1,0 +1,131 @@
+// Command bhc is the byte-code optimizer: it assembles a textual Bohrium
+// byte-code listing (the paper's format), runs the algebraic transformation
+// pipeline, and prints the optimized listing plus a rewrite report.
+//
+// Usage:
+//
+//	bhc [-strategy naive|square-increment|binary|factor|optimal]
+//	    [-no-cost-model] [-temporaries] [-adjacent-only] [-stats] [file.bh]
+//
+// With no file, bhc reads from stdin. Try it on the paper's Listing 2:
+//
+//	$ echo 'BH_IDENTITY a0 [0:10:1] 0
+//	        BH_ADD a0 [0:10:1] a0 [0:10:1] 1
+//	        BH_ADD a0 [0:10:1] a0 [0:10:1] 1
+//	        BH_ADD a0 [0:10:1] a0 [0:10:1] 1
+//	        BH_SYNC a0 [0:10:1]' | bhc -stats
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"bohrium/internal/bytecode"
+	"bohrium/internal/chains"
+	"bohrium/internal/rewrite"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "bhc:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdin io.Reader, stdout io.Writer) error {
+	fs := flag.NewFlagSet("bhc", flag.ContinueOnError)
+	strategy := fs.String("strategy", "binary",
+		"power-expansion chain strategy: naive, square-increment, binary, factor, optimal")
+	noCost := fs.Bool("no-cost-model", false, "expand powers unconditionally (ablation D2)")
+	temps := fs.Bool("temporaries", false, "allow scratch registers in power chains")
+	adjacent := fs.Bool("adjacent-only", false, "match only adjacent byte-code pairs (ablation D1)")
+	stats := fs.Bool("stats", false, "print the rewrite report to stderr-style footer")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	strat, err := parseStrategy(*strategy)
+	if err != nil {
+		return err
+	}
+
+	src, err := readInput(fs.Args(), stdin)
+	if err != nil {
+		return err
+	}
+	prog, err := bytecode.Parse(src)
+	if err != nil {
+		return err
+	}
+	if err := prog.Validate(); err != nil {
+		return err
+	}
+
+	opts := rewrite.DefaultOptions()
+	opts.PowerStrategy = strat
+	opts.PowerNoCostModel = *noCost
+	opts.PowerAllowTemporaries = *temps
+	pipeline := rewrite.Build(opts)
+	if *adjacent {
+		pipeline = rewrite.NewPipeline(
+			rewrite.CanonicalizeRule{}, rewrite.AddMergeRule{AdjacentOnly: true},
+			rewrite.MulMergeRule{},
+		)
+	}
+
+	optimized, report, err := pipeline.Optimize(prog)
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(stdout, optimized.Dump())
+	if *stats {
+		fmt.Fprintln(stdout, "# ---")
+		for _, line := range splitLines(report.String()) {
+			fmt.Fprintln(stdout, "#", line)
+		}
+	}
+	return nil
+}
+
+func parseStrategy(s string) (chains.Strategy, error) {
+	switch s {
+	case "naive":
+		return chains.StrategyNaive, nil
+	case "square-increment":
+		return chains.StrategySquareIncrement, nil
+	case "binary":
+		return chains.StrategyBinary, nil
+	case "factor":
+		return chains.StrategyFactor, nil
+	case "optimal":
+		return chains.StrategyOptimal, nil
+	default:
+		return 0, fmt.Errorf("unknown strategy %q", s)
+	}
+}
+
+func readInput(args []string, stdin io.Reader) (string, error) {
+	if len(args) == 0 {
+		data, err := io.ReadAll(stdin)
+		return string(data), err
+	}
+	data, err := os.ReadFile(args[0])
+	return string(data), err
+}
+
+func splitLines(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			out = append(out, s[start:i])
+			start = i + 1
+		}
+	}
+	if start < len(s) {
+		out = append(out, s[start:])
+	}
+	return out
+}

@@ -1,0 +1,92 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const listing2 = `BH_IDENTITY a0 [0:10:1] 0
+BH_ADD a0 [0:10:1] a0 [0:10:1] 1
+BH_ADD a0 [0:10:1] a0 [0:10:1] 1
+BH_ADD a0 [0:10:1] a0 [0:10:1] 1
+BH_SYNC a0 [0:10:1]
+`
+
+func TestBhcOptimizesListing2(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-stats"}, strings.NewReader(listing2), &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "BH_IDENTITY a0 [0:10:1] 3") {
+		t.Errorf("full pipeline should fold Listing 2 to IDENTITY 3:\n%s", got)
+	}
+	if !strings.Contains(got, "add-merge") {
+		t.Errorf("stats footer missing:\n%s", got)
+	}
+}
+
+func TestBhcPowerStrategies(t *testing.T) {
+	src := `.reg a0 float64 8
+.reg a1 float64 8
+BH_IDENTITY a0 2.0
+BH_POWER a1 a0 10
+BH_SYNC a1
+`
+	counts := map[string]int{
+		"naive":            9,
+		"square-increment": 5,
+		"binary":           4,
+	}
+	for strat, want := range counts {
+		var out strings.Builder
+		err := run([]string{"-strategy", strat, "-no-cost-model"}, strings.NewReader(src), &out)
+		if err != nil {
+			t.Fatalf("%s: %v", strat, err)
+		}
+		if got := strings.Count(out.String(), "BH_MULTIPLY"); got != want {
+			t.Errorf("%s emitted %d multiplies, want %d:\n%s", strat, got, want, out.String())
+		}
+	}
+}
+
+func TestBhcAdjacentOnly(t *testing.T) {
+	src := `.reg a0 float64 8
+.reg a1 float64 8
+BH_IDENTITY a0 0
+BH_IDENTITY a1 0
+BH_ADD a0 a0 1
+BH_MULTIPLY a1 a1 2.0
+BH_ADD a0 a0 1
+BH_SYNC a0
+BH_SYNC a1
+`
+	var gapOut, adjOut strings.Builder
+	if err := run(nil, strings.NewReader(src), &gapOut); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-adjacent-only"}, strings.NewReader(src), &adjOut); err != nil {
+		t.Fatal(err)
+	}
+	// The full pipeline merges the adds and folds them into the
+	// initialization: a0 starts at 2, no BH_ADD survives.
+	if strings.Count(gapOut.String(), "BH_ADD") != 0 ||
+		!strings.Contains(gapOut.String(), "BH_IDENTITY a0 [0:8:1] 2") {
+		t.Errorf("gap-tolerant run should fold the adds away:\n%s", gapOut.String())
+	}
+	if strings.Count(adjOut.String(), "BH_ADD") != 2 {
+		t.Errorf("adjacent-only run should keep both adds:\n%s", adjOut.String())
+	}
+}
+
+func TestBhcErrors(t *testing.T) {
+	if err := run(nil, strings.NewReader("BH_BOGUS a0 1"), &strings.Builder{}); err == nil {
+		t.Error("bad opcode accepted")
+	}
+	if err := run([]string{"-strategy", "zigzag"}, strings.NewReader(listing2), &strings.Builder{}); err == nil {
+		t.Error("bad strategy accepted")
+	}
+	if err := run(nil, strings.NewReader(".reg a0 float64 4\nBH_SYNC a0"), &strings.Builder{}); err == nil {
+		t.Error("invalid program accepted")
+	}
+}

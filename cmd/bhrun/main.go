@@ -1,0 +1,104 @@
+// Command bhrun assembles and executes a textual byte-code listing,
+// printing every BH_SYNCed register — a byte-code-level REPL for the
+// virtual machine.
+//
+// Usage:
+//
+//	bhrun [-O] [-workers n] [-no-fusion] [-trace] [file.bh]
+//
+// -O runs the algebraic optimizer before execution; -trace prints the
+// (possibly optimized) program and VM sweep statistics.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"bohrium/internal/bytecode"
+	"bohrium/internal/rewrite"
+	"bohrium/internal/tensor"
+	"bohrium/internal/vm"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "bhrun:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdin io.Reader, stdout io.Writer) error {
+	fs := flag.NewFlagSet("bhrun", flag.ContinueOnError)
+	optimize := fs.Bool("O", false, "run the algebraic optimizer before executing")
+	workers := fs.Int("workers", 0, "VM worker pool size (0 = GOMAXPROCS)")
+	noFusion := fs.Bool("no-fusion", false, "disable sweep fusion")
+	trace := fs.Bool("trace", false, "print the executed program and sweep stats")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var src string
+	if fs.NArg() == 0 {
+		data, err := io.ReadAll(stdin)
+		if err != nil {
+			return err
+		}
+		src = string(data)
+	} else {
+		data, err := os.ReadFile(fs.Arg(0))
+		if err != nil {
+			return err
+		}
+		src = string(data)
+	}
+
+	prog, err := bytecode.Parse(src)
+	if err != nil {
+		return err
+	}
+	if err := prog.Validate(); err != nil {
+		return err
+	}
+
+	if *optimize {
+		optimized, report, err := rewrite.Default().Optimize(prog)
+		if err != nil {
+			return err
+		}
+		if *trace {
+			fmt.Fprintf(stdout, "# optimizer: %s", report.String())
+		}
+		prog = optimized
+	}
+	if *trace {
+		fmt.Fprint(stdout, prog.Dump())
+		fmt.Fprintln(stdout, "# ---")
+	}
+
+	machine := vm.New(vm.Config{Workers: *workers, Fusion: !*noFusion})
+	defer machine.Close()
+	if err := machine.Run(prog); err != nil {
+		return err
+	}
+
+	for i := range prog.Instrs {
+		in := &prog.Instrs[i]
+		if in.Op != bytecode.OpSync {
+			continue
+		}
+		t, ok := machine.Tensor(in.Out.Reg, in.Out.View)
+		if !ok {
+			fmt.Fprintf(stdout, "%s = <freed>\n", in.Out.Reg)
+			continue
+		}
+		fmt.Fprintf(stdout, "%s = %s\n", in.Out.Reg, t.Format(tensor.FormatOptions{MaxPerDim: 10, Precision: 6}))
+	}
+	if *trace {
+		st := machine.Stats()
+		fmt.Fprintf(stdout, "# stats: %d instructions, %d sweeps, %d fused, %d elements\n",
+			st.Instructions, st.Sweeps, st.FusedInstructions, st.Elements)
+	}
+	return nil
+}

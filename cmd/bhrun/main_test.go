@@ -1,0 +1,61 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBhrunExecutesListing2(t *testing.T) {
+	src := `BH_IDENTITY a0 [0:10:1] 0
+BH_ADD a0 [0:10:1] a0 [0:10:1] 1
+BH_ADD a0 [0:10:1] a0 [0:10:1] 1
+BH_ADD a0 [0:10:1] a0 [0:10:1] 1
+BH_SYNC a0 [0:10:1]
+`
+	var out strings.Builder
+	if err := run(nil, strings.NewReader(src), &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "a0 = [3 3 3 3 3 3 3 3 3 3]") {
+		t.Errorf("output:\n%s", out.String())
+	}
+}
+
+func TestBhrunOptimizedMatchesRaw(t *testing.T) {
+	src := `.reg a0 float64 8
+.reg a1 float64 8
+BH_IDENTITY a0 2.0
+BH_POWER a1 a0 10
+BH_SYNC a1
+`
+	var raw, opt strings.Builder
+	if err := run(nil, strings.NewReader(src), &raw); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-O"}, strings.NewReader(src), &opt); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(raw.String(), "1024") || !strings.Contains(opt.String(), "1024") {
+		t.Errorf("raw:\n%s\nopt:\n%s", raw.String(), opt.String())
+	}
+}
+
+func TestBhrunTraceShowsStats(t *testing.T) {
+	src := `.reg a0 float64 8
+BH_IDENTITY a0 1
+BH_SYNC a0
+`
+	var out strings.Builder
+	if err := run([]string{"-trace"}, strings.NewReader(src), &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "# stats:") {
+		t.Errorf("missing stats footer:\n%s", out.String())
+	}
+}
+
+func TestBhrunRejectsInvalid(t *testing.T) {
+	if err := run(nil, strings.NewReader("BH_ADD a0 [0:4:1] a0 [0:4:1] 1"), &strings.Builder{}); err == nil {
+		t.Error("use-before-def accepted")
+	}
+}

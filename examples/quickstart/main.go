@@ -1,0 +1,44 @@
+// Quickstart: the paper's Listing 1 ("import bohrium as np"), in Go.
+//
+// A 10-element zero vector receives three `+= 1` operations. The front-end
+// records the byte-code of Listing 2; the algebraic optimizer merges the
+// three BH_ADDs into one (Listing 3); the VM executes a single sweep.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"bohrium"
+)
+
+func main() {
+	ctx := bohrium.NewContext(&bohrium.Config{CollectReports: true})
+	defer ctx.Close()
+
+	// Listing 1, line for line.
+	a := ctx.Zeros(10)
+	a.AddC(1)
+	a.AddC(1)
+	a.AddC(1)
+
+	fmt.Println("recorded byte-code (paper Listing 2):")
+	fmt.Print(ctx.PendingProgram())
+
+	data, err := a.Data() // flush: optimize + execute
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("\noptimizer report:")
+	fmt.Print(ctx.LastReport())
+
+	fmt.Println("\nresult:")
+	fmt.Println(data)
+
+	st := ctx.Stats()
+	fmt.Printf("\nVM did %d sweep(s) over memory for %d byte-code(s)\n",
+		st.Sweeps, st.Instructions)
+}

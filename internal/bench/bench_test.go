@@ -1,0 +1,196 @@
+package bench
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"bohrium"
+	"bohrium/internal/tensor"
+)
+
+// tinyScale keeps unit-test runs fast; the experiment *shapes* (who wins)
+// hold at any scale, which is itself part of what we assert.
+func tinyScale() Scale {
+	return Scale{VectorN: 1 << 12, SolveMax: 32, Repeats: 1}
+}
+
+func TestWorkloadProgramsValidate(t *testing.T) {
+	progs := map[string]interface{ Validate() error }{
+		"add-merge":       AddMergeProgram(8, 100, tensor.Float64),
+		"add-merge-noisy": AddMergeNoisyProgram(8, 100, tensor.Int64),
+		"power":           PowerProgram(10, 100),
+		"solve":           SolveProgram(8),
+	}
+	for name, p := range progs {
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestHeat2DConverges(t *testing.T) {
+	ctx := bohrium.NewContext(nil)
+	defer ctx.Close()
+	v, err := Heat2D(ctx, 24, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With a single hot boundary at 100, interior settles strictly
+	// between 0 and 100 and well above 0 after 200 sweeps.
+	if v <= 0.1 || v >= 100 {
+		t.Errorf("center temperature = %v, want in (0.1, 100)", v)
+	}
+}
+
+func TestHeat2DOptimizerEquivalence(t *testing.T) {
+	plain := bohrium.NewContext(&bohrium.Config{DisableFusion: true})
+	defer plain.Close()
+	vPlain, err := Heat2D(plain, 16, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fused := bohrium.NewContext(nil)
+	defer fused.Close()
+	vFused, err := Heat2D(fused, 16, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(vPlain-vFused) > 1e-9 {
+		t.Errorf("heat results differ: %v vs %v", vPlain, vFused)
+	}
+}
+
+func TestBlackScholesPlausible(t *testing.T) {
+	ctx := bohrium.NewContext(nil)
+	defer ctx.Close()
+	v, err := BlackScholes(ctx, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ATM-ish calls on spots 80-120, strike 100: mean price in a sane band.
+	if v < 1 || v > 40 {
+		t.Errorf("mean option price = %v, want in [1, 40]", v)
+	}
+}
+
+func TestLeibnizPi(t *testing.T) {
+	ctx := bohrium.NewContext(nil)
+	defer ctx.Close()
+	v, err := LeibnizPi(ctx, 200000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(v-math.Pi) > 1e-4 {
+		t.Errorf("Leibniz pi = %v", v)
+	}
+}
+
+func TestMonteCarloPi(t *testing.T) {
+	ctx := bohrium.NewContext(nil)
+	defer ctx.Close()
+	v, err := MonteCarloPi(ctx, 100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(v-math.Pi) > 0.05 {
+		t.Errorf("Monte Carlo pi = %v", v)
+	}
+}
+
+func TestE1Shape(t *testing.T) {
+	rows, err := E1AddMerge(tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 8 {
+		t.Fatalf("%d rows, want 8", len(rows))
+	}
+	for _, r := range rows {
+		// k adds + identity + sync collapse to 3 byte-codes.
+		if r.BytecodesAfter != 3 {
+			t.Errorf("%s %s: after = %d, want 3", r.Workload, r.Params, r.BytecodesAfter)
+		}
+		if r.BytecodesBefore <= r.BytecodesAfter {
+			t.Errorf("%s %s: no byte-code reduction", r.Workload, r.Params)
+		}
+	}
+}
+
+func TestE2Shape(t *testing.T) {
+	rows, err := E2PowerChain(tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("%d rows, want 3", len(rows))
+	}
+	// Paper-exact chain lengths: 9 (Listing 4), 5 (Listing 5), 4 (binary);
+	// programs carry IDENTITY + chain + SYNC.
+	wantAfter := []int{11, 7, 6}
+	for i, r := range rows {
+		if r.BytecodesAfter != wantAfter[i] {
+			t.Errorf("row %d (%s): after = %d, want %d", i, r.Note, r.BytecodesAfter, wantAfter[i])
+		}
+	}
+}
+
+func TestE4Shape(t *testing.T) {
+	rows, err := E4Solve(tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		// INVERSE+MATMUL (plus SYNC) becomes SOLVE (plus SYNC).
+		if r.BytecodesAfter >= r.BytecodesBefore {
+			t.Errorf("%s: no shrink (%d -> %d)", r.Params, r.BytecodesBefore, r.BytecodesAfter)
+		}
+	}
+}
+
+func TestE6D1GapToleranceWins(t *testing.T) {
+	rows, err := E6Ablations(tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var d1 *Row
+	for i := range rows {
+		if rows[i].Experiment == "E6/D1" {
+			d1 = &rows[i]
+		}
+	}
+	if d1 == nil {
+		t.Fatal("no D1 row")
+	}
+	// Adjacent-only merges nothing on the noisy stream; gap tolerance
+	// merges all 7 pairs.
+	if !strings.Contains(d1.Note, "adjacent-only merged 0") {
+		t.Errorf("D1 note = %q", d1.Note)
+	}
+	if !strings.Contains(d1.Note, "gap-tolerant merged 7") {
+		t.Errorf("D1 note = %q", d1.Note)
+	}
+}
+
+func TestE5ValuesAgree(t *testing.T) {
+	rows, err := E5Workloads(Scale{VectorN: 1 << 14, Repeats: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if strings.Contains(r.Note, "MISMATCH") {
+			t.Errorf("%s: %s", r.Workload, r.Note)
+		}
+	}
+}
+
+func TestTableFormatting(t *testing.T) {
+	rows, err := E2PowerChain(tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Table(rows)
+	if !strings.Contains(out, "E2") || !strings.Contains(out, "speedup") {
+		t.Errorf("table output:\n%s", out)
+	}
+}

@@ -1,0 +1,126 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"bohrium/internal/bytecode"
+	"bohrium/internal/rewrite"
+	"bohrium/internal/tensor"
+	"bohrium/internal/vm"
+)
+
+// Row is one line of an experiment table.
+type Row struct {
+	Experiment string
+	Workload   string
+	Params     string
+	// BytecodesBefore/After count instructions entering/leaving the
+	// optimizer (the paper's unit of work).
+	BytecodesBefore, BytecodesAfter int
+	// Baseline and Optimized are wall-clock times for the two variants.
+	Baseline, Optimized time.Duration
+	// Speedup = Baseline / Optimized.
+	Speedup float64
+	// Note carries per-row context ("chain=5 muls", "rewrite blocked").
+	Note string
+}
+
+// Table formats rows as an aligned text table, the output cmd/bhbench and
+// EXPERIMENTS.md embed.
+func Table(rows []Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-4s %-22s %-26s %9s %9s %12s %12s %8s  %s\n",
+		"exp", "workload", "params", "bc-before", "bc-after", "baseline", "optimized", "speedup", "note")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-4s %-22s %-26s %9d %9d %12s %12s %7.2fx  %s\n",
+			r.Experiment, r.Workload, r.Params, r.BytecodesBefore, r.BytecodesAfter,
+			round(r.Baseline), round(r.Optimized), r.Speedup, r.Note)
+	}
+	return b.String()
+}
+
+func round(d time.Duration) string {
+	switch {
+	case d >= time.Millisecond:
+		return d.Round(10 * time.Microsecond).String()
+	default:
+		return d.Round(100 * time.Nanosecond).String()
+	}
+}
+
+// bestOf times fn repeats times and returns the minimum — the standard
+// way to suppress scheduler noise on shared machines.
+func bestOf(repeats int, fn func() error) (time.Duration, error) {
+	best := time.Duration(0)
+	for i := 0; i < repeats; i++ {
+		start := time.Now()
+		if err := fn(); err != nil {
+			return 0, err
+		}
+		if d := time.Since(start); best == 0 || d < best {
+			best = d
+		}
+	}
+	return best, nil
+}
+
+// runProgram executes prog on a fresh machine, optionally binding the E4
+// linear-system inputs.
+func runProgram(prog *bytecode.Program, bind func(*vm.Machine)) error {
+	m := vm.New(vm.Config{Fusion: true, SkipValidation: true})
+	defer m.Close()
+	if bind != nil {
+		bind(m)
+	}
+	return m.Run(prog)
+}
+
+// comparePrograms times the raw program against its optimized form and
+// fills a Row. Both versions are validated once up front.
+func comparePrograms(exp, workload, params string, prog *bytecode.Program,
+	pl *rewrite.Pipeline, repeats int, bind func(*vm.Machine)) (Row, error) {
+
+	if err := prog.Validate(); err != nil {
+		return Row{}, fmt.Errorf("bench: invalid workload: %w", err)
+	}
+	optimized, report, err := pl.Optimize(prog)
+	if err != nil {
+		return Row{}, fmt.Errorf("bench: optimize: %w", err)
+	}
+	base, err := bestOf(repeats, func() error { return runProgram(prog.Clone(), bind) })
+	if err != nil {
+		return Row{}, err
+	}
+	opt, err := bestOf(repeats, func() error { return runProgram(optimized.Clone(), bind) })
+	if err != nil {
+		return Row{}, err
+	}
+	return Row{
+		Experiment:      exp,
+		Workload:        workload,
+		Params:          params,
+		BytecodesBefore: report.Before.Instructions,
+		BytecodesAfter:  report.After.Instructions,
+		Baseline:        base,
+		Optimized:       opt,
+		Speedup:         float64(base) / float64(opt),
+	}, nil
+}
+
+// bindSolveInputs binds deterministic diagonally dominant data to the E4
+// solve program's input registers (a0 = A, a2 = B).
+func bindSolveInputs(m int) func(*vm.Machine) {
+	return func(machine *vm.Machine) {
+		a := tensor.MustNew(tensor.Float64, tensor.MustShape(m, m))
+		a.FillRandom(42, -1, 1)
+		for i := 0; i < m; i++ {
+			a.SetAt(float64(m)+2, i, i) // dominant diagonal
+		}
+		b := tensor.MustNew(tensor.Float64, tensor.MustShape(m))
+		b.FillRandom(43, -1, 1)
+		machine.Bind(0, a)
+		machine.Bind(2, b)
+	}
+}

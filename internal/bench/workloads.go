@@ -1,0 +1,160 @@
+// Package bench is the experiment substrate: workload generators for every
+// listing/equation/claim in the paper plus the scientific kernels Bohrium's
+// own evaluations use (heat diffusion, Black-Scholes, Leibniz π,
+// Monte-Carlo π), and a harness that regenerates the experiment tables in
+// EXPERIMENTS.md.
+package bench
+
+import (
+	"math"
+
+	"bohrium"
+	"bohrium/internal/bytecode"
+	"bohrium/internal/tensor"
+)
+
+// AddMergeProgram builds the paper's Listing 2 generalized to k repeated
+// "a += 1" byte-codes over an n-element vector of the given dtype
+// (experiment E1).
+func AddMergeProgram(k, n int, dt tensor.DType) *bytecode.Program {
+	p := bytecode.NewProgram()
+	a0 := p.NewReg(dt, n)
+	v := tensor.NewView(tensor.MustShape(n))
+	p.EmitIdentity(bytecode.Reg(a0, v), bytecode.Const(bytecode.ConstOf(dt, 0)))
+	for i := 0; i < k; i++ {
+		p.EmitBinary(bytecode.OpAdd, bytecode.Reg(a0, v), bytecode.Reg(a0, v),
+			bytecode.Const(bytecode.ConstOf(dt, 1)))
+	}
+	p.EmitSync(bytecode.Reg(a0, v))
+	return p
+}
+
+// AddMergeNoisyProgram interleaves each "a += 1" with an unrelated
+// byte-code on a second register — the stream shape real front-ends emit,
+// used by the D1 gap-tolerance ablation (E6).
+func AddMergeNoisyProgram(k, n int, dt tensor.DType) *bytecode.Program {
+	p := bytecode.NewProgram()
+	a0 := p.NewReg(dt, n)
+	a1 := p.NewReg(dt, n)
+	v := tensor.NewView(tensor.MustShape(n))
+	p.EmitIdentity(bytecode.Reg(a0, v), bytecode.Const(bytecode.ConstOf(dt, 0)))
+	p.EmitIdentity(bytecode.Reg(a1, v), bytecode.Const(bytecode.ConstOf(dt, 5)))
+	for i := 0; i < k; i++ {
+		p.EmitBinary(bytecode.OpAdd, bytecode.Reg(a0, v), bytecode.Reg(a0, v),
+			bytecode.Const(bytecode.ConstOf(dt, 1)))
+		p.EmitBinary(bytecode.OpMultiply, bytecode.Reg(a1, v), bytecode.Reg(a1, v),
+			bytecode.Reg(a1, v))
+	}
+	p.EmitSync(bytecode.Reg(a0, v))
+	p.EmitSync(bytecode.Reg(a1, v))
+	return p
+}
+
+// PowerProgram builds "a1 = a0 ^ exp; sync" over n elements (experiments
+// E2/E3). The optimizer decides whether BH_POWER survives.
+func PowerProgram(exp int64, n int) *bytecode.Program {
+	p := bytecode.NewProgram()
+	a0 := p.NewReg(tensor.Float64, n)
+	a1 := p.NewReg(tensor.Float64, n)
+	v := tensor.NewView(tensor.MustShape(n))
+	p.EmitIdentity(bytecode.Reg(a0, v), bytecode.Const(bytecode.ConstFloat(1.0000001)))
+	p.EmitBinary(bytecode.OpPower, bytecode.Reg(a1, v), bytecode.Reg(a0, v),
+		bytecode.Const(bytecode.ConstInt(exp)))
+	p.EmitSync(bytecode.Reg(a1, v))
+	return p
+}
+
+// SolveProgram builds the equation (2) byte-code: x = A⁻¹·B for an m×m
+// system (experiment E4). Registers a0 (A) and a2 (B) are inputs the
+// harness binds to deterministic well-conditioned data.
+func SolveProgram(m int) *bytecode.Program {
+	p := bytecode.NewProgram()
+	a := p.NewReg(tensor.Float64, m*m)
+	inv := p.NewReg(tensor.Float64, m*m)
+	b := p.NewReg(tensor.Float64, m)
+	x := p.NewReg(tensor.Float64, m)
+	vm2 := tensor.NewView(tensor.MustShape(m, m))
+	vcol := tensor.NewView(tensor.MustShape(m, 1))
+	vvec := tensor.NewView(tensor.MustShape(m))
+	p.MarkInput(a)
+	p.MarkInput(b)
+	p.EmitUnary(bytecode.OpInverse, bytecode.Reg(inv, vm2), bytecode.Reg(a, vm2))
+	p.EmitBinary(bytecode.OpMatmul, bytecode.Reg(x, vcol), bytecode.Reg(inv, vm2), bytecode.Reg(b, vcol))
+	p.EmitSync(bytecode.Reg(x, vvec))
+	return p
+}
+
+// Front-end workloads (E5): the scientific kernels Bohrium's publications
+// evaluate with, expressed against the public API so the whole pipeline
+// (recording → optimization → fused VM) is measured.
+
+// Heat2D runs iters Jacobi sweeps of the 2-D heat equation on an n×n grid
+// and returns the temperature at a probe near the hot boundary (heat needs
+// ~n² sweeps to reach the center). The stencil is pure view arithmetic —
+// the workload the CINEMA imaging project motivates.
+func Heat2D(ctx *bohrium.Context, n, iters int) (float64, error) {
+	grid := ctx.Zeros(n, n)
+	// Hot northern boundary.
+	top := grid.MustSlice(0, 0, 1, 1)
+	top.AddC(100)
+
+	center := grid.MustSlice(0, 1, n-1, 1).MustSlice(1, 1, n-1, 1)
+	north := grid.MustSlice(0, 0, n-2, 1).MustSlice(1, 1, n-1, 1)
+	south := grid.MustSlice(0, 2, n, 1).MustSlice(1, 1, n-1, 1)
+	west := grid.MustSlice(0, 1, n-1, 1).MustSlice(1, 0, n-2, 1)
+	east := grid.MustSlice(0, 1, n-1, 1).MustSlice(1, 2, n, 1)
+
+	for it := 0; it < iters; it++ {
+		next := center.Plus(north)
+		next.Add(south).Add(west).Add(east).MulC(0.2)
+		center.Assign(next)
+	}
+	return grid.At(2, n/2)
+}
+
+// BlackScholes prices N call options with the classic Black-Scholes
+// formula (normal CDF via the tanh approximation) and returns the mean
+// price.
+func BlackScholes(ctx *bohrium.Context, n int) (float64, error) {
+	s := ctx.Random(101, n)
+	s.MulC(40).AddC(80) // spot in [80, 120)
+	k := ctx.Full(100, n)
+	tte := ctx.Full(1.0, n) // one year
+	const r, sigma = 0.02, 0.3
+
+	sqrtT := tte.Copy().Sqrt()
+	d1 := s.Over(k).Log()
+	d1.AddC(r + sigma*sigma/2) // T = 1
+	d1.Div(sqrtT.TimesC(sigma))
+	d2 := d1.Copy().SubC(sigma) // d1 - sigma*sqrt(T)
+
+	price := s.Times(cnd(d1))
+	discount := math.Exp(-r)
+	price.Sub(k.TimesC(discount).Mul(cnd(d2)))
+	return price.Mean().Scalar()
+}
+
+// cnd approximates the standard normal CDF:
+// Φ(x) ≈ ½(1 + tanh(√(2/π)(x + 0.044715x³))).
+func cnd(x *bohrium.Array) *bohrium.Array {
+	x3 := x.Power(3).MulC(0.044715)
+	inner := x.Plus(x3).MulC(math.Sqrt(2 / math.Pi))
+	return inner.Tanh().AddC(1).MulC(0.5)
+}
+
+// LeibnizPi sums n terms of the Leibniz series 4·Σ(-1)ⁱ/(2i+1).
+func LeibnizPi(ctx *bohrium.Context, n int) (float64, error) {
+	i := ctx.Arange(n)
+	sign := i.Copy().ModC(2).MulC(-2).AddC(1) // +1, -1, +1, ...
+	denom := i.MulC(2).AddC(1)                // in place: 2i+1
+	return sign.Over(denom).Sum().MulC(4).Scalar()
+}
+
+// MonteCarloPi estimates π from n uniform points in the unit square.
+func MonteCarloPi(ctx *bohrium.Context, n int) (float64, error) {
+	x := ctx.Random(7, n)
+	y := ctx.Random(8, n)
+	r2 := x.Times(x).Add(y.Times(y))
+	inside := r2.LessC(1).AsType(tensor.Float64)
+	return inside.Sum().MulC(4).DivC(float64(n)).Scalar()
+}

@@ -1,0 +1,322 @@
+// Package bytecode defines the Bohrium vector byte-code intermediate
+// language: op-codes, register operands with strided views, constants,
+// whole programs, and a textual (dis)assembler that reproduces the listing
+// syntax used in the paper ("BH_ADD a0 [0:10:1] a0 [0:10:1] 1").
+//
+// A byte-code instruction has an op-code, one result operand, and up to two
+// input operands which are registers or constants (paper §3). Programs are
+// flat instruction sequences; all structure (loops over elements) is
+// implicit in the operand views.
+package bytecode
+
+import "fmt"
+
+// Opcode identifies a byte-code operation.
+type Opcode int
+
+// Opcode kinds classify how the VM executes an instruction and how the
+// rewrite engine may reason about it.
+type OpKind int
+
+// Instruction classes.
+const (
+	// KindSystem instructions manage runtime state (SYNC, FREE, NONE).
+	KindSystem OpKind = iota + 1
+	// KindGenerator instructions produce values without tensor inputs
+	// (IDENTITY from a constant, RANGE, RANDOM).
+	KindGenerator
+	// KindUnary instructions map one input elementwise.
+	KindUnary
+	// KindBinary instructions map two inputs elementwise.
+	KindBinary
+	// KindReduction instructions fold one axis of the input.
+	KindReduction
+	// KindScan instructions compute prefix operations along one axis.
+	KindScan
+	// KindExtension instructions invoke an extension method (linear
+	// algebra in this reproduction), Bohrium's escape hatch for
+	// operations that do not fit the elementwise model.
+	KindExtension
+)
+
+// The byte-code op-codes. The set mirrors the core of Bohrium's opcode
+// table: system codes, generators, elementwise arithmetic, comparisons,
+// logicals, transcendentals, reductions, scans, and the extension methods
+// the paper's equation (2) needs (matmul / LU / solve / inverse).
+const (
+	OpNone Opcode = iota + 1
+
+	// System.
+	OpSync
+	OpFree
+
+	// Generators.
+	OpIdentity
+	OpRange
+	OpRandom
+
+	// Binary arithmetic.
+	OpAdd
+	OpSubtract
+	OpMultiply
+	OpDivide
+	OpPower
+	OpMod
+	OpMaximum
+	OpMinimum
+	OpArctan2
+
+	// Comparisons (produce bool).
+	OpEqual
+	OpNotEqual
+	OpLess
+	OpLessEqual
+	OpGreater
+	OpGreaterEqual
+
+	// Logical / bitwise.
+	OpLogicalAnd
+	OpLogicalOr
+	OpLogicalXor
+	OpBitwiseAnd
+	OpBitwiseOr
+	OpBitwiseXor
+	OpLeftShift
+	OpRightShift
+
+	// Unary.
+	OpNegative
+	OpAbsolute
+	OpLogicalNot
+	OpInvert
+	OpSqrt
+	OpExp
+	OpExpm1
+	OpLog
+	OpLog2
+	OpLog10
+	OpLog1p
+	OpSin
+	OpCos
+	OpTan
+	OpArcsin
+	OpArccos
+	OpArctan
+	OpSinh
+	OpCosh
+	OpTanh
+	OpFloor
+	OpCeil
+	OpRint
+	OpTrunc
+	OpSign
+
+	// Reductions.
+	OpAddReduce
+	OpMultiplyReduce
+	OpMinimumReduce
+	OpMaximumReduce
+	OpLogicalAndReduce
+	OpLogicalOrReduce
+
+	// Scans.
+	OpAddAccumulate
+	OpMultiplyAccumulate
+
+	// Extension methods (linear algebra substrate, paper eq. (2)).
+	OpMatmul
+	OpLU
+	OpSolve
+	OpInverse
+
+	numOpcodes // sentinel, keep last
+)
+
+// Info describes the static properties of an op-code.
+type Info struct {
+	// Name is the canonical textual form, e.g. "BH_ADD".
+	Name string
+	// Kind classifies execution behaviour.
+	Kind OpKind
+	// Arity is the number of tensor/constant inputs (0, 1 or 2).
+	Arity int
+	// Commutative reports whether op(a, b) == op(b, a).
+	Commutative bool
+	// Associative reports whether op(op(a,b),c) == op(a,op(b,c)).
+	Associative bool
+	// HasIdentity reports whether the operation has a neutral element.
+	HasIdentity bool
+	// Identity is the neutral element when HasIdentity (0 for add, 1 for
+	// multiply, ...). Used by the identity-elimination rewrite rules.
+	Identity float64
+	// Cost is the relative per-element cost used by the cost model (an
+	// elementwise add sweep is 1). Extension methods carry superlinear
+	// costs computed separately by the cost model.
+	Cost float64
+	// Bool reports whether the op always produces a bool result.
+	Bool bool
+}
+
+var infos = [numOpcodes]Info{
+	OpNone: {Name: "BH_NONE", Kind: KindSystem, Arity: 0, Cost: 0},
+	OpSync: {Name: "BH_SYNC", Kind: KindSystem, Arity: 0, Cost: 0},
+	OpFree: {Name: "BH_FREE", Kind: KindSystem, Arity: 0, Cost: 0},
+
+	OpIdentity: {Name: "BH_IDENTITY", Kind: KindGenerator, Arity: 1, Cost: 1},
+	OpRange:    {Name: "BH_RANGE", Kind: KindGenerator, Arity: 0, Cost: 1},
+	OpRandom:   {Name: "BH_RANDOM", Kind: KindGenerator, Arity: 2, Cost: 4},
+
+	OpAdd:      {Name: "BH_ADD", Kind: KindBinary, Arity: 2, Commutative: true, Associative: true, HasIdentity: true, Identity: 0, Cost: 1},
+	OpSubtract: {Name: "BH_SUBTRACT", Kind: KindBinary, Arity: 2, HasIdentity: true, Identity: 0, Cost: 1},
+	OpMultiply: {Name: "BH_MULTIPLY", Kind: KindBinary, Arity: 2, Commutative: true, Associative: true, HasIdentity: true, Identity: 1, Cost: 1},
+	OpDivide:   {Name: "BH_DIVIDE", Kind: KindBinary, Arity: 2, HasIdentity: true, Identity: 1, Cost: 4},
+	OpPower:    {Name: "BH_POWER", Kind: KindBinary, Arity: 2, HasIdentity: true, Identity: 1, Cost: 24},
+	OpMod:      {Name: "BH_MOD", Kind: KindBinary, Arity: 2, Cost: 4},
+	OpMaximum:  {Name: "BH_MAXIMUM", Kind: KindBinary, Arity: 2, Commutative: true, Associative: true, Cost: 1},
+	OpMinimum:  {Name: "BH_MINIMUM", Kind: KindBinary, Arity: 2, Commutative: true, Associative: true, Cost: 1},
+	OpArctan2:  {Name: "BH_ARCTAN2", Kind: KindBinary, Arity: 2, Cost: 12},
+
+	OpEqual:        {Name: "BH_EQUAL", Kind: KindBinary, Arity: 2, Commutative: true, Cost: 1, Bool: true},
+	OpNotEqual:     {Name: "BH_NOT_EQUAL", Kind: KindBinary, Arity: 2, Commutative: true, Cost: 1, Bool: true},
+	OpLess:         {Name: "BH_LESS", Kind: KindBinary, Arity: 2, Cost: 1, Bool: true},
+	OpLessEqual:    {Name: "BH_LESS_EQUAL", Kind: KindBinary, Arity: 2, Cost: 1, Bool: true},
+	OpGreater:      {Name: "BH_GREATER", Kind: KindBinary, Arity: 2, Cost: 1, Bool: true},
+	OpGreaterEqual: {Name: "BH_GREATER_EQUAL", Kind: KindBinary, Arity: 2, Cost: 1, Bool: true},
+
+	OpLogicalAnd: {Name: "BH_LOGICAL_AND", Kind: KindBinary, Arity: 2, Commutative: true, Associative: true, HasIdentity: true, Identity: 1, Cost: 1, Bool: true},
+	OpLogicalOr:  {Name: "BH_LOGICAL_OR", Kind: KindBinary, Arity: 2, Commutative: true, Associative: true, HasIdentity: true, Identity: 0, Cost: 1, Bool: true},
+	OpLogicalXor: {Name: "BH_LOGICAL_XOR", Kind: KindBinary, Arity: 2, Commutative: true, Associative: true, HasIdentity: true, Identity: 0, Cost: 1, Bool: true},
+	OpBitwiseAnd: {Name: "BH_BITWISE_AND", Kind: KindBinary, Arity: 2, Commutative: true, Associative: true, Cost: 1},
+	OpBitwiseOr:  {Name: "BH_BITWISE_OR", Kind: KindBinary, Arity: 2, Commutative: true, Associative: true, HasIdentity: true, Identity: 0, Cost: 1},
+	OpBitwiseXor: {Name: "BH_BITWISE_XOR", Kind: KindBinary, Arity: 2, Commutative: true, Associative: true, HasIdentity: true, Identity: 0, Cost: 1},
+	OpLeftShift:  {Name: "BH_LEFT_SHIFT", Kind: KindBinary, Arity: 2, HasIdentity: true, Identity: 0, Cost: 1},
+	OpRightShift: {Name: "BH_RIGHT_SHIFT", Kind: KindBinary, Arity: 2, HasIdentity: true, Identity: 0, Cost: 1},
+
+	OpNegative:   {Name: "BH_NEGATIVE", Kind: KindUnary, Arity: 1, Cost: 1},
+	OpAbsolute:   {Name: "BH_ABSOLUTE", Kind: KindUnary, Arity: 1, Cost: 1},
+	OpLogicalNot: {Name: "BH_LOGICAL_NOT", Kind: KindUnary, Arity: 1, Cost: 1, Bool: true},
+	OpInvert:     {Name: "BH_INVERT", Kind: KindUnary, Arity: 1, Cost: 1},
+	OpSqrt:       {Name: "BH_SQRT", Kind: KindUnary, Arity: 1, Cost: 4},
+	OpExp:        {Name: "BH_EXP", Kind: KindUnary, Arity: 1, Cost: 8},
+	OpExpm1:      {Name: "BH_EXPM1", Kind: KindUnary, Arity: 1, Cost: 8},
+	OpLog:        {Name: "BH_LOG", Kind: KindUnary, Arity: 1, Cost: 8},
+	OpLog2:       {Name: "BH_LOG2", Kind: KindUnary, Arity: 1, Cost: 8},
+	OpLog10:      {Name: "BH_LOG10", Kind: KindUnary, Arity: 1, Cost: 8},
+	OpLog1p:      {Name: "BH_LOG1P", Kind: KindUnary, Arity: 1, Cost: 8},
+	OpSin:        {Name: "BH_SIN", Kind: KindUnary, Arity: 1, Cost: 8},
+	OpCos:        {Name: "BH_COS", Kind: KindUnary, Arity: 1, Cost: 8},
+	OpTan:        {Name: "BH_TAN", Kind: KindUnary, Arity: 1, Cost: 10},
+	OpArcsin:     {Name: "BH_ARCSIN", Kind: KindUnary, Arity: 1, Cost: 10},
+	OpArccos:     {Name: "BH_ARCCOS", Kind: KindUnary, Arity: 1, Cost: 10},
+	OpArctan:     {Name: "BH_ARCTAN", Kind: KindUnary, Arity: 1, Cost: 10},
+	OpSinh:       {Name: "BH_SINH", Kind: KindUnary, Arity: 1, Cost: 10},
+	OpCosh:       {Name: "BH_COSH", Kind: KindUnary, Arity: 1, Cost: 10},
+	OpTanh:       {Name: "BH_TANH", Kind: KindUnary, Arity: 1, Cost: 10},
+	OpFloor:      {Name: "BH_FLOOR", Kind: KindUnary, Arity: 1, Cost: 1},
+	OpCeil:       {Name: "BH_CEIL", Kind: KindUnary, Arity: 1, Cost: 1},
+	OpRint:       {Name: "BH_RINT", Kind: KindUnary, Arity: 1, Cost: 1},
+	OpTrunc:      {Name: "BH_TRUNC", Kind: KindUnary, Arity: 1, Cost: 1},
+	OpSign:       {Name: "BH_SIGN", Kind: KindUnary, Arity: 1, Cost: 1},
+
+	OpAddReduce:        {Name: "BH_ADD_REDUCE", Kind: KindReduction, Arity: 1, Cost: 1},
+	OpMultiplyReduce:   {Name: "BH_MULTIPLY_REDUCE", Kind: KindReduction, Arity: 1, Cost: 1},
+	OpMinimumReduce:    {Name: "BH_MINIMUM_REDUCE", Kind: KindReduction, Arity: 1, Cost: 1},
+	OpMaximumReduce:    {Name: "BH_MAXIMUM_REDUCE", Kind: KindReduction, Arity: 1, Cost: 1},
+	OpLogicalAndReduce: {Name: "BH_LOGICAL_AND_REDUCE", Kind: KindReduction, Arity: 1, Cost: 1, Bool: true},
+	OpLogicalOrReduce:  {Name: "BH_LOGICAL_OR_REDUCE", Kind: KindReduction, Arity: 1, Cost: 1, Bool: true},
+
+	OpAddAccumulate:      {Name: "BH_ADD_ACCUMULATE", Kind: KindScan, Arity: 1, Cost: 1},
+	OpMultiplyAccumulate: {Name: "BH_MULTIPLY_ACCUMULATE", Kind: KindScan, Arity: 1, Cost: 1},
+
+	OpMatmul:  {Name: "BH_MATMUL", Kind: KindExtension, Arity: 2, Cost: 1},
+	OpLU:      {Name: "BH_LU", Kind: KindExtension, Arity: 1, Cost: 1},
+	OpSolve:   {Name: "BH_SOLVE", Kind: KindExtension, Arity: 2, Cost: 1},
+	OpInverse: {Name: "BH_INVERSE", Kind: KindExtension, Arity: 1, Cost: 1},
+}
+
+// nameToOp is the immutable name → op-code index, derived once from the
+// info table at package initialization.
+var nameToOp = func() map[string]Opcode {
+	m := make(map[string]Opcode, int(numOpcodes))
+	for op := Opcode(1); op < numOpcodes; op++ {
+		if infos[op].Name != "" {
+			m[infos[op].Name] = op
+		}
+	}
+	return m
+}()
+
+// Valid reports whether op is a defined op-code.
+func (op Opcode) Valid() bool {
+	return op > 0 && op < numOpcodes && infos[op].Name != ""
+}
+
+// Info returns the static metadata of op. Calling Info on an invalid
+// op-code returns a zero Info.
+func (op Opcode) Info() Info {
+	if !op.Valid() {
+		return Info{}
+	}
+	return infos[op]
+}
+
+// String returns the canonical "BH_*" name.
+func (op Opcode) String() string {
+	if !op.Valid() {
+		return fmt.Sprintf("BH_INVALID(%d)", int(op))
+	}
+	return infos[op].Name
+}
+
+// ParseOpcode resolves a "BH_*" name to its op-code.
+func ParseOpcode(name string) (Opcode, error) {
+	if op, ok := nameToOp[name]; ok {
+		return op, nil
+	}
+	return 0, fmt.Errorf("bytecode: unknown op-code %q", name)
+}
+
+// Opcodes returns all defined op-codes in declaration order, for table
+// driven tests and fuzzing.
+func Opcodes() []Opcode {
+	out := make([]Opcode, 0, int(numOpcodes)-1)
+	for op := Opcode(1); op < numOpcodes; op++ {
+		if infos[op].Name != "" {
+			out = append(out, op)
+		}
+	}
+	return out
+}
+
+// Elementwise reports whether op maps inputs to outputs element-by-element
+// (unary, binary, or generator) — the class of instructions the fusion
+// engine may merge into a single kernel sweep.
+func (op Opcode) Elementwise() bool {
+	switch op.Info().Kind {
+	case KindUnary, KindBinary, KindGenerator:
+		return op != OpRandom // RANDOM is generator-like but stateful per element index
+	default:
+		return false
+	}
+}
+
+// ReduceBase returns the binary op-code a reduction or scan folds with
+// (BH_ADD for BH_ADD_REDUCE, ...), and false for other kinds.
+func (op Opcode) ReduceBase() (Opcode, bool) {
+	switch op {
+	case OpAddReduce, OpAddAccumulate:
+		return OpAdd, true
+	case OpMultiplyReduce, OpMultiplyAccumulate:
+		return OpMultiply, true
+	case OpMinimumReduce:
+		return OpMinimum, true
+	case OpMaximumReduce:
+		return OpMaximum, true
+	case OpLogicalAndReduce:
+		return OpLogicalAnd, true
+	case OpLogicalOrReduce:
+		return OpLogicalOr, true
+	default:
+		return 0, false
+	}
+}

@@ -1,0 +1,143 @@
+package bytecode
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestOpcodeTableConsistency(t *testing.T) {
+	for _, op := range Opcodes() {
+		info := op.Info()
+		if info.Name == "" {
+			t.Errorf("op %d has no name", int(op))
+		}
+		if !strings.HasPrefix(info.Name, "BH_") {
+			t.Errorf("%s does not start with BH_", info.Name)
+		}
+		if info.Kind == 0 {
+			t.Errorf("%s has no kind", info.Name)
+		}
+		if info.Arity < 0 || info.Arity > 2 {
+			t.Errorf("%s arity %d outside [0,2]", info.Name, info.Arity)
+		}
+		parsed, err := ParseOpcode(info.Name)
+		if err != nil || parsed != op {
+			t.Errorf("ParseOpcode(%s) = %v, %v", info.Name, parsed, err)
+		}
+	}
+}
+
+func TestOpcodeKinds(t *testing.T) {
+	tests := []struct {
+		op   Opcode
+		kind OpKind
+	}{
+		{OpSync, KindSystem},
+		{OpFree, KindSystem},
+		{OpIdentity, KindGenerator},
+		{OpRange, KindGenerator},
+		{OpAdd, KindBinary},
+		{OpSqrt, KindUnary},
+		{OpAddReduce, KindReduction},
+		{OpAddAccumulate, KindScan},
+		{OpMatmul, KindExtension},
+		{OpSolve, KindExtension},
+	}
+	for _, tt := range tests {
+		if got := tt.op.Info().Kind; got != tt.kind {
+			t.Errorf("%s kind = %v, want %v", tt.op, got, tt.kind)
+		}
+	}
+}
+
+func TestOpcodeAlgebraicProperties(t *testing.T) {
+	// The rewrite rules lean on these flags; pin them down.
+	if !OpAdd.Info().Commutative || !OpAdd.Info().Associative {
+		t.Error("BH_ADD must be commutative and associative")
+	}
+	if OpSubtract.Info().Commutative {
+		t.Error("BH_SUBTRACT must not be commutative")
+	}
+	if !OpMultiply.Info().Associative {
+		t.Error("BH_MULTIPLY must be associative")
+	}
+	if got := OpAdd.Info().Identity; !OpAdd.Info().HasIdentity || got != 0 {
+		t.Errorf("BH_ADD identity = %v, want 0", got)
+	}
+	if got := OpMultiply.Info().Identity; !OpMultiply.Info().HasIdentity || got != 1 {
+		t.Errorf("BH_MULTIPLY identity = %v, want 1", got)
+	}
+	if got := OpPower.Info().Identity; !OpPower.Info().HasIdentity || got != 1 {
+		t.Errorf("BH_POWER identity = %v, want 1", got)
+	}
+	if OpMaximum.Info().HasIdentity {
+		t.Error("BH_MAXIMUM has no dtype-independent identity")
+	}
+}
+
+func TestPowerCostExceedsMultiply(t *testing.T) {
+	// The whole point of power expansion (paper eq. (1)): a POWER sweep
+	// must cost more than a handful of MULTIPLY sweeps in the cost model.
+	if OpPower.Info().Cost <= 5*OpMultiply.Info().Cost {
+		t.Errorf("cost(POWER)=%v should far exceed cost(MULTIPLY)=%v",
+			OpPower.Info().Cost, OpMultiply.Info().Cost)
+	}
+}
+
+func TestElementwise(t *testing.T) {
+	tests := []struct {
+		op   Opcode
+		want bool
+	}{
+		{OpAdd, true},
+		{OpSqrt, true},
+		{OpIdentity, true},
+		{OpRange, true},
+		{OpRandom, false},
+		{OpAddReduce, false},
+		{OpSync, false},
+		{OpMatmul, false},
+	}
+	for _, tt := range tests {
+		if got := tt.op.Elementwise(); got != tt.want {
+			t.Errorf("%s.Elementwise() = %v, want %v", tt.op, got, tt.want)
+		}
+	}
+}
+
+func TestReduceBase(t *testing.T) {
+	tests := []struct {
+		op   Opcode
+		base Opcode
+		ok   bool
+	}{
+		{OpAddReduce, OpAdd, true},
+		{OpMultiplyReduce, OpMultiply, true},
+		{OpMinimumReduce, OpMinimum, true},
+		{OpMaximumReduce, OpMaximum, true},
+		{OpLogicalAndReduce, OpLogicalAnd, true},
+		{OpLogicalOrReduce, OpLogicalOr, true},
+		{OpAddAccumulate, OpAdd, true},
+		{OpMultiplyAccumulate, OpMultiply, true},
+		{OpAdd, 0, false},
+		{OpSync, 0, false},
+	}
+	for _, tt := range tests {
+		base, ok := tt.op.ReduceBase()
+		if base != tt.base || ok != tt.ok {
+			t.Errorf("%s.ReduceBase() = %v, %v; want %v, %v", tt.op, base, ok, tt.base, tt.ok)
+		}
+	}
+}
+
+func TestInvalidOpcode(t *testing.T) {
+	if Opcode(0).Valid() || Opcode(9999).Valid() {
+		t.Error("invalid opcodes reported valid")
+	}
+	if got := Opcode(9999).String(); !strings.Contains(got, "INVALID") {
+		t.Errorf("invalid opcode String = %q", got)
+	}
+	if _, err := ParseOpcode("BH_BOGUS"); err == nil {
+		t.Error("ParseOpcode accepted BH_BOGUS")
+	}
+}

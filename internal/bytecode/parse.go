@@ -1,0 +1,306 @@
+package bytecode
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"bohrium/internal/tensor"
+)
+
+// ErrParse wraps all assembler syntax errors.
+var ErrParse = errors.New("bytecode: parse error")
+
+// Parse assembles a textual byte-code listing into a Program. The grammar
+// is the paper's listing format plus ".reg" declarations:
+//
+//	.reg a0 float64 10            # register a0: 10 float64 elements
+//	BH_IDENTITY a0 [0:10:1] 0
+//	BH_ADD a0 [0:10:1] a0 [0:10:1] 1
+//	BH_ADD_REDUCE a1 a0 axis=0
+//	BH_SYNC a0
+//
+// Views are optional ("I assume the view is the same for all registers",
+// paper §3): a bare register name denotes the full contiguous 1-D view of
+// its declaration. Registers used with explicit views need no declaration;
+// they are auto-declared as float64 sized to the largest index touched.
+// '#' starts a comment. Constants: integers ("3"), floats ("3.5", "1.0",
+// "1e-3"), booleans ("true"/"false").
+func Parse(src string) (*Program, error) {
+	ps := &parseState{
+		prog:     NewProgram(),
+		declared: map[string]RegID{},
+		pending:  map[string]*pendingReg{},
+	}
+	for lineNo, raw := range strings.Split(src, "\n") {
+		line := raw
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		if err := ps.parseLine(line); err != nil {
+			return nil, fmt.Errorf("%w: line %d: %v", ErrParse, lineNo+1, err)
+		}
+	}
+	ps.resolvePending()
+	return ps.prog, nil
+}
+
+// MustParse is Parse for known-good sources in tests and examples.
+func MustParse(src string) *Program {
+	p, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// pendingReg tracks a register that was used before (or without) an
+// explicit declaration; its length becomes the largest index touched + 1.
+type pendingReg struct {
+	id    RegID
+	maxHi int
+}
+
+type parseState struct {
+	prog     *Program
+	declared map[string]RegID
+	pending  map[string]*pendingReg
+}
+
+func (ps *parseState) parseLine(line string) error {
+	tokens := strings.Fields(line)
+	if strings.HasPrefix(tokens[0], ".") {
+		return ps.parseDirective(tokens)
+	}
+	op, err := ParseOpcode(tokens[0])
+	if err != nil {
+		return err
+	}
+	in := Instruction{Op: op}
+	rest := tokens[1:]
+
+	// Trailing axis= applies to reductions and scans.
+	if len(rest) > 0 && strings.HasPrefix(rest[len(rest)-1], "axis=") {
+		axis, err := strconv.Atoi(strings.TrimPrefix(rest[len(rest)-1], "axis="))
+		if err != nil {
+			return fmt.Errorf("bad axis: %v", err)
+		}
+		in.Axis = axis
+		rest = rest[:len(rest)-1]
+	}
+
+	operands := make([]Operand, 0, 3)
+	for len(rest) > 0 {
+		opnd, n, err := ps.parseOperand(rest)
+		if err != nil {
+			return err
+		}
+		operands = append(operands, opnd)
+		rest = rest[n:]
+	}
+	if op != OpNone && len(operands) == 0 {
+		return fmt.Errorf("%s needs a result operand", op)
+	}
+	if len(operands) > 3 {
+		return fmt.Errorf("%s has %d operands, max 3", op, len(operands))
+	}
+	if len(operands) > 0 {
+		in.Out = operands[0]
+	}
+	if len(operands) > 1 {
+		in.In1 = operands[1]
+	}
+	if len(operands) > 2 {
+		in.In2 = operands[2]
+	}
+	ps.prog.Emit(in)
+	return nil
+}
+
+func (ps *parseState) parseDirective(tokens []string) error {
+	switch tokens[0] {
+	case ".in", ".out":
+		if len(tokens) != 2 {
+			return fmt.Errorf("%s wants one register name", tokens[0])
+		}
+		id, ok := ps.declared[tokens[1]]
+		if !ok {
+			return fmt.Errorf("%s %s must follow its .reg declaration", tokens[0], tokens[1])
+		}
+		if tokens[0] == ".in" {
+			ps.prog.MarkInput(id)
+		} else {
+			ps.prog.MarkOutput(id)
+		}
+		return nil
+	case ".reg":
+		if len(tokens) != 4 {
+			return fmt.Errorf(".reg wants 'name dtype len', got %d tokens", len(tokens)-1)
+		}
+		name := tokens[1]
+		dt, err := tensor.ParseDType(tokens[2])
+		if err != nil {
+			return err
+		}
+		n, err := strconv.Atoi(tokens[3])
+		if err != nil || n < 0 {
+			return fmt.Errorf("bad register length %q", tokens[3])
+		}
+		if _, dup := ps.declared[name]; dup {
+			return fmt.Errorf("register %s declared twice", name)
+		}
+		if _, used := ps.pending[name]; used {
+			return fmt.Errorf("register %s used before its declaration", name)
+		}
+		id := ps.prog.NewReg(dt, n)
+		ps.declared[name] = id
+		return nil
+	default:
+		return fmt.Errorf("unknown directive %s", tokens[0])
+	}
+}
+
+// parseOperand consumes one operand from tokens, returning it and the
+// number of tokens consumed.
+func (ps *parseState) parseOperand(tokens []string) (Operand, int, error) {
+	tok := tokens[0]
+	switch {
+	case tok == "true":
+		return Const(ConstBool(true)), 1, nil
+	case tok == "false":
+		return Const(ConstBool(false)), 1, nil
+	case looksLikeRegister(tok):
+		used := 1
+		var viewTokens []string
+		for used < len(tokens) && strings.HasPrefix(tokens[used], "[") {
+			viewTokens = append(viewTokens, tokens[used])
+			used++
+		}
+		opnd, err := ps.registerOperand(tok, strings.Join(viewTokens, ""))
+		if err != nil {
+			return Operand{}, 0, err
+		}
+		return opnd, used, nil
+	default:
+		c, err := parseConstant(tok)
+		if err != nil {
+			return Operand{}, 0, err
+		}
+		return Const(c), 1, nil
+	}
+}
+
+func looksLikeRegister(tok string) bool {
+	if len(tok) < 2 || tok[0] != 'a' {
+		return false
+	}
+	_, err := strconv.Atoi(tok[1:])
+	return err == nil
+}
+
+func parseConstant(tok string) (Constant, error) {
+	if i, err := strconv.ParseInt(tok, 10, 64); err == nil {
+		return ConstInt(i), nil
+	}
+	if f, err := strconv.ParseFloat(tok, 64); err == nil {
+		return ConstFloat(f), nil
+	}
+	return Constant{}, fmt.Errorf("bad constant %q", tok)
+}
+
+func (ps *parseState) registerOperand(name, viewSpec string) (Operand, error) {
+	if viewSpec == "" {
+		id, ok := ps.declared[name]
+		if !ok {
+			return Operand{}, fmt.Errorf("register %s used without view needs a .reg declaration", name)
+		}
+		info, _ := ps.prog.Reg(id)
+		return Reg(id, tensor.NewView(tensor.MustShape(info.Len))), nil
+	}
+	view, err := parseView(viewSpec)
+	if err != nil {
+		return Operand{}, err
+	}
+	if id, ok := ps.declared[name]; ok {
+		return Reg(id, view), nil
+	}
+	// Auto-declare: grow the pending register to cover this view.
+	pend, ok := ps.pending[name]
+	if !ok {
+		pend = &pendingReg{id: ps.prog.NewReg(tensor.Float64, 0)}
+		ps.pending[name] = pend
+	}
+	if _, hi, nonEmpty := view.MinMaxIndex(); nonEmpty && hi+1 > pend.maxHi {
+		pend.maxHi = hi + 1
+	}
+	return Reg(pend.id, view), nil
+}
+
+func (ps *parseState) resolvePending() {
+	for _, pend := range ps.pending {
+		ps.prog.Regs[pend.id].Len = pend.maxHi
+	}
+}
+
+// parseView parses one or more "[start:stop:step]" groups into a View.
+// The first group's start carries the linear offset, matching View.String.
+func parseView(spec string) (tensor.View, error) {
+	var starts, stops, steps []int
+	rest := spec
+	for rest != "" {
+		if rest[0] != '[' {
+			return tensor.View{}, fmt.Errorf("bad view %q", spec)
+		}
+		end := strings.IndexByte(rest, ']')
+		if end < 0 {
+			return tensor.View{}, fmt.Errorf("unterminated view %q", spec)
+		}
+		parts := strings.Split(rest[1:end], ":")
+		if len(parts) != 3 {
+			return tensor.View{}, fmt.Errorf("view group %q wants start:stop:step", rest[:end+1])
+		}
+		vals := make([]int, 3)
+		for i, p := range parts {
+			v, err := strconv.Atoi(strings.TrimSpace(p))
+			if err != nil {
+				return tensor.View{}, fmt.Errorf("bad view number %q", p)
+			}
+			vals[i] = v
+		}
+		starts = append(starts, vals[0])
+		stops = append(stops, vals[1])
+		steps = append(steps, vals[2])
+		rest = rest[end+1:]
+	}
+	shape := make(tensor.Shape, len(starts))
+	strides := make([]int, len(starts))
+	for i := range starts {
+		span := stops[i] - starts[i]
+		switch {
+		case steps[i] == 0: // broadcast dimension
+			shape[i] = span
+			strides[i] = 0
+		case span%steps[i] != 0 || span/steps[i] < 0:
+			return tensor.View{}, fmt.Errorf("view group [%d:%d:%d] has non-integral extent",
+				starts[i], stops[i], steps[i])
+		default:
+			shape[i] = span / steps[i]
+			strides[i] = steps[i]
+		}
+	}
+	offset := 0
+	if len(starts) > 0 {
+		offset = starts[0]
+	}
+	for i := 1; i < len(starts); i++ {
+		if starts[i] != 0 {
+			return tensor.View{}, fmt.Errorf("view %q: only the leading group may carry an offset", spec)
+		}
+	}
+	return tensor.View{Offset: offset, Shape: shape, Strides: strides}, nil
+}

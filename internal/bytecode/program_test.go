@@ -1,0 +1,176 @@
+package bytecode
+
+import (
+	"strings"
+	"testing"
+
+	"bohrium/internal/tensor"
+)
+
+// buildListing2 constructs the paper's Listing 2 program through the
+// builder API: zeros(10), three += 1, sync.
+func buildListing2() *Program {
+	p := NewProgram()
+	a0 := p.NewReg(tensor.Float64, 10)
+	v := tensor.NewView(tensor.MustShape(10))
+	p.EmitIdentity(Reg(a0, v), Const(ConstInt(0)))
+	for i := 0; i < 3; i++ {
+		p.EmitBinary(OpAdd, Reg(a0, v), Reg(a0, v), Const(ConstInt(1)))
+	}
+	p.EmitSync(Reg(a0, v))
+	return p
+}
+
+func TestListing2Disassembly(t *testing.T) {
+	// The disassembler must reproduce the paper's Listing 2 line for line.
+	want := strings.Join([]string{
+		"BH_IDENTITY a0 [0:10:1] 0",
+		"BH_ADD a0 [0:10:1] a0 [0:10:1] 1",
+		"BH_ADD a0 [0:10:1] a0 [0:10:1] 1",
+		"BH_ADD a0 [0:10:1] a0 [0:10:1] 1",
+		"BH_SYNC a0 [0:10:1]",
+		"",
+	}, "\n")
+	if got := buildListing2().String(); got != want {
+		t.Errorf("disassembly:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestProgramValidateListing2(t *testing.T) {
+	if err := buildListing2().Validate(); err != nil {
+		t.Fatalf("Listing 2 program invalid: %v", err)
+	}
+}
+
+func TestProgramCloneIsDeep(t *testing.T) {
+	p := buildListing2()
+	c := p.Clone()
+	c.Instrs[1].Op = OpMultiply
+	c.Instrs[1].In2 = Const(ConstInt(9))
+	c.Instrs[0].Out.View.Shape[0] = 5
+	if p.Instrs[1].Op != OpAdd {
+		t.Error("clone shares instruction storage")
+	}
+	if p.Instrs[0].Out.View.Shape[0] != 10 {
+		t.Error("clone shares view shape storage")
+	}
+}
+
+func TestCountOp(t *testing.T) {
+	p := buildListing2()
+	if got := p.CountOp(OpAdd); got != 3 {
+		t.Errorf("CountOp(BH_ADD) = %d, want 3", got)
+	}
+	if got := p.CountOp(OpSync); got != 1 {
+		t.Errorf("CountOp(BH_SYNC) = %d, want 1", got)
+	}
+	if got := p.CountKind(KindBinary); got != 3 {
+		t.Errorf("CountKind(Binary) = %d, want 3", got)
+	}
+}
+
+func TestWorkEstimate(t *testing.T) {
+	p := buildListing2()
+	// 1 identity sweep + 3 add sweeps of 10 elements = 40 cost units.
+	if got := p.WorkEstimate(); got != 40 {
+		t.Errorf("WorkEstimate = %v, want 40", got)
+	}
+}
+
+func TestInstrCostExtension(t *testing.T) {
+	p := NewProgram()
+	m := 8
+	a := p.NewReg(tensor.Float64, m*m)
+	out := p.NewReg(tensor.Float64, m*m)
+	v2 := tensor.NewView(tensor.MustShape(m, m))
+	in := Instruction{Op: OpInverse, Out: Reg(out, v2), In1: Reg(a, v2)}
+	if got, want := InstrCost(&in), 2.0*8*8*8; got != want {
+		t.Errorf("inverse cost = %v, want %v", got, want)
+	}
+	solve := Instruction{Op: OpSolve, Out: Reg(out, v2), In1: Reg(a, v2), In2: Reg(a, v2)}
+	if InstrCost(&solve) >= InstrCost(&in)+2.0*8*8*8 {
+		t.Error("solve should be cheaper than inverse + matmul")
+	}
+}
+
+func TestReduceCostUsesInputSize(t *testing.T) {
+	p := NewProgram()
+	a := p.NewReg(tensor.Float64, 100)
+	s := p.NewReg(tensor.Float64, 1)
+	in := Instruction{
+		Op:  OpAddReduce,
+		Out: Reg(s, tensor.NewView(tensor.MustShape(1))),
+		In1: Reg(a, tensor.NewView(tensor.MustShape(100))),
+	}
+	if got := InstrCost(&in); got != 100 {
+		t.Errorf("reduce cost = %v, want 100 (input sweep)", got)
+	}
+}
+
+func TestConstants(t *testing.T) {
+	ci := ConstInt(3)
+	if !ci.IsIntegral() || ci.Float() != 3 || ci.Int() != 3 {
+		t.Error("ConstInt(3) misbehaves")
+	}
+	cf := ConstFloat(3.5)
+	if cf.IsIntegral() {
+		t.Error("3.5 reported integral")
+	}
+	if ConstFloat(10).IsIntegral() != true {
+		t.Error("10.0 should be integral")
+	}
+	cb := ConstBool(true)
+	if cb.Float() != 1 || cb.Int() != 1 {
+		t.Error("true != 1")
+	}
+	if ci.String() != "3" {
+		t.Errorf("int const prints %q", ci.String())
+	}
+	if ConstFloat(10).String() != "10.0" {
+		t.Errorf("float const prints %q, want 10.0", ConstFloat(10).String())
+	}
+	if cb.String() != "true" {
+		t.Errorf("bool const prints %q", cb.String())
+	}
+	if !ci.Equal(ConstInt(3)) || ci.Equal(ConstInt(4)) || ci.Equal(ConstFloat(3)) {
+		t.Error("Constant.Equal misbehaves")
+	}
+	cu := ConstOf(tensor.Uint8, 7)
+	if cu.DType != tensor.Uint8 || cu.Int() != 7 {
+		t.Error("ConstOf uint8 misbehaves")
+	}
+	if ConstOf(tensor.Bool, 2).Int() != 1 {
+		t.Error("ConstOf bool should clamp")
+	}
+	if ConstOf(tensor.Float32, 1.5).Float() != 1.5 {
+		t.Error("ConstOf float32 misbehaves")
+	}
+}
+
+func TestInstructionAccessors(t *testing.T) {
+	v := tensor.NewView(tensor.MustShape(4))
+	in := Instruction{Op: OpAdd, Out: Reg(0, v), In1: Reg(1, v), In2: Const(ConstInt(1))}
+	if len(in.Inputs()) != 2 {
+		t.Error("Inputs() lost an operand")
+	}
+	if !in.ReadsReg(1) || in.ReadsReg(0) {
+		t.Error("ReadsReg wrong")
+	}
+	if !in.WritesReg(0) || in.WritesReg(1) {
+		t.Error("WritesReg wrong")
+	}
+	sync := Instruction{Op: OpSync, Out: Reg(0, v)}
+	if sync.WritesReg(0) {
+		t.Error("SYNC must not count as a write")
+	}
+	unary := Instruction{Op: OpSqrt, Out: Reg(0, v), In1: Reg(1, v)}
+	if len(unary.Inputs()) != 1 {
+		t.Error("unary Inputs() wrong")
+	}
+}
+
+func TestRegString(t *testing.T) {
+	if RegID(7).String() != "a7" {
+		t.Errorf("RegID(7) prints %q", RegID(7).String())
+	}
+}

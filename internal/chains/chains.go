@@ -1,0 +1,208 @@
+// Package chains generates multiplication chains for the power-expansion
+// transformation of the paper's equation (1): xⁿ rewritten into a sequence
+// of BH_MULTIPLYs.
+//
+// A chain is a sequence of steps over a growing list of exponents whose
+// element 0 is 1 (the origin tensor x). Step {I, J} appends exponent
+// e[I]+e[J] — computed at byte-code level as a multiply of the tensors
+// holding x^e[I] and x^e[J]. The chain's last exponent is the target n, and
+// its length (number of steps) is exactly the number of BH_MULTIPLYs the
+// rewrite emits.
+//
+// The paper's byte-code constraint ("we usually only have access to the
+// origin and result tensors", §3.1) restricts usable chains to those whose
+// every step either doubles the running result (I == J == last) or
+// multiplies it by the origin (J == 0) — package function TwoTensorSafe
+// checks this. Strategies Naive, SquareIncrement (the paper's Listing 5)
+// and Binary all satisfy it; Factor and Search may use temporaries and are
+// only legal when the optimizer is allowed to allocate scratch registers.
+package chains
+
+import "fmt"
+
+// Step derives a new exponent as the sum of two earlier chain elements
+// (indices into the exponent list, where index 0 is the initial 1).
+type Step struct {
+	I, J int
+}
+
+// Chain is an addition chain: the ordered steps that extend {1} to the
+// target exponent.
+type Chain []Step
+
+// Exponents replays the chain, returning the full exponent list
+// [1, e1, e2, ...]. It panics only on malformed chains produced outside
+// this package; all generators here yield well-formed chains.
+func (c Chain) Exponents() ([]int, error) {
+	exps := make([]int, 1, len(c)+1)
+	exps[0] = 1
+	for k, s := range c {
+		if s.I < 0 || s.I >= len(exps) || s.J < 0 || s.J >= len(exps) {
+			return nil, fmt.Errorf("chains: step %d references %d,%d outside chain of %d", k, s.I, s.J, len(exps))
+		}
+		exps = append(exps, exps[s.I]+exps[s.J])
+	}
+	return exps, nil
+}
+
+// Target returns the final exponent the chain computes.
+func (c Chain) Target() (int, error) {
+	exps, err := c.Exponents()
+	if err != nil {
+		return 0, err
+	}
+	return exps[len(exps)-1], nil
+}
+
+// Verify checks that the chain is well formed and computes n.
+func (c Chain) Verify(n int) error {
+	got, err := c.Target()
+	if err != nil {
+		return err
+	}
+	if got != n {
+		return fmt.Errorf("chains: chain computes %d, want %d", got, n)
+	}
+	return nil
+}
+
+// MultiplyCount returns the number of BH_MULTIPLYs the chain costs.
+func (c Chain) MultiplyCount() int { return len(c) }
+
+// TwoTensorSafe reports whether the chain can run with only the origin and
+// result tensors live (paper §3.1): each step must either square the most
+// recent element or combine it with the origin.
+func (c Chain) TwoTensorSafe() bool {
+	for k, s := range c {
+		last := k // index of the most recent element before this step
+		switch {
+		case s.I == last && s.J == last: // result *= result
+		case s.I == last && s.J == 0: // result *= x
+		case s.I == 0 && s.J == last: // x * result
+		case k == 0 && s.I == 0 && s.J == 0: // first step is always x*x
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// Naive returns the n-1 step chain x·x·x···x of the paper's Listing 4
+// (equation (1)'s literal product). n must be >= 1.
+func Naive(n int) (Chain, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("chains: naive chain for n=%d", n)
+	}
+	c := make(Chain, 0, n-1)
+	for k := 1; k < n; k++ {
+		c = append(c, Step{I: k - 1, J: 0})
+	}
+	return c, nil
+}
+
+// SquareIncrement returns the paper's Listing 5 strategy: square the result
+// while the exponent stays <= n, then multiply by the origin until reaching
+// n. For n=10 this yields exponents 2,4,8,9,10 — five multiplies, matching
+// the listing exactly.
+func SquareIncrement(n int) (Chain, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("chains: square-increment chain for n=%d", n)
+	}
+	var c Chain
+	e := 1
+	idx := 0
+	for e*2 <= n {
+		c = append(c, Step{I: idx, J: idx})
+		e *= 2
+		idx = len(c)
+	}
+	for e < n {
+		c = append(c, Step{I: idx, J: 0})
+		e++
+		idx = len(c)
+	}
+	return c, nil
+}
+
+// Binary returns the left-to-right binary (square-and-multiply) chain:
+// scan n's bits from the most significant, doubling for every bit and
+// incrementing for every set bit. It is never longer than SquareIncrement,
+// still two-tensor safe, and optimal among {double, increment} chains.
+// For n=10 (1010₂) it yields exponents 2,4,5,10 — four multiplies, one
+// better than the paper's Listing 5.
+func Binary(n int) (Chain, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("chains: binary chain for n=%d", n)
+	}
+	// Find the most significant bit.
+	msb := 0
+	for 1<<(msb+1) <= n {
+		msb++
+	}
+	var c Chain
+	idx := 0
+	for b := msb - 1; b >= 0; b-- {
+		c = append(c, Step{I: idx, J: idx}) // double
+		idx = len(c)
+		if n&(1<<b) != 0 {
+			c = append(c, Step{I: idx, J: 0}) // increment
+			idx = len(c)
+		}
+	}
+	return c, nil
+}
+
+// Generate returns the chain for n under the given strategy.
+func Generate(strategy Strategy, n int) (Chain, error) {
+	switch strategy {
+	case StrategyNaive:
+		return Naive(n)
+	case StrategySquareIncrement:
+		return SquareIncrement(n)
+	case StrategyBinary:
+		return Binary(n)
+	case StrategyFactor:
+		return Factor(n)
+	case StrategyOptimal:
+		return Optimal(n)
+	default:
+		return nil, fmt.Errorf("chains: unknown strategy %v", strategy)
+	}
+}
+
+// Strategy selects a chain generator.
+type Strategy int
+
+// Chain generation strategies, from the paper's naive Listing 4 to the
+// optimal bounded search.
+const (
+	// StrategyNaive is the paper's Listing 4: n-1 multiplies.
+	StrategyNaive Strategy = iota + 1
+	// StrategySquareIncrement is the paper's Listing 5: square then
+	// increment.
+	StrategySquareIncrement
+	// StrategyBinary is left-to-right square-and-multiply.
+	StrategyBinary
+	// StrategyFactor decomposes n into prime factors (may use
+	// temporaries).
+	StrategyFactor
+	// StrategyOptimal searches for a minimal general addition chain (may
+	// use temporaries).
+	StrategyOptimal
+)
+
+var strategyNames = map[Strategy]string{
+	StrategyNaive:           "naive",
+	StrategySquareIncrement: "square-increment",
+	StrategyBinary:          "binary",
+	StrategyFactor:          "factor",
+	StrategyOptimal:         "optimal",
+}
+
+// String returns the strategy's name.
+func (s Strategy) String() string {
+	if n, ok := strategyNames[s]; ok {
+		return n
+	}
+	return fmt.Sprintf("Strategy(%d)", int(s))
+}

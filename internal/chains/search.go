@@ -1,0 +1,111 @@
+package chains
+
+import (
+	"fmt"
+	"math/bits"
+	"sync"
+)
+
+// MaxSearchTarget bounds the exponent for which Optimal will run its
+// exhaustive search; larger targets fall back to the best heuristic chain.
+const MaxSearchTarget = 4096
+
+// optimalCache memoizes search results; optimal chains are reused across
+// rewrite invocations, and the search is the expensive part.
+var optimalCache sync.Map // int -> Chain
+
+// Optimal returns a minimal-length general addition chain for n, found by
+// iterative-deepening DFS with the standard doubling bound. For n above
+// MaxSearchTarget it returns the shorter of the binary and factor chains
+// instead (still correct, merely not proven minimal).
+func Optimal(n int) (Chain, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("chains: optimal chain for n=%d", n)
+	}
+	if c, ok := optimalCache.Load(n); ok {
+		return c.(Chain), nil
+	}
+	if n > MaxSearchTarget {
+		b, err := Binary(n)
+		if err != nil {
+			return nil, err
+		}
+		f, err := Factor(n)
+		if err != nil {
+			return nil, err
+		}
+		if len(f) < len(b) {
+			return f, nil
+		}
+		return b, nil
+	}
+	c := searchOptimal(n)
+	optimalCache.Store(n, c)
+	return c, nil
+}
+
+// LowerBound returns the classic addition-chain lower bound
+// ⌊log₂ n⌋ + ⌈log₂ ν(n)⌉ where ν is the binary popcount.
+func LowerBound(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	lg := bits.Len(uint(n)) - 1
+	pop := bits.OnesCount(uint(n))
+	extra := 0
+	for 1<<extra < pop {
+		extra++
+	}
+	return lg + extra
+}
+
+func searchOptimal(n int) Chain {
+	if n == 1 {
+		return Chain{}
+	}
+	for limit := LowerBound(n); ; limit++ {
+		exps := make([]int, 1, limit+1)
+		exps[0] = 1
+		steps := make(Chain, 0, limit)
+		if found := dfs(n, limit, exps, &steps); found != nil {
+			return found
+		}
+	}
+}
+
+// dfs extends the chain (exps, steps) up to the step limit, returning a
+// completed chain for n or nil. It prunes branches whose largest element
+// cannot reach n even by doubling every remaining step.
+func dfs(n, limit int, exps []int, steps *Chain) Chain {
+	last := exps[len(exps)-1]
+	if last == n {
+		out := make(Chain, len(*steps))
+		copy(out, *steps)
+		return out
+	}
+	remaining := limit - len(*steps)
+	if remaining <= 0 || last<<remaining < n {
+		return nil
+	}
+	// Try sums of pairs, largest first. Any minimal chain can be made
+	// strictly increasing, so sums not exceeding the current maximum are
+	// pruned without losing completeness.
+	seen := map[int]bool{}
+	for i := len(exps) - 1; i >= 0; i-- {
+		for j := i; j >= 0; j-- {
+			sum := exps[i] + exps[j]
+			if sum > n || sum <= last || seen[sum] {
+				continue
+			}
+			seen[sum] = true
+			exps = append(exps, sum)
+			*steps = append(*steps, Step{I: i, J: j})
+			if found := dfs(n, limit, exps, steps); found != nil {
+				return found
+			}
+			exps = exps[:len(exps)-1]
+			*steps = (*steps)[:len(*steps)-1]
+		}
+	}
+	return nil
+}

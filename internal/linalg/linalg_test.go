@@ -1,0 +1,262 @@
+package linalg
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"bohrium/internal/tensor"
+)
+
+func denseOf(rows, cols int, values ...float64) Dense {
+	d := NewDense(rows, cols)
+	copy(d.Data, values)
+	return d
+}
+
+func TestMatMulDense(t *testing.T) {
+	a := denseOf(2, 3, 1, 2, 3, 4, 5, 6)
+	b := denseOf(3, 2, 7, 8, 9, 10, 11, 12)
+	got := MatMulDense(a, b)
+	want := denseOf(2, 2, 58, 64, 139, 154)
+	if MaxAbsDiff(got, want) != 0 {
+		t.Errorf("matmul = %v, want %v", got.Data, want.Data)
+	}
+}
+
+func TestMatMulIdentity(t *testing.T) {
+	a := RandomDiagonallyDominant(8, 1)
+	if MaxAbsDiff(MatMulDense(a, Identity(8)), a) != 0 {
+		t.Error("A·I != A")
+	}
+	if MaxAbsDiff(MatMulDense(Identity(8), a), a) != 0 {
+		t.Error("I·A != A")
+	}
+}
+
+func TestLUFactorKnown(t *testing.T) {
+	// A 2x2 with a forced pivot swap: [[0, 1], [2, 3]].
+	a := denseOf(2, 2, 0, 1, 2, 3)
+	lu, err := Factor(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lu.Swaps != 1 {
+		t.Errorf("swaps = %d, want 1", lu.Swaps)
+	}
+	if got := lu.Det(); math.Abs(got-(-2)) > 1e-12 {
+		t.Errorf("det = %v, want -2", got)
+	}
+	if diff := MaxAbsDiff(lu.Reconstruct(), a); diff > 1e-12 {
+		t.Errorf("reconstruction error %v", diff)
+	}
+}
+
+func TestLUSingular(t *testing.T) {
+	a := denseOf(2, 2, 1, 2, 2, 4) // rank 1
+	if _, err := Factor(a); !errors.Is(err, ErrSingular) {
+		t.Errorf("Factor of singular matrix: %v, want ErrSingular", err)
+	}
+	zero := NewDense(3, 3)
+	if _, err := Factor(zero); !errors.Is(err, ErrSingular) {
+		t.Errorf("Factor of zero matrix: %v, want ErrSingular", err)
+	}
+}
+
+func TestLUNonSquare(t *testing.T) {
+	if _, err := Factor(NewDense(2, 3)); !errors.Is(err, ErrShape) {
+		t.Error("Factor accepted non-square matrix")
+	}
+}
+
+func TestLUReconstructProperty(t *testing.T) {
+	// Property: P⁻¹LU == A for random well-conditioned matrices.
+	f := func(seed uint64, szRaw uint8) bool {
+		n := int(szRaw%12) + 1
+		a := RandomDiagonallyDominant(n, seed)
+		lu, err := Factor(a)
+		if err != nil {
+			return false
+		}
+		return MaxAbsDiff(lu.Reconstruct(), a) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSolveKnownSystem(t *testing.T) {
+	// 2x + y = 5; x + 3y = 10  →  x = 1, y = 3.
+	a := denseOf(2, 2, 2, 1, 1, 3)
+	b := denseOf(2, 1, 5, 10)
+	x, err := Solve(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x.At(0, 0)-1) > 1e-12 || math.Abs(x.At(1, 0)-3) > 1e-12 {
+		t.Errorf("x = %v, want [1 3]", x.Data)
+	}
+}
+
+func TestSolveResidualProperty(t *testing.T) {
+	f := func(seed uint64, szRaw, rhsRaw uint8) bool {
+		n := int(szRaw%16) + 1
+		k := int(rhsRaw%3) + 1
+		a := RandomDiagonallyDominant(n, seed)
+		b := NewDense(n, k)
+		for i := range b.Data {
+			b.Data[i] = float64(i%7) - 3
+		}
+		x, err := Solve(a, b)
+		if err != nil {
+			return false
+		}
+		return Residual(a, x, b) < 1e-8
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSolveAgreesWithInversePath(t *testing.T) {
+	// Equation (2): both paths must produce the same x; LU is the cheaper
+	// route, the inverse route is the baseline.
+	a := RandomDiagonallyDominant(24, 7)
+	b := NewDense(24, 1)
+	for i := range b.Data {
+		b.Data[i] = float64(i) * 0.25
+	}
+	fast, err := Solve(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, err := SolveViaInverse(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := MaxAbsDiff(fast, slow); diff > 1e-9 {
+		t.Errorf("solve paths disagree by %v", diff)
+	}
+}
+
+func TestInverseProperty(t *testing.T) {
+	f := func(seed uint64, szRaw uint8) bool {
+		n := int(szRaw%10) + 1
+		a := RandomDiagonallyDominant(n, seed)
+		inv, err := Inverse(a)
+		if err != nil {
+			return false
+		}
+		return MaxAbsDiff(MatMulDense(a, inv), Identity(n)) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSolveShapeMismatch(t *testing.T) {
+	a := RandomDiagonallyDominant(4, 1)
+	b := NewDense(3, 1)
+	if _, err := Solve(a, b); !errors.Is(err, ErrShape) {
+		t.Error("Solve accepted mismatched rhs")
+	}
+}
+
+func TestFromToTensorRoundTrip(t *testing.T) {
+	mat := tensor.MustNew(tensor.Float64, tensor.MustShape(3, 4))
+	mat.FillRandom(5, -2, 2)
+	d, err := FromTensor(mat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back := tensor.MustNew(tensor.Float64, tensor.MustShape(3, 4))
+	if err := d.ToTensor(back); err != nil {
+		t.Fatal(err)
+	}
+	if !mat.Equal(back) {
+		t.Error("tensor round trip changed values")
+	}
+
+	vec := tensor.MustNew(tensor.Float64, tensor.MustShape(5))
+	vec.FillRandom(6, 0, 1)
+	dv, err := FromTensor(vec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dv.Cols != 1 || dv.Rows != 5 {
+		t.Errorf("vector packs to %dx%d", dv.Rows, dv.Cols)
+	}
+	backV := tensor.MustNew(tensor.Float64, tensor.MustShape(5))
+	if err := dv.ToTensor(backV); err != nil {
+		t.Fatal(err)
+	}
+	if !vec.Equal(backV) {
+		t.Error("vector round trip changed values")
+	}
+}
+
+func TestFromTensorStridedView(t *testing.T) {
+	// Packing must honor views: pack the transpose and compare.
+	mat := tensor.MustNew(tensor.Float64, tensor.MustShape(2, 3))
+	v := 1.0
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 3; j++ {
+			mat.SetAt(v, i, j)
+			v++
+		}
+	}
+	d, err := FromTensor(mat.Transpose())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Rows != 3 || d.Cols != 2 || d.At(0, 1) != 4 || d.At(2, 0) != 3 {
+		t.Errorf("transposed pack = %+v", d)
+	}
+}
+
+func TestFromTensorRejects3D(t *testing.T) {
+	cube := tensor.MustNew(tensor.Float64, tensor.MustShape(2, 2, 2))
+	if _, err := FromTensor(cube); !errors.Is(err, ErrShape) {
+		t.Error("FromTensor accepted 3-d tensor")
+	}
+}
+
+func TestToTensorShapeMismatch(t *testing.T) {
+	d := NewDense(2, 2)
+	dst := tensor.MustNew(tensor.Float64, tensor.MustShape(3, 2))
+	if err := d.ToTensor(dst); !errors.Is(err, ErrShape) {
+		t.Error("ToTensor accepted mismatched target")
+	}
+}
+
+func TestRandomDiagonallyDominantDeterministic(t *testing.T) {
+	a := RandomDiagonallyDominant(6, 42)
+	b := RandomDiagonallyDominant(6, 42)
+	if MaxAbsDiff(a, b) != 0 {
+		t.Error("same seed produced different matrices")
+	}
+	c := RandomDiagonallyDominant(6, 43)
+	if MaxAbsDiff(a, c) == 0 {
+		t.Error("different seeds produced identical matrices")
+	}
+	// Diagonal dominance: |a_ii| > sum_j |a_ij|, j != i.
+	for i := 0; i < 6; i++ {
+		sum := 0.0
+		for j := 0; j < 6; j++ {
+			if j != i {
+				sum += math.Abs(a.At(i, j))
+			}
+		}
+		if math.Abs(a.At(i, i)) <= sum {
+			t.Errorf("row %d not diagonally dominant", i)
+		}
+	}
+}
+
+func TestFrobenius(t *testing.T) {
+	d := denseOf(1, 2, 3, 4)
+	if got := Frobenius(d); math.Abs(got-5) > 1e-12 {
+		t.Errorf("Frobenius = %v, want 5", got)
+	}
+}

@@ -1,0 +1,57 @@
+package linalg
+
+import "fmt"
+
+// MatMulDense multiplies a (r×k) by b (k×c) into a fresh workspace using a
+// cache-friendly ikj loop order.
+func MatMulDense(a, b Dense) Dense {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("linalg: matmul %dx%d by %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out := NewDense(a.Rows, b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		outRow := out.Data[i*out.Cols : (i+1)*out.Cols]
+		for k := 0; k < a.Cols; k++ {
+			f := a.At(i, k)
+			if f == 0 {
+				continue
+			}
+			bRow := b.Data[k*b.Cols : (k+1)*b.Cols]
+			for j := range bRow {
+				outRow[j] += f * bRow[j]
+			}
+		}
+	}
+	return out
+}
+
+// Inverse computes A⁻¹ by LU-factoring A and solving for the identity —
+// the "find the inverse tensor first" path of the paper's equation (2)
+// whose cost the SOLVE rewrite avoids.
+func Inverse(a Dense) (Dense, error) {
+	lu, err := Factor(a)
+	if err != nil {
+		return Dense{}, err
+	}
+	return lu.Solve(Identity(a.Rows))
+}
+
+// Solve computes X with A·X = B by LU factorization with partial pivoting —
+// the right-hand side of the paper's equation (2) rewrite.
+func Solve(a, b Dense) (Dense, error) {
+	lu, err := Factor(a)
+	if err != nil {
+		return Dense{}, err
+	}
+	return lu.Solve(b)
+}
+
+// SolveViaInverse computes X = A⁻¹·B, the naive path of equation (2). It
+// exists as the experimental baseline; Solve is the optimized form.
+func SolveViaInverse(a, b Dense) (Dense, error) {
+	inv, err := Inverse(a)
+	if err != nil {
+		return Dense{}, err
+	}
+	return MatMulDense(inv, b), nil
+}

@@ -1,0 +1,281 @@
+package rewrite
+
+import (
+	"bohrium/internal/bytecode"
+	"bohrium/internal/tensor"
+)
+
+// The pattern matcher. Rules describe byte-code sequences as ordered
+// InstrPatterns over named binding variables: the same register variable
+// must bind the same register everywhere it appears, the same view
+// variable the same (exactly equal) view, the same constant variable the
+// same constant. Sequences tolerate gaps: unrelated byte-codes may sit
+// between matched ones as long as they do not touch any *protected*
+// binding (interference analysis from deps.go). That gap tolerance is what
+// makes the rewriter effective on real interleaved streams rather than
+// only on the paper's adjacent listings.
+
+// Binding is the variable environment accumulated during a match.
+type Binding struct {
+	Regs   map[string]bytecode.RegID
+	Views  map[string]tensor.View
+	Consts map[string]bytecode.Constant
+}
+
+func newBinding() *Binding {
+	return &Binding{
+		Regs:   map[string]bytecode.RegID{},
+		Views:  map[string]tensor.View{},
+		Consts: map[string]bytecode.Constant{},
+	}
+}
+
+func (b *Binding) clone() *Binding {
+	out := newBinding()
+	for k, v := range b.Regs {
+		out.Regs[k] = v
+	}
+	for k, v := range b.Views {
+		out.Views[k] = v
+	}
+	for k, v := range b.Consts {
+		out.Consts[k] = v
+	}
+	return out
+}
+
+func (b *Binding) bindReg(name string, r bytecode.RegID) bool {
+	if name == "" {
+		return true
+	}
+	if prev, ok := b.Regs[name]; ok {
+		return prev == r
+	}
+	b.Regs[name] = r
+	return true
+}
+
+func (b *Binding) bindView(name string, v tensor.View) bool {
+	if name == "" {
+		return true
+	}
+	if prev, ok := b.Views[name]; ok {
+		return prev.Equal(v)
+	}
+	b.Views[name] = v.Clone()
+	return true
+}
+
+func (b *Binding) bindConst(name string, c bytecode.Constant) bool {
+	if name == "" {
+		return true
+	}
+	if prev, ok := b.Consts[name]; ok {
+		return prev.Equal(c)
+	}
+	b.Consts[name] = c
+	return true
+}
+
+// OperandPattern matches one operand slot.
+type OperandPattern struct {
+	// Want constrains the operand kind; zero (OperandNone) means the slot
+	// must be absent.
+	Want bytecode.OperandKind
+	// Reg and View name binding variables for register operands.
+	Reg  string
+	View string
+	// Const names a binding variable for constant operands; ConstPred
+	// additionally filters acceptable constants.
+	Const     string
+	ConstPred func(bytecode.Constant) bool
+}
+
+// AnyOperand matches register or constant without binding.
+var AnyOperand = OperandPattern{Want: -1}
+
+// RegOp matches a register operand binding its register and view.
+func RegOp(reg, view string) OperandPattern {
+	return OperandPattern{Want: bytecode.OperandReg, Reg: reg, View: view}
+}
+
+// ConstOp matches a constant operand binding it under name.
+func ConstOp(name string) OperandPattern {
+	return OperandPattern{Want: bytecode.OperandConst, Const: name}
+}
+
+// ConstWhere matches a constant satisfying pred.
+func ConstWhere(name string, pred func(bytecode.Constant) bool) OperandPattern {
+	return OperandPattern{Want: bytecode.OperandConst, Const: name, ConstPred: pred}
+}
+
+// Absent matches an empty operand slot.
+var Absent = OperandPattern{Want: bytecode.OperandNone}
+
+func (op OperandPattern) match(o bytecode.Operand, b *Binding) bool {
+	if op.Want == -1 {
+		return true
+	}
+	if o.Kind != op.Want {
+		return false
+	}
+	switch o.Kind {
+	case bytecode.OperandReg:
+		return b.bindReg(op.Reg, o.Reg) && b.bindView(op.View, o.View)
+	case bytecode.OperandConst:
+		if op.ConstPred != nil && !op.ConstPred(o.Const) {
+			return false
+		}
+		return b.bindConst(op.Const, o.Const)
+	default:
+		return true
+	}
+}
+
+// InstrPattern matches one instruction.
+type InstrPattern struct {
+	// Ops lists acceptable op-codes (empty means any).
+	Ops []bytecode.Opcode
+	// Out, In1, In2 constrain the operand slots.
+	Out, In1, In2 OperandPattern
+	// Pred is an optional extra guard run after operand binding.
+	Pred func(in *bytecode.Instruction, b *Binding) bool
+}
+
+func (ip *InstrPattern) match(in *bytecode.Instruction, b *Binding) bool {
+	if len(ip.Ops) > 0 {
+		ok := false
+		for _, op := range ip.Ops {
+			if in.Op == op {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	if !ip.Out.match(in.Out, b) || !ip.In1.match(in.In1, b) || !ip.In2.match(in.In2, b) {
+		return false
+	}
+	if ip.Pred != nil && !ip.Pred(in, b) {
+		return false
+	}
+	return true
+}
+
+// SeqPattern is an ordered sequence of instruction patterns with
+// interference-checked gaps.
+type SeqPattern struct {
+	Pats []InstrPattern
+	// Protect lists bindings that gap instructions between two matched
+	// positions must not interfere with.
+	Protect []Protected
+	// NoGaps requires strictly adjacent matches (the paper's literal
+	// listings); the ablation experiments use it to quantify what gap
+	// tolerance buys.
+	NoGaps bool
+}
+
+// Match is a successful sequence match: the instruction indices matched,
+// in order, and the final variable binding.
+type Match struct {
+	Positions []int
+	Binding   *Binding
+}
+
+// FindFrom returns the first match of the sequence starting at or after
+// instruction index from, scanning left to right.
+func (sp *SeqPattern) FindFrom(p *bytecode.Program, from int) (Match, bool) {
+	for i := from; i < len(p.Instrs); i++ {
+		b := newBinding()
+		if !sp.Pats[0].match(&p.Instrs[i], b) {
+			continue
+		}
+		if m, ok := sp.extend(p, []int{i}, b, 1); ok {
+			return m, true
+		}
+	}
+	return Match{}, false
+}
+
+// Find returns the first match in the program.
+func (sp *SeqPattern) Find(p *bytecode.Program) (Match, bool) {
+	return sp.FindFrom(p, 0)
+}
+
+func (sp *SeqPattern) extend(p *bytecode.Program, positions []int, b *Binding, k int) (Match, bool) {
+	if k == len(sp.Pats) {
+		return Match{Positions: positions, Binding: b}, true
+	}
+	prev := positions[len(positions)-1]
+	for j := prev + 1; j < len(p.Instrs); j++ {
+		if sp.NoGaps && j != prev+1 {
+			break
+		}
+		cand := b.clone()
+		if sp.Pats[k].match(&p.Instrs[j], cand) {
+			if sp.gapsClear(p, prev, j, cand) {
+				if m, ok := sp.extend(p, append(append([]int(nil), positions...), j), cand, k+1); ok {
+					return m, true
+				}
+			}
+		}
+		// Even when instruction j does not match (or the match fails
+		// deeper), the scan may only continue past j if j itself does
+		// not interfere with the protected bindings.
+		if !sp.gapInstrClear(p, j, b) {
+			break
+		}
+	}
+	return Match{}, false
+}
+
+func (sp *SeqPattern) gapsClear(p *bytecode.Program, i, j int, b *Binding) bool {
+	for k := i + 1; k < j; k++ {
+		if !sp.gapInstrClearAt(p, k, b) {
+			return false
+		}
+	}
+	return true
+}
+
+func (sp *SeqPattern) gapInstrClear(p *bytecode.Program, k int, b *Binding) bool {
+	return sp.gapInstrClearAt(p, k, b)
+}
+
+func (sp *SeqPattern) gapInstrClearAt(p *bytecode.Program, k int, b *Binding) bool {
+	in := &p.Instrs[k]
+	for _, pr := range sp.Protect {
+		reg, ok := b.Regs[pr.Reg]
+		if !ok {
+			continue // variable not bound yet: nothing to protect
+		}
+		view, hasView := b.Views[pr.View]
+		if hasView {
+			if writesOverlap(in, reg, view) {
+				return false
+			}
+			if !pr.WritesOnly && readsOverlap(in, reg, view) {
+				return false
+			}
+			continue
+		}
+		// No view bound: protect the whole register.
+		if in.WritesReg(reg) || (in.Op == bytecode.OpFree && in.Out.IsReg() && in.Out.Reg == reg) {
+			return false
+		}
+		if !pr.WritesOnly && readsReg(in, reg) {
+			return false
+		}
+	}
+	return true
+}
+
+// Protected names a (register, view) binding pair that gap instructions
+// must leave alone. WritesOnly permits gap reads (enough when the matched
+// sequence only reads the binding itself).
+type Protected struct {
+	Reg, View  string
+	WritesOnly bool
+}

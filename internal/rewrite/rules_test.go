@@ -1,0 +1,670 @@
+package rewrite
+
+import (
+	"testing"
+
+	"bohrium/internal/bytecode"
+	"bohrium/internal/chains"
+)
+
+func applyRule(t *testing.T, r Rule, src string) (*bytecode.Program, int) {
+	t.Helper()
+	p := bytecode.MustParse(src)
+	n, err := r.Apply(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatalf("rule %s produced invalid program: %v\n%s", r.Name(), err, p)
+	}
+	return p, n
+}
+
+const listing2 = `
+BH_IDENTITY a0 [0:10:1] 0
+BH_ADD a0 [0:10:1] a0 [0:10:1] 1
+BH_ADD a0 [0:10:1] a0 [0:10:1] 1
+BH_ADD a0 [0:10:1] a0 [0:10:1] 1
+BH_SYNC a0 [0:10:1]
+`
+
+func TestAddMergeListing2ToListing3(t *testing.T) {
+	// The paper's flagship example: three BH_ADDs with constant 1 merge
+	// into one BH_ADD with constant 3.
+	p, n := applyRule(t, AddMergeRule{}, listing2)
+	if n != 2 {
+		t.Errorf("merged %d times, want 2", n)
+	}
+	if got := p.CountOp(bytecode.OpAdd); got != 1 {
+		t.Errorf("BH_ADD count = %d, want 1", got)
+	}
+	add := p.Instrs[1]
+	if add.Op != bytecode.OpAdd || add.In2.Const.Int() != 3 {
+		t.Errorf("merged instruction = %s, want BH_ADD ... 3", add.String())
+	}
+	// Exact Listing 3 shape (plus views).
+	want := "BH_ADD a0 [0:10:1] a0 [0:10:1] 3"
+	if add.String() != want {
+		t.Errorf("instr = %q, want %q", add.String(), want)
+	}
+}
+
+func TestAddMergeSignedMix(t *testing.T) {
+	p, _ := applyRule(t, AddMergeRule{}, `
+.reg a0 float64 8
+BH_IDENTITY a0 0
+BH_ADD a0 a0 5
+BH_SUBTRACT a0 a0 2
+BH_ADD a0 a0 4
+BH_SYNC a0
+`)
+	if got := p.Instrs[1].In2.Const.Int(); got != 7 {
+		t.Errorf("net constant = %d, want 7 (5-2+4)", got)
+	}
+	if p.Instrs[1].Op != bytecode.OpAdd {
+		t.Errorf("net op = %s, want BH_ADD", p.Instrs[1].Op)
+	}
+}
+
+func TestAddMergeFloats(t *testing.T) {
+	p, _ := applyRule(t, AddMergeRule{}, `
+.reg a0 float64 8
+BH_IDENTITY a0 0
+BH_ADD a0 a0 0.5
+BH_ADD a0 a0 0.25
+BH_SYNC a0
+`)
+	if got := p.Instrs[1].In2.Const.Float(); got != 0.75 {
+		t.Errorf("net float constant = %v, want 0.75", got)
+	}
+}
+
+func TestAddMergeRespectsInterleavedReader(t *testing.T) {
+	// a1 reads a0 between the adds: merge must not fire.
+	p, n := applyRule(t, AddMergeRule{}, `
+.reg a0 float64 8
+.reg a1 float64 8
+BH_IDENTITY a0 0
+BH_ADD a0 a0 1
+BH_MULTIPLY a1 a0 2.0
+BH_ADD a0 a0 1
+BH_SYNC a0
+BH_SYNC a1
+`)
+	if n != 0 {
+		t.Errorf("merged across a reader of the target view (%d merges)\n%s", n, p)
+	}
+}
+
+func TestAddMergeAcrossUnrelatedWork(t *testing.T) {
+	_, n := applyRule(t, AddMergeRule{}, `
+.reg a0 float64 8
+.reg a1 float64 8
+BH_IDENTITY a0 0
+BH_IDENTITY a1 0
+BH_ADD a0 a0 1
+BH_ADD a1 a1 10
+BH_ADD a0 a0 1
+BH_SYNC a0
+BH_SYNC a1
+`)
+	if n != 1 {
+		t.Errorf("gap-tolerant merge count = %d, want 1", n)
+	}
+}
+
+func TestMulMergeCombos(t *testing.T) {
+	tests := []struct {
+		name    string
+		src     string
+		wantOp  bytecode.Opcode
+		wantVal float64
+	}{
+		{
+			name: "mul mul float",
+			src: `
+.reg a0 float64 4
+BH_IDENTITY a0 1
+BH_MULTIPLY a0 a0 2.0
+BH_MULTIPLY a0 a0 3.0
+BH_SYNC a0`,
+			wantOp: bytecode.OpMultiply, wantVal: 6,
+		},
+		{
+			name: "div div float",
+			src: `
+.reg a0 float64 4
+BH_IDENTITY a0 1
+BH_DIVIDE a0 a0 2.0
+BH_DIVIDE a0 a0 4.0
+BH_SYNC a0`,
+			wantOp: bytecode.OpDivide, wantVal: 8,
+		},
+		{
+			name: "mul then div",
+			src: `
+.reg a0 float64 4
+BH_IDENTITY a0 1
+BH_MULTIPLY a0 a0 6.0
+BH_DIVIDE a0 a0 2.0
+BH_SYNC a0`,
+			wantOp: bytecode.OpMultiply, wantVal: 3,
+		},
+		{
+			name: "div then mul",
+			src: `
+.reg a0 float64 4
+BH_IDENTITY a0 1
+BH_DIVIDE a0 a0 4.0
+BH_MULTIPLY a0 a0 6.0
+BH_SYNC a0`,
+			wantOp: bytecode.OpMultiply, wantVal: 1.5,
+		},
+		{
+			name: "int mul mul",
+			src: `
+.reg a0 int64 4
+BH_IDENTITY a0 1
+BH_MULTIPLY a0 a0 3
+BH_MULTIPLY a0 a0 5
+BH_SYNC a0`,
+			wantOp: bytecode.OpMultiply, wantVal: 15,
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			p, n := applyRule(t, MulMergeRule{}, tt.src)
+			if n != 1 {
+				t.Fatalf("merge count = %d, want 1\n%s", n, p)
+			}
+			got := p.Instrs[1]
+			if got.Op != tt.wantOp || got.In2.Const.Float() != tt.wantVal {
+				t.Errorf("merged = %s, want %s with %v", got.String(), tt.wantOp, tt.wantVal)
+			}
+		})
+	}
+}
+
+func TestMulMergeIntDivSkipped(t *testing.T) {
+	// Truncating integer division does not compose with multiplication.
+	_, n := applyRule(t, MulMergeRule{}, `
+.reg a0 int64 4
+BH_IDENTITY a0 100
+BH_DIVIDE a0 a0 7
+BH_MULTIPLY a0 a0 7
+BH_SYNC a0
+`)
+	if n != 0 {
+		t.Error("merged int DIV/MUL pair (not semantics-preserving)")
+	}
+}
+
+func TestIdentityFoldCollapsesListing2Head(t *testing.T) {
+	p, n := applyRule(t, IdentityFoldRule{}, `
+.reg a0 float64 10
+BH_IDENTITY a0 0
+BH_ADD a0 a0 3
+BH_SYNC a0
+`)
+	if n != 1 {
+		t.Fatalf("fold count = %d, want 1", n)
+	}
+	if p.Len() != 2 || p.Instrs[0].In1.Const.Int() != 3 {
+		t.Errorf("folded program:\n%s", p)
+	}
+}
+
+func TestIdentityElimCases(t *testing.T) {
+	tests := []struct {
+		name     string
+		line     string
+		wantGone bool // instruction removed entirely
+		wantOp   bytecode.Opcode
+	}{
+		{name: "add zero in place", line: "BH_ADD a0 a0 0", wantGone: true},
+		{name: "sub zero in place", line: "BH_SUBTRACT a0 a0 0", wantGone: true},
+		{name: "mul one in place", line: "BH_MULTIPLY a0 a0 1.0", wantGone: true},
+		{name: "div one in place", line: "BH_DIVIDE a0 a0 1.0", wantGone: true},
+		{name: "pow one in place", line: "BH_POWER a0 a0 1", wantGone: true},
+		{name: "add zero copy", line: "BH_ADD a1 a0 0", wantOp: bytecode.OpIdentity},
+		{name: "pow zero", line: "BH_POWER a1 a0 0", wantOp: bytecode.OpIdentity},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			src := `
+.reg a0 float64 4
+.reg a1 float64 4
+BH_IDENTITY a0 5.0
+` + tt.line + `
+BH_SYNC a0
+`
+			p, n := applyRule(t, IdentityElimRule{}, src)
+			if n != 1 {
+				t.Fatalf("elim count = %d, want 1\n%s", n, p)
+			}
+			if tt.wantGone {
+				if p.Len() != 2 {
+					t.Errorf("program still has %d instrs:\n%s", p.Len(), p)
+				}
+				return
+			}
+			if p.Instrs[1].Op != tt.wantOp {
+				t.Errorf("rewrote to %s, want %s", p.Instrs[1].Op, tt.wantOp)
+			}
+		})
+	}
+}
+
+func TestIdentityElimMulZeroFloatKept(t *testing.T) {
+	// 0·NaN = NaN: float multiply-by-zero must NOT fold to zero.
+	_, n := applyRule(t, IdentityElimRule{}, `
+.reg a0 float64 4
+BH_IDENTITY a0 5.0
+BH_MULTIPLY a0 a0 0.0
+BH_SYNC a0
+`)
+	if n != 0 {
+		t.Error("folded float x*0 to 0 (wrong for NaN/Inf)")
+	}
+}
+
+func TestIdentityElimMulZeroIntFolds(t *testing.T) {
+	p, n := applyRule(t, IdentityElimRule{}, `
+.reg a0 int64 4
+BH_IDENTITY a0 5
+BH_MULTIPLY a0 a0 0
+BH_SYNC a0
+`)
+	if n != 1 {
+		t.Fatalf("int x*0 not folded")
+	}
+	if p.Instrs[1].Op != bytecode.OpIdentity || p.Instrs[1].In1.Const.Int() != 0 {
+		t.Errorf("folded to %s, want IDENTITY 0", p.Instrs[1].String())
+	}
+}
+
+func TestCanonicalize(t *testing.T) {
+	p := bytecode.MustParse(`
+.reg a0 float64 4
+BH_IDENTITY a0 1
+BH_ADD a0 2 a0
+BH_SUBTRACT a0 3 a0
+BH_SYNC a0
+`)
+	n, err := (CanonicalizeRule{}).Apply(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Errorf("canonicalized %d, want 1 (SUBTRACT is not commutative)", n)
+	}
+	add := p.Instrs[1]
+	if !add.In1.IsReg() || !add.In2.IsConst() {
+		t.Errorf("ADD not canonicalized: %s", add.String())
+	}
+	sub := p.Instrs[2]
+	if !sub.In1.IsConst() {
+		t.Errorf("SUBTRACT was swapped: %s", sub.String())
+	}
+}
+
+const listing4 = `
+.reg a0 float64 8
+.reg a1 float64 8
+BH_IDENTITY a0 2.0
+BH_POWER a1 a0 10
+BH_SYNC a1
+`
+
+func TestPowerExpandListing5(t *testing.T) {
+	// With the paper's square-increment strategy, x^10 becomes exactly
+	// Listing 5: five BH_MULTIPLYs using only a0 and a1.
+	p, n := applyRule(t, PowerExpandRule{Strategy: chains.StrategySquareIncrement}, listing4)
+	if n != 1 {
+		t.Fatalf("expand count = %d, want 1", n)
+	}
+	if got := p.CountOp(bytecode.OpMultiply); got != 5 {
+		t.Errorf("BH_MULTIPLY count = %d, want 5 (Listing 5)", got)
+	}
+	if got := p.CountOp(bytecode.OpPower); got != 0 {
+		t.Errorf("BH_POWER count = %d, want 0", got)
+	}
+	// Verify the exact listing shape: x^2, x^4, x^8, x^9, x^10 — each row
+	// is (result reg, in1 reg, in2 reg).
+	wantRegs := [][3]bytecode.RegID{
+		{1, 0, 0}, // BH_MULTIPLY a1 a0 a0   x^2
+		{1, 1, 1}, // BH_MULTIPLY a1 a1 a1   x^4
+		{1, 1, 1}, // BH_MULTIPLY a1 a1 a1   x^8
+		{1, 1, 0}, // BH_MULTIPLY a1 a1 a0   x^9
+		{1, 1, 0}, // BH_MULTIPLY a1 a1 a0   x^10
+	}
+	for i, want := range wantRegs {
+		in := p.Instrs[1+i]
+		got := [3]bytecode.RegID{in.Out.Reg, in.In1.Reg, in.In2.Reg}
+		if got != want {
+			t.Errorf("chain instr %d regs = %v, want %v (%s)", i, got, want, in.String())
+		}
+	}
+	if len(p.Regs) != 2 {
+		t.Errorf("expansion allocated temporaries: %d registers", len(p.Regs))
+	}
+}
+
+func TestPowerExpandBinaryBeatsPaper(t *testing.T) {
+	p, _ := applyRule(t, PowerExpandRule{Strategy: chains.StrategyBinary}, listing4)
+	if got := p.CountOp(bytecode.OpMultiply); got != 4 {
+		t.Errorf("binary chain multiplies = %d, want 4", got)
+	}
+}
+
+func TestPowerExpandNaiveListing4(t *testing.T) {
+	p, _ := applyRule(t, PowerExpandRule{Strategy: chains.StrategyNaive, DisableCostModel: true}, listing4)
+	if got := p.CountOp(bytecode.OpMultiply); got != 9 {
+		t.Errorf("naive chain multiplies = %d, want 9 (Listing 4)", got)
+	}
+}
+
+func TestPowerExpandCostModelKeepsPower(t *testing.T) {
+	// Naive expansion of x^60 would cost 59 sweeps > 24 (BH_POWER cost):
+	// with the cost model on, the POWER stays.
+	src := `
+.reg a0 float64 8
+.reg a1 float64 8
+BH_IDENTITY a0 2.0
+BH_POWER a1 a0 60
+BH_SYNC a1
+`
+	p, n := applyRule(t, PowerExpandRule{Strategy: chains.StrategyNaive}, src)
+	if n != 0 || p.CountOp(bytecode.OpPower) != 1 {
+		t.Errorf("cost model failed to keep BH_POWER (n=%d)\n%s", n, p)
+	}
+	// Without the cost model it expands anyway (ablation D2).
+	p2, n2 := applyRule(t, PowerExpandRule{Strategy: chains.StrategyNaive, DisableCostModel: true}, src)
+	if n2 != 1 || p2.CountOp(bytecode.OpMultiply) != 59 {
+		t.Errorf("ablation expansion wrong: n=%d, muls=%d", n2, p2.CountOp(bytecode.OpMultiply))
+	}
+}
+
+func TestPowerExpandSkipsNonIntegral(t *testing.T) {
+	src := `
+.reg a0 float64 8
+.reg a1 float64 8
+BH_IDENTITY a0 2.0
+BH_POWER a1 a0 2.5
+BH_SYNC a1
+`
+	_, n := applyRule(t, PowerExpandRule{}, src)
+	if n != 0 {
+		t.Error("expanded a fractional exponent")
+	}
+}
+
+func TestPowerExpandInPlacePowerOfTwo(t *testing.T) {
+	// out == in: only pure doubling chains are safe; x^8 in place works.
+	src := `
+.reg a0 float64 8
+BH_IDENTITY a0 2.0
+BH_POWER a0 a0 8
+BH_SYNC a0
+`
+	p, n := applyRule(t, PowerExpandRule{}, src)
+	if n != 1 || p.CountOp(bytecode.OpMultiply) != 3 {
+		t.Errorf("in-place x^8: n=%d muls=%d, want 1, 3", n, p.CountOp(bytecode.OpMultiply))
+	}
+	// x^10 in place needs the origin later: must NOT expand.
+	src10 := `
+.reg a0 float64 8
+BH_IDENTITY a0 2.0
+BH_POWER a0 a0 10
+BH_SYNC a0
+`
+	_, n10 := applyRule(t, PowerExpandRule{}, src10)
+	if n10 != 0 {
+		t.Error("expanded in-place x^10 (origin clobbered)")
+	}
+}
+
+func TestPowerExpandWithTemporaries(t *testing.T) {
+	// Factor chain for 15 needs a temporary; with AllowTemporaries the
+	// rule allocates and frees scratch registers.
+	src := `
+.reg a0 float64 8
+.reg a1 float64 8
+BH_IDENTITY a0 2.0
+BH_POWER a1 a0 15
+BH_SYNC a1
+`
+	p, n := applyRule(t, PowerExpandRule{
+		Strategy:         chains.StrategyOptimal,
+		AllowTemporaries: true,
+	}, src)
+	if n != 1 {
+		t.Fatal("no expansion")
+	}
+	if got := p.CountOp(bytecode.OpMultiply); got != 5 {
+		t.Errorf("optimal chain for 15 uses %d muls, want 5", got)
+	}
+	if len(p.Regs) <= 2 {
+		t.Error("expected temporary registers")
+	}
+	if p.CountOp(bytecode.OpFree) == 0 {
+		t.Error("temporaries are never freed")
+	}
+}
+
+func TestSolveRewriteFires(t *testing.T) {
+	src := `
+.reg a0 float64 9
+.reg a1 float64 9
+.reg a2 float64 3
+.reg a3 float64 3
+.in a0
+.in a2
+BH_INVERSE a1 [0:9:3][0:3:1] a0 [0:9:3][0:3:1]
+BH_MATMUL a3 [0:3:1][0:1:1] a1 [0:9:3][0:3:1] a2 [0:3:1][0:1:1]
+BH_SYNC a3
+`
+	p, n := applyRule(t, SolveRewriteRule{}, src)
+	if n != 1 {
+		t.Fatalf("rewrite count = %d, want 1\n%s", n, p)
+	}
+	if p.CountOp(bytecode.OpSolve) != 1 || p.CountOp(bytecode.OpInverse) != 0 || p.CountOp(bytecode.OpMatmul) != 0 {
+		t.Errorf("rewritten program:\n%s", p)
+	}
+	solve := p.Instrs[0]
+	if solve.In1.Reg != 0 || solve.In2.Reg != 2 || solve.Out.Reg != 3 {
+		t.Errorf("SOLVE operands wrong: %s", solve.String())
+	}
+}
+
+func TestSolveRewriteBlockedWhenInverseLive(t *testing.T) {
+	// The inverse is synced afterwards (observed): the paper's "only if
+	// we do not use A⁻¹ for anything else" — no rewrite.
+	src := `
+.reg a0 float64 9
+.reg a1 float64 9
+.reg a2 float64 3
+.reg a3 float64 3
+.in a0
+.in a2
+BH_INVERSE a1 [0:9:3][0:3:1] a0 [0:9:3][0:3:1]
+BH_MATMUL a3 [0:3:1][0:1:1] a1 [0:9:3][0:3:1] a2 [0:3:1][0:1:1]
+BH_SYNC a3
+BH_SYNC a1
+`
+	_, n := applyRule(t, SolveRewriteRule{}, src)
+	if n != 0 {
+		t.Error("rewrote while A⁻¹ is still observed")
+	}
+}
+
+func TestSolveRewriteRemovesOrphanFree(t *testing.T) {
+	src := `
+.reg a0 float64 9
+.reg a1 float64 9
+.reg a2 float64 3
+.reg a3 float64 3
+.in a0
+.in a2
+BH_INVERSE a1 [0:9:3][0:3:1] a0 [0:9:3][0:3:1]
+BH_MATMUL a3 [0:3:1][0:1:1] a1 [0:9:3][0:3:1] a2 [0:3:1][0:1:1]
+BH_FREE a1
+BH_SYNC a3
+`
+	p, n := applyRule(t, SolveRewriteRule{}, src)
+	if n != 1 {
+		t.Fatalf("rewrite did not fire\n%s", p)
+	}
+	if p.CountOp(bytecode.OpFree) != 0 {
+		t.Errorf("orphan FREE survived:\n%s", p)
+	}
+}
+
+func TestDCERemovesUnobservedChain(t *testing.T) {
+	p, n := applyRule(t, DeadCodeElimRule{}, `
+.reg a0 float64 4
+.reg a1 float64 4
+BH_IDENTITY a0 1
+BH_IDENTITY a1 2
+BH_ADD a1 a1 3
+BH_SYNC a0
+`)
+	if n != 2 {
+		t.Errorf("removed %d, want 2 (a1 chain unobserved)", n)
+	}
+	if p.CountOp(bytecode.OpIdentity) != 1 {
+		t.Errorf("program:\n%s", p)
+	}
+}
+
+func TestDCEKeepsSyncedAndInputs(t *testing.T) {
+	_, n := applyRule(t, DeadCodeElimRule{}, `
+.reg a0 float64 4
+.reg a1 float64 4
+.in a1
+BH_IDENTITY a0 1
+BH_ADD a1 a1 1
+BH_SYNC a0
+`)
+	if n != 0 {
+		t.Error("removed a synced or input-register write")
+	}
+}
+
+func TestDCERemovesValueDeadAtFree(t *testing.T) {
+	p, n := applyRule(t, DeadCodeElimRule{}, `
+.reg a0 float64 4
+BH_IDENTITY a0 1
+BH_FREE a0
+`)
+	if n != 2 {
+		t.Errorf("removed %d, want 2 (write dead at FREE, FREE then orphaned)", n)
+	}
+	if p.Len() != 0 {
+		t.Errorf("program not empty:\n%s", p)
+	}
+}
+
+func TestCSEDeduplicatesExpensiveOp(t *testing.T) {
+	p, n := applyRule(t, CommonSubexprRule{}, `
+.reg a0 float64 4
+.reg a1 float64 4
+.reg a2 float64 4
+BH_IDENTITY a0 2.0
+BH_SQRT a1 a0
+BH_SQRT a2 a0
+BH_SYNC a1
+BH_SYNC a2
+`)
+	if n != 1 {
+		t.Fatalf("CSE count = %d, want 1\n%s", n, p)
+	}
+	if p.CountOp(bytecode.OpSqrt) != 1 || p.CountOp(bytecode.OpIdentity) != 2 {
+		t.Errorf("program:\n%s", p)
+	}
+}
+
+func TestCSESkipsCheapOps(t *testing.T) {
+	_, n := applyRule(t, CommonSubexprRule{}, `
+.reg a0 float64 4
+.reg a1 float64 4
+.reg a2 float64 4
+BH_IDENTITY a0 2.0
+BH_ADD a1 a0 1
+BH_ADD a2 a0 1
+BH_SYNC a1
+BH_SYNC a2
+`)
+	if n != 0 {
+		t.Error("CSE rewrote a cheap ADD (copy costs the same sweep)")
+	}
+}
+
+func TestCSEBlockedByInputClobber(t *testing.T) {
+	_, n := applyRule(t, CommonSubexprRule{}, `
+.reg a0 float64 4
+.reg a1 float64 4
+.reg a2 float64 4
+BH_IDENTITY a0 2.0
+BH_SQRT a1 a0
+BH_ADD a0 a0 1
+BH_SQRT a2 a0
+BH_SYNC a1
+BH_SYNC a2
+`)
+	if n != 0 {
+		t.Error("CSE merged across a clobbered input")
+	}
+}
+
+func TestDCERespectsOutputs(t *testing.T) {
+	// A register marked as an external output (an array the front-end
+	// still holds) must keep its defining writes even without a SYNC.
+	p := bytecode.MustParse(`
+.reg a0 float64 4
+.reg a1 float64 4
+.out a1
+BH_IDENTITY a0 1
+BH_IDENTITY a1 2
+BH_ADD a1 a1 3
+BH_SYNC a0
+`)
+	q := p.Clone()
+	n, err := (DeadCodeElimRule{}).Apply(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Errorf("DCE removed %d instrs writing an output register:\n%s", n, q)
+	}
+	// Without the output mark the a1 chain is dead.
+	p.Outputs = nil
+	n, err = (DeadCodeElimRule{}).Apply(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Errorf("DCE removed %d instrs, want 2 once the output mark is gone", n)
+	}
+}
+
+func TestSolveRewriteRespectsOutputInverse(t *testing.T) {
+	// The inverse register is an external output (user holds the array):
+	// DeadAfter must report it live and the rewrite must not fire.
+	src := `
+.reg a0 float64 9
+.reg a1 float64 9
+.reg a2 float64 3
+.reg a3 float64 3
+.in a0
+.in a2
+.out a1
+BH_INVERSE a1 [0:9:3][0:3:1] a0 [0:9:3][0:3:1]
+BH_MATMUL a3 [0:3:1][0:1:1] a1 [0:9:3][0:3:1] a2 [0:3:1][0:1:1]
+BH_SYNC a3
+`
+	_, n := applyRule(t, SolveRewriteRule{}, src)
+	if n != 0 {
+		t.Error("rewrite fired although the inverse is an external output")
+	}
+}

@@ -1,0 +1,253 @@
+package rewrite
+
+import (
+	"testing"
+	"testing/quick"
+
+	"bohrium/internal/bytecode"
+	"bohrium/internal/chains"
+	"bohrium/internal/tensor"
+	"bohrium/internal/vm"
+)
+
+// The optimizer's contract: an optimized program computes the same tensors
+// as the original (up to float reassociation tolerance). These tests
+// execute random and hand-picked programs through the VM twice — raw and
+// optimized — and compare every register.
+
+func runProgram(t *testing.T, p *bytecode.Program) map[bytecode.RegID]tensor.Tensor {
+	t.Helper()
+	m := vm.New(vm.Config{})
+	defer m.Close()
+	if err := m.Run(p); err != nil {
+		t.Fatalf("execution failed: %v\nprogram:\n%s", err, p)
+	}
+	out := map[bytecode.RegID]tensor.Tensor{}
+	for r := range p.Regs {
+		info, _ := p.Reg(bytecode.RegID(r))
+		tt, ok := m.Tensor(bytecode.RegID(r), tensor.NewView(tensor.MustShape(info.Len)))
+		if ok {
+			out[bytecode.RegID(r)] = tt.Compact()
+		}
+	}
+	return out
+}
+
+// checkSound optimizes p with the pipeline and verifies result equality on
+// all registers that survive in both programs.
+func checkSound(t *testing.T, pl *Pipeline, p *bytecode.Program, rtol float64) *Report {
+	t.Helper()
+	optimized, report, err := pl.Optimize(p)
+	if err != nil {
+		t.Fatalf("optimize: %v\nprogram:\n%s", err, p)
+	}
+	raw := runProgram(t, p)
+	opt := runProgram(t, optimized)
+	for r, want := range raw {
+		got, ok := opt[r]
+		if !ok {
+			continue // optimizer may legitimately never materialize dead registers
+		}
+		if !want.AllClose(got, rtol, rtol) {
+			t.Errorf("register %s diverged (max diff %v)\noriginal:\n%s\noptimized:\n%s",
+				r, want.MaxAbsDiff(got), p, optimized)
+		}
+	}
+	return report
+}
+
+func TestPipelineSoundOnListing2(t *testing.T) {
+	p := bytecode.MustParse(`
+BH_IDENTITY a0 [0:10:1] 0
+BH_ADD a0 [0:10:1] a0 [0:10:1] 1
+BH_ADD a0 [0:10:1] a0 [0:10:1] 1
+BH_ADD a0 [0:10:1] a0 [0:10:1] 1
+BH_SYNC a0 [0:10:1]
+`)
+	report := checkSound(t, Default(), p, 0)
+	if report.After.Instructions >= report.Before.Instructions {
+		t.Errorf("no shrink: %d -> %d", report.Before.Instructions, report.After.Instructions)
+	}
+}
+
+func TestPipelineSoundOnPowerChains(t *testing.T) {
+	for _, n := range []int{2, 3, 4, 7, 8, 10, 15, 16, 17, 31, 32, 33, 64, 100} {
+		for _, strat := range []chains.Strategy{
+			chains.StrategyNaive, chains.StrategySquareIncrement,
+			chains.StrategyBinary, chains.StrategyOptimal,
+		} {
+			p := bytecode.NewProgram()
+			a0 := p.NewReg(tensor.Float64, 16)
+			a1 := p.NewReg(tensor.Float64, 16)
+			v := tensor.NewView(tensor.MustShape(16))
+			p.EmitIdentity(bytecode.Reg(a0, v), bytecode.Const(bytecode.ConstFloat(1.0001)))
+			p.EmitBinary(bytecode.OpPower, bytecode.Reg(a1, v), bytecode.Reg(a0, v),
+				bytecode.Const(bytecode.ConstInt(int64(n))))
+			p.EmitSync(bytecode.Reg(a1, v))
+
+			pl := Build(Options{
+				PowerExpand:           true,
+				PowerStrategy:         strat,
+				PowerAllowTemporaries: strat == chains.StrategyOptimal,
+			})
+			checkSound(t, pl, p, 1e-9)
+		}
+	}
+}
+
+func TestPipelineSoundOnSolve(t *testing.T) {
+	p := bytecode.MustParse(`
+.reg a0 float64 16
+.reg a1 float64 16
+.reg a2 float64 4
+.reg a3 float64 4
+BH_RANDOM a0 [0:16:1] 7 0
+BH_ADD a0 [0:20:5] a0 [0:20:5] 8.0
+BH_RANDOM a2 [0:4:1] 9 0
+BH_INVERSE a1 [0:16:4][0:4:1] a0 [0:16:4][0:4:1]
+BH_MATMUL a3 [0:4:1][0:1:1] a1 [0:16:4][0:4:1] a2 [0:4:1][0:1:1]
+BH_SYNC a3
+`)
+	report := checkSound(t, Default(), p, 1e-8)
+	if report.Applied["inverse-to-solve"] != 1 {
+		t.Errorf("solve rewrite did not fire: %v", report.Applied)
+	}
+}
+
+func TestPipelineSoundOnRandomPrograms(t *testing.T) {
+	pl := Default()
+	f := func(seed uint64, size uint8) bool {
+		p := randomProgram(seed, int(size%20)+2)
+		optimized, _, err := pl.Optimize(p)
+		if err != nil {
+			t.Logf("optimize error on seed %d: %v\n%s", seed, err, p)
+			return false
+		}
+		raw := execOrNil(p)
+		opt := execOrNil(optimized)
+		if raw == nil || opt == nil {
+			return raw == nil && opt == nil
+		}
+		for r, want := range raw {
+			got, ok := opt[r]
+			if !ok {
+				continue
+			}
+			if !want.AllClose(got, 1e-9, 1e-9) {
+				t.Logf("seed %d register %s diverged by %v\noriginal:\n%s\noptimized:\n%s",
+					seed, r, want.MaxAbsDiff(got), p, optimized)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+func execOrNil(p *bytecode.Program) map[bytecode.RegID]tensor.Tensor {
+	m := vm.New(vm.Config{})
+	defer m.Close()
+	if err := m.Run(p); err != nil {
+		return nil
+	}
+	out := map[bytecode.RegID]tensor.Tensor{}
+	for r := range p.Regs {
+		info, _ := p.Reg(bytecode.RegID(r))
+		tt, ok := m.Tensor(bytecode.RegID(r), tensor.NewView(tensor.MustShape(info.Len)))
+		if ok {
+			out[bytecode.RegID(r)] = tt.Compact()
+		}
+	}
+	return out
+}
+
+// randomProgram generates a random valid byte-code program exercising the
+// rewrite rules: constant add/mul chains, powers, identities, reductions,
+// occasional syncs, and strided views.
+func randomProgram(seed uint64, n int) *bytecode.Program {
+	r := tensor.NewSplitMix64(seed)
+	p := bytecode.NewProgram()
+	regLen := r.Intn(24) + 4
+	full := tensor.NewView(tensor.MustShape(regLen))
+	nRegs := r.Intn(3) + 2
+	regs := make([]bytecode.RegID, nRegs)
+	for i := range regs {
+		regs[i] = p.NewReg(tensor.Float64, regLen)
+		p.EmitIdentity(bytecode.Reg(regs[i], full),
+			bytecode.Const(bytecode.ConstFloat(float64(r.Intn(7))+0.5)))
+	}
+	for i := 0; i < n; i++ {
+		out := regs[r.Intn(nRegs)]
+		view := full
+		if r.Intn(5) == 0 {
+			view, _ = full.Slice(0, 0, regLen-regLen%2, 2)
+		}
+		switch r.Intn(8) {
+		case 0, 1, 2: // constant add/sub chains — merge fodder
+			op := bytecode.OpAdd
+			if r.Intn(3) == 0 {
+				op = bytecode.OpSubtract
+			}
+			p.EmitBinary(op, bytecode.Reg(out, view), bytecode.Reg(out, view),
+				bytecode.Const(bytecode.ConstInt(int64(r.Intn(5)))))
+		case 3: // constant mul chains
+			p.EmitBinary(bytecode.OpMultiply, bytecode.Reg(out, view), bytecode.Reg(out, view),
+				bytecode.Const(bytecode.ConstFloat(float64(r.Intn(3))+0.5)))
+		case 4: // integral powers into a different register
+			src := regs[r.Intn(nRegs)]
+			p.EmitBinary(bytecode.OpPower, bytecode.Reg(out, full), bytecode.Reg(src, full),
+				bytecode.Const(bytecode.ConstInt(int64(r.Intn(12)))))
+		case 5: // identity-eligible ops
+			consts := []float64{0, 1}
+			ops := []bytecode.Opcode{bytecode.OpAdd, bytecode.OpMultiply}
+			k := r.Intn(2)
+			p.EmitBinary(ops[k], bytecode.Reg(out, view), bytecode.Reg(out, view),
+				bytecode.Const(bytecode.ConstFloat(consts[k])))
+		case 6: // binary reg-reg
+			ops := []bytecode.Opcode{bytecode.OpAdd, bytecode.OpMultiply, bytecode.OpMaximum}
+			p.EmitBinary(ops[r.Intn(3)], bytecode.Reg(out, view),
+				bytecode.Reg(regs[r.Intn(nRegs)], view), bytecode.Reg(regs[r.Intn(nRegs)], view))
+		default: // observation points
+			p.EmitSync(bytecode.Reg(out, full))
+		}
+	}
+	for i := range regs {
+		p.EmitSync(bytecode.Reg(regs[i], full))
+	}
+	return p
+}
+
+func TestPipelineConvergesAndReports(t *testing.T) {
+	p := bytecode.MustParse(listing2)
+	pl := Default()
+	report, err := pl.Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.TotalApplied() == 0 {
+		t.Error("no rewrites applied to Listing 2")
+	}
+	if report.Passes >= pl.MaxPasses {
+		t.Errorf("pipeline did not converge in %d passes", report.Passes)
+	}
+	if report.String() == "" {
+		t.Error("empty report")
+	}
+	// Full pipeline collapses Listing 2 to IDENTITY 3 + SYNC.
+	if p.Len() != 2 {
+		t.Errorf("fully optimized Listing 2 has %d byte-codes, want 2:\n%s", p.Len(), p)
+	}
+}
+
+func TestOptimizeDoesNotMutateOriginal(t *testing.T) {
+	p := bytecode.MustParse(listing2)
+	before := p.String()
+	if _, _, err := Default().Optimize(p); err != nil {
+		t.Fatal(err)
+	}
+	if p.String() != before {
+		t.Error("Optimize mutated its input")
+	}
+}

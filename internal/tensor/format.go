@@ -1,0 +1,79 @@
+package tensor
+
+import (
+	"strconv"
+	"strings"
+)
+
+// FormatOptions controls tensor pretty-printing.
+type FormatOptions struct {
+	// MaxPerDim truncates each dimension to this many leading elements,
+	// printing "..." for the rest. Zero means no truncation.
+	MaxPerDim int
+	// Precision is the number of significant digits for floats.
+	Precision int
+}
+
+// DefaultFormat mirrors NumPy's repr defaults closely enough for examples.
+func DefaultFormat() FormatOptions {
+	return FormatOptions{MaxPerDim: 8, Precision: 6}
+}
+
+// String renders the tensor with default options.
+func (t Tensor) String() string { return t.Format(DefaultFormat()) }
+
+// Format renders the tensor NumPy-style: nested brackets, row-major order.
+func (t Tensor) Format(opts FormatOptions) string {
+	var b strings.Builder
+	t.formatDim(&b, opts, make([]int, 0, t.NDim()))
+	return b.String()
+}
+
+func (t Tensor) formatDim(b *strings.Builder, opts FormatOptions, prefix []int) {
+	dim := len(prefix)
+	if dim == t.NDim() {
+		b.WriteString(t.formatElem(opts, prefix))
+		return
+	}
+	b.WriteByte('[')
+	n := t.View.Shape[dim]
+	shown := n
+	if opts.MaxPerDim > 0 && n > opts.MaxPerDim {
+		shown = opts.MaxPerDim
+	}
+	for i := 0; i < shown; i++ {
+		if i > 0 {
+			if dim == t.NDim()-1 {
+				b.WriteString(" ")
+			} else {
+				b.WriteString("\n")
+				b.WriteString(strings.Repeat(" ", dim+1))
+			}
+		}
+		t.formatDim(b, opts, append(prefix, i))
+	}
+	if shown < n {
+		b.WriteString(" ... (")
+		b.WriteString(strconv.Itoa(n - shown))
+		b.WriteString(" more)")
+	}
+	b.WriteByte(']')
+}
+
+func (t Tensor) formatElem(opts FormatOptions, coords []int) string {
+	switch {
+	case t.DType() == Bool:
+		if t.At(coords...) != 0 {
+			return "true"
+		}
+		return "false"
+	case t.DType().IsInteger():
+		return strconv.FormatInt(t.Buf.GetInt(t.View.Index(coords)), 10)
+	default:
+		prec := opts.Precision
+		if prec <= 0 {
+			prec = 6
+		}
+		return strconv.FormatFloat(t.At(coords...), 'g', prec, 64)
+	}
+}

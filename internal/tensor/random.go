@@ -1,0 +1,58 @@
+package tensor
+
+// Bohrium seeds its arrays with the counter-based Random123 generator so
+// that parallel backends produce identical streams. We substitute
+// SplitMix64, which is likewise counter-friendly (the i-th value is a pure
+// function of seed+i) and deterministic across runs — the property the
+// experiment harness needs for reproducible workloads.
+
+// SplitMix64 is a tiny counter-based PRNG. The zero value is a valid
+// generator with seed 0.
+type SplitMix64 struct {
+	state uint64
+}
+
+// NewSplitMix64 returns a generator with the given seed.
+func NewSplitMix64(seed uint64) *SplitMix64 { return &SplitMix64{state: seed} }
+
+// Uint64 returns the next 64 random bits.
+func (r *SplitMix64) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Float64 returns a uniformly distributed value in [0, 1).
+func (r *SplitMix64) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniformly distributed value in [0, n). n must be positive.
+func (r *SplitMix64) Intn(n int) int {
+	if n <= 0 {
+		panic("tensor: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// At returns the i-th value of the stream for the given seed without
+// advancing any state (counter-based access, as Random123 provides).
+func At(seed uint64, i uint64) uint64 {
+	g := SplitMix64{state: seed + i*0x9e3779b97f4a7c15}
+	z := g.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// FillRandom fills t with uniform values in [lo, hi) drawn from a
+// deterministic stream for the given seed.
+func (t Tensor) FillRandom(seed uint64, lo, hi float64) {
+	r := NewSplitMix64(seed)
+	it := NewIterator(t.View)
+	for it.Next() {
+		t.Buf.Set(it.Index(), lo+(hi-lo)*r.Float64())
+	}
+}

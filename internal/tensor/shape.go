@@ -1,0 +1,144 @@
+package tensor
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ErrShapeMismatch is returned when two shapes cannot be combined under
+// broadcasting rules.
+var ErrShapeMismatch = errors.New("tensor: shape mismatch")
+
+// Shape describes the extent of a tensor along each dimension.
+// A zero-length shape is a scalar.
+type Shape []int
+
+// NewShape copies dims into a fresh Shape, validating that every extent is
+// non-negative.
+func NewShape(dims ...int) (Shape, error) {
+	s := make(Shape, len(dims))
+	for i, d := range dims {
+		if d < 0 {
+			return nil, fmt.Errorf("tensor: negative extent %d in dimension %d", d, i)
+		}
+		s[i] = d
+	}
+	return s, nil
+}
+
+// MustShape is NewShape for known-good literals in tests and examples.
+// It panics on negative extents.
+func MustShape(dims ...int) Shape {
+	s, err := NewShape(dims...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Clone returns an independent copy of s.
+func (s Shape) Clone() Shape {
+	out := make(Shape, len(s))
+	copy(out, s)
+	return out
+}
+
+// NDim returns the number of dimensions.
+func (s Shape) NDim() int { return len(s) }
+
+// Size returns the total number of elements, 1 for scalars.
+func (s Shape) Size() int {
+	n := 1
+	for _, d := range s {
+		n *= d
+	}
+	return n
+}
+
+// Equal reports whether s and t have identical extents.
+func (s Shape) Equal(t Shape) bool {
+	if len(s) != len(t) {
+		return false
+	}
+	for i := range s {
+		if s[i] != t[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String formats the shape as "(d0, d1, ...)".
+func (s Shape) String() string {
+	var b strings.Builder
+	b.WriteByte('(')
+	for i, d := range s {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(strconv.Itoa(d))
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// ContiguousStrides returns the row-major (C-order) strides, in elements,
+// for a tensor of shape s. The last dimension has stride 1.
+func ContiguousStrides(s Shape) []int {
+	st := make([]int, len(s))
+	acc := 1
+	for i := len(s) - 1; i >= 0; i-- {
+		st[i] = acc
+		acc *= s[i]
+	}
+	return st
+}
+
+// BroadcastShapes combines two shapes under NumPy broadcasting rules:
+// dimensions are aligned from the trailing end; extents must be equal or one
+// of them must be 1. The result has the maximum rank of the inputs.
+func BroadcastShapes(a, b Shape) (Shape, error) {
+	n := len(a)
+	if len(b) > n {
+		n = len(b)
+	}
+	out := make(Shape, n)
+	for i := 1; i <= n; i++ {
+		da, db := 1, 1
+		if i <= len(a) {
+			da = a[len(a)-i]
+		}
+		if i <= len(b) {
+			db = b[len(b)-i]
+		}
+		switch {
+		case da == db:
+			out[n-i] = da
+		case da == 1:
+			out[n-i] = db
+		case db == 1:
+			out[n-i] = da
+		default:
+			return nil, fmt.Errorf("%w: cannot broadcast %v with %v", ErrShapeMismatch, a, b)
+		}
+	}
+	return out, nil
+}
+
+// BroadcastableTo reports whether a tensor of shape s can be broadcast to
+// target without copying.
+func (s Shape) BroadcastableTo(target Shape) bool {
+	if len(s) > len(target) {
+		return false
+	}
+	for i := 1; i <= len(s); i++ {
+		d := s[len(s)-i]
+		t := target[len(target)-i]
+		if d != t && d != 1 {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,167 @@
+package tensor
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewShape(t *testing.T) {
+	tests := []struct {
+		name    string
+		dims    []int
+		wantErr bool
+	}{
+		{name: "scalar", dims: nil},
+		{name: "vector", dims: []int{10}},
+		{name: "matrix", dims: []int{3, 4}},
+		{name: "zero extent ok", dims: []int{0, 5}},
+		{name: "negative extent", dims: []int{3, -1}, wantErr: true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			s, err := NewShape(tt.dims...)
+			if (err != nil) != tt.wantErr {
+				t.Fatalf("NewShape(%v) error = %v, wantErr %v", tt.dims, err, tt.wantErr)
+			}
+			if err == nil && s.NDim() != len(tt.dims) {
+				t.Errorf("NDim = %d, want %d", s.NDim(), len(tt.dims))
+			}
+		})
+	}
+}
+
+func TestShapeSize(t *testing.T) {
+	tests := []struct {
+		shape Shape
+		want  int
+	}{
+		{MustShape(), 1},
+		{MustShape(10), 10},
+		{MustShape(3, 4), 12},
+		{MustShape(2, 3, 4), 24},
+		{MustShape(5, 0, 7), 0},
+	}
+	for _, tt := range tests {
+		if got := tt.shape.Size(); got != tt.want {
+			t.Errorf("%v.Size() = %d, want %d", tt.shape, got, tt.want)
+		}
+	}
+}
+
+func TestShapeString(t *testing.T) {
+	if got := MustShape(3, 4).String(); got != "(3, 4)" {
+		t.Errorf("String = %q, want (3, 4)", got)
+	}
+	if got := MustShape().String(); got != "()" {
+		t.Errorf("String = %q, want ()", got)
+	}
+}
+
+func TestContiguousStrides(t *testing.T) {
+	tests := []struct {
+		shape Shape
+		want  []int
+	}{
+		{MustShape(10), []int{1}},
+		{MustShape(3, 4), []int{4, 1}},
+		{MustShape(2, 3, 4), []int{12, 4, 1}},
+		{MustShape(), []int{}},
+	}
+	for _, tt := range tests {
+		got := ContiguousStrides(tt.shape)
+		if len(got) != len(tt.want) {
+			t.Fatalf("strides(%v) = %v, want %v", tt.shape, got, tt.want)
+		}
+		for i := range got {
+			if got[i] != tt.want[i] {
+				t.Errorf("strides(%v) = %v, want %v", tt.shape, got, tt.want)
+				break
+			}
+		}
+	}
+}
+
+func TestBroadcastShapes(t *testing.T) {
+	tests := []struct {
+		name    string
+		a, b    Shape
+		want    Shape
+		wantErr bool
+	}{
+		{name: "equal", a: MustShape(3, 4), b: MustShape(3, 4), want: MustShape(3, 4)},
+		{name: "scalar left", a: MustShape(), b: MustShape(5), want: MustShape(5)},
+		{name: "scalar right", a: MustShape(5), b: MustShape(), want: MustShape(5)},
+		{name: "ones expand", a: MustShape(3, 1), b: MustShape(1, 4), want: MustShape(3, 4)},
+		{name: "rank extend", a: MustShape(4), b: MustShape(3, 4), want: MustShape(3, 4)},
+		{name: "mismatch", a: MustShape(3), b: MustShape(4), wantErr: true},
+		{name: "inner mismatch", a: MustShape(2, 3), b: MustShape(2, 4), wantErr: true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, err := BroadcastShapes(tt.a, tt.b)
+			if tt.wantErr {
+				if err == nil {
+					t.Fatalf("BroadcastShapes(%v, %v) succeeded, want error", tt.a, tt.b)
+				}
+				if !errors.Is(err, ErrShapeMismatch) {
+					t.Errorf("error %v is not ErrShapeMismatch", err)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("BroadcastShapes(%v, %v) error: %v", tt.a, tt.b, err)
+			}
+			if !got.Equal(tt.want) {
+				t.Errorf("BroadcastShapes(%v, %v) = %v, want %v", tt.a, tt.b, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestBroadcastShapesCommutative(t *testing.T) {
+	// Property: broadcasting is commutative in both success and shape.
+	f := func(raw1, raw2 []uint8) bool {
+		a := shapeFromBytes(raw1)
+		b := shapeFromBytes(raw2)
+		ab, err1 := BroadcastShapes(a, b)
+		ba, err2 := BroadcastShapes(b, a)
+		if (err1 == nil) != (err2 == nil) {
+			return false
+		}
+		if err1 != nil {
+			return true
+		}
+		return ab.Equal(ba)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBroadcastableToMatchesBroadcastShapes(t *testing.T) {
+	// Property: if a broadcasts with b to r, then both are broadcastable to r.
+	f := func(raw1, raw2 []uint8) bool {
+		a := shapeFromBytes(raw1)
+		b := shapeFromBytes(raw2)
+		r, err := BroadcastShapes(a, b)
+		if err != nil {
+			return true
+		}
+		return a.BroadcastableTo(r) && b.BroadcastableTo(r)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// shapeFromBytes derives a small random shape (rank <= 3, extents 1..4)
+// from fuzz bytes, keeping property-test inputs inside meaningful ranges.
+func shapeFromBytes(raw []uint8) Shape {
+	rank := len(raw) % 4
+	s := make(Shape, 0, rank)
+	for i := 0; i < rank && i < len(raw); i++ {
+		s = append(s, int(raw[i])%4+1)
+	}
+	return s
+}

@@ -1,0 +1,240 @@
+package tensor
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// View describes how a tensor addresses a linear buffer: a starting offset,
+// an extent per dimension, and a stride (in elements) per dimension. This is
+// exactly the "[start:stop:step]" annotation the Bohrium byte-code prints
+// next to each register operand.
+type View struct {
+	Offset  int
+	Shape   Shape
+	Strides []int
+}
+
+// NewView builds a contiguous row-major view of the given shape starting at
+// offset 0.
+func NewView(shape Shape) View {
+	return View{Offset: 0, Shape: shape.Clone(), Strides: ContiguousStrides(shape)}
+}
+
+// NewStridedView builds a view with explicit offset and strides.
+// len(strides) must equal len(shape).
+func NewStridedView(offset int, shape Shape, strides []int) (View, error) {
+	if len(strides) != len(shape) {
+		return View{}, fmt.Errorf("tensor: %d strides for %d dims", len(strides), len(shape))
+	}
+	if offset < 0 {
+		return View{}, fmt.Errorf("tensor: negative view offset %d", offset)
+	}
+	st := make([]int, len(strides))
+	copy(st, strides)
+	return View{Offset: offset, Shape: shape.Clone(), Strides: st}, nil
+}
+
+// Clone returns a deep copy of v.
+func (v View) Clone() View {
+	return View{Offset: v.Offset, Shape: v.Shape.Clone(), Strides: append([]int(nil), v.Strides...)}
+}
+
+// NDim returns the number of dimensions of the view.
+func (v View) NDim() int { return len(v.Shape) }
+
+// Size returns the number of elements addressed by the view.
+func (v View) Size() int { return v.Shape.Size() }
+
+// Contiguous reports whether the view addresses a dense row-major range,
+// i.e. iterating it in order touches consecutive buffer elements.
+func (v View) Contiguous() bool {
+	want := 1
+	for i := len(v.Shape) - 1; i >= 0; i-- {
+		if v.Shape[i] == 1 {
+			continue // stride is irrelevant for singleton dims
+		}
+		if v.Strides[i] != want {
+			return false
+		}
+		want *= v.Shape[i]
+	}
+	return true
+}
+
+// Index converts n-dimensional coordinates into a linear buffer index.
+// It does not bounds-check; use Validate for that.
+func (v View) Index(coords []int) int {
+	idx := v.Offset
+	for i, c := range coords {
+		idx += c * v.Strides[i]
+	}
+	return idx
+}
+
+// MinMaxIndex returns the smallest and largest linear buffer index the view
+// can touch. Both bounds are inclusive; for an empty view ok is false.
+func (v View) MinMaxIndex() (lo, hi int, ok bool) {
+	if v.Size() == 0 {
+		return 0, 0, false
+	}
+	lo, hi = v.Offset, v.Offset
+	for i, d := range v.Shape {
+		span := (d - 1) * v.Strides[i]
+		if span >= 0 {
+			hi += span
+		} else {
+			lo += span
+		}
+	}
+	return lo, hi, true
+}
+
+// Validate checks that the view stays within a buffer of n elements.
+func (v View) Validate(n int) error {
+	if len(v.Strides) != len(v.Shape) {
+		return fmt.Errorf("tensor: %d strides for %d dims", len(v.Strides), len(v.Shape))
+	}
+	lo, hi, ok := v.MinMaxIndex()
+	if !ok {
+		return nil // empty views touch nothing
+	}
+	if lo < 0 || hi >= n {
+		return fmt.Errorf("tensor: view range [%d, %d] outside buffer of %d elements", lo, hi, n)
+	}
+	return nil
+}
+
+// Overlaps conservatively reports whether v and w can touch a common buffer
+// element, assuming both address the same buffer. It is exact for 1-D unit
+// stride pairs and falls back to bounding-box intersection otherwise; a
+// "true" result may therefore be a false positive but never a false negative.
+// The rewrite engine's interference analysis relies on that conservatism.
+func (v View) Overlaps(w View) bool {
+	lo1, hi1, ok1 := v.MinMaxIndex()
+	lo2, hi2, ok2 := w.MinMaxIndex()
+	if !ok1 || !ok2 {
+		return false
+	}
+	if hi1 < lo2 || hi2 < lo1 {
+		return false
+	}
+	// Exact disjointness for same-stride 1-D arithmetic progressions:
+	// offsets differing by a non-multiple of the common stride never meet.
+	if v.NDim() == 1 && w.NDim() == 1 {
+		s1, s2 := v.Strides[0], w.Strides[0]
+		if s1 == s2 && s1 > 1 {
+			if (v.Offset-w.Offset)%s1 != 0 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Equal reports whether v and w address exactly the same elements in the
+// same order.
+func (v View) Equal(w View) bool {
+	if v.Offset != w.Offset || !v.Shape.Equal(w.Shape) {
+		return false
+	}
+	for i := range v.Strides {
+		if v.Strides[i] != w.Strides[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// BroadcastTo returns a view of shape target where dimensions of extent 1
+// (or missing leading dimensions) are repeated by giving them stride 0.
+func (v View) BroadcastTo(target Shape) (View, error) {
+	if !v.Shape.BroadcastableTo(target) {
+		return View{}, fmt.Errorf("%w: cannot broadcast view %v to %v", ErrShapeMismatch, v.Shape, target)
+	}
+	out := View{Offset: v.Offset, Shape: target.Clone(), Strides: make([]int, len(target))}
+	for i := 1; i <= len(v.Shape); i++ {
+		d := v.Shape[len(v.Shape)-i]
+		t := target[len(target)-i]
+		switch {
+		case d == t:
+			out.Strides[len(target)-i] = v.Strides[len(v.Shape)-i]
+		case d == 1:
+			out.Strides[len(target)-i] = 0
+		}
+	}
+	return out, nil
+}
+
+// Slice restricts dimension dim to the half-open range [start, stop) with
+// the given step (step >= 1). It mirrors NumPy basic slicing.
+func (v View) Slice(dim, start, stop, step int) (View, error) {
+	if dim < 0 || dim >= v.NDim() {
+		return View{}, fmt.Errorf("tensor: slice dim %d out of range for %d-d view", dim, v.NDim())
+	}
+	if step < 1 {
+		return View{}, fmt.Errorf("tensor: slice step must be >= 1, got %d", step)
+	}
+	if start < 0 || stop > v.Shape[dim] || start > stop {
+		return View{}, fmt.Errorf("tensor: slice [%d:%d] out of range for extent %d", start, stop, v.Shape[dim])
+	}
+	out := v.Clone()
+	out.Offset += start * v.Strides[dim]
+	out.Shape[dim] = (stop - start + step - 1) / step
+	out.Strides[dim] *= step
+	return out, nil
+}
+
+// Transpose returns a view with the dimension order reversed (matrix
+// transpose for 2-D). No data moves; only strides are permuted.
+func (v View) Transpose() View {
+	n := v.NDim()
+	out := View{Offset: v.Offset, Shape: make(Shape, n), Strides: make([]int, n)}
+	for i := 0; i < n; i++ {
+		out.Shape[i] = v.Shape[n-1-i]
+		out.Strides[i] = v.Strides[n-1-i]
+	}
+	return out
+}
+
+// Reshape returns a contiguous view of the new shape. It requires v to be
+// contiguous (no copies here — byte-code semantics never copy implicitly)
+// and the total size to be preserved.
+func (v View) Reshape(shape Shape) (View, error) {
+	if shape.Size() != v.Size() {
+		return View{}, fmt.Errorf("%w: reshape %v (size %d) to %v (size %d)",
+			ErrShapeMismatch, v.Shape, v.Size(), shape, shape.Size())
+	}
+	if !v.Contiguous() {
+		return View{}, fmt.Errorf("tensor: reshape of non-contiguous view %s", v)
+	}
+	return View{Offset: v.Offset, Shape: shape.Clone(), Strides: ContiguousStrides(shape)}, nil
+}
+
+// String prints the view in the paper's listing syntax: one
+// "[start:stop:step]" group per dimension, where start is the linear offset
+// contribution, stop = start + extent*step, and step is the stride. For the
+// common 1-D contiguous case this reproduces "[0:10:1]" from Listing 2.
+func (v View) String() string {
+	var b strings.Builder
+	for i := range v.Shape {
+		start := 0
+		if i == 0 {
+			start = v.Offset
+		}
+		step := v.Strides[i]
+		stop := start + v.Shape[i]*step
+		if step == 0 { // broadcast dim: print logical extent
+			stop = start + v.Shape[i]
+		}
+		b.WriteByte('[')
+		b.WriteString(strconv.Itoa(start))
+		b.WriteByte(':')
+		b.WriteString(strconv.Itoa(stop))
+		b.WriteByte(':')
+		b.WriteString(strconv.Itoa(step))
+		b.WriteByte(']')
+	}
+	return b.String()
+}

@@ -1,0 +1,274 @@
+package tensor
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestViewStringPaperSyntax(t *testing.T) {
+	// Listing 2 in the paper prints a 10-element contiguous view as
+	// "[0:10:1]"; the disassembler must reproduce that exactly.
+	v := NewView(MustShape(10))
+	if got := v.String(); got != "[0:10:1]" {
+		t.Errorf("View.String() = %q, want [0:10:1]", got)
+	}
+}
+
+func TestViewString2D(t *testing.T) {
+	v := NewView(MustShape(3, 4))
+	if got := v.String(); got != "[0:12:4][0:4:1]" {
+		t.Errorf("View.String() = %q, want [0:12:4][0:4:1]", got)
+	}
+}
+
+func TestViewContiguous(t *testing.T) {
+	tests := []struct {
+		name string
+		view View
+		want bool
+	}{
+		{name: "fresh 1d", view: NewView(MustShape(10)), want: true},
+		{name: "fresh 2d", view: NewView(MustShape(3, 4)), want: true},
+		{name: "strided", view: mustStrided(t, 0, MustShape(5), []int{2}), want: false},
+		{name: "offset still contiguous", view: mustStrided(t, 3, MustShape(5), []int{1}), want: true},
+		{name: "transposed", view: NewView(MustShape(3, 4)).Transpose(), want: false},
+		{name: "singleton dims ignored", view: mustStrided(t, 0, MustShape(1, 4), []int{99, 1}), want: true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.view.Contiguous(); got != tt.want {
+				t.Errorf("Contiguous() = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func mustStrided(t *testing.T, offset int, shape Shape, strides []int) View {
+	t.Helper()
+	v, err := NewStridedView(offset, shape, strides)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func TestViewIndex(t *testing.T) {
+	v := mustStrided(t, 5, MustShape(3, 4), []int{8, 2})
+	tests := []struct {
+		coords []int
+		want   int
+	}{
+		{[]int{0, 0}, 5},
+		{[]int{0, 1}, 7},
+		{[]int{1, 0}, 13},
+		{[]int{2, 3}, 27},
+	}
+	for _, tt := range tests {
+		if got := v.Index(tt.coords); got != tt.want {
+			t.Errorf("Index(%v) = %d, want %d", tt.coords, got, tt.want)
+		}
+	}
+}
+
+func TestViewValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		view    View
+		bufLen  int
+		wantErr bool
+	}{
+		{name: "fits exactly", view: NewView(MustShape(10)), bufLen: 10},
+		{name: "too small", view: NewView(MustShape(10)), bufLen: 9, wantErr: true},
+		{name: "offset pushes out", view: mustStridedRaw(1, MustShape(10), []int{1}), bufLen: 10, wantErr: true},
+		{name: "strided fits", view: mustStridedRaw(0, MustShape(5), []int{2}), bufLen: 9},
+		{name: "empty always fits", view: NewView(MustShape(0)), bufLen: 0},
+		{name: "negative stride fits", view: mustStridedRaw(9, MustShape(10), []int{-1}), bufLen: 10},
+		{name: "negative stride underflows", view: mustStridedRaw(5, MustShape(10), []int{-1}), bufLen: 10, wantErr: true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := tt.view.Validate(tt.bufLen)
+			if (err != nil) != tt.wantErr {
+				t.Errorf("Validate(%d) error = %v, wantErr %v", tt.bufLen, err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func mustStridedRaw(offset int, shape Shape, strides []int) View {
+	v, err := NewStridedView(offset, shape, strides)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+func TestViewOverlaps(t *testing.T) {
+	tests := []struct {
+		name string
+		a, b View
+		want bool
+	}{
+		{
+			name: "identical",
+			a:    NewView(MustShape(10)),
+			b:    NewView(MustShape(10)),
+			want: true,
+		},
+		{
+			name: "disjoint halves",
+			a:    mustStridedRaw(0, MustShape(5), []int{1}),
+			b:    mustStridedRaw(5, MustShape(5), []int{1}),
+			want: false,
+		},
+		{
+			name: "interleaved even odd",
+			a:    mustStridedRaw(0, MustShape(5), []int{2}),
+			b:    mustStridedRaw(1, MustShape(5), []int{2}),
+			want: false, // exact disjointness for same-stride 1-D
+		},
+		{
+			name: "same parity strided",
+			a:    mustStridedRaw(0, MustShape(5), []int{2}),
+			b:    mustStridedRaw(2, MustShape(5), []int{2}),
+			want: true,
+		},
+		{
+			name: "empty never overlaps",
+			a:    NewView(MustShape(0)),
+			b:    NewView(MustShape(10)),
+			want: false,
+		},
+		{
+			name: "partial overlap",
+			a:    mustStridedRaw(0, MustShape(6), []int{1}),
+			b:    mustStridedRaw(4, MustShape(6), []int{1}),
+			want: true,
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.a.Overlaps(tt.b); got != tt.want {
+				t.Errorf("Overlaps = %v, want %v", got, tt.want)
+			}
+			if got := tt.b.Overlaps(tt.a); got != tt.want {
+				t.Errorf("Overlaps (swapped) = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestViewOverlapsNeverFalseNegative(t *testing.T) {
+	// Property: if two 1-D views share any concrete buffer index, Overlaps
+	// must say true. (False positives are allowed; false negatives are not.)
+	f := func(off1, off2, len1, len2, st1, st2 uint8) bool {
+		v1 := View{Offset: int(off1 % 16), Shape: MustShape(int(len1%8) + 1), Strides: []int{int(st1%3) + 1}}
+		v2 := View{Offset: int(off2 % 16), Shape: MustShape(int(len2%8) + 1), Strides: []int{int(st2%3) + 1}}
+		touched := map[int]bool{}
+		it := NewIterator(v1)
+		for it.Next() {
+			touched[it.Index()] = true
+		}
+		shared := false
+		it2 := NewIterator(v2)
+		for it2.Next() {
+			if touched[it2.Index()] {
+				shared = true
+				break
+			}
+		}
+		if shared && !v1.Overlaps(v2) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestViewSlice(t *testing.T) {
+	base := NewView(MustShape(10))
+	tests := []struct {
+		name              string
+		start, stop, step int
+		wantShape         Shape
+		wantOffset        int
+		wantStride        int
+		wantErr           bool
+	}{
+		{name: "full", start: 0, stop: 10, step: 1, wantShape: MustShape(10), wantOffset: 0, wantStride: 1},
+		{name: "tail", start: 4, stop: 10, step: 1, wantShape: MustShape(6), wantOffset: 4, wantStride: 1},
+		{name: "every other", start: 0, stop: 10, step: 2, wantShape: MustShape(5), wantOffset: 0, wantStride: 2},
+		{name: "odd range step 3", start: 1, stop: 8, step: 3, wantShape: MustShape(3), wantOffset: 1, wantStride: 3},
+		{name: "empty", start: 5, stop: 5, step: 1, wantShape: MustShape(0), wantOffset: 5, wantStride: 1},
+		{name: "out of range", start: 0, stop: 11, step: 1, wantErr: true},
+		{name: "reversed", start: 6, stop: 2, step: 1, wantErr: true},
+		{name: "bad step", start: 0, stop: 10, step: 0, wantErr: true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, err := base.Slice(0, tt.start, tt.stop, tt.step)
+			if (err != nil) != tt.wantErr {
+				t.Fatalf("Slice error = %v, wantErr %v", err, tt.wantErr)
+			}
+			if err != nil {
+				return
+			}
+			if !got.Shape.Equal(tt.wantShape) || got.Offset != tt.wantOffset || got.Strides[0] != tt.wantStride {
+				t.Errorf("Slice = %+v, want shape %v offset %d stride %d",
+					got, tt.wantShape, tt.wantOffset, tt.wantStride)
+			}
+		})
+	}
+}
+
+func TestViewTransposeInvolution(t *testing.T) {
+	f := func(r1, r2, r3 uint8) bool {
+		shape := MustShape(int(r1%4)+1, int(r2%4)+1, int(r3%4)+1)
+		v := NewView(shape)
+		return v.Transpose().Transpose().Equal(v)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestViewBroadcastTo(t *testing.T) {
+	v := NewView(MustShape(1, 4))
+	bv, err := v.BroadcastTo(MustShape(3, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bv.Shape.Equal(MustShape(3, 4)) {
+		t.Errorf("shape = %v, want (3, 4)", bv.Shape)
+	}
+	if bv.Strides[0] != 0 || bv.Strides[1] != 1 {
+		t.Errorf("strides = %v, want [0 1]", bv.Strides)
+	}
+	// Broadcasting a scalar-ish view to anything incompatible fails.
+	if _, err := NewView(MustShape(3)).BroadcastTo(MustShape(4)); err == nil {
+		t.Error("broadcast (3)->(4) succeeded, want error")
+	}
+}
+
+func TestViewReshape(t *testing.T) {
+	v := NewView(MustShape(12))
+	r, err := v.Reshape(MustShape(3, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Shape.Equal(MustShape(3, 4)) || r.Strides[0] != 4 || r.Strides[1] != 1 {
+		t.Errorf("reshape = %+v", r)
+	}
+	if _, err := v.Reshape(MustShape(5)); err == nil {
+		t.Error("size-changing reshape succeeded, want error")
+	}
+	if _, err := v.Transpose().Reshape(MustShape(12)); err != nil {
+		t.Errorf("1-d transpose reshape should work: %v", err)
+	}
+	nc := NewView(MustShape(3, 4)).Transpose()
+	if _, err := nc.Reshape(MustShape(12)); err == nil {
+		t.Error("non-contiguous reshape succeeded, want error")
+	}
+}

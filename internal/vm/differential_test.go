@@ -1,0 +1,186 @@
+package vm
+
+import (
+	"math"
+	"testing"
+
+	"bohrium/internal/bytecode"
+	"bohrium/internal/tensor"
+)
+
+// Differential tests: every elementwise op-code must produce identical
+// results through the contiguous fast path and the strided slow path, and
+// match a scalar Go reference on spot values. This pins the kernel table
+// against both dispatch layers.
+
+// refBinary mirrors the float kernel semantics in plain Go.
+func refBinary(op bytecode.Opcode, a, b float64) float64 {
+	k, ok := floatBinaryKernel(op)
+	if !ok {
+		panic("no kernel " + op.String())
+	}
+	return k(a, b)
+}
+
+func TestBinaryOpsFastVsStrided(t *testing.T) {
+	binaryOps := []bytecode.Opcode{
+		bytecode.OpAdd, bytecode.OpSubtract, bytecode.OpMultiply, bytecode.OpDivide,
+		bytecode.OpPower, bytecode.OpMod, bytecode.OpMaximum, bytecode.OpMinimum,
+		bytecode.OpArctan2,
+	}
+	const n = 64
+	for _, op := range binaryOps {
+		t.Run(op.String(), func(t *testing.T) {
+			// Contiguous program.
+			src := `
+.reg a0 float64 ` + itoa(n) + `
+.reg a1 float64 ` + itoa(n) + `
+.reg a2 float64 ` + itoa(n) + `
+BH_RANDOM a0 11 0
+BH_RANDOM a1 13 0
+BH_ADD a0 a0 0.5
+BH_ADD a1 a1 0.5
+` + op.String() + ` a2 a0 a1
+BH_SYNC a2
+`
+			m := run(t, Config{}, src)
+			fast := regSlice(t, m, 2, n)
+
+			// Same values through strided views over doubled buffers.
+			n2 := itoa(2 * n)
+			strided := `
+.reg a0 float64 ` + n2 + `
+.reg a1 float64 ` + n2 + `
+.reg a2 float64 ` + n2 + `
+BH_RANDOM a0 [0:` + itoa(n) + `:1] 11 0
+BH_RANDOM a1 [0:` + itoa(n) + `:1] 13 0
+BH_ADD a0 [0:` + itoa(n) + `:1] a0 [0:` + itoa(n) + `:1] 0.5
+BH_ADD a1 [0:` + itoa(n) + `:1] a1 [0:` + itoa(n) + `:1] 0.5
+BH_IDENTITY a0 [0:` + n2 + `:2] a0 [0:` + itoa(n) + `:1]
+BH_IDENTITY a1 [1:` + itoa(2*n+1) + `:2] a1 [0:` + itoa(n) + `:1]
+` + op.String() + ` a2 [0:` + n2 + `:2] a0 [0:` + n2 + `:2] a1 [1:` + itoa(2*n+1) + `:2]
+BH_SYNC a2
+`
+			ms := run(t, Config{}, strided)
+			tt, ok := ms.Tensor(2, mustView(0, tensor.MustShape(n), []int{2}))
+			if !ok {
+				t.Fatal("strided result missing")
+			}
+			slow := tt.Float64Slice()
+
+			for i := 0; i < n; i++ {
+				if fast[i] != slow[i] && !(math.IsNaN(fast[i]) && math.IsNaN(slow[i])) {
+					t.Fatalf("element %d: fast %v, strided %v", i, fast[i], slow[i])
+				}
+			}
+			// Spot-check against the scalar reference.
+			a0 := regSlice(t, m, 0, n)
+			a1 := regSlice(t, m, 1, n)
+			for i := 0; i < n; i++ {
+				want := refBinary(op, a0[i], a1[i])
+				if fast[i] != want && !(math.IsNaN(fast[i]) && math.IsNaN(want)) {
+					t.Fatalf("element %d: got %v, reference %v (a=%v b=%v)", i, fast[i], want, a0[i], a1[i])
+				}
+			}
+		})
+	}
+}
+
+func TestUnaryOpsFastVsStrided(t *testing.T) {
+	unaryOps := []bytecode.Opcode{
+		bytecode.OpNegative, bytecode.OpAbsolute, bytecode.OpSqrt, bytecode.OpExp,
+		bytecode.OpExpm1, bytecode.OpLog1p, bytecode.OpSin, bytecode.OpCos,
+		bytecode.OpTan, bytecode.OpArctan, bytecode.OpSinh, bytecode.OpCosh,
+		bytecode.OpTanh, bytecode.OpFloor, bytecode.OpCeil, bytecode.OpRint,
+		bytecode.OpTrunc, bytecode.OpSign,
+	}
+	const n = 64
+	for _, op := range unaryOps {
+		t.Run(op.String(), func(t *testing.T) {
+			src := `
+.reg a0 float64 ` + itoa(n) + `
+.reg a1 float64 ` + itoa(n) + `
+BH_RANDOM a0 17 0
+BH_SUBTRACT a0 a0 0.25
+BH_MULTIPLY a0 a0 3.0
+` + op.String() + ` a1 a0
+BH_SYNC a1
+`
+			m := run(t, Config{}, src)
+			fast := regSlice(t, m, 1, n)
+			a0 := regSlice(t, m, 0, n)
+
+			k, ok := floatUnaryKernel(op)
+			if !ok {
+				t.Fatalf("no kernel for %s", op)
+			}
+			for i := 0; i < n; i++ {
+				want := k(a0[i])
+				if fast[i] != want && !(math.IsNaN(fast[i]) && math.IsNaN(want)) {
+					t.Fatalf("element %d: got %v, reference %v (x=%v)", i, fast[i], want, a0[i])
+				}
+			}
+
+			// Strided output: odd slots of a doubled buffer.
+			n2 := itoa(2 * n)
+			strided := `
+.reg a0 float64 ` + itoa(n) + `
+.reg a1 float64 ` + n2 + `
+BH_RANDOM a0 17 0
+BH_SUBTRACT a0 a0 0.25
+BH_MULTIPLY a0 a0 3.0
+` + op.String() + ` a1 [1:` + itoa(2*n+1) + `:2] a0 [0:` + itoa(n) + `:1]
+BH_SYNC a1 [1:` + itoa(2*n+1) + `:2]
+`
+			ms := run(t, Config{}, strided)
+			tt, ok := ms.Tensor(1, mustView(1, tensor.MustShape(n), []int{2}))
+			if !ok {
+				t.Fatal("strided result missing")
+			}
+			slow := tt.Float64Slice()
+			for i := 0; i < n; i++ {
+				if fast[i] != slow[i] && !(math.IsNaN(fast[i]) && math.IsNaN(slow[i])) {
+					t.Fatalf("element %d: fast %v, strided %v", i, fast[i], slow[i])
+				}
+			}
+		})
+	}
+}
+
+func TestIntVsFloatClassAgreement(t *testing.T) {
+	// For small integers, the int64 and float64 computation classes must
+	// agree on the shared arithmetic ops.
+	ops := []bytecode.Opcode{
+		bytecode.OpAdd, bytecode.OpSubtract, bytecode.OpMultiply,
+		bytecode.OpMaximum, bytecode.OpMinimum, bytecode.OpPower,
+	}
+	for _, op := range ops {
+		t.Run(op.String(), func(t *testing.T) {
+			fk, _ := floatBinaryKernel(op)
+			ik, _ := intBinaryKernel(op)
+			for a := int64(0); a <= 6; a++ {
+				for b := int64(0); b <= 4; b++ {
+					fi := fk(float64(a), float64(b))
+					ii := ik(a, b)
+					if float64(ii) != fi {
+						t.Fatalf("%s(%d, %d): int %d, float %v", op, a, b, ii, fi)
+					}
+				}
+			}
+		})
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

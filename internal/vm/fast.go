@@ -1,0 +1,53 @@
+package vm
+
+import (
+	"bohrium/internal/bytecode"
+	"bohrium/internal/tensor"
+)
+
+// rawSrc is a fast-path source: a contiguous float64 slice or a constant.
+type rawSrc struct {
+	arr []float64 // nil for constants
+	c   float64
+}
+
+// rawSources converts resolved sources into fast-path form, or fails if
+// any source is non-contiguous, differently sized, or not float64.
+func rawSources(srcs []source, n int) ([]rawSrc, bool) {
+	out := make([]rawSrc, len(srcs))
+	for i, s := range srcs {
+		if s.isConst {
+			out[i] = rawSrc{c: s.cf}
+			continue
+		}
+		raw, ok := tensor.Float64s(s.buf)
+		if !ok || !s.view.Contiguous() || s.view.Size() != n {
+			return nil, false
+		}
+		out[i] = rawSrc{arr: raw[s.view.Offset : s.view.Offset+n]}
+	}
+	return out, true
+}
+
+// fastElementwise executes the instruction with a compiled loop over raw
+// float64 slices when every operand is contiguous float64 of equal size;
+// returns false to fall back to the strided path. Large sweeps are split
+// across the worker pool.
+func (m *Machine) fastElementwise(op bytecode.Opcode, out tensor.Buffer, outView tensor.View, srcs []source) bool {
+	raw, ok := tensor.Float64s(out)
+	if !ok || !outView.Contiguous() {
+		return false
+	}
+	n := outView.Size()
+	rs, ok := rawSources(srcs, n)
+	if !ok {
+		return false
+	}
+	dst := raw[outView.Offset : outView.Offset+n]
+	loop, ok := compileLoop(op, dst, rs)
+	if !ok {
+		return false
+	}
+	m.pool.parallelFor(n, m.cfg.ParallelThreshold, loop)
+	return true
+}

@@ -1,0 +1,252 @@
+package vm
+
+import (
+	"fmt"
+
+	"bohrium/internal/bytecode"
+	"bohrium/internal/tensor"
+)
+
+// Fusion clusters consecutive elementwise byte-codes into one sweep over
+// their shared iteration space — this reproduction's substitute for the
+// OpenCL kernel JIT: where Bohrium emits one kernel source for a fusible
+// batch, we emit one fused Go loop.
+//
+// Two byte-codes may share a sweep when:
+//   - both are elementwise over float64 registers,
+//   - their result views share one iteration shape (inputs may broadcast
+//     into it), the result view addresses each element at most once, and
+//   - every register they share is addressed through the *same* view in
+//     both (otherwise element i of one is element j≠i of the other, and
+//     per-element interleaving would reorder a cross-element dependence).
+//
+// Fully contiguous clusters run over raw slices (execCluster); strided
+// clusters — stencils, sliced views — run with multi-cursor odometer
+// iteration (execClusterStrided). System byte-codes, reductions,
+// extensions, and RANDOM end a cluster.
+
+// cluster is a run of instruction indices executable as one sweep.
+type cluster struct {
+	start, end int // [start, end) in p.Instrs
+	fused      bool
+	shape      tensor.Shape // shared iteration shape when fused
+	linear     bool         // every operand contiguous: raw-slice path
+}
+
+// planClusters splits the program into sweeps.
+func (m *Machine) planClusters(p *bytecode.Program) []cluster {
+	var out []cluster
+	i := 0
+	for i < len(p.Instrs) {
+		shape, linear, fusible := m.fusibleAt(p, i)
+		if !fusible {
+			out = append(out, cluster{start: i, end: i + 1})
+			i++
+			continue
+		}
+		// Extend the cluster while the next instruction is fusible over
+		// the same iteration shape and no write view conflicts with any
+		// other access of the same register.
+		acc := newAccessTracker()
+		acc.record(&p.Instrs[i])
+		j := i + 1
+		for j < len(p.Instrs) {
+			shape2, linear2, ok := m.fusibleAt(p, j)
+			if !ok || !shape2.Equal(shape) || !acc.compatible(&p.Instrs[j]) {
+				break
+			}
+			linear = linear && linear2
+			acc.record(&p.Instrs[j])
+			j++
+		}
+		out = append(out, cluster{start: i, end: j, fused: j-i > 1, shape: shape, linear: linear})
+		i = j
+	}
+	return out
+}
+
+// fusibleAt reports whether instruction i qualifies for fused execution,
+// returning its iteration shape and whether all operands are contiguous.
+func (m *Machine) fusibleAt(p *bytecode.Program, i int) (tensor.Shape, bool, bool) {
+	in := &p.Instrs[i]
+	if !in.Op.Elementwise() || len(in.Inputs()) == 0 {
+		return nil, false, false
+	}
+	if !in.Out.IsReg() || !viewInjective(in.Out.View) {
+		return nil, false, false
+	}
+	if ri, ok := p.Reg(in.Out.Reg); !ok || ri.DType != tensor.Float64 {
+		return nil, false, false
+	}
+	shape := in.Out.View.Shape
+	linear := in.Out.View.Contiguous()
+	for _, opnd := range in.Inputs() {
+		if !opnd.IsReg() {
+			continue
+		}
+		ri, ok := p.Reg(opnd.Reg)
+		if !ok || ri.DType != tensor.Float64 {
+			return nil, false, false
+		}
+		if !opnd.View.Shape.BroadcastableTo(shape) {
+			return nil, false, false
+		}
+		if !opnd.View.Shape.Equal(shape) || !opnd.View.Contiguous() {
+			linear = false
+		}
+		// A misaligned self-overlap needs the snapshot the unfused path
+		// takes; keep such instructions out of fused sweeps.
+		if opnd.Reg == in.Out.Reg && !opnd.View.Equal(in.Out.View) && opnd.View.Overlaps(in.Out.View) {
+			return nil, false, false
+		}
+	}
+	return shape, linear, true
+}
+
+// accessTracker records per-register read and write views inside a
+// cluster. Fused per-element execution preserves step order *within* an
+// element, so the only cross-element hazard is a register accessed through
+// two views where the same buffer slot maps to different iteration
+// indices — i.e. a WRITE view overlapping any other non-equal view.
+// Overlapping reads (the stencil's north/south/east/west windows) are
+// always safe.
+type accessTracker struct {
+	reads  map[bytecode.RegID][]tensor.View
+	writes map[bytecode.RegID][]tensor.View
+}
+
+func newAccessTracker() *accessTracker {
+	return &accessTracker{
+		reads:  map[bytecode.RegID][]tensor.View{},
+		writes: map[bytecode.RegID][]tensor.View{},
+	}
+}
+
+func (a *accessTracker) record(in *bytecode.Instruction) {
+	a.writes[in.Out.Reg] = append(a.writes[in.Out.Reg], in.Out.View)
+	for _, opnd := range in.Inputs() {
+		if opnd.IsReg() {
+			a.reads[opnd.Reg] = append(a.reads[opnd.Reg], opnd.View)
+		}
+	}
+}
+
+func (a *accessTracker) compatible(in *bytecode.Instruction) bool {
+	// The candidate's write must not alias any earlier access through a
+	// different window.
+	w := in.Out.View
+	for _, v := range a.reads[in.Out.Reg] {
+		if !w.Equal(v) && w.Overlaps(v) {
+			return false
+		}
+	}
+	for _, v := range a.writes[in.Out.Reg] {
+		if !w.Equal(v) && w.Overlaps(v) {
+			return false
+		}
+	}
+	// The candidate's reads must not alias any earlier write through a
+	// different window.
+	for _, opnd := range in.Inputs() {
+		if !opnd.IsReg() {
+			continue
+		}
+		for _, v := range a.writes[opnd.Reg] {
+			if !opnd.View.Equal(v) && opnd.View.Overlaps(v) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// fusedBlockSize is the tile width (in elements) for fused contiguous
+// sweeps: each step's compiled loop runs over one L1-resident block before
+// the next step touches it, giving the locality a JIT-compiled kernel
+// would get without per-element dispatch. 8192 float64s = 64 KiB.
+const fusedBlockSize = 8192
+
+// runFused executes the program cluster by cluster.
+func (m *Machine) runFused(p *bytecode.Program) error {
+	for _, cl := range m.planClusters(p) {
+		var err error
+		switch {
+		case !cl.fused:
+			err = m.exec(p, &p.Instrs[cl.start])
+		case cl.linear:
+			err = m.execCluster(p, cl)
+		default:
+			err = m.execClusterStrided(p, cl, cl.shape)
+		}
+		if err != nil {
+			return fmt.Errorf("%w: instrs [%d,%d) (%s): %v",
+				ErrExec, cl.start, cl.end, p.Instrs[cl.start].String(), err)
+		}
+	}
+	return nil
+}
+
+func (m *Machine) execCluster(p *bytecode.Program, cl cluster) error {
+	n := cl.shape.Size()
+	loops := make([]func(lo, hi int), 0, cl.end-cl.start)
+	for i := cl.start; i < cl.end; i++ {
+		loop, err := m.compileStep(p, &p.Instrs[i], n)
+		if err != nil {
+			return err
+		}
+		loops = append(loops, loop)
+	}
+
+	m.stats.Instructions += len(loops)
+	m.stats.FusedInstructions += len(loops)
+	m.stats.Sweeps++
+	m.stats.Elements += n * len(loops)
+
+	m.pool.parallelFor(n, m.cfg.ParallelThreshold, func(lo, hi int) {
+		for blockLo := lo; blockLo < hi; blockLo += fusedBlockSize {
+			blockHi := blockLo + fusedBlockSize
+			if blockHi > hi {
+				blockHi = hi
+			}
+			for _, loop := range loops {
+				loop(blockLo, blockHi)
+			}
+		}
+	})
+	return nil
+}
+
+func (m *Machine) compileStep(p *bytecode.Program, in *bytecode.Instruction, n int) (func(lo, hi int), error) {
+	outBuf, err := m.regs.ensure(p, in.Out.Reg)
+	if err != nil {
+		return nil, err
+	}
+	raw, ok := tensor.Float64s(outBuf)
+	if !ok {
+		return nil, fmt.Errorf("fused output %s is not float64", in.Out.Reg)
+	}
+	dst := raw[in.Out.View.Offset : in.Out.View.Offset+n]
+
+	srcs := make([]rawSrc, 0, 2)
+	for _, opnd := range in.Inputs() {
+		if opnd.IsConst() {
+			srcs = append(srcs, rawSrc{c: opnd.Const.Float()})
+			continue
+		}
+		buf, err := m.regs.ensure(p, opnd.Reg)
+		if err != nil {
+			return nil, err
+		}
+		sraw, ok := tensor.Float64s(buf)
+		if !ok {
+			return nil, fmt.Errorf("fused input %s is not float64", opnd.Reg)
+		}
+		srcs = append(srcs, rawSrc{arr: sraw[opnd.View.Offset : opnd.View.Offset+n]})
+	}
+
+	loop, ok := compileLoop(in.Op, dst, srcs)
+	if !ok {
+		return nil, fmt.Errorf("no compiled loop for %s", in.Op)
+	}
+	return loop, nil
+}

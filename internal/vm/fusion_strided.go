@@ -1,0 +1,251 @@
+package vm
+
+import (
+	"fmt"
+	"sort"
+
+	"bohrium/internal/bytecode"
+	"bohrium/internal/tensor"
+)
+
+// Strided fused execution: clusters whose operands share one iteration
+// shape but are not contiguous (stencil views over a 2-D grid, strided
+// slices) run as a single sweep with one shared odometer driving a cursor
+// per operand. Each odometer advance in dimension d moves every cursor by
+// a precomputed delta — O(1) per element, no per-element index math.
+
+// cursor walks one operand's buffer along the shared iteration shape.
+type cursor struct {
+	arr []float64
+	// offset is the start index for element 0 of the iteration space.
+	offset int
+	// strides are per-dimension element strides in the shared shape.
+	strides []int
+	// delta[d] is the index change when the odometer increments dim d
+	// (after all lower dims reset to zero).
+	delta []int
+	idx   int
+}
+
+func newCursor(arr []float64, v tensor.View) *cursor {
+	n := v.NDim()
+	c := &cursor{arr: arr, offset: v.Offset, strides: append([]int(nil), v.Strides...), delta: make([]int, n)}
+	for d := 0; d < n; d++ {
+		back := 0
+		for k := d + 1; k < n; k++ {
+			back += (v.Shape[k] - 1) * v.Strides[k]
+		}
+		c.delta[d] = v.Strides[d] - back
+	}
+	return c
+}
+
+// seek positions the cursor at linear element i of the iteration shape.
+func (c *cursor) seek(shape []int, i int) {
+	idx := c.offset
+	for d := len(shape) - 1; d >= 0; d-- {
+		if shape[d] == 0 {
+			continue
+		}
+		idx += (i % shape[d]) * c.strides[d]
+		i /= shape[d]
+	}
+	c.idx = idx
+}
+
+// stridedStep is one instruction compiled for the strided sweep. Constant
+// operands carry a nil cursor and the constant value.
+type stridedStep struct {
+	dst    *cursor
+	unary  func(float64) float64
+	binary func(float64, float64) float64
+	a, b   *cursor
+	ca, cb float64
+}
+
+// execClusterStrided runs a same-shape cluster as one fused sweep.
+func (m *Machine) execClusterStrided(p *bytecode.Program, cl cluster, shape tensor.Shape) error {
+	build := func() ([]stridedStep, []*cursor, error) {
+		var steps []stridedStep
+		var cursors []*cursor
+		for i := cl.start; i < cl.end; i++ {
+			in := &p.Instrs[i]
+			outBuf, err := m.regs.ensure(p, in.Out.Reg)
+			if err != nil {
+				return nil, nil, err
+			}
+			raw, ok := tensor.Float64s(outBuf)
+			if !ok {
+				return nil, nil, fmt.Errorf("fused output %s is not float64", in.Out.Reg)
+			}
+			st := stridedStep{dst: newCursor(raw, in.Out.View)}
+			cursors = append(cursors, st.dst)
+
+			operandCursor := func(o bytecode.Operand) (*cursor, float64, error) {
+				if o.IsConst() {
+					return nil, o.Const.Float(), nil
+				}
+				buf, err := m.regs.ensure(p, o.Reg)
+				if err != nil {
+					return nil, 0, err
+				}
+				sraw, ok := tensor.Float64s(buf)
+				if !ok {
+					return nil, 0, fmt.Errorf("fused input %s is not float64", o.Reg)
+				}
+				// Broadcast singleton inputs to the shared shape so the
+				// cursor's strides align with the odometer.
+				view := o.View
+				if !view.Shape.Equal(shape) {
+					bv, err := view.BroadcastTo(shape)
+					if err != nil {
+						return nil, 0, err
+					}
+					view = bv
+				}
+				c := newCursor(sraw, view)
+				cursors = append(cursors, c)
+				return c, 0, nil
+			}
+
+			inputs := in.Inputs()
+			switch len(inputs) {
+			case 1:
+				k, ok := floatUnaryKernel(in.Op)
+				if !ok {
+					return nil, nil, fmt.Errorf("no unary kernel for %s", in.Op)
+				}
+				st.unary = k
+				c, cv, err := operandCursor(inputs[0])
+				if err != nil {
+					return nil, nil, err
+				}
+				st.a, st.ca = c, cv
+			case 2:
+				k, ok := floatBinaryKernel(in.Op)
+				if !ok {
+					return nil, nil, fmt.Errorf("no binary kernel for %s", in.Op)
+				}
+				st.binary = k
+				c, cv, err := operandCursor(inputs[0])
+				if err != nil {
+					return nil, nil, err
+				}
+				st.a, st.ca = c, cv
+				c, cv, err = operandCursor(inputs[1])
+				if err != nil {
+					return nil, nil, err
+				}
+				st.b, st.cb = c, cv
+			default:
+				return nil, nil, fmt.Errorf("fused %s has %d inputs", in.Op, len(inputs))
+			}
+			steps = append(steps, st)
+		}
+		return steps, cursors, nil
+	}
+
+	// Validate compilation once up front (register allocation errors
+	// surface before any goroutine runs).
+	if _, _, err := build(); err != nil {
+		return err
+	}
+
+	n := shape.Size()
+	m.stats.Instructions += cl.end - cl.start
+	m.stats.FusedInstructions += cl.end - cl.start
+	m.stats.Sweeps++
+	m.stats.Elements += n * (cl.end - cl.start)
+
+	var firstErr error
+	m.pool.parallelFor(n, m.cfg.ParallelThreshold, func(lo, hi int) {
+		// Each chunk compiles its own cursor set (independent positions).
+		steps, cursors, err := build()
+		if err != nil {
+			firstErr = err
+			return
+		}
+		dims := []int(shape)
+		for _, c := range cursors {
+			c.seek(dims, lo)
+		}
+		coords := unflatten(dims, lo)
+		for i := lo; i < hi; i++ {
+			for s := range steps {
+				st := &steps[s]
+				if st.unary != nil {
+					v := st.ca
+					if st.a != nil {
+						v = st.a.arr[st.a.idx]
+					}
+					st.dst.arr[st.dst.idx] = st.unary(v)
+					continue
+				}
+				av, bv := st.ca, st.cb
+				if st.a != nil {
+					av = st.a.arr[st.a.idx]
+				}
+				if st.b != nil {
+					bv = st.b.arr[st.b.idx]
+				}
+				st.dst.arr[st.dst.idx] = st.binary(av, bv)
+			}
+			// Advance the shared odometer and every cursor by the
+			// matching per-dimension delta.
+			for d := len(dims) - 1; d >= 0; d-- {
+				coords[d]++
+				if coords[d] < dims[d] {
+					for _, c := range cursors {
+						c.idx += c.delta[d]
+					}
+					break
+				}
+				coords[d] = 0
+			}
+		}
+	})
+	return firstErr
+}
+
+func unflatten(dims []int, i int) []int {
+	coords := make([]int, len(dims))
+	for d := len(dims) - 1; d >= 0; d-- {
+		if dims[d] == 0 {
+			continue
+		}
+		coords[d] = i % dims[d]
+		i /= dims[d]
+	}
+	return coords
+}
+
+// viewInjective conservatively reports whether a view addresses each
+// buffer element at most once — required for the result view of a fused
+// (and chunk-parallel) sweep. The sufficient condition: sorting dims by
+// |stride|, each stride must exceed the maximum span of the dims below it.
+func viewInjective(v tensor.View) bool {
+	type ds struct{ stride, extent int }
+	dims := make([]ds, 0, v.NDim())
+	for d := 0; d < v.NDim(); d++ {
+		if v.Shape[d] == 1 {
+			continue // singleton dims address one point regardless of stride
+		}
+		s := v.Strides[d]
+		if s < 0 {
+			s = -s
+		}
+		if s == 0 {
+			return false // repeated writes to the same element
+		}
+		dims = append(dims, ds{stride: s, extent: v.Shape[d]})
+	}
+	sort.Slice(dims, func(i, j int) bool { return dims[i].stride < dims[j].stride })
+	span := 0
+	for _, d := range dims {
+		if d.stride <= span {
+			return false
+		}
+		span += (d.extent - 1) * d.stride
+	}
+	return true
+}

@@ -1,0 +1,297 @@
+package vm
+
+import (
+	"math"
+
+	"bohrium/internal/bytecode"
+)
+
+// Scalar kernels: the per-element semantics of each op-code, in two
+// families. Float kernels define behaviour for floating-point computation
+// classes; integer kernels keep exact int64 semantics (the constant-merge
+// rewrite of paper Listing 3 relies on integer adds staying exact).
+//
+// Division and modulus by zero follow NumPy's C backend: floats produce
+// ±Inf/NaN, integers produce 0 (NumPy warns and yields 0).
+
+func floatBinaryKernel(op bytecode.Opcode) (func(a, b float64) float64, bool) {
+	switch op {
+	case bytecode.OpAdd:
+		return func(a, b float64) float64 { return a + b }, true
+	case bytecode.OpSubtract:
+		return func(a, b float64) float64 { return a - b }, true
+	case bytecode.OpMultiply:
+		return func(a, b float64) float64 { return a * b }, true
+	case bytecode.OpDivide:
+		return func(a, b float64) float64 { return a / b }, true
+	case bytecode.OpPower:
+		return math.Pow, true
+	case bytecode.OpMod:
+		return math.Mod, true
+	case bytecode.OpMaximum:
+		return math.Max, true
+	case bytecode.OpMinimum:
+		return math.Min, true
+	case bytecode.OpArctan2:
+		return math.Atan2, true
+	case bytecode.OpEqual:
+		return func(a, b float64) float64 { return b2f(a == b) }, true
+	case bytecode.OpNotEqual:
+		return func(a, b float64) float64 { return b2f(a != b) }, true
+	case bytecode.OpLess:
+		return func(a, b float64) float64 { return b2f(a < b) }, true
+	case bytecode.OpLessEqual:
+		return func(a, b float64) float64 { return b2f(a <= b) }, true
+	case bytecode.OpGreater:
+		return func(a, b float64) float64 { return b2f(a > b) }, true
+	case bytecode.OpGreaterEqual:
+		return func(a, b float64) float64 { return b2f(a >= b) }, true
+	case bytecode.OpLogicalAnd:
+		return func(a, b float64) float64 { return b2f(a != 0 && b != 0) }, true
+	case bytecode.OpLogicalOr:
+		return func(a, b float64) float64 { return b2f(a != 0 || b != 0) }, true
+	case bytecode.OpLogicalXor:
+		return func(a, b float64) float64 { return b2f((a != 0) != (b != 0)) }, true
+	case bytecode.OpBitwiseAnd:
+		return func(a, b float64) float64 { return float64(int64(a) & int64(b)) }, true
+	case bytecode.OpBitwiseOr:
+		return func(a, b float64) float64 { return float64(int64(a) | int64(b)) }, true
+	case bytecode.OpBitwiseXor:
+		return func(a, b float64) float64 { return float64(int64(a) ^ int64(b)) }, true
+	case bytecode.OpLeftShift:
+		return func(a, b float64) float64 { return float64(shiftL(int64(a), int64(b))) }, true
+	case bytecode.OpRightShift:
+		return func(a, b float64) float64 { return float64(shiftR(int64(a), int64(b))) }, true
+	default:
+		return nil, false
+	}
+}
+
+func intBinaryKernel(op bytecode.Opcode) (func(a, b int64) int64, bool) {
+	switch op {
+	case bytecode.OpAdd:
+		return func(a, b int64) int64 { return a + b }, true
+	case bytecode.OpSubtract:
+		return func(a, b int64) int64 { return a - b }, true
+	case bytecode.OpMultiply:
+		return func(a, b int64) int64 { return a * b }, true
+	case bytecode.OpDivide:
+		return func(a, b int64) int64 {
+			if b == 0 {
+				return 0
+			}
+			return a / b
+		}, true
+	case bytecode.OpPower:
+		return ipow, true
+	case bytecode.OpMod:
+		return func(a, b int64) int64 {
+			if b == 0 {
+				return 0
+			}
+			return a % b
+		}, true
+	case bytecode.OpMaximum:
+		return func(a, b int64) int64 {
+			if a > b {
+				return a
+			}
+			return b
+		}, true
+	case bytecode.OpMinimum:
+		return func(a, b int64) int64 {
+			if a < b {
+				return a
+			}
+			return b
+		}, true
+	case bytecode.OpEqual:
+		return func(a, b int64) int64 { return b2i(a == b) }, true
+	case bytecode.OpNotEqual:
+		return func(a, b int64) int64 { return b2i(a != b) }, true
+	case bytecode.OpLess:
+		return func(a, b int64) int64 { return b2i(a < b) }, true
+	case bytecode.OpLessEqual:
+		return func(a, b int64) int64 { return b2i(a <= b) }, true
+	case bytecode.OpGreater:
+		return func(a, b int64) int64 { return b2i(a > b) }, true
+	case bytecode.OpGreaterEqual:
+		return func(a, b int64) int64 { return b2i(a >= b) }, true
+	case bytecode.OpLogicalAnd:
+		return func(a, b int64) int64 { return b2i(a != 0 && b != 0) }, true
+	case bytecode.OpLogicalOr:
+		return func(a, b int64) int64 { return b2i(a != 0 || b != 0) }, true
+	case bytecode.OpLogicalXor:
+		return func(a, b int64) int64 { return b2i((a != 0) != (b != 0)) }, true
+	case bytecode.OpBitwiseAnd:
+		return func(a, b int64) int64 { return a & b }, true
+	case bytecode.OpBitwiseOr:
+		return func(a, b int64) int64 { return a | b }, true
+	case bytecode.OpBitwiseXor:
+		return func(a, b int64) int64 { return a ^ b }, true
+	case bytecode.OpLeftShift:
+		return shiftL, true
+	case bytecode.OpRightShift:
+		return shiftR, true
+	default:
+		return nil, false
+	}
+}
+
+func floatUnaryKernel(op bytecode.Opcode) (func(a float64) float64, bool) {
+	switch op {
+	case bytecode.OpIdentity:
+		return func(a float64) float64 { return a }, true
+	case bytecode.OpNegative:
+		return func(a float64) float64 { return -a }, true
+	case bytecode.OpAbsolute:
+		return math.Abs, true
+	case bytecode.OpLogicalNot:
+		return func(a float64) float64 { return b2f(a == 0) }, true
+	case bytecode.OpInvert:
+		return func(a float64) float64 { return float64(^int64(a)) }, true
+	case bytecode.OpSqrt:
+		return math.Sqrt, true
+	case bytecode.OpExp:
+		return math.Exp, true
+	case bytecode.OpExpm1:
+		return math.Expm1, true
+	case bytecode.OpLog:
+		return math.Log, true
+	case bytecode.OpLog2:
+		return math.Log2, true
+	case bytecode.OpLog10:
+		return math.Log10, true
+	case bytecode.OpLog1p:
+		return math.Log1p, true
+	case bytecode.OpSin:
+		return math.Sin, true
+	case bytecode.OpCos:
+		return math.Cos, true
+	case bytecode.OpTan:
+		return math.Tan, true
+	case bytecode.OpArcsin:
+		return math.Asin, true
+	case bytecode.OpArccos:
+		return math.Acos, true
+	case bytecode.OpArctan:
+		return math.Atan, true
+	case bytecode.OpSinh:
+		return math.Sinh, true
+	case bytecode.OpCosh:
+		return math.Cosh, true
+	case bytecode.OpTanh:
+		return math.Tanh, true
+	case bytecode.OpFloor:
+		return math.Floor, true
+	case bytecode.OpCeil:
+		return math.Ceil, true
+	case bytecode.OpRint:
+		return math.RoundToEven, true
+	case bytecode.OpTrunc:
+		return math.Trunc, true
+	case bytecode.OpSign:
+		return func(a float64) float64 {
+			switch {
+			case a > 0:
+				return 1
+			case a < 0:
+				return -1
+			default:
+				return a // preserves ±0 and NaN
+			}
+		}, true
+	default:
+		return nil, false
+	}
+}
+
+func intUnaryKernel(op bytecode.Opcode) (func(a int64) int64, bool) {
+	switch op {
+	case bytecode.OpIdentity:
+		return func(a int64) int64 { return a }, true
+	case bytecode.OpNegative:
+		return func(a int64) int64 { return -a }, true
+	case bytecode.OpAbsolute:
+		return func(a int64) int64 {
+			if a < 0 {
+				return -a
+			}
+			return a
+		}, true
+	case bytecode.OpLogicalNot:
+		return func(a int64) int64 { return b2i(a == 0) }, true
+	case bytecode.OpInvert:
+		return func(a int64) int64 { return ^a }, true
+	case bytecode.OpFloor, bytecode.OpCeil, bytecode.OpRint, bytecode.OpTrunc:
+		return func(a int64) int64 { return a }, true
+	case bytecode.OpSign:
+		return func(a int64) int64 {
+			switch {
+			case a > 0:
+				return 1
+			case a < 0:
+				return -1
+			default:
+				return 0
+			}
+		}, true
+	default:
+		return nil, false
+	}
+}
+
+// ipow is exact integer exponentiation by squaring; negative exponents
+// yield 0 (as 1/x truncates) except x=±1.
+func ipow(base, exp int64) int64 {
+	if exp < 0 {
+		switch base {
+		case 1:
+			return 1
+		case -1:
+			if exp%2 == 0 {
+				return 1
+			}
+			return -1
+		default:
+			return 0
+		}
+	}
+	result := int64(1)
+	for exp > 0 {
+		if exp&1 == 1 {
+			result *= base
+		}
+		base *= base
+		exp >>= 1
+	}
+	return result
+}
+
+func shiftL(a, b int64) int64 {
+	if b < 0 || b >= 64 {
+		return 0
+	}
+	return a << uint(b)
+}
+
+func shiftR(a, b int64) int64 {
+	if b < 0 || b >= 64 {
+		return 0
+	}
+	return a >> uint(b)
+}
+
+func b2f(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,194 @@
+package vm
+
+import (
+	"math"
+
+	"bohrium/internal/bytecode"
+)
+
+// Compiled loop bodies for contiguous float64 operands. compileLoop turns
+// one instruction into a range-callable closure with the arithmetic
+// inlined; the single-sweep fast path calls it across worker chunks, and
+// fused clusters call it per cache-sized block — the interpreted
+// equivalent of the kernel the paper's OpenCL backend would JIT.
+func compileLoop(op bytecode.Opcode, dst []float64, srcs []rawSrc) (func(lo, hi int), bool) {
+	switch len(srcs) {
+	case 1:
+		return compileUnaryLoop(op, dst, srcs[0])
+	case 2:
+		return compileBinaryLoop(op, dst, srcs[0], srcs[1])
+	default:
+		return nil, false
+	}
+}
+
+func compileUnaryLoop(op bytecode.Opcode, dst []float64, s rawSrc) (func(lo, hi int), bool) {
+	if op == bytecode.OpIdentity {
+		if s.arr == nil {
+			c := s.c
+			return func(lo, hi int) {
+				d := dst[lo:hi]
+				for i := range d {
+					d[i] = c
+				}
+			}, true
+		}
+		return func(lo, hi int) {
+			copy(dst[lo:hi], s.arr[lo:hi])
+		}, true
+	}
+	k, ok := floatUnaryKernel(op)
+	if !ok {
+		return nil, false
+	}
+	if s.arr == nil {
+		c := k(s.c)
+		return func(lo, hi int) {
+			d := dst[lo:hi]
+			for i := range d {
+				d[i] = c
+			}
+		}, true
+	}
+	arr := s.arr
+	return func(lo, hi int) {
+		d, a := dst[lo:hi], arr[lo:hi]
+		for i := range d {
+			d[i] = k(a[i])
+		}
+	}, true
+}
+
+func compileBinaryLoop(op bytecode.Opcode, dst []float64, a, b rawSrc) (func(lo, hi int), bool) {
+	// Hand-inlined forms for the memory-bound sweeps the paper's
+	// transformations count.
+	switch op {
+	case bytecode.OpAdd:
+		switch {
+		case a.arr != nil && b.arr == nil:
+			x, c := a.arr, b.c
+			return func(lo, hi int) {
+				d, xs := dst[lo:hi], x[lo:hi]
+				for i := range d {
+					d[i] = xs[i] + c
+				}
+			}, true
+		case a.arr != nil && b.arr != nil:
+			x, y := a.arr, b.arr
+			return func(lo, hi int) {
+				d, xs, ys := dst[lo:hi], x[lo:hi], y[lo:hi]
+				for i := range d {
+					d[i] = xs[i] + ys[i]
+				}
+			}, true
+		}
+	case bytecode.OpSubtract:
+		switch {
+		case a.arr != nil && b.arr == nil:
+			x, c := a.arr, b.c
+			return func(lo, hi int) {
+				d, xs := dst[lo:hi], x[lo:hi]
+				for i := range d {
+					d[i] = xs[i] - c
+				}
+			}, true
+		case a.arr != nil && b.arr != nil:
+			x, y := a.arr, b.arr
+			return func(lo, hi int) {
+				d, xs, ys := dst[lo:hi], x[lo:hi], y[lo:hi]
+				for i := range d {
+					d[i] = xs[i] - ys[i]
+				}
+			}, true
+		}
+	case bytecode.OpMultiply:
+		switch {
+		case a.arr != nil && b.arr == nil:
+			x, c := a.arr, b.c
+			return func(lo, hi int) {
+				d, xs := dst[lo:hi], x[lo:hi]
+				for i := range d {
+					d[i] = xs[i] * c
+				}
+			}, true
+		case a.arr != nil && b.arr != nil:
+			x, y := a.arr, b.arr
+			return func(lo, hi int) {
+				d, xs, ys := dst[lo:hi], x[lo:hi], y[lo:hi]
+				for i := range d {
+					d[i] = xs[i] * ys[i]
+				}
+			}, true
+		}
+	case bytecode.OpDivide:
+		switch {
+		case a.arr != nil && b.arr == nil:
+			x, c := a.arr, b.c
+			return func(lo, hi int) {
+				d, xs := dst[lo:hi], x[lo:hi]
+				for i := range d {
+					d[i] = xs[i] / c
+				}
+			}, true
+		case a.arr != nil && b.arr != nil:
+			x, y := a.arr, b.arr
+			return func(lo, hi int) {
+				d, xs, ys := dst[lo:hi], x[lo:hi], y[lo:hi]
+				for i := range d {
+					d[i] = xs[i] / ys[i]
+				}
+			}, true
+		}
+	case bytecode.OpPower:
+		// The expensive sweep power expansion eliminates: keep it honest
+		// (a real math.Pow per element, as the OpenCL backend's pow()).
+		if a.arr != nil && b.arr == nil {
+			x, c := a.arr, b.c
+			return func(lo, hi int) {
+				d, xs := dst[lo:hi], x[lo:hi]
+				for i := range d {
+					d[i] = math.Pow(xs[i], c)
+				}
+			}, true
+		}
+	}
+
+	k, ok := floatBinaryKernel(op)
+	if !ok {
+		return nil, false
+	}
+	switch {
+	case a.arr == nil && b.arr == nil:
+		c := k(a.c, b.c)
+		return func(lo, hi int) {
+			d := dst[lo:hi]
+			for i := range d {
+				d[i] = c
+			}
+		}, true
+	case a.arr == nil:
+		y, c := b.arr, a.c
+		return func(lo, hi int) {
+			d, ys := dst[lo:hi], y[lo:hi]
+			for i := range d {
+				d[i] = k(c, ys[i])
+			}
+		}, true
+	case b.arr == nil:
+		x, c := a.arr, b.c
+		return func(lo, hi int) {
+			d, xs := dst[lo:hi], x[lo:hi]
+			for i := range d {
+				d[i] = k(xs[i], c)
+			}
+		}, true
+	default:
+		x, y := a.arr, b.arr
+		return func(lo, hi int) {
+			d, xs, ys := dst[lo:hi], x[lo:hi], y[lo:hi]
+			for i := range d {
+				d[i] = k(xs[i], ys[i])
+			}
+		}, true
+	}
+}

@@ -1,0 +1,68 @@
+package vm
+
+import "sync"
+
+// workerPool is a fixed set of long-lived goroutines consuming closures.
+// Sweeps submit chunk jobs and wait; the pool amortizes goroutine start-up
+// across the whole run, standing in for the paper backend's OpenCL queue.
+type workerPool struct {
+	jobs    chan func()
+	done    sync.WaitGroup
+	workers int
+}
+
+func newWorkerPool(workers int) *workerPool {
+	p := &workerPool{
+		jobs:    make(chan func()),
+		workers: workers,
+	}
+	p.done.Add(workers)
+	for i := 0; i < workers; i++ {
+		go func() {
+			defer p.done.Done()
+			for job := range p.jobs {
+				job()
+			}
+		}()
+	}
+	return p
+}
+
+// close stops the workers and waits for them to exit.
+func (p *workerPool) close() {
+	close(p.jobs)
+	p.done.Wait()
+}
+
+// parallelFor runs body over [0, n) split into per-worker chunks. Small
+// ranges run inline on the caller's goroutine; the last chunk also runs
+// inline so one worker fewer is needed.
+func (p *workerPool) parallelFor(n, threshold int, body func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if p.workers <= 1 || n < threshold {
+		body(0, n)
+		return
+	}
+	chunks := p.workers
+	if chunks > n {
+		chunks = n
+	}
+	size := (n + chunks - 1) / chunks
+	var wg sync.WaitGroup
+	for c := 0; c < chunks-1; c++ {
+		lo := c * size
+		hi := lo + size
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		p.jobs <- func() {
+			defer wg.Done()
+			body(lo, hi)
+		}
+	}
+	body((chunks-1)*size, n)
+	wg.Wait()
+}

@@ -1,0 +1,133 @@
+package vm
+
+import (
+	"fmt"
+
+	"bohrium/internal/bytecode"
+	"bohrium/internal/tensor"
+)
+
+// removeAxis drops one dimension from a view, returning the reduced view
+// plus the dropped dimension's stride and extent.
+func removeAxis(v tensor.View, axis int) (reduced tensor.View, stride, extent int) {
+	shape := make(tensor.Shape, 0, v.NDim()-1)
+	strides := make([]int, 0, v.NDim()-1)
+	for d := 0; d < v.NDim(); d++ {
+		if d == axis {
+			continue
+		}
+		shape = append(shape, v.Shape[d])
+		strides = append(strides, v.Strides[d])
+	}
+	reduced = tensor.View{Offset: v.Offset, Shape: shape, Strides: strides}
+	return reduced, v.Strides[axis], v.Shape[axis]
+}
+
+// execReduce folds the input along one axis with the reduction's base
+// binary op, seeding the fold with the first element (so MIN/MAX need no
+// dtype-dependent identity).
+func (m *Machine) execReduce(p *bytecode.Program, in *bytecode.Instruction) error {
+	base, ok := in.Op.ReduceBase()
+	if !ok {
+		return fmt.Errorf("%s is not a reduction", in.Op)
+	}
+	outBuf, err := m.regs.ensure(p, in.Out.Reg)
+	if err != nil {
+		return err
+	}
+	srcBuf := m.regs.get(in.In1.Reg)
+	if srcBuf == nil {
+		return fmt.Errorf("input register %s has no buffer", in.In1.Reg)
+	}
+	srcView := in.In1.View
+	reduced, axStride, axLen := removeAxis(srcView, in.Axis)
+	if axLen == 0 {
+		return fmt.Errorf("reduction over empty axis %d", in.Axis)
+	}
+
+	m.stats.Instructions++
+	m.stats.Sweeps++
+	m.stats.Elements += srcView.Size()
+
+	intClass := !outBuf.DType().IsFloat() && !srcBuf.DType().IsFloat()
+	if intClass {
+		k, ok := intBinaryKernel(base)
+		if !ok {
+			return fmt.Errorf("no int kernel for %s", base)
+		}
+		tensor.ZipIndices(in.Out.View, reduced, func(io, is int) {
+			acc := srcBuf.GetInt(is)
+			for j := 1; j < axLen; j++ {
+				acc = k(acc, srcBuf.GetInt(is+j*axStride))
+			}
+			outBuf.SetInt(io, acc)
+		})
+		return nil
+	}
+	k, ok := floatBinaryKernel(base)
+	if !ok {
+		return fmt.Errorf("no kernel for %s", base)
+	}
+	tensor.ZipIndices(in.Out.View, reduced, func(io, is int) {
+		acc := srcBuf.Get(is)
+		for j := 1; j < axLen; j++ {
+			acc = k(acc, srcBuf.Get(is+j*axStride))
+		}
+		outBuf.Set(io, acc)
+	})
+	return nil
+}
+
+// execScan computes the running fold (prefix sums/products) along one
+// axis, writing every prefix.
+func (m *Machine) execScan(p *bytecode.Program, in *bytecode.Instruction) error {
+	base, ok := in.Op.ReduceBase()
+	if !ok {
+		return fmt.Errorf("%s is not a scan", in.Op)
+	}
+	outBuf, err := m.regs.ensure(p, in.Out.Reg)
+	if err != nil {
+		return err
+	}
+	srcBuf := m.regs.get(in.In1.Reg)
+	if srcBuf == nil {
+		return fmt.Errorf("input register %s has no buffer", in.In1.Reg)
+	}
+	srcView := in.In1.View
+	reducedIn, inStride, axLen := removeAxis(srcView, in.Axis)
+	reducedOut, outStride, _ := removeAxis(in.Out.View, in.Axis)
+
+	m.stats.Instructions++
+	m.stats.Sweeps++
+	m.stats.Elements += srcView.Size()
+
+	intClass := !outBuf.DType().IsFloat() && !srcBuf.DType().IsFloat()
+	if intClass {
+		k, ok := intBinaryKernel(base)
+		if !ok {
+			return fmt.Errorf("no int kernel for %s", base)
+		}
+		tensor.ZipIndices(reducedOut, reducedIn, func(io, is int) {
+			acc := srcBuf.GetInt(is)
+			outBuf.SetInt(io, acc)
+			for j := 1; j < axLen; j++ {
+				acc = k(acc, srcBuf.GetInt(is+j*inStride))
+				outBuf.SetInt(io+j*outStride, acc)
+			}
+		})
+		return nil
+	}
+	k, ok := floatBinaryKernel(base)
+	if !ok {
+		return fmt.Errorf("no kernel for %s", base)
+	}
+	tensor.ZipIndices(reducedOut, reducedIn, func(io, is int) {
+		acc := srcBuf.Get(is)
+		outBuf.Set(io, acc)
+		for j := 1; j < axLen; j++ {
+			acc = k(acc, srcBuf.Get(is+j*inStride))
+			outBuf.Set(io+j*outStride, acc)
+		}
+	})
+	return nil
+}

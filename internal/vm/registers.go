@@ -1,0 +1,58 @@
+package vm
+
+import (
+	"fmt"
+
+	"bohrium/internal/bytecode"
+	"bohrium/internal/tensor"
+)
+
+// registerFile maps byte-code registers to buffers. Buffers are allocated
+// lazily at first definition and released by BH_FREE, mirroring Bohrium's
+// base-array lifecycle.
+type registerFile struct {
+	bufs []tensor.Buffer
+}
+
+func (rf *registerFile) grow(n int) {
+	for len(rf.bufs) < n {
+		rf.bufs = append(rf.bufs, nil)
+	}
+}
+
+func (rf *registerFile) bind(r bytecode.RegID, buf tensor.Buffer) {
+	rf.grow(int(r) + 1)
+	rf.bufs[r] = buf
+}
+
+func (rf *registerFile) get(r bytecode.RegID) tensor.Buffer {
+	if int(r) >= len(rf.bufs) {
+		return nil
+	}
+	return rf.bufs[r]
+}
+
+// ensure returns the buffer for r, allocating it from the declaration if
+// the register has not been materialized yet.
+func (rf *registerFile) ensure(p *bytecode.Program, r bytecode.RegID) (tensor.Buffer, error) {
+	rf.grow(len(p.Regs))
+	if rf.bufs[r] != nil {
+		return rf.bufs[r], nil
+	}
+	info, ok := p.Reg(r)
+	if !ok {
+		return nil, fmt.Errorf("register %s not declared", r)
+	}
+	buf, err := tensor.NewBuffer(info.DType, info.Len)
+	if err != nil {
+		return nil, err
+	}
+	rf.bufs[r] = buf
+	return buf, nil
+}
+
+func (rf *registerFile) free(r bytecode.RegID) {
+	if int(r) < len(rf.bufs) {
+		rf.bufs[r] = nil
+	}
+}

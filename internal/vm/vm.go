@@ -1,0 +1,133 @@
+// Package vm executes Bohrium byte-code programs. It is this
+// reproduction's substitute for the paper's OpenCL/JIT backend: byte-codes
+// are grouped into fusible clusters, each cluster compiles to one sweep
+// over its iteration space, and sweeps are split across a goroutine worker
+// pool. The property the substitution preserves is the one the paper's
+// transformations exploit — every byte-code costs a full pass over its
+// operand memory, so fewer/cheaper byte-codes means proportionally less
+// time, exactly as on a GPU command queue.
+package vm
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+
+	"bohrium/internal/bytecode"
+	"bohrium/internal/tensor"
+)
+
+// ErrExec wraps runtime execution failures.
+var ErrExec = errors.New("vm: execution error")
+
+// Config selects the execution strategy.
+type Config struct {
+	// Workers is the goroutine pool width for data-parallel sweeps.
+	// Zero means GOMAXPROCS.
+	Workers int
+	// Fusion enables clustering contiguous elementwise byte-codes into
+	// single sweeps (the JIT-kernel substitute). Off, every byte-code is
+	// its own sweep.
+	Fusion bool
+	// ParallelThreshold is the minimum element count before a sweep is
+	// split across workers; tiny sweeps run inline. Zero picks a default.
+	ParallelThreshold int
+	// SkipValidation trusts the caller to have validated the program
+	// (the optimizer pipeline validates after every pass).
+	SkipValidation bool
+}
+
+// DefaultParallelThreshold is the sweep size below which goroutine fan-out
+// costs more than it buys.
+const DefaultParallelThreshold = 1 << 15
+
+// Machine executes programs against a register file. A Machine may run
+// many programs; registers persist between runs so a lazy front-end can
+// flush incrementally. Machine is not safe for concurrent use — it *is*
+// the execution engine, parallelism happens inside Run.
+type Machine struct {
+	cfg   Config
+	regs  registerFile
+	stats Stats
+	pool  *workerPool
+}
+
+// Stats counts execution work, for experiment tables and fusion ablations.
+type Stats struct {
+	// Instructions executed, excluding system byte-codes.
+	Instructions int
+	// Sweeps launched (fused clusters count once — the "kernel launches"
+	// a GPU backend would issue).
+	Sweeps int
+	// FusedInstructions is how many instructions ran inside multi-op
+	// sweeps.
+	FusedInstructions int
+	// Elements processed, summed over instructions.
+	Elements int
+}
+
+// New returns a Machine with the given configuration.
+func New(cfg Config) *Machine {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.ParallelThreshold <= 0 {
+		cfg.ParallelThreshold = DefaultParallelThreshold
+	}
+	return &Machine{cfg: cfg, pool: newWorkerPool(cfg.Workers)}
+}
+
+// Stats returns cumulative execution counters.
+func (m *Machine) Stats() Stats { return m.stats }
+
+// ResetStats zeroes the counters (between experiment repetitions).
+func (m *Machine) ResetStats() { m.stats = Stats{} }
+
+// Bind presets register r with an existing tensor before Run — the
+// front-end binds arrays listed in the program's Inputs this way. The
+// tensor's buffer is used directly (no copy), so results written to r are
+// visible through t.
+func (m *Machine) Bind(r bytecode.RegID, t tensor.Tensor) {
+	m.regs.bind(r, t.Buf)
+}
+
+// Tensor returns the current contents of register r addressed through
+// view v, or false if r has no buffer (never written or freed).
+func (m *Machine) Tensor(r bytecode.RegID, v tensor.View) (tensor.Tensor, bool) {
+	buf := m.regs.get(r)
+	if buf == nil {
+		return tensor.Tensor{}, false
+	}
+	return tensor.Tensor{Buf: buf, View: v}, true
+}
+
+// Run executes the program. On error the register file may hold partial
+// results; the error reports the failing instruction.
+func (m *Machine) Run(p *bytecode.Program) error {
+	if !m.cfg.SkipValidation {
+		if err := p.Validate(); err != nil {
+			return fmt.Errorf("%w: %v", ErrExec, err)
+		}
+	}
+	m.regs.grow(len(p.Regs))
+	for _, r := range p.Inputs {
+		if m.regs.get(r) == nil {
+			return fmt.Errorf("%w: input register %s not bound", ErrExec, r)
+		}
+	}
+
+	if m.cfg.Fusion {
+		return m.runFused(p)
+	}
+	for idx := range p.Instrs {
+		if err := m.exec(p, &p.Instrs[idx]); err != nil {
+			return fmt.Errorf("%w: instr %d (%s): %v", ErrExec, idx, p.Instrs[idx].String(), err)
+		}
+	}
+	return nil
+}
+
+// Close releases the worker pool. The Machine must not be used afterwards.
+func (m *Machine) Close() {
+	m.pool.close()
+}

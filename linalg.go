@@ -1,0 +1,65 @@
+package bohrium
+
+import (
+	"fmt"
+
+	"bohrium/internal/bytecode"
+	"bohrium/internal/tensor"
+)
+
+// Linear-algebra operations, recorded as byte-code extension methods. The
+// MatMul-of-an-Inverse pattern is what the paper's equation (2) rewrite
+// turns into a single BH_SOLVE when the inverse is not otherwise used.
+
+// MatMul returns the matrix product a · b. Both must be 2-d with
+// compatible inner dimensions.
+func (a *Array) MatMul(b *Array) *Array {
+	a.check()
+	b.check()
+	if a.NDim() != 2 || b.NDim() != 2 || a.view.Shape[1] != b.view.Shape[0] {
+		panic(fmt.Sprintf("bohrium: matmul shapes %v x %v do not chain", a.Shape(), b.Shape()))
+	}
+	out := a.ctx.newTempArray(tensor.Promote(a.dt, b.dt),
+		tensor.MustShape(a.view.Shape[0], b.view.Shape[1]))
+	a.ctx.pending.EmitBinary(bytecode.OpMatmul, out.operand(), a.operand(), b.operand())
+	return out
+}
+
+// Inverse returns A⁻¹ for a square matrix.
+func (a *Array) Inverse() *Array {
+	a.check()
+	if a.NDim() != 2 || a.view.Shape[0] != a.view.Shape[1] {
+		panic(fmt.Sprintf("bohrium: inverse of non-square %v", a.Shape()))
+	}
+	out := a.ctx.newTempArray(tensor.Float64, a.view.Shape)
+	a.ctx.pending.EmitUnary(bytecode.OpInverse, out.operand(), a.operand())
+	return out
+}
+
+// Solve returns x with A·x = b, computed by LU factorization with partial
+// pivoting. b may be a vector (m,) or a matrix of right-hand sides (m, k).
+func (a *Array) Solve(b *Array) *Array {
+	a.check()
+	b.check()
+	if a.NDim() != 2 || a.view.Shape[0] != a.view.Shape[1] {
+		panic(fmt.Sprintf("bohrium: solve with non-square %v", a.Shape()))
+	}
+	if b.NDim() < 1 || b.NDim() > 2 || b.view.Shape[0] != a.view.Shape[0] {
+		panic(fmt.Sprintf("bohrium: solve rhs %v incompatible with %v", b.Shape(), a.Shape()))
+	}
+	out := a.ctx.newTempArray(tensor.Float64, b.view.Shape)
+	a.ctx.pending.EmitBinary(bytecode.OpSolve, out.operand(), a.operand(), b.operand())
+	return out
+}
+
+// LU returns the packed LU factors of P·A (L strictly below the diagonal,
+// U on and above; the permutation stays internal).
+func (a *Array) LU() *Array {
+	a.check()
+	if a.NDim() != 2 || a.view.Shape[0] != a.view.Shape[1] {
+		panic(fmt.Sprintf("bohrium: LU of non-square %v", a.Shape()))
+	}
+	out := a.ctx.newTempArray(tensor.Float64, a.view.Shape)
+	a.ctx.pending.EmitUnary(bytecode.OpLU, out.operand(), a.operand())
+	return out
+}
