@@ -7,6 +7,7 @@ package bohrium_test
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 
 	"bohrium"
@@ -212,6 +213,92 @@ func BenchmarkE6GapTolerance(b *testing.B) {
 		pl := rewrite.NewPipeline(rewrite.AddMergeRule{})
 		runProg(b, optimizeWith(b, pl, prog), nil)
 	})
+}
+
+// sweepWorkerCounts returns the worker widths the reduce/scan benchmarks
+// compare: serial, two workers, and the full machine (deduplicated).
+func sweepWorkerCounts() []int {
+	counts := []int{1, 2, runtime.GOMAXPROCS(0)}
+	out := counts[:0]
+	seen := map[int]bool{}
+	for _, w := range counts {
+		if !seen[w] {
+			seen[w] = true
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// benchSweep fills a0 with random data once, then times the sweep program
+// b.N times on a machine of the given worker width.
+func benchSweep(b *testing.B, workers int, fillSrc, sweepSrc string) {
+	b.Helper()
+	fill, err := bytecode.Parse(fillSrc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sweep, err := bytecode.Parse(sweepSrc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := sweep.Validate(); err != nil {
+		b.Fatal(err)
+	}
+	m := vm.New(vm.Config{Workers: workers, SkipValidation: true})
+	defer m.Close()
+	if err := m.Run(fill); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := m.Run(sweep); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkReduce races the parallel reduction strategies against the
+// 1-worker machine on sweeps far above DefaultParallelThreshold: a full
+// SumAll (two-phase axis chunking) and a row-wise reduction (output-sweep
+// split). The ns/op ratio between workers=1 and workers=N is the
+// reduction engine's scaling figure.
+func BenchmarkReduce(b *testing.B) {
+	const n = 1 << 22 // 4 Mi elements; rows case reads it as 2048×2048
+	fill := fmt.Sprintf(".reg a0 float64 %d\nBH_RANDOM a0 3 0\nBH_SYNC a0\n", n)
+	cases := []struct{ name, src string }{
+		{"sumall", fmt.Sprintf(
+			".reg a0 float64 %d\n.reg a1 float64 1\n.in a0\nBH_ADD_REDUCE a1 [0:1:1] a0 [0:%d:1] axis=0\nBH_SYNC a1\n", n, n)},
+		{"rows", fmt.Sprintf(
+			".reg a0 float64 %d\n.reg a1 float64 2048\n.in a0\nBH_ADD_REDUCE a1 [0:2048:1] a0 [0:%d:2048][0:2048:1] axis=1\nBH_SYNC a1\n", n, n)},
+	}
+	for _, tc := range cases {
+		for _, w := range sweepWorkerCounts() {
+			b.Run(fmt.Sprintf("%s/workers=%d", tc.name, w), func(b *testing.B) {
+				benchSweep(b, w, fill, tc.src)
+			})
+		}
+	}
+}
+
+// BenchmarkScan races the three-pass chunked scan (1-D cumsum) and the
+// line-split scan (row-wise cumsum) against the 1-worker machine.
+func BenchmarkScan(b *testing.B) {
+	const n = 1 << 22
+	fill := fmt.Sprintf(".reg a0 float64 %d\nBH_RANDOM a0 5 0\nBH_SYNC a0\n", n)
+	cases := []struct{ name, src string }{
+		{"cumsum", fmt.Sprintf(
+			".reg a0 float64 %d\n.reg a1 float64 %d\n.in a0\nBH_ADD_ACCUMULATE a1 a0 axis=0\nBH_SYNC a1\n", n, n)},
+		{"rows", fmt.Sprintf(
+			".reg a0 float64 %d\n.reg a1 float64 %d\n.in a0\nBH_ADD_ACCUMULATE a1 [0:%d:2048][0:2048:1] a0 [0:%d:2048][0:2048:1] axis=1\nBH_SYNC a1\n", n, n, n, n)},
+	}
+	for _, tc := range cases {
+		for _, w := range sweepWorkerCounts() {
+			b.Run(fmt.Sprintf("%s/workers=%d", tc.name, w), func(b *testing.B) {
+				benchSweep(b, w, fill, tc.src)
+			})
+		}
+	}
 }
 
 // BenchmarkOptimizerOverhead measures the rewrite pipeline itself — the

@@ -38,6 +38,14 @@ type Config struct {
 	Optimizer *rewrite.Options
 	// Workers is the VM worker pool width (0: GOMAXPROCS).
 	Workers int
+	// ParallelThreshold is the minimum sweep size (in elements) before the
+	// VM considers splitting elementwise sweeps, reductions, and scans
+	// across workers (see vm.Config.ParallelThreshold for the exact
+	// reduction/scan conditions); zero picks vm.DefaultParallelThreshold.
+	// Results are independent of Workers for any fixed threshold: the
+	// VM's parallel reduction and scan strategies choose their split
+	// points from the views and this threshold alone.
+	ParallelThreshold int
 	// DisableFusion turns off fused-sweep execution.
 	DisableFusion bool
 	// CollectReports keeps per-flush optimizer reports (LastReport).
@@ -73,8 +81,9 @@ func NewContext(cfg *Config) *Context {
 		cfg:      c,
 		pipeline: rewrite.Build(opts),
 		machine: vm.New(vm.Config{
-			Workers: c.Workers,
-			Fusion:  !c.DisableFusion,
+			Workers:           c.Workers,
+			ParallelThreshold: c.ParallelThreshold,
+			Fusion:            !c.DisableFusion,
 		}),
 		pending:  bytecode.NewProgram(),
 		defined:  map[bytecode.RegID]bool{},
@@ -95,7 +104,11 @@ func (c *Context) Close() {
 // CollectReports is enabled.
 func (c *Context) LastReport() *rewrite.Report { return c.lastRep }
 
-// Stats exposes cumulative VM counters (sweeps, fused instructions, ...).
+// Stats exposes cumulative VM counters: sweeps, fused instructions,
+// elements, and the buffer lifecycle counters (BuffersAllocated, PoolHits,
+// BytesAllocated) that show how much allocation the register recycle pool
+// saved — Free'd temporaries are handed back to later allocations of the
+// same dtype and length.
 func (c *Context) Stats() vm.Stats { return c.machine.Stats() }
 
 // PendingProgram returns a copy of the not-yet-flushed byte-code — the
@@ -139,31 +152,41 @@ func (c *Context) Flush() error {
 	}
 	// Start a fresh batch that inherits the register declarations: every
 	// register defined so far is an input of the next batch.
+	// One pass over the optimized program records each register's fate —
+	// written (live) or destroyed by a BH_FREE after its last write
+	// (dead); registers the batch never touches keep their prior defined
+	// state. A freed register must not become an input of the next batch:
+	// its buffer has gone back to the VM's recycle pool.
+	fate := map[bytecode.RegID]bool{}
+	for i := range optimized.Instrs {
+		in := &optimized.Instrs[i]
+		if !in.Out.IsReg() {
+			continue
+		}
+		switch {
+		case in.Op == bytecode.OpFree:
+			fate[in.Out.Reg] = false
+		case in.WritesReg(in.Out.Reg):
+			fate[in.Out.Reg] = true
+		}
+	}
 	next := bytecode.NewProgram()
 	next.Regs = append([]bytecode.RegInfo(nil), optimized.Regs...)
 	for r := range optimized.Regs {
 		id := bytecode.RegID(r)
-		if c.materialized(optimized, id) {
+		live, touched := fate[id]
+		if !touched {
+			live = c.defined[id]
+		}
+		if live {
 			next.MarkInput(id)
 			c.defined[id] = true
+		} else {
+			delete(c.defined, id)
 		}
 	}
 	c.pending = next
 	return nil
-}
-
-// materialized reports whether register r holds data after running prog
-// (either carried in as input or written by it).
-func (c *Context) materialized(prog *bytecode.Program, r bytecode.RegID) bool {
-	if c.defined[r] {
-		return true
-	}
-	for i := range prog.Instrs {
-		if prog.Instrs[i].WritesReg(r) {
-			return true
-		}
-	}
-	return false
 }
 
 // MustFlush is Flush that panics on error, for examples.

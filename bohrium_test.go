@@ -406,3 +406,51 @@ func TestStringRendersValues(t *testing.T) {
 		t.Errorf("String = %q", got)
 	}
 }
+
+func TestFreeConsumedTempAcrossFlushes(t *testing.T) {
+	// Regression: a temporary consumed and then Free'd must not be carried
+	// into the next batch as an input — its buffer went back to the VM's
+	// recycle pool, so the next flush would fail with "input register not
+	// bound".
+	ctx := newTestContext(t, nil)
+	a := ctx.Ones(4)
+	tmp := a.Plus(a)
+	a.Assign(tmp)
+	tmp.Free()
+	if _, err := a.Data(); err != nil {
+		t.Fatal(err)
+	}
+	a.AddC(1)
+	got, err := a.Data()
+	if err != nil {
+		t.Fatalf("flush after freed temp: %v", err)
+	}
+	for i, v := range got {
+		if v != 3 {
+			t.Errorf("a[%d] = %v, want 3", i, v)
+		}
+	}
+}
+
+func TestPoolHitsSurfaceThroughContextStats(t *testing.T) {
+	// Freeing the per-iteration temporary lets the VM recycle one buffer
+	// per loop instead of allocating one, and the counters must be visible
+	// on the public Stats.
+	ctx := newTestContext(t, nil)
+	acc := ctx.Zeros(512)
+	for i := 0; i < 8; i++ {
+		tmp := acc.Plus(acc)
+		acc.Assign(tmp)
+		tmp.Free()
+	}
+	if _, err := acc.Data(); err != nil {
+		t.Fatal(err)
+	}
+	st := ctx.Stats()
+	if st.PoolHits < 7 {
+		t.Errorf("PoolHits = %d, want ≥ 7 (one per recycled loop temporary)", st.PoolHits)
+	}
+	if st.BuffersAllocated == 0 || st.BytesAllocated == 0 {
+		t.Errorf("allocation counters empty: %+v", st)
+	}
+}

@@ -99,6 +99,8 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		st := machine.Stats()
 		fmt.Fprintf(stdout, "# stats: %d instructions, %d sweeps, %d fused, %d elements\n",
 			st.Instructions, st.Sweeps, st.FusedInstructions, st.Elements)
+		fmt.Fprintf(stdout, "# buffers: %d allocated (%d bytes), %d pool hits\n",
+			st.BuffersAllocated, st.BytesAllocated, st.PoolHits)
 	}
 	return nil
 }

@@ -1,0 +1,3 @@
+module bohrium
+
+go 1.24

@@ -204,11 +204,13 @@ func E5Workloads(s Scale) ([]Row, error) {
 			return nil, fmt.Errorf("%s baseline: %w", w.name, err)
 		}
 		baseVal := lastVal
+		var optStats vm.Stats
 		opt, err := bestOf(s.Repeats, func() error {
 			ctx := bohrium.NewContext(nil)
 			defer ctx.Close()
 			v, err := w.run(ctx)
 			lastVal = v
+			optStats = ctx.Stats()
 			return err
 		})
 		if err != nil {
@@ -221,7 +223,9 @@ func E5Workloads(s Scale) ([]Row, error) {
 		rows = append(rows, Row{
 			Experiment: "E5", Workload: w.name, Params: w.param,
 			Baseline: base, Optimized: opt,
-			Speedup: float64(base) / float64(opt), Note: note,
+			Speedup:  float64(base) / float64(opt),
+			PoolHits: optStats.PoolHits, BuffersAlloc: optStats.BuffersAllocated,
+			Note: note,
 		})
 	}
 	return rows, nil
@@ -246,11 +250,17 @@ func E6Ablations(s Scale) ([]Row, error) {
 	if err != nil {
 		return nil, err
 	}
-	adjTime, err := bestOf(s.Repeats, func() error { return runProgram(adjOut.Clone(), nil) })
+	adjTime, err := bestOf(s.Repeats, func() error {
+		_, err := runProgram(adjOut.Clone(), nil)
+		return err
+	})
 	if err != nil {
 		return nil, err
 	}
-	tolTime, err := bestOf(s.Repeats, func() error { return runProgram(tolOut.Clone(), nil) })
+	tolTime, err := bestOf(s.Repeats, func() error {
+		_, err := runProgram(tolOut.Clone(), nil)
+		return err
+	})
 	if err != nil {
 		return nil, err
 	}

@@ -23,6 +23,10 @@ type Row struct {
 	Baseline, Optimized time.Duration
 	// Speedup = Baseline / Optimized.
 	Speedup float64
+	// PoolHits and BuffersAlloc are the VM's buffer-recycling counters for
+	// one optimized run: how many register materializations reused a freed
+	// buffer versus allocating fresh.
+	PoolHits, BuffersAlloc int
 	// Note carries per-row context ("chain=5 muls", "rewrite blocked").
 	Note string
 }
@@ -31,12 +35,15 @@ type Row struct {
 // EXPERIMENTS.md embed.
 func Table(rows []Row) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%-4s %-22s %-26s %9s %9s %12s %12s %8s  %s\n",
-		"exp", "workload", "params", "bc-before", "bc-after", "baseline", "optimized", "speedup", "note")
+	fmt.Fprintf(&b, "%-4s %-22s %-26s %9s %9s %12s %12s %8s %9s  %s\n",
+		"exp", "workload", "params", "bc-before", "bc-after", "baseline", "optimized", "speedup", "pool", "note")
 	for _, r := range rows {
-		fmt.Fprintf(&b, "%-4s %-22s %-26s %9d %9d %12s %12s %7.2fx  %s\n",
+		// pool prints hits/materializations for the optimized run: 3/5
+		// means five register buffers were needed and three were recycled.
+		fmt.Fprintf(&b, "%-4s %-22s %-26s %9d %9d %12s %12s %7.2fx %9s  %s\n",
 			r.Experiment, r.Workload, r.Params, r.BytecodesBefore, r.BytecodesAfter,
-			round(r.Baseline), round(r.Optimized), r.Speedup, r.Note)
+			round(r.Baseline), round(r.Optimized), r.Speedup,
+			fmt.Sprintf("%d/%d", r.PoolHits, r.PoolHits+r.BuffersAlloc), r.Note)
 	}
 	return b.String()
 }
@@ -67,14 +74,15 @@ func bestOf(repeats int, fn func() error) (time.Duration, error) {
 }
 
 // runProgram executes prog on a fresh machine, optionally binding the E4
-// linear-system inputs.
-func runProgram(prog *bytecode.Program, bind func(*vm.Machine)) error {
+// linear-system inputs, and reports the machine's execution counters.
+func runProgram(prog *bytecode.Program, bind func(*vm.Machine)) (vm.Stats, error) {
 	m := vm.New(vm.Config{Fusion: true, SkipValidation: true})
 	defer m.Close()
 	if bind != nil {
 		bind(m)
 	}
-	return m.Run(prog)
+	err := m.Run(prog)
+	return m.Stats(), err
 }
 
 // comparePrograms times the raw program against its optimized form and
@@ -89,11 +97,19 @@ func comparePrograms(exp, workload, params string, prog *bytecode.Program,
 	if err != nil {
 		return Row{}, fmt.Errorf("bench: optimize: %w", err)
 	}
-	base, err := bestOf(repeats, func() error { return runProgram(prog.Clone(), bind) })
+	base, err := bestOf(repeats, func() error {
+		_, err := runProgram(prog.Clone(), bind)
+		return err
+	})
 	if err != nil {
 		return Row{}, err
 	}
-	opt, err := bestOf(repeats, func() error { return runProgram(optimized.Clone(), bind) })
+	var optStats vm.Stats
+	opt, err := bestOf(repeats, func() error {
+		st, err := runProgram(optimized.Clone(), bind)
+		optStats = st
+		return err
+	})
 	if err != nil {
 		return Row{}, err
 	}
@@ -106,6 +122,8 @@ func comparePrograms(exp, workload, params string, prog *bytecode.Program,
 		Baseline:        base,
 		Optimized:       opt,
 		Speedup:         float64(base) / float64(opt),
+		PoolHits:        optStats.PoolHits,
+		BuffersAlloc:    optStats.BuffersAllocated,
 	}, nil
 }
 

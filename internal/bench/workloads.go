@@ -108,6 +108,10 @@ func Heat2D(ctx *bohrium.Context, n, iters int) (float64, error) {
 		next := center.Plus(north)
 		next.Add(south).Add(west).Add(east).MulC(0.2)
 		center.Assign(next)
+		// Each iteration's scratch grid dies here; freeing it lets the
+		// VM's register pool recycle one buffer per sweep instead of
+		// allocating iters of them.
+		next.Free()
 	}
 	return grid.At(2, n/2)
 }

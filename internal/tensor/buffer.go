@@ -24,6 +24,10 @@ type Buffer interface {
 	SetInt(i int, v int64)
 	// Clone returns an independent deep copy.
 	Clone() Buffer
+	// Zero resets every element to the dtype's zero value. The VM's
+	// register pool calls it when recycling a buffer, so a reused register
+	// starts from the same state a fresh allocation would.
+	Zero()
 }
 
 // Elem is the set of Go types that back a Buffer. Bool buffers are stored
@@ -115,6 +119,9 @@ func (d *Data[T]) SetInt(i int, v int64) {
 func (d *Data[T]) Clone() Buffer {
 	return &Data[T]{dt: d.dt, s: append([]T(nil), d.s...)}
 }
+
+// Zero implements Buffer.
+func (d *Data[T]) Zero() { clear(d.s) }
 
 // Raw exposes the underlying slice. Kernels use this for type-specialized
 // fast paths; callers must not resize it.

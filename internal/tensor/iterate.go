@@ -23,6 +23,27 @@ func NewIterator(v View) *Iterator {
 	}
 }
 
+// NewIteratorAt returns an iterator positioned before element pos of the
+// view's row-major order, so the first Next yields element pos. Parallel
+// sweeps use it to hand each worker a disjoint [lo, hi) slice of the
+// iteration space without walking the prefix.
+func NewIteratorAt(v View, pos int) *Iterator {
+	it := &Iterator{
+		view:   v,
+		coords: make([]int, v.NDim()),
+		index:  v.Offset,
+		remain: v.Size() - pos,
+		first:  true,
+	}
+	for d := v.NDim() - 1; d >= 0; d-- {
+		c := pos % v.Shape[d]
+		pos /= v.Shape[d]
+		it.coords[d] = c
+		it.index += c * v.Strides[d]
+	}
+	return it
+}
+
 // Next advances to the next element, returning false when exhausted.
 func (it *Iterator) Next() bool {
 	if it.remain == 0 {
@@ -61,6 +82,20 @@ func (it *Iterator) Coords() []int { return it.coords }
 func ZipIndices(a, b View, fn func(ia, ib int)) {
 	ia, ib := NewIterator(a), NewIterator(b)
 	for ia.Next() && ib.Next() {
+		fn(ia.Index(), ib.Index())
+	}
+}
+
+// ZipIndicesRange walks row-major positions [lo, hi) of two same-shaped
+// views in lockstep. Splitting [0, Size()) into disjoint ranges and calling
+// this from one goroutine per range visits exactly the pairs ZipIndices
+// visits serially.
+func ZipIndicesRange(a, b View, lo, hi int, fn func(ia, ib int)) {
+	if lo >= hi {
+		return
+	}
+	ia, ib := NewIteratorAt(a, lo), NewIteratorAt(b, lo)
+	for n := hi - lo; n > 0 && ia.Next() && ib.Next(); n-- {
 		fn(ia.Index(), ib.Index())
 	}
 }

@@ -171,6 +171,283 @@ func TestIntVsFloatClassAgreement(t *testing.T) {
 	}
 }
 
+// compareRegs asserts registers r of machines a and b hold the same n
+// values. Integer registers compare exactly; float registers compare within
+// relative tolerance tol (tol 0 demands bit-equality, NaN matching NaN).
+func compareRegs(t *testing.T, a, b *Machine, r bytecode.RegID, n int, tol float64) {
+	t.Helper()
+	view := tensor.NewView(tensor.MustShape(n))
+	ta, ok := a.Tensor(r, view)
+	if !ok {
+		t.Fatalf("register %s missing on first machine", r)
+	}
+	tb, ok := b.Tensor(r, view)
+	if !ok {
+		t.Fatalf("register %s missing on second machine", r)
+	}
+	if !ta.Buf.DType().IsFloat() {
+		for i := 0; i < n; i++ {
+			if va, vb := ta.Buf.GetInt(i), tb.Buf.GetInt(i); va != vb {
+				t.Fatalf("%s[%d]: %d vs %d", r, i, va, vb)
+			}
+		}
+		return
+	}
+	for i := 0; i < n; i++ {
+		va, vb := ta.Buf.Get(i), tb.Buf.Get(i)
+		if math.IsNaN(va) && math.IsNaN(vb) {
+			continue
+		}
+		if tol == 0 {
+			if va != vb {
+				t.Fatalf("%s[%d]: %v vs %v (bit-equality required)", r, i, va, vb)
+			}
+			continue
+		}
+		scale := math.Max(1, math.Max(math.Abs(va), math.Abs(vb)))
+		if math.Abs(va-vb) > tol*scale {
+			t.Fatalf("%s[%d]: %v vs %v exceeds tolerance %v", r, i, va, vb, tol)
+		}
+	}
+}
+
+// sweepCases cover every reduce/scan strategy (split-outputs, chunk-axis,
+// serial), both computation classes, and strided/broadcast views. serialTol
+// is the permitted relative difference against the forced-serial machine:
+// 0 for integer folds and the bitwise-identical strategies, small for the
+// float chunked paths (reassociation error, documented in reduce.go).
+var sweepCases = []struct {
+	name      string
+	src       string
+	out       bytecode.RegID
+	n         int
+	serialTol float64
+}{
+	{
+		// 256 outputs ≥ reduceSplitMinOutputs → split-outputs strategy.
+		name: "sum-rows-float64-split",
+		src: `
+.reg a0 float64 8448
+.reg a1 float64 256
+BH_RANDOM a0 7 0
+BH_ADD_REDUCE a1 [0:256:1] a0 [0:8448:33][0:33:1] axis=1
+BH_SYNC a1
+`,
+		out: 1, n: 256, serialTol: 0,
+	},
+	{
+		// 3 outputs over a 20000-long axis → chunk-axis two-phase; float
+		// partial combine reassociates, so vs-serial gets a tolerance.
+		name: "sum-rows-float64-chunked",
+		src: `
+.reg a0 float64 60000
+.reg a1 float64 3
+BH_RANDOM a0 11 0
+BH_ADD_REDUCE a1 [0:3:1] a0 [0:60000:20000][0:20000:1] axis=1
+BH_SYNC a1
+`,
+		out: 1, n: 3, serialTol: 1e-9,
+	},
+	{
+		// 96 outputs (below the split minimum) over a 5000-long axis:
+		// big total work, medium axis — the chunk-axis band that used to
+		// fall through to serial.
+		name: "sum-rows-medium-chunked",
+		src: `
+.reg a0 float64 480000
+.reg a1 float64 96
+BH_RANDOM a0 43 0
+BH_ADD_REDUCE a1 [0:96:1] a0 [0:480000:5000][0:5000:1] axis=1
+BH_SYNC a1
+`,
+		out: 1, n: 96, serialTol: 1e-9,
+	},
+	{
+		// Full reduction of 40000 int64 values, chunked: integer adds are
+		// associative, so even the chunked path is bit-equal to serial.
+		name: "sum-all-int64-chunked",
+		src: `
+.reg a0 int64 40000
+.reg a1 int64 1
+BH_RANDOM a0 13 0
+BH_MOD a0 a0 97
+BH_ADD_REDUCE a1 [0:1:1] a0 [0:40000:1] axis=0
+BH_SYNC a1
+`,
+		out: 1, n: 1, serialTol: 0,
+	},
+	{
+		// Wrapping int64 product over a long axis, chunked, still exact.
+		name: "prod-all-int64-chunked",
+		src: `
+.reg a0 int64 40000
+.reg a1 int64 1
+BH_RANDOM a0 29 0
+BH_MOD a0 a0 3
+BH_ADD a0 a0 1
+BH_MULTIPLY_REDUCE a1 [0:1:1] a0 [0:40000:1] axis=0
+BH_SYNC a1
+`,
+		out: 1, n: 1, serialTol: 0,
+	},
+	{
+		// Strided input view (every other element); MAX is associative and
+		// exact in float, so chunking stays bit-equal.
+		name: "max-strided-float64-chunked",
+		src: `
+.reg a0 float64 40000
+.reg a1 float64 1
+BH_RANDOM a0 17 0
+BH_MAXIMUM_REDUCE a1 [0:1:1] a0 [0:40000:2] axis=0
+BH_SYNC a1
+`,
+		out: 1, n: 1, serialTol: 0,
+	},
+	{
+		// Broadcast input (200 virtual rows of the same vector, stride 0)
+		// reduced along the data axis through the split-outputs strategy.
+		name: "min-broadcast-float64-split",
+		src: `
+.reg a0 float64 200
+.reg a1 float64 200
+BH_RANDOM a0 19 0
+BH_MINIMUM_REDUCE a1 [0:200:1] a0 [0:200:0][0:200:1] axis=1
+BH_SYNC a1
+`,
+		out: 1, n: 200, serialTol: 0,
+	},
+	{
+		// Strided output view: 256 sums written to the even slots of a
+		// 512-element register.
+		name: "sum-rows-strided-out-split",
+		src: `
+.reg a0 float64 8448
+.reg a1 float64 512
+BH_RANDOM a0 23 0
+BH_ADD_REDUCE a1 [0:512:2] a0 [0:8448:33][0:33:1] axis=1
+BH_SYNC a1
+`,
+		out: 1, n: 512, serialTol: 0,
+	},
+	{
+		// Long 1-D prefix sum → three-pass chunked scan (multiple chunks:
+		// 40000 > reduceChunk); float rescan carries reassociation error.
+		name: "cumsum-float64-chunked",
+		src: `
+.reg a0 float64 40000
+.reg a1 float64 40000
+BH_RANDOM a0 31 0
+BH_ADD_ACCUMULATE a1 a0 axis=0
+BH_SYNC a1
+`,
+		out: 1, n: 40000, serialTol: 1e-9,
+	},
+	{
+		// Row-wise int64 prefix sums over 256 lines → split-outputs scan.
+		name: "cumsum-rows-int64-split",
+		src: `
+.reg a0 int64 8448
+.reg a1 int64 8448
+BH_RANDOM a0 37 0
+BH_MOD a0 a0 1000
+BH_ADD_ACCUMULATE a1 [0:8448:33][0:33:1] a0 [0:8448:33][0:33:1] axis=1
+BH_SYNC a1
+`,
+		out: 1, n: 8448, serialTol: 0,
+	},
+	{
+		// Long wrapping int64 prefix product through the three-pass scan.
+		name: "cumprod-int64-chunked",
+		src: `
+.reg a0 int64 40000
+.reg a1 int64 40000
+BH_RANDOM a0 41 0
+BH_MOD a0 a0 3
+BH_ADD a0 a0 1
+BH_MULTIPLY_ACCUMULATE a1 a0 axis=0
+BH_SYNC a1
+`,
+		out: 1, n: 40000, serialTol: 0,
+	},
+}
+
+// TestSweepWorkersDifferential pins the parallel reduction/scan engine:
+// for every strategy, a Workers:1 and a Workers:8 machine with the same
+// ParallelThreshold must produce bit-equal results (strategy selection and
+// chunk boundaries are worker-independent by construction), and both must
+// match a forced-serial machine exactly for integer folds and within the
+// documented reassociation tolerance for float chunked folds.
+func TestSweepWorkersDifferential(t *testing.T) {
+	const threshold = 512 // low enough that every case crosses it
+	for _, tc := range sweepCases {
+		t.Run(tc.name, func(t *testing.T) {
+			serial := run(t, Config{Workers: 1, ParallelThreshold: 1 << 30}, tc.src)
+			w1 := run(t, Config{Workers: 1, ParallelThreshold: threshold}, tc.src)
+			w8 := run(t, Config{Workers: 8, ParallelThreshold: threshold}, tc.src)
+			compareRegs(t, w1, w8, tc.out, tc.n, 0)
+			compareRegs(t, w8, serial, tc.out, tc.n, tc.serialTol)
+		})
+	}
+}
+
+// TestAliasedSweepsStaySafe pins the aliasing demotion: when a reduction's
+// or scan's output aliases its source buffer through a different window,
+// the parallel strategies must fall back so results stay deterministic and
+// race-free (run under -race) and equal to the serial machine.
+func TestAliasedSweepsStaySafe(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		out  bytecode.RegID
+		n    int
+	}{
+		{
+			// Output occupies the first half of the register the 256×2
+			// source view reads — the split-outputs strategy would race.
+			name: "reduce-aliased-out",
+			src: `
+.reg a0 float64 512
+BH_RANDOM a0 7 0
+BH_ADD_REDUCE a0 [0:256:1] a0 [0:512:2][0:2:1] axis=1
+BH_SYNC a0 [0:256:1]
+`,
+			out: 0, n: 512,
+		},
+		{
+			// Shifted in-place scan: out window starts one slot after the
+			// source window — the three-pass rescan would race.
+			name: "scan-aliased-shifted",
+			src: `
+.reg a0 float64 40000
+BH_RANDOM a0 11 0
+BH_ADD_ACCUMULATE a0 [1:40000:1] a0 [0:39999:1] axis=0
+BH_SYNC a0
+`,
+			out: 0, n: 40000,
+		},
+		{
+			// Aligned in-place scan (equal views) stays parallel and must
+			// still match the serial machine bit-for-bit across workers.
+			name: "scan-aliased-aligned",
+			src: `
+.reg a0 int64 40000
+BH_RANDOM a0 13 0
+BH_MOD a0 a0 5
+BH_ADD_ACCUMULATE a0 a0 axis=0
+BH_SYNC a0
+`,
+			out: 0, n: 40000,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			serial := run(t, Config{Workers: 1, ParallelThreshold: 1 << 30}, tc.src)
+			w8 := run(t, Config{Workers: 8, ParallelThreshold: 16}, tc.src)
+			compareRegs(t, w8, serial, tc.out, tc.n, 0)
+		})
+	}
+}
+
 func itoa(n int) string {
 	if n == 0 {
 		return "0"

@@ -1,0 +1,198 @@
+package vm
+
+import (
+	"strings"
+	"testing"
+
+	"bohrium/internal/bytecode"
+	"bohrium/internal/tensor"
+)
+
+func TestPoolRecyclesFreedBuffer(t *testing.T) {
+	// a0 is freed before a1 materializes; a1 has the same dtype and
+	// length, so its buffer must come from the pool, not a fresh
+	// allocation.
+	m := run(t, Config{}, `
+.reg a0 float64 100
+.reg a1 float64 100
+BH_IDENTITY a0 1
+BH_FREE a0
+BH_IDENTITY a1 2
+BH_SYNC a1
+`)
+	st := m.Stats()
+	if st.BuffersAllocated != 1 {
+		t.Errorf("BuffersAllocated = %d, want 1", st.BuffersAllocated)
+	}
+	if st.PoolHits != 1 {
+		t.Errorf("PoolHits = %d, want 1", st.PoolHits)
+	}
+	if want := 100 * 8; st.BytesAllocated != want {
+		t.Errorf("BytesAllocated = %d, want %d", st.BytesAllocated, want)
+	}
+	for i, v := range regSlice(t, m, 1, 100) {
+		if v != 2 {
+			t.Fatalf("a1[%d] = %v, want 2", i, v)
+		}
+	}
+}
+
+func TestPoolZeroesRecycledBuffer(t *testing.T) {
+	// a1 reuses a0's buffer but writes only the even slots; the odd slots
+	// must read 0 (a fresh allocation's state), not a0's stale 7s.
+	m := run(t, Config{}, `
+.reg a0 float64 10
+.reg a1 float64 10
+BH_IDENTITY a0 7
+BH_FREE a0
+BH_IDENTITY a1 [0:10:2] 1
+BH_SYNC a1
+`)
+	got := regSlice(t, m, 1, 10)
+	for i, v := range got {
+		want := 0.0
+		if i%2 == 0 {
+			want = 1
+		}
+		if v != want {
+			t.Fatalf("a1 = %v: slot %d = %v, want %v (stale data leaked through the pool?)", got, i, v, want)
+		}
+	}
+}
+
+func TestPoolSkipsMismatchedBuffers(t *testing.T) {
+	// Freed buffers only satisfy allocations of the same dtype AND length.
+	m := run(t, Config{}, `
+.reg a0 float64 100
+.reg a1 float64 64
+.reg a2 int64 100
+BH_IDENTITY a0 1
+BH_FREE a0
+BH_IDENTITY a1 2
+BH_IDENTITY a2 3
+BH_SYNC a1
+BH_SYNC a2
+`)
+	st := m.Stats()
+	if st.PoolHits != 0 {
+		t.Errorf("PoolHits = %d, want 0 (different length / dtype)", st.PoolHits)
+	}
+	if st.BuffersAllocated != 3 {
+		t.Errorf("BuffersAllocated = %d, want 3", st.BuffersAllocated)
+	}
+}
+
+func TestPoolNeverRecyclesBoundBuffers(t *testing.T) {
+	// Buffers bound from outside (front-end input arrays) belong to the
+	// caller: freeing the register must not hand the caller's storage to a
+	// later allocation.
+	src := `
+.reg a0 float64 4
+.reg a1 float64 4
+.in a0
+BH_FREE a0
+BH_IDENTITY a1 9
+BH_SYNC a1
+`
+	p, err := bytecode.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := New(Config{})
+	defer m.Close()
+	user, _ := tensor.FromFloat64s([]float64{1, 2, 3, 4}, tensor.MustShape(4))
+	m.Bind(0, user)
+	if err := m.Run(p); err != nil {
+		t.Fatal(err)
+	}
+	if st := m.Stats(); st.PoolHits != 0 {
+		t.Errorf("PoolHits = %d, want 0 (bound buffer must not be pooled)", st.PoolHits)
+	}
+	for i, want := range []float64{1, 2, 3, 4} {
+		if got := user.Buf.Get(i); got != want {
+			t.Errorf("user tensor clobbered: [%d] = %v, want %v", i, got, want)
+		}
+	}
+}
+
+func TestPoolByteCapBoundsMemory(t *testing.T) {
+	// Once pooledBytes would exceed the cap, freed buffers go to the GC
+	// instead of the pool, so diverse sizes cannot pin memory forever.
+	rf := registerFile{poolCap: 1000}
+	for i := 0; i < 3; i++ {
+		rf.bind(bytecode.RegID(i), tensor.MustBuffer(tensor.Float64, 100)) // 800 bytes each
+		rf.owned[i] = true
+		rf.free(bytecode.RegID(i))
+	}
+	key := poolKey{dt: tensor.Float64, n: 100}
+	if got := len(rf.pool[key]); got != 1 {
+		t.Errorf("pooled buffers = %d, want 1 (cap 1000 fits one 800-byte buffer)", got)
+	}
+	if rf.pooledBytes != 800 {
+		t.Errorf("pooledBytes = %d, want 800", rf.pooledBytes)
+	}
+}
+
+func TestReduceEmptyAxisIdentity(t *testing.T) {
+	// Sum over an empty axis is 0 and Prod is 1, as in NumPy. The input
+	// view is 3 broadcast rows of width 0.
+	m := run(t, Config{}, `
+.reg a0 float64 10
+.reg a1 float64 3
+.reg a2 float64 3
+BH_RANDOM a0 5 0
+BH_ADD_REDUCE a1 [0:3:1] a0 [0:3:0][0:0:1] axis=1
+BH_MULTIPLY_REDUCE a2 [0:3:1] a0 [0:3:0][0:0:1] axis=1
+BH_SYNC a1
+BH_SYNC a2
+`)
+	for i, v := range regSlice(t, m, 1, 3) {
+		if v != 0 {
+			t.Errorf("empty sum[%d] = %v, want 0", i, v)
+		}
+	}
+	for i, v := range regSlice(t, m, 2, 3) {
+		if v != 1 {
+			t.Errorf("empty prod[%d] = %v, want 1", i, v)
+		}
+	}
+}
+
+func TestReduceEmptyAxisNoIdentityErrors(t *testing.T) {
+	// MIN/MAX have no identity in the first-element-seeded scheme; an
+	// empty axis stays an error for them.
+	for _, op := range []string{"BH_MINIMUM_REDUCE", "BH_MAXIMUM_REDUCE"} {
+		src := `
+.reg a0 float64 10
+.reg a1 float64 3
+BH_RANDOM a0 5 0
+` + op + ` a1 [0:3:1] a0 [0:3:0][0:0:1] axis=1
+BH_SYNC a1
+`
+		p, err := bytecode.Parse(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := New(Config{})
+		err = m.Run(p)
+		m.Close()
+		if err == nil || !strings.Contains(err.Error(), "identity") {
+			t.Errorf("%s over empty axis: err = %v, want identity error", op, err)
+		}
+	}
+}
+
+func TestScanEmptyAxisIsNoop(t *testing.T) {
+	m := run(t, Config{}, `
+.reg a0 float64 10
+.reg a1 float64 10
+BH_RANDOM a0 5 0
+BH_ADD_ACCUMULATE a1 [0:0:1] a0 [0:0:1] axis=0
+BH_SYNC a1
+`)
+	for i, v := range regSlice(t, m, 1, 10) {
+		if v != 0 {
+			t.Errorf("empty scan wrote a1[%d] = %v", i, v)
+		}
+	}
+}

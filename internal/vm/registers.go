@@ -7,22 +7,50 @@ import (
 	"bohrium/internal/tensor"
 )
 
+// poolKey identifies a freelist bucket: buffers are interchangeable exactly
+// when they store the same dtype at the same length.
+type poolKey struct {
+	dt tensor.DType
+	n  int
+}
+
+// maxPooledPerKey caps each freelist bucket so a burst of frees cannot pin
+// unbounded memory; beyond the cap, freed buffers go back to the GC.
+const maxPooledPerKey = 32
+
+// defaultPoolCapBytes bounds the bytes parked across ALL freelist buckets,
+// so a long-lived machine that marches through many distinct array sizes
+// cannot accumulate 32 stale buffers per size forever. Once full, freed
+// buffers go back to the GC instead of the pool.
+const defaultPoolCapBytes = 256 << 20
+
 // registerFile maps byte-code registers to buffers. Buffers are allocated
 // lazily at first definition and released by BH_FREE, mirroring Bohrium's
-// base-array lifecycle.
+// base-array lifecycle. Released buffers that the VM itself allocated are
+// parked on a size-and-dtype-keyed freelist and handed back out (zeroed) by
+// the next matching allocation, so flush-per-iteration workloads stop
+// paying an allocation per temporary per sweep. Buffers bound from outside
+// (front-end input arrays) are never pooled — the caller owns them.
 type registerFile struct {
-	bufs []tensor.Buffer
+	bufs        []tensor.Buffer
+	owned       []bool // owned[r]: bufs[r] was allocated here, safe to recycle
+	pool        map[poolKey][]tensor.Buffer
+	pooledBytes int    // bytes currently parked across all buckets
+	poolCap     int    // pooledBytes bound; 0 means defaultPoolCapBytes
+	stats       *Stats // counters live on the Machine; nil in zero-value files
 }
 
 func (rf *registerFile) grow(n int) {
 	for len(rf.bufs) < n {
 		rf.bufs = append(rf.bufs, nil)
+		rf.owned = append(rf.owned, false)
 	}
 }
 
 func (rf *registerFile) bind(r bytecode.RegID, buf tensor.Buffer) {
 	rf.grow(int(r) + 1)
 	rf.bufs[r] = buf
+	rf.owned[r] = false
 }
 
 func (rf *registerFile) get(r bytecode.RegID) tensor.Buffer {
@@ -32,8 +60,9 @@ func (rf *registerFile) get(r bytecode.RegID) tensor.Buffer {
 	return rf.bufs[r]
 }
 
-// ensure returns the buffer for r, allocating it from the declaration if
-// the register has not been materialized yet.
+// ensure returns the buffer for r, materializing it from the declaration if
+// the register has no buffer yet — from the recycle pool when a buffer of
+// the right dtype and length is parked there, freshly allocated otherwise.
 func (rf *registerFile) ensure(p *bytecode.Program, r bytecode.RegID) (tensor.Buffer, error) {
 	rf.grow(len(p.Regs))
 	if rf.bufs[r] != nil {
@@ -43,16 +72,55 @@ func (rf *registerFile) ensure(p *bytecode.Program, r bytecode.RegID) (tensor.Bu
 	if !ok {
 		return nil, fmt.Errorf("register %s not declared", r)
 	}
+	key := poolKey{dt: info.DType, n: info.Len}
+	if list := rf.pool[key]; len(list) > 0 {
+		buf := list[len(list)-1]
+		rf.pool[key] = list[:len(list)-1]
+		rf.pooledBytes -= info.Len * info.DType.Size()
+		buf.Zero() // fresh allocations are zeroed; reuse must match
+		if rf.stats != nil {
+			rf.stats.PoolHits++
+		}
+		rf.bufs[r] = buf
+		rf.owned[r] = true
+		return buf, nil
+	}
 	buf, err := tensor.NewBuffer(info.DType, info.Len)
 	if err != nil {
 		return nil, err
 	}
+	if rf.stats != nil {
+		rf.stats.BuffersAllocated++
+		rf.stats.BytesAllocated += info.Len * info.DType.Size()
+	}
 	rf.bufs[r] = buf
+	rf.owned[r] = true
 	return buf, nil
 }
 
+// free releases register r. VM-owned buffers return to the freelist for
+// reuse; externally bound buffers are only unlinked.
 func (rf *registerFile) free(r bytecode.RegID) {
-	if int(r) < len(rf.bufs) {
-		rf.bufs[r] = nil
+	if int(r) >= len(rf.bufs) || rf.bufs[r] == nil {
+		return
+	}
+	buf := rf.bufs[r]
+	rf.bufs[r] = nil
+	if !rf.owned[r] {
+		return
+	}
+	rf.owned[r] = false
+	key := poolKey{dt: buf.DType(), n: buf.Len()}
+	if rf.pool == nil {
+		rf.pool = map[poolKey][]tensor.Buffer{}
+	}
+	capBytes := rf.poolCap
+	if capBytes == 0 {
+		capBytes = defaultPoolCapBytes
+	}
+	bytes := buf.Len() * buf.DType().Size()
+	if len(rf.pool[key]) < maxPooledPerKey && rf.pooledBytes+bytes <= capBytes {
+		rf.pool[key] = append(rf.pool[key], buf)
+		rf.pooledBytes += bytes
 	}
 }

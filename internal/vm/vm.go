@@ -30,7 +30,12 @@ type Config struct {
 	// its own sweep.
 	Fusion bool
 	// ParallelThreshold is the minimum element count before a sweep is
-	// split across workers; tiny sweeps run inline. Zero picks a default.
+	// split across workers; tiny sweeps run inline. It also gates the
+	// parallel reduction/scan strategies: a reduction or scan whose total
+	// input is below the threshold always runs serially; above it, the
+	// engine splits the output sweep (many outputs) or chunks the axis
+	// (few outputs over an axis long enough to cut into chunks). Zero
+	// picks a default.
 	ParallelThreshold int
 	// SkipValidation trusts the caller to have validated the program
 	// (the optimizer pipeline validates after every pass).
@@ -64,6 +69,14 @@ type Stats struct {
 	FusedInstructions int
 	// Elements processed, summed over instructions.
 	Elements int
+	// BuffersAllocated counts fresh register-buffer allocations.
+	BuffersAllocated int
+	// PoolHits counts register materializations served by recycling a
+	// previously freed buffer instead of allocating.
+	PoolHits int
+	// BytesAllocated totals the bytes of fresh allocations (pool hits add
+	// nothing — that is the point).
+	BytesAllocated int
 }
 
 // New returns a Machine with the given configuration.
@@ -74,7 +87,9 @@ func New(cfg Config) *Machine {
 	if cfg.ParallelThreshold <= 0 {
 		cfg.ParallelThreshold = DefaultParallelThreshold
 	}
-	return &Machine{cfg: cfg, pool: newWorkerPool(cfg.Workers)}
+	m := &Machine{cfg: cfg, pool: newWorkerPool(cfg.Workers)}
+	m.regs.stats = &m.stats
+	return m
 }
 
 // Stats returns cumulative execution counters.
