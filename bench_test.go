@@ -301,6 +301,41 @@ func BenchmarkScan(b *testing.B) {
 	}
 }
 
+// BenchmarkE7DTypeFusion — the dtype-generalized fused engine with
+// reduction epilogues: Black-Scholes chains (float32/float64) and integer
+// hash-folds (int32/int64) ending in a full reduction, fused versus
+// unfused. The fused runs fold the reduction into the producer sweep
+// (Stats.FusedReductions) and never materialize the dead temporaries.
+func BenchmarkE7DTypeFusion(b *testing.B) {
+	workloads := []struct {
+		name string
+		prog *bytecode.Program
+	}{
+		{"black-scholes-float64", bench.BlackScholesProgram(tensor.Float64, benchN)},
+		{"black-scholes-float32", bench.BlackScholesProgram(tensor.Float32, benchN)},
+		{"checksum-int64", bench.ChecksumProgram(tensor.Int64, benchN)},
+		{"checksum-int32", bench.ChecksumProgram(tensor.Int32, benchN)},
+	}
+	for _, w := range workloads {
+		b.Run(w.name+"/unfused", func(b *testing.B) {
+			if err := w.prog.Validate(); err != nil {
+				b.Fatal(err)
+			}
+			m := vm.New(vm.Config{Fusion: false, SkipValidation: true})
+			defer m.Close()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := m.Run(w.prog); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(w.name+"/fused", func(b *testing.B) {
+			runProg(b, w.prog.Clone(), nil)
+		})
+	}
+}
+
 // BenchmarkOptimizerOverhead measures the rewrite pipeline itself — the
 // cost the runtime pays per flush before execution.
 func BenchmarkOptimizerOverhead(b *testing.B) {

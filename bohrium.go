@@ -104,11 +104,13 @@ func (c *Context) Close() {
 // CollectReports is enabled.
 func (c *Context) LastReport() *rewrite.Report { return c.lastRep }
 
-// Stats exposes cumulative VM counters: sweeps, fused instructions,
-// elements, and the buffer lifecycle counters (BuffersAllocated, PoolHits,
-// BytesAllocated) that show how much allocation the register recycle pool
-// saved — Free'd temporaries are handed back to later allocations of the
-// same dtype and length.
+// Stats exposes cumulative VM counters: sweeps, fused instructions (with
+// a per-dtype breakdown in FusedByDType), reductions folded into their
+// producer sweep (FusedReductions — sum(x*y) as one pass with no
+// materialized temporary), elements, and the buffer lifecycle counters
+// (BuffersAllocated, PoolHits, BytesAllocated) that show how much
+// allocation the register recycle pool saved — Free'd temporaries are
+// handed back to later allocations of the same dtype and length.
 func (c *Context) Stats() vm.Stats { return c.machine.Stats() }
 
 // PendingProgram returns a copy of the not-yet-flushed byte-code — the

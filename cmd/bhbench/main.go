@@ -1,11 +1,12 @@
 // Command bhbench regenerates the paper's evaluation tables (experiments
-// E1–E6 in DESIGN.md / EXPERIMENTS.md): byte-code counts before/after
-// optimization, baseline vs optimized wall-clock times, and the ablation
-// rows for the design decisions D1–D4.
+// E1–E7 in DESIGN.md / EXPERIMENTS.md): byte-code counts before/after
+// optimization, baseline vs optimized wall-clock times, the ablation rows
+// for the design decisions D1–D4, and the dtype-generalized fusion sweep
+// with its reduction-epilogue counters.
 //
 // Usage:
 //
-//	bhbench [-experiment all|E1|E2|E3|E4|E5|E6] [-n elements] [-repeats r]
+//	bhbench [-experiment all|E1|E2|E3|E4|E5|E6|E7] [-n elements] [-repeats r]
 package main
 
 import (
@@ -26,7 +27,7 @@ func main() {
 
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("bhbench", flag.ContinueOnError)
-	exp := fs.String("experiment", "all", "which experiment to run: all, E1, E2, E3, E4, E5, E6")
+	exp := fs.String("experiment", "all", "which experiment to run: all, E1, E2, E3, E4, E5, E6, E7")
 	n := fs.Int("n", 1<<20, "elementwise vector length")
 	solveMax := fs.Int("solve-max", 256, "largest linear-system size for E4")
 	repeats := fs.Int("repeats", 3, "timing repetitions (best-of)")
@@ -42,6 +43,7 @@ func run(args []string, stdout io.Writer) error {
 		"E4": bench.E4Solve,
 		"E5": bench.E5Workloads,
 		"E6": bench.E6Ablations,
+		"E7": bench.E7DTypeFusion,
 	}
 
 	var rows []bench.Row

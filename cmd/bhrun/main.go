@@ -97,8 +97,9 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	}
 	if *trace {
 		st := machine.Stats()
-		fmt.Fprintf(stdout, "# stats: %d instructions, %d sweeps, %d fused, %d elements\n",
-			st.Instructions, st.Sweeps, st.FusedInstructions, st.Elements)
+		fmt.Fprintf(stdout, "# stats: %d instructions, %d sweeps, %d fused, %d fused-reductions, %d elements\n",
+			st.Instructions, st.Sweeps, st.FusedInstructions, st.FusedReductions, st.Elements)
+		fmt.Fprintf(stdout, "# fused by dtype: %s\n", st.FusedByDType)
 		fmt.Fprintf(stdout, "# buffers: %d allocated (%d bytes), %d pool hits\n",
 			st.BuffersAllocated, st.BytesAllocated, st.PoolHits)
 	}

@@ -1,0 +1,110 @@
+// Command mdlint checks intra-repository markdown links: every relative
+// `[text](target)` in the tree's *.md files must point at a file or
+// directory that exists. External links (http, https, mailto) are
+// skipped — the check needs no network and cannot flake. CI runs it over
+// the repository root so renamed or deleted docs fail the build instead
+// of rotting silently.
+//
+// Usage:
+//
+//	mdlint [root]
+//
+// Exits non-zero listing every broken link as file:line: target.
+package main
+
+import (
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// linkRe matches inline markdown links and images: [text](target) and
+// ![alt](target), capturing the target. Nested parentheses in targets
+// are not supported (and not used in this repository).
+var linkRe = regexp.MustCompile(`!?\[[^\]]*\]\(([^)\s]+)(?:\s+"[^"]*")?\)`)
+
+func main() {
+	root := "."
+	if len(os.Args) > 1 {
+		root = os.Args[1]
+	}
+	broken, err := lint(root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mdlint:", err)
+		os.Exit(1)
+	}
+	for _, b := range broken {
+		fmt.Println(b)
+	}
+	if len(broken) > 0 {
+		fmt.Fprintf(os.Stderr, "mdlint: %d broken intra-repo link(s)\n", len(broken))
+		os.Exit(1)
+	}
+}
+
+// lint walks root for markdown files and returns one "file:line: target"
+// entry per broken relative link.
+func lint(root string) ([]string, error) {
+	var broken []string
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			// Skip VCS internals and dependency trees.
+			switch d.Name() {
+			case ".git", "node_modules", "vendor":
+				if path != root {
+					return filepath.SkipDir
+				}
+			}
+			return nil
+		}
+		if !strings.EqualFold(filepath.Ext(path), ".md") {
+			return nil
+		}
+		// SNIPPETS.md quotes exemplar files from *other* repositories
+		// verbatim, links included; those targets are not ours to check.
+		if d.Name() == "SNIPPETS.md" {
+			return nil
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			for _, m := range linkRe.FindAllStringSubmatch(line, -1) {
+				target := m[1]
+				if !checkTarget(path, target) {
+					broken = append(broken, fmt.Sprintf("%s:%d: %s", path, i+1, target))
+				}
+			}
+		}
+		return nil
+	})
+	return broken, err
+}
+
+// checkTarget reports whether a link target found in file resolves:
+// external schemes and pure anchors pass, relative paths (with any
+// #fragment stripped) must exist on disk next to the file.
+func checkTarget(file, target string) bool {
+	switch {
+	case strings.HasPrefix(target, "http://"),
+		strings.HasPrefix(target, "https://"),
+		strings.HasPrefix(target, "mailto:"),
+		strings.HasPrefix(target, "#"):
+		return true
+	}
+	if i := strings.IndexByte(target, '#'); i >= 0 {
+		target = target[:i]
+	}
+	if target == "" {
+		return true
+	}
+	_, err := os.Stat(filepath.Join(filepath.Dir(file), filepath.FromSlash(target)))
+	return err == nil
+}

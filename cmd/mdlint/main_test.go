@@ -1,0 +1,50 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestLint(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.MkdirAll(filepath.Join(dir, "docs"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	writeFile := func(name, content string) {
+		t.Helper()
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	writeFile("docs/spec.md", "# Spec\n")
+	writeFile("README.md", `
+[good](docs/spec.md) and [anchored](docs/spec.md#spec) and [anchor](#local)
+[external](https://example.com/x.md) ![img](https://example.com/i.png)
+[missing](docs/gone.md)
+`)
+
+	broken, err := lint(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(broken) != 1 {
+		t.Fatalf("broken = %v, want exactly the missing link", broken)
+	}
+	if !strings.Contains(broken[0], "docs/gone.md") || !strings.Contains(broken[0], "README.md:4") {
+		t.Errorf("broken entry = %q", broken[0])
+	}
+}
+
+func TestLintCleanRepo(t *testing.T) {
+	// The repository's own docs must stay link-clean — this is the same
+	// check the CI docs job runs.
+	broken, err := lint("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(broken) > 0 {
+		t.Errorf("broken intra-repo links:\n%s", strings.Join(broken, "\n"))
+	}
+}

@@ -6,7 +6,9 @@ import (
 	"testing"
 
 	"bohrium"
+	"bohrium/internal/bytecode"
 	"bohrium/internal/tensor"
+	"bohrium/internal/vm"
 )
 
 // tinyScale keeps unit-test runs fast; the experiment *shapes* (who wins)
@@ -192,5 +194,69 @@ func TestTableFormatting(t *testing.T) {
 	out := Table(rows)
 	if !strings.Contains(out, "E2") || !strings.Contains(out, "speedup") {
 		t.Errorf("table output:\n%s", out)
+	}
+}
+
+func TestE7DTypeWorkloads(t *testing.T) {
+	// The dtype workloads must validate, produce identical results fused
+	// and unfused (bit-equal: the epilogue mirrors the interpreter's fold
+	// strategy), and actually fire the reduction epilogue.
+	progs := map[string]*bytecode.Program{
+		"black-scholes-float64": BlackScholesProgram(tensor.Float64, 4096),
+		"black-scholes-float32": BlackScholesProgram(tensor.Float32, 4096),
+		"checksum-int64":        ChecksumProgram(tensor.Int64, 4096),
+		"checksum-int32":        ChecksumProgram(tensor.Int32, 4096),
+	}
+	for name, p := range progs {
+		t.Run(name, func(t *testing.T) {
+			if err := p.Validate(); err != nil {
+				t.Fatalf("validate: %v", err)
+			}
+			out := bytecode.RegID(len(p.Regs) - 1)
+			view := tensor.NewView(tensor.MustShape(1))
+			values := make([]float64, 2)
+			for i, fusion := range []bool{false, true} {
+				m := vm.New(vm.Config{Fusion: fusion})
+				defer m.Close()
+				if err := m.Run(p.Clone()); err != nil {
+					t.Fatalf("fusion=%v: %v", fusion, err)
+				}
+				tt, ok := m.Tensor(out, view)
+				if !ok {
+					t.Fatalf("fusion=%v: result register missing", fusion)
+				}
+				values[i] = tt.Buf.Get(0)
+				if fusion && m.Stats().FusedReductions != 1 {
+					t.Errorf("FusedReductions = %d, want 1", m.Stats().FusedReductions)
+				}
+			}
+			if values[0] != values[1] {
+				t.Errorf("fused %v != unfused %v", values[1], values[0])
+			}
+			if strings.HasPrefix(name, "black-scholes") {
+				// Mean call price for spots 80-120, strike 100: sane band.
+				if values[0] < 1 || values[0] > 40 {
+					t.Errorf("mean option price = %v, want in [1, 40]", values[0])
+				}
+			}
+		})
+	}
+}
+
+func TestE7Shape(t *testing.T) {
+	rows, err := E7DTypeFusion(tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("%d rows, want 4", len(rows))
+	}
+	for _, r := range rows {
+		if r.FusedReductions < 1 {
+			t.Errorf("%s: FusedReductions = %d, want >= 1", r.Workload, r.FusedReductions)
+		}
+		if !strings.Contains(r.Note, "fused ") {
+			t.Errorf("%s: note %q lacks per-dtype counts", r.Workload, r.Note)
+		}
 	}
 }

@@ -225,7 +225,8 @@ func E5Workloads(s Scale) ([]Row, error) {
 			Baseline: base, Optimized: opt,
 			Speedup:  float64(base) / float64(opt),
 			PoolHits: optStats.PoolHits, BuffersAlloc: optStats.BuffersAllocated,
-			Note: note,
+			FusedReductions: optStats.FusedReductions,
+			Note:            note,
 		})
 	}
 	return rows, nil
@@ -343,11 +344,66 @@ func E6Ablations(s Scale) ([]Row, error) {
 	return rows, nil
 }
 
+// E7DTypeFusion measures the dtype-generalized fused engine: the same
+// byte-code executed with fusion off versus on, across float and integer
+// dtypes, each workload ending in a reduction the fused engine folds into
+// the producer sweep. No rewrite pipeline runs — the experiment isolates
+// the execution engine, so bc-before equals bc-after; the fredux column
+// and the per-dtype note show the epilogue firing.
+func E7DTypeFusion(s Scale) ([]Row, error) {
+	s = s.withDefaults()
+	type wl struct {
+		name string
+		prog *bytecode.Program
+	}
+	var workloads []wl
+	for _, dt := range []tensor.DType{tensor.Float64, tensor.Float32} {
+		workloads = append(workloads, wl{"black-scholes-" + dt.String(), BlackScholesProgram(dt, s.VectorN)})
+	}
+	for _, dt := range []tensor.DType{tensor.Int64, tensor.Int32} {
+		workloads = append(workloads, wl{"checksum-" + dt.String(), ChecksumProgram(dt, s.VectorN)})
+	}
+	var rows []Row
+	for _, w := range workloads {
+		if err := w.prog.Validate(); err != nil {
+			return nil, fmt.Errorf("bench: invalid workload %s: %w", w.name, err)
+		}
+		base, err := bestOf(s.Repeats, func() error {
+			m := vm.New(vm.Config{Fusion: false, SkipValidation: true})
+			defer m.Close()
+			return m.Run(w.prog.Clone())
+		})
+		if err != nil {
+			return nil, fmt.Errorf("%s baseline: %w", w.name, err)
+		}
+		var st vm.Stats
+		opt, err := bestOf(s.Repeats, func() error {
+			m := vm.New(vm.Config{Fusion: true, SkipValidation: true})
+			defer m.Close()
+			err := m.Run(w.prog.Clone())
+			st = m.Stats()
+			return err
+		})
+		if err != nil {
+			return nil, fmt.Errorf("%s fused: %w", w.name, err)
+		}
+		rows = append(rows, Row{
+			Experiment: "E7", Workload: w.name, Params: fmt.Sprintf("N=%d", s.VectorN),
+			BytecodesBefore: w.prog.Len(), BytecodesAfter: w.prog.Len(),
+			Baseline: base, Optimized: opt, Speedup: float64(base) / float64(opt),
+			PoolHits: st.PoolHits, BuffersAlloc: st.BuffersAllocated,
+			FusedReductions: st.FusedReductions,
+			Note:            "fused " + st.FusedByDType.String(),
+		})
+	}
+	return rows, nil
+}
+
 // All runs every experiment and returns the rows grouped in order.
 func All(s Scale) ([]Row, error) {
 	var rows []Row
 	for _, fn := range []func(Scale) ([]Row, error){
-		E1AddMerge, E2PowerChain, E3PowerSweep, E4Solve, E5Workloads, E6Ablations,
+		E1AddMerge, E2PowerChain, E3PowerSweep, E4Solve, E5Workloads, E6Ablations, E7DTypeFusion,
 	} {
 		r, err := fn(s)
 		if err != nil {

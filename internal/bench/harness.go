@@ -27,6 +27,9 @@ type Row struct {
 	// one optimized run: how many register materializations reused a freed
 	// buffer versus allocating fresh.
 	PoolHits, BuffersAlloc int
+	// FusedReductions counts reductions the optimized run folded into
+	// their producer sweep (no separate reduction pass).
+	FusedReductions int
 	// Note carries per-row context ("chain=5 muls", "rewrite blocked").
 	Note string
 }
@@ -35,15 +38,16 @@ type Row struct {
 // EXPERIMENTS.md embed.
 func Table(rows []Row) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%-4s %-22s %-26s %9s %9s %12s %12s %8s %9s  %s\n",
-		"exp", "workload", "params", "bc-before", "bc-after", "baseline", "optimized", "speedup", "pool", "note")
+	fmt.Fprintf(&b, "%-4s %-22s %-26s %9s %9s %12s %12s %8s %9s %6s  %s\n",
+		"exp", "workload", "params", "bc-before", "bc-after", "baseline", "optimized", "speedup", "pool", "fredux", "note")
 	for _, r := range rows {
 		// pool prints hits/materializations for the optimized run: 3/5
 		// means five register buffers were needed and three were recycled.
-		fmt.Fprintf(&b, "%-4s %-22s %-26s %9d %9d %12s %12s %7.2fx %9s  %s\n",
+		// fredux counts reductions folded into their producer sweep.
+		fmt.Fprintf(&b, "%-4s %-22s %-26s %9d %9d %12s %12s %7.2fx %9s %6d  %s\n",
 			r.Experiment, r.Workload, r.Params, r.BytecodesBefore, r.BytecodesAfter,
 			round(r.Baseline), round(r.Optimized), r.Speedup,
-			fmt.Sprintf("%d/%d", r.PoolHits, r.PoolHits+r.BuffersAlloc), r.Note)
+			fmt.Sprintf("%d/%d", r.PoolHits, r.PoolHits+r.BuffersAlloc), r.FusedReductions, r.Note)
 	}
 	return b.String()
 }
@@ -124,6 +128,7 @@ func comparePrograms(exp, workload, params string, prog *bytecode.Program,
 		Speedup:         float64(base) / float64(opt),
 		PoolHits:        optStats.PoolHits,
 		BuffersAlloc:    optStats.BuffersAllocated,
+		FusedReductions: optStats.FusedReductions,
 	}, nil
 }
 

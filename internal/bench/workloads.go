@@ -84,6 +84,97 @@ func SolveProgram(m int) *bytecode.Program {
 	return p
 }
 
+// BlackScholesProgram builds a byte-code-level Black-Scholes pricing
+// kernel over n options of the given float dtype, ending in a mean-price
+// reduction (experiment E7). Every register shares one dtype, so the
+// whole elementwise chain fuses into a single sweep and the final
+// BH_ADD_REDUCE rides along as a reduction epilogue; all temporaries are
+// freed, so the fused run materializes nothing but the inputs and the
+// scalar result. Prices use spot in [80, 120), strike 100, r=2%,
+// sigma=30%, T=1, with the normal CDF via the tanh approximation
+// Φ(x) ≈ ½(1 + tanh(√(2/π)(x + 0.044715x³))).
+func BlackScholesProgram(dt tensor.DType, n int) *bytecode.Program {
+	p := bytecode.NewProgram()
+	v := tensor.NewView(tensor.MustShape(n))
+	v1 := tensor.NewView(tensor.MustShape(1))
+	s := p.NewReg(dt, n)   // spot, then s·Φ(d1), then the price
+	d1 := p.NewReg(dt, n)  // d1, then Φ(d1)
+	d2 := p.NewReg(dt, n)  // d2, then Φ(d2), then the discounted put leg
+	tmp := p.NewReg(dt, n) // CDF scratch
+	out := p.NewReg(dt, 1)
+	reg := func(r bytecode.RegID) bytecode.Operand { return bytecode.Reg(r, v) }
+	c := func(x float64) bytecode.Operand { return bytecode.Const(bytecode.ConstFloat(x)) }
+	bin := p.EmitBinary
+	un := p.EmitUnary
+
+	const r0, sigma = 0.02, 0.3
+	p.Emit(bytecode.Instruction{Op: bytecode.OpRandom, Out: reg(s),
+		In1: bytecode.Const(bytecode.ConstInt(101)), In2: bytecode.Const(bytecode.ConstInt(0))})
+	bin(bytecode.OpMultiply, reg(s), reg(s), c(40)) // spot in [80, 120)
+	bin(bytecode.OpAdd, reg(s), reg(s), c(80))
+
+	// d1 = (log(S/K) + r + sigma²/2) / sigma  (T = 1), d2 = d1 - sigma.
+	bin(bytecode.OpDivide, reg(d1), reg(s), c(100))
+	un(bytecode.OpLog, reg(d1), reg(d1))
+	bin(bytecode.OpAdd, reg(d1), reg(d1), c(r0+sigma*sigma/2))
+	bin(bytecode.OpDivide, reg(d1), reg(d1), c(sigma))
+	bin(bytecode.OpSubtract, reg(d2), reg(d1), c(sigma))
+
+	// cnd rewrites x in place to Φ(x) using tmp as scratch.
+	cnd := func(x bytecode.RegID) {
+		bin(bytecode.OpMultiply, reg(tmp), reg(x), reg(x))
+		bin(bytecode.OpMultiply, reg(tmp), reg(tmp), reg(x))
+		bin(bytecode.OpMultiply, reg(tmp), reg(tmp), c(0.044715))
+		bin(bytecode.OpAdd, reg(tmp), reg(tmp), reg(x))
+		bin(bytecode.OpMultiply, reg(tmp), reg(tmp), c(math.Sqrt(2/math.Pi)))
+		un(bytecode.OpTanh, reg(x), reg(tmp))
+		bin(bytecode.OpAdd, reg(x), reg(x), c(1))
+		bin(bytecode.OpMultiply, reg(x), reg(x), c(0.5))
+	}
+	cnd(d1)
+	cnd(d2)
+
+	// price = S·Φ(d1) - K·e^{-r}·Φ(d2), then the mean over all options.
+	bin(bytecode.OpMultiply, reg(s), reg(s), reg(d1))
+	bin(bytecode.OpMultiply, reg(d2), reg(d2), c(100*math.Exp(-r0)))
+	bin(bytecode.OpSubtract, reg(s), reg(s), reg(d2))
+	p.EmitReduce(bytecode.OpAddReduce, bytecode.Reg(out, v1), reg(s), 0)
+	bin(bytecode.OpDivide, bytecode.Reg(out, v1), bytecode.Reg(out, v1), c(float64(n)))
+	for _, r := range []bytecode.RegID{s, d1, d2, tmp} {
+		p.EmitFree(reg(r))
+	}
+	p.EmitSync(bytecode.Reg(out, v1))
+	return p
+}
+
+// ChecksumProgram builds an integer hash-and-fold workload of the given
+// integer dtype (experiment E7): t = ((x·31+7) mod m)·x wrapped in the
+// dtype, folded with BH_ADD_REDUCE. Integer folds are associative, so the
+// fused epilogue is bit-equal to interpreted execution at any worker
+// count.
+func ChecksumProgram(dt tensor.DType, n int) *bytecode.Program {
+	p := bytecode.NewProgram()
+	v := tensor.NewView(tensor.MustShape(n))
+	v1 := tensor.NewView(tensor.MustShape(1))
+	x := p.NewReg(dt, n)
+	t := p.NewReg(dt, n)
+	out := p.NewReg(dt, 1)
+	reg := func(r bytecode.RegID) bytecode.Operand { return bytecode.Reg(r, v) }
+	ci := func(k int64) bytecode.Operand { return bytecode.Const(bytecode.ConstInt(k)) }
+
+	p.Emit(bytecode.Instruction{Op: bytecode.OpRandom, Out: reg(x), In1: ci(211), In2: ci(0)})
+	p.EmitBinary(bytecode.OpMod, reg(x), reg(x), ci(1_000_003))
+	p.EmitBinary(bytecode.OpMultiply, reg(t), reg(x), ci(31))
+	p.EmitBinary(bytecode.OpAdd, reg(t), reg(t), ci(7))
+	p.EmitBinary(bytecode.OpMod, reg(t), reg(t), ci(65_521))
+	p.EmitBinary(bytecode.OpMultiply, reg(t), reg(t), reg(x))
+	p.EmitReduce(bytecode.OpAddReduce, bytecode.Reg(out, v1), reg(t), 0)
+	p.EmitFree(reg(t))
+	p.EmitFree(reg(x))
+	p.EmitSync(bytecode.Reg(out, v1))
+	return p
+}
+
 // Front-end workloads (E5): the scientific kernels Bohrium's publications
 // evaluate with, expressed against the public API so the whole pipeline
 // (recording → optimization → fused VM) is measured.

@@ -176,11 +176,21 @@ func (o Operand) String() string {
 
 // Instruction is one byte-code: op-code, result operand, up to two inputs,
 // and for reductions/scans the axis being folded.
+//
+// Invariants (enforced by Program.Validate): every instruction except
+// BH_NONE names a register result; the populated input slots match the
+// op-code's arity, filling In1 first; and Axis is meaningful only for
+// KindReduction/KindScan instructions, where it indexes a dimension of
+// In1's view (the *input* — the result view has one dimension fewer for
+// reductions and the same shape for scans).
 type Instruction struct {
-	Op   Opcode
-	Out  Operand
-	In1  Operand
-	In2  Operand
+	Op  Opcode
+	Out Operand
+	In1 Operand
+	In2 Operand
+	// Axis is the folded dimension of In1.View for reductions and
+	// scans; zero (and ignored) otherwise. The assembler reads and the
+	// disassembler prints it as a trailing "axis=N".
 	Axis int
 }
 

@@ -6,7 +6,23 @@
 // A byte-code instruction has an op-code, one result operand, and up to two
 // input operands which are registers or constants (paper §3). Programs are
 // flat instruction sequences; all structure (loops over elements) is
-// implicit in the operand views.
+// implicit in the operand views. Registers name base arrays, not SSA
+// values — an instruction may redefine a register any number of times,
+// and views let several operands alias disjoint or overlapping windows
+// of one register, which is exactly what the rewrite engine's
+// interference analysis and the VM's fusion planner reason about.
+//
+// The textual format accepted by Parse and emitted by Program.Dump is
+// specified, with one runnable example per opcode family, in
+// docs/bytecode.md at the repository root.
+//
+// Registering a new op-code is a table edit: add the constant before
+// numOpcodes, fill its Info row in the infos table (name, kind, arity,
+// algebraic properties, relative cost), and give it per-element
+// semantics in the VM's kernel tables (internal/vm/kernels.go). Every
+// execution tier — interpreter, fused raw-slice loops, strided sweeps,
+// reduction epilogues — and the (dis)assembler pick the new op-code up
+// from those two tables.
 package bytecode
 
 import "fmt"

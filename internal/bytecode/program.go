@@ -18,6 +18,14 @@ type RegInfo struct {
 // Program is a flat sequence of byte-code instructions plus the register
 // declarations they refer to. It is the unit the rewrite engine transforms
 // and the VM executes — Bohrium calls this a "batch" or instruction list.
+//
+// A program owns no buffers: registers are declarations (RegInfo), and
+// the VM's register file materializes them lazily at first definition.
+// Inputs and Outputs are the program's contract with its caller — the
+// only liveness facts a transformation may not infer from the
+// instruction stream itself. Dump emits a listing that Parse reads back
+// losslessly (declarations as ".reg", inputs/outputs as ".in"/".out");
+// the format is specified in docs/bytecode.md.
 type Program struct {
 	Regs   []RegInfo
 	Instrs []Instruction

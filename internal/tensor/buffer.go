@@ -127,6 +127,17 @@ func (d *Data[T]) Zero() { clear(d.s) }
 // fast paths; callers must not resize it.
 func (d *Data[T]) Raw() []T { return d.s }
 
+// RawSlice returns the raw []T backing b, if T is b's storage type. This
+// is the generic form of the dtype-named accessors below: bool and uint8
+// buffers surface as []uint8, every other dtype as its Go type.
+func RawSlice[T Elem](b Buffer) ([]T, bool) {
+	d, ok := b.(*Data[T])
+	if !ok {
+		return nil, false
+	}
+	return d.s, true
+}
+
 // Float64s returns the raw []float64 backing b, if it has dtype float64.
 func Float64s(b Buffer) ([]float64, bool) {
 	d, ok := b.(*Data[float64])

@@ -2,6 +2,7 @@ package vm
 
 import (
 	"math"
+	"strings"
 	"testing"
 
 	"bohrium/internal/bytecode"
@@ -445,6 +446,388 @@ BH_SYNC a0
 			w8 := run(t, Config{Workers: 8, ParallelThreshold: 16}, tc.src)
 			compareRegs(t, w8, serial, tc.out, tc.n, 0)
 		})
+	}
+}
+
+// TestFusedVsInterpretedDTypes sweeps the dtype-generic fused engine:
+// the same chain (contiguous cluster plus a strided in-place step) must
+// be bit-identical with fusion on and off for every supported dtype.
+func TestFusedVsInterpretedDTypes(t *testing.T) {
+	for _, dt := range []string{"float64", "float32", "int64", "int32", "uint8"} {
+		t.Run(dt, func(t *testing.T) {
+			src := `
+.reg a0 ` + dt + ` 4096
+.reg a1 ` + dt + ` 4096
+BH_RANDOM a0 31 0
+BH_MOD a0 a0 100
+BH_MULTIPLY a1 a0 3
+BH_ADD a1 a1 7
+BH_MAXIMUM a1 a1 a0
+BH_MULTIPLY a1 [0:4096:2] a1 [0:4096:2] 2
+BH_SUBTRACT a1 a1 a0
+BH_SYNC a1
+`
+			interp := run(t, Config{Fusion: false}, src)
+			fused := run(t, Config{Fusion: true}, src)
+			fusedPar := run(t, Config{Fusion: true, Workers: 8, ParallelThreshold: 256}, src)
+			compareRegs(t, interp, fused, 1, 4096, 0)
+			compareRegs(t, fused, fusedPar, 1, 4096, 0)
+			if fused.Stats().FusedInstructions == 0 {
+				t.Error("no instructions fused")
+			}
+			dtype, err := tensor.ParseDType(dt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if fused.Stats().FusedByDType.Get(dtype) == 0 {
+				t.Errorf("FusedByDType[%s] = 0", dt)
+			}
+		})
+	}
+}
+
+// TestFusedBoolCluster pins bool-dtype fusion for logical chains: the
+// bool steps fuse (the float→bool comparison stays interpreted) and the
+// results match the accessor path bit-for-bit.
+func TestFusedBoolCluster(t *testing.T) {
+	src := `
+.reg a0 float64 4096
+.reg a1 bool 4096
+.reg a2 bool 4096
+BH_RANDOM a0 37 0
+BH_GREATER a1 a0 0.25
+BH_LOGICAL_NOT a2 a1
+BH_LOGICAL_AND a2 a2 a1
+BH_LOGICAL_OR a2 a2 true
+BH_SYNC a2
+`
+	interp := run(t, Config{Fusion: false}, src)
+	fused := run(t, Config{Fusion: true}, src)
+	compareRegs(t, interp, fused, 2, 4096, 0)
+	if fused.Stats().FusedByDType.Get(tensor.Bool) == 0 {
+		t.Error("bool steps did not fuse")
+	}
+}
+
+// epilogueCases cover the reduction-epilogue paths: linear blockwise
+// folds (full, last-axis/split-outputs, chunked), the per-element fold
+// over strided and broadcast producers, float32/int32/bool dtypes, MAX
+// folds, and a live (materialized) producer. serialTol follows the
+// reduce.go contract: 0 except chunked float folds vs the forced-serial
+// machine.
+var epilogueCases = []struct {
+	name      string
+	src       string
+	out       bytecode.RegID
+	n         int
+	serialTol float64
+	wantFR    int
+}{
+	{
+		// The acceptance shape: sum(x*y) as one sweep, chunk-axis fold.
+		name: "sum-xy-float64",
+		src: `
+.reg a0 float64 40000
+.reg a1 float64 40000
+.reg a2 float64 40000
+.reg a3 float64 1
+BH_RANDOM a0 11 0
+BH_RANDOM a1 13 0
+BH_MULTIPLY a2 a0 a1
+BH_ADD_REDUCE a3 [0:1:1] a2 axis=0
+BH_FREE a2
+BH_SYNC a3
+`,
+		out: 3, n: 1, serialTol: 1e-9, wantFR: 1,
+	},
+	{
+		name: "sum-xy-float32",
+		src: `
+.reg a0 float32 40000
+.reg a1 float32 40000
+.reg a2 float32 40000
+.reg a3 float32 1
+BH_RANDOM a0 11 0
+BH_RANDOM a1 13 0
+BH_MULTIPLY a2 a0 a1
+BH_ADD_REDUCE a3 [0:1:1] a2 axis=0
+BH_FREE a2
+BH_SYNC a3
+`,
+		out: 3, n: 1, serialTol: 1e-5, wantFR: 1,
+	},
+	{
+		// Deep float32 chain: every producer stays virtual.
+		name: "chain-float32-chunked",
+		src: `
+.reg a0 float32 40000
+.reg a1 float32 40000
+.reg a2 float32 40000
+.reg a3 float32 1
+BH_RANDOM a0 17 0
+BH_MULTIPLY a1 a0 3
+BH_ADD a1 a1 0.5
+BH_MULTIPLY a2 a1 a0
+BH_ADD_REDUCE a3 [0:1:1] a2 axis=0
+BH_FREE a1
+BH_FREE a2
+BH_SYNC a3
+`,
+		out: 3, n: 1, serialTol: 1e-5, wantFR: 1,
+	},
+	{
+		// Exact int32 fold: bit-equal everywhere including vs serial.
+		name: "sum-hash-int32",
+		src: `
+.reg a0 int32 40000
+.reg a1 int32 40000
+.reg a2 int32 1
+BH_RANDOM a0 19 0
+BH_MOD a0 a0 977
+BH_MULTIPLY a1 a0 31
+BH_ADD a1 a1 7
+BH_MULTIPLY a1 a1 a0
+BH_ADD_REDUCE a2 [0:1:1] a1 axis=0
+BH_FREE a1
+BH_SYNC a2
+`,
+		out: 2, n: 1, serialTol: 0, wantFR: 1,
+	},
+	{
+		// Last-axis reduce over 256 rows: split-outputs blockwise fold.
+		name: "rows-split-float64",
+		src: `
+.reg a0 float64 8448
+.reg a1 float64 8448
+.reg a2 float64 256
+BH_RANDOM a0 7 0
+BH_MULTIPLY a1 [0:8448:33][0:33:1] a0 [0:8448:33][0:33:1] a0 [0:8448:33][0:33:1]
+BH_ADD_REDUCE a2 [0:256:1] a1 [0:8448:33][0:33:1] axis=1
+BH_FREE a1
+BH_SYNC a2
+`,
+		out: 2, n: 256, serialTol: 0, wantFR: 1,
+	},
+	{
+		// MAX fold is exact in float: bit-equal vs serial even chunked.
+		name: "max-chain-float64",
+		src: `
+.reg a0 float64 40000
+.reg a1 float64 40000
+.reg a2 float64 1
+BH_RANDOM a0 23 0
+BH_SUBTRACT a1 a0 0.5
+BH_ABSOLUTE a1 a1
+BH_MAXIMUM_REDUCE a2 [0:1:1] a1 axis=0
+BH_FREE a1
+BH_SYNC a2
+`,
+		out: 2, n: 1, serialTol: 0, wantFR: 1,
+	},
+	{
+		// Strided producer inputs: the per-element epilogue path.
+		name: "sum-strided-float64",
+		src: `
+.reg a0 float64 80000
+.reg a1 float64 40000
+.reg a2 float64 1
+BH_RANDOM a0 29 0
+BH_MULTIPLY a1 a0 [0:80000:2] a0 [1:80001:2]
+BH_ADD_REDUCE a2 [0:1:1] a1 axis=0
+BH_FREE a1
+BH_SYNC a2
+`,
+		out: 2, n: 1, serialTol: 1e-9, wantFR: 1,
+	},
+	{
+		// Broadcast input (stride-0 leading dim) reduced along the data
+		// axis: per-element epilogue through the split-outputs strategy.
+		name: "sum-broadcast-float64",
+		src: `
+.reg a0 float64 200
+.reg a1 float64 40000
+.reg a2 float64 200
+BH_RANDOM a0 41 0
+BH_MULTIPLY a1 [0:40000:200][0:200:1] a0 [0:200:0][0:200:1] 2.0
+BH_ADD_REDUCE a2 [0:200:1] a1 [0:40000:200][0:200:1] axis=1
+BH_FREE a1
+BH_SYNC a2
+`,
+		out: 2, n: 200, serialTol: 0, wantFR: 1,
+	},
+	{
+		// Bool epilogue: a logical producer folded into OR_REDUCE.
+		name: "any-bool",
+		src: `
+.reg a0 float64 5000
+.reg a1 bool 5000
+.reg a2 bool 5000
+.reg a3 bool 1
+BH_RANDOM a0 43 0
+BH_GREATER a1 a0 0.9999
+BH_LOGICAL_NOT a2 a1
+BH_LOGICAL_AND_REDUCE a3 [0:1:1] a2 axis=0
+BH_FREE a2
+BH_SYNC a3
+`,
+		out: 3, n: 1, serialTol: 0, wantFR: 1,
+	},
+	{
+		// Live producer: a1 is SYNCed after the reduce, so it must
+		// materialize while the fold still fuses.
+		name: "sum-live-producer",
+		src: `
+.reg a0 float64 40000
+.reg a1 float64 40000
+.reg a2 float64 1
+BH_RANDOM a0 47 0
+BH_MULTIPLY a1 a0 a0
+BH_ADD_REDUCE a2 [0:1:1] a1 axis=0
+BH_SYNC a1
+BH_SYNC a2
+`,
+		out: 2, n: 1, serialTol: 1e-9, wantFR: 1,
+	},
+}
+
+// TestReductionEpilogueDifferential pins the folded sweep against the
+// two-sweep interpreter and across worker counts: at one threshold both
+// engines pick the same strategy with the same chunk boundaries, so every
+// comparison except forced-serial-vs-chunked-float demands bit-equality.
+func TestReductionEpilogueDifferential(t *testing.T) {
+	const threshold = 512
+	for _, tc := range epilogueCases {
+		t.Run(tc.name, func(t *testing.T) {
+			interp1 := run(t, Config{Fusion: false, Workers: 1, ParallelThreshold: threshold}, tc.src)
+			interp8 := run(t, Config{Fusion: false, Workers: 8, ParallelThreshold: threshold}, tc.src)
+			fused1 := run(t, Config{Fusion: true, Workers: 1, ParallelThreshold: threshold}, tc.src)
+			fused8 := run(t, Config{Fusion: true, Workers: 8, ParallelThreshold: threshold}, tc.src)
+			serial := run(t, Config{Fusion: false, Workers: 1, ParallelThreshold: 1 << 30}, tc.src)
+			compareRegs(t, fused1, fused8, tc.out, tc.n, 0)
+			compareRegs(t, fused8, interp8, tc.out, tc.n, 0)
+			compareRegs(t, interp1, interp8, tc.out, tc.n, 0)
+			compareRegs(t, fused8, serial, tc.out, tc.n, tc.serialTol)
+			if fr := fused8.Stats().FusedReductions; fr != tc.wantFR {
+				t.Errorf("FusedReductions = %d, want %d", fr, tc.wantFR)
+			}
+		})
+	}
+}
+
+// TestEpilogueLiveProducerValues: a materialized producer register holds
+// the same values the interpreter writes.
+func TestEpilogueLiveProducerValues(t *testing.T) {
+	src := epilogueCases[len(epilogueCases)-1].src // sum-live-producer
+	interp := run(t, Config{Fusion: false}, src)
+	fused := run(t, Config{Fusion: true}, src)
+	compareRegs(t, interp, fused, 1, 40000, 0)
+}
+
+// TestEpilogueSkipsMaterialization: the acceptance claim — sum(x*y) runs
+// as one fused sweep and the dead temporary never allocates a buffer.
+func TestEpilogueSkipsMaterialization(t *testing.T) {
+	for _, dt := range []string{"float64", "float32"} {
+		t.Run(dt, func(t *testing.T) {
+			src := `
+.reg a0 ` + dt + ` 20000
+.reg a1 ` + dt + ` 20000
+.reg a2 ` + dt + ` 20000
+.reg a3 ` + dt + ` 1
+BH_RANDOM a0 11 0
+BH_RANDOM a1 13 0
+BH_MULTIPLY a2 a0 a1
+BH_ADD_REDUCE a3 [0:1:1] a2 axis=0
+BH_FREE a2
+BH_SYNC a3
+`
+			m := run(t, Config{Fusion: true}, src)
+			st := m.Stats()
+			if st.FusedReductions != 1 {
+				t.Errorf("FusedReductions = %d, want 1", st.FusedReductions)
+			}
+			// a0, a1 (inputs) and a3 (result) materialize; a2 must not.
+			if st.BuffersAllocated != 3 {
+				t.Errorf("BuffersAllocated = %d, want 3 (temporary a2 must stay virtual)", st.BuffersAllocated)
+			}
+			// MULTIPLY + ADD_REDUCE share one sweep: 2 RANDOM singletons
+			// plus the fold.
+			if st.Sweeps != 3 {
+				t.Errorf("Sweeps = %d, want 3", st.Sweeps)
+			}
+		})
+	}
+}
+
+// TestEpilogueAliasedOutputFallsBack: when the reduction output register
+// is bound to the same buffer as a producer input, folding would write
+// while other lines still read — the VM must fall back to the two-sweep
+// path and still match unfused execution.
+func TestEpilogueAliasedOutputFallsBack(t *testing.T) {
+	build := func() (*bytecode.Program, tensor.Tensor) {
+		p := bytecode.NewProgram()
+		x := p.NewReg(tensor.Float64, 1000)
+		tmp := p.NewReg(tensor.Float64, 1000)
+		s := p.NewReg(tensor.Float64, 1001)
+		v := tensor.NewView(tensor.MustShape(1000))
+		outView, err := tensor.NewStridedView(1000, tensor.MustShape(1), []int{1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.MarkInput(x)
+		p.MarkInput(s)
+		p.EmitBinary(bytecode.OpMultiply, bytecode.Reg(tmp, v), bytecode.Reg(x, v), bytecode.Reg(x, v))
+		p.EmitReduce(bytecode.OpAddReduce, bytecode.Reg(s, outView), bytecode.Reg(tmp, v), 0)
+		p.EmitFree(bytecode.Reg(tmp, v))
+		p.EmitSync(bytecode.Reg(s, outView))
+		// One backing tensor: x reads [0:1000), the sum lands at 1000.
+		shared := tensor.MustNew(tensor.Float64, tensor.MustShape(1001))
+		shared.FillRandom(7, 0, 1)
+		return p, shared
+	}
+
+	runWith := func(fusion bool) float64 {
+		p, shared := build()
+		m := New(Config{Fusion: fusion})
+		defer m.Close()
+		m.Bind(0, shared)
+		m.Bind(2, shared)
+		if err := m.Run(p); err != nil {
+			t.Fatal(err)
+		}
+		if fusion && m.Stats().FusedReductions != 0 {
+			t.Error("aliased epilogue did not fall back")
+		}
+		return shared.Buf.Get(1000)
+	}
+
+	plain := runWith(false)
+	fused := runWith(true)
+	if plain != fused {
+		t.Errorf("aliased reduce differs: fused %v, plain %v", fused, plain)
+	}
+}
+
+// TestFusedErrorNamesFailingInstruction pins the error path: when a later
+// step of a cluster fails to compile, the error names that instruction,
+// not the cluster's first.
+func TestFusedErrorNamesFailingInstruction(t *testing.T) {
+	p := bytecode.NewProgram()
+	a0 := p.NewReg(tensor.Float64, 64)
+	a1 := p.NewReg(tensor.Float64, 64)
+	v := tensor.NewView(tensor.MustShape(64))
+	p.EmitIdentity(bytecode.Reg(a0, v), bytecode.Const(bytecode.ConstFloat(1)))
+	p.EmitBinary(bytecode.OpAdd, bytecode.Reg(a0, v), bytecode.Reg(a0, v), bytecode.Reg(a1, v))
+	p.MarkInput(a1)
+	m := New(Config{Fusion: true, SkipValidation: true})
+	defer m.Close()
+	// Bind a1 with the wrong storage type so only the second step fails.
+	m.Bind(a1, tensor.MustNew(tensor.Float32, tensor.MustShape(64)))
+	err := m.Run(p)
+	if err == nil {
+		t.Fatal("expected execution error")
+	}
+	if !strings.Contains(err.Error(), "instr 1") || !strings.Contains(err.Error(), "BH_ADD") {
+		t.Errorf("error does not name the failing instruction: %v", err)
 	}
 }
 

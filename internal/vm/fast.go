@@ -5,46 +5,81 @@ import (
 	"bohrium/internal/tensor"
 )
 
-// rawSrc is a fast-path source: a contiguous float64 slice or a constant.
-type rawSrc struct {
-	arr []float64 // nil for constants
-	c   float64
+// rawSrc is a fast-path source for storage type T: a contiguous typed
+// slice, or a scalar constant carried in both computation classes (cf for
+// the float64 class, ci for the exact int64 class — mirroring how
+// resolveSources materializes constants for the accessor path).
+type rawSrc[T tensor.Elem] struct {
+	arr []T // nil for constants
+	cf  float64
+	ci  int64
 }
 
-// rawSources converts resolved sources into fast-path form, or fails if
-// any source is non-contiguous, differently sized, or not float64.
-func rawSources(srcs []source, n int) ([]rawSrc, bool) {
-	out := make([]rawSrc, len(srcs))
+// rawSources converts resolved sources into fast-path form for storage
+// type T, or fails if any source is non-contiguous, differently sized, or
+// not stored as T.
+func rawSources[T tensor.Elem](srcs []source, n int) ([]rawSrc[T], bool) {
+	out := make([]rawSrc[T], len(srcs))
 	for i, s := range srcs {
 		if s.isConst {
-			out[i] = rawSrc{c: s.cf}
+			out[i] = rawSrc[T]{cf: s.cf, ci: s.ci}
 			continue
 		}
-		raw, ok := tensor.Float64s(s.buf)
+		raw, ok := tensor.RawSlice[T](s.buf)
 		if !ok || !s.view.Contiguous() || s.view.Size() != n {
 			return nil, false
 		}
-		out[i] = rawSrc{arr: raw[s.view.Offset : s.view.Offset+n]}
+		out[i] = rawSrc[T]{arr: raw[s.view.Offset : s.view.Offset+n]}
 	}
 	return out, true
 }
 
-// fastElementwise executes the instruction with a compiled loop over raw
-// float64 slices when every operand is contiguous float64 of equal size;
-// returns false to fall back to the strided path. Large sweeps are split
-// across the worker pool.
+// fastElementwise executes the instruction with a compiled typed loop over
+// raw slices when the output and every register operand share one dtype
+// and all views are contiguous with equal size; returns false to fall back
+// to the strided accessor path. Large sweeps are split across the worker
+// pool. Every supported dtype takes this path; mixed-dtype instructions
+// (casts, promotions) keep the accessor path, whose class rules this one
+// reproduces bit-for-bit.
 func (m *Machine) fastElementwise(op bytecode.Opcode, out tensor.Buffer, outView tensor.View, srcs []source) bool {
-	raw, ok := tensor.Float64s(out)
-	if !ok || !outView.Contiguous() {
+	if !outView.Contiguous() {
 		return false
 	}
+	switch out.DType() {
+	case tensor.Float64:
+		return fastTyped[float64](m, op, out, outView, srcs)
+	case tensor.Float32:
+		return fastTyped[float32](m, op, out, outView, srcs)
+	case tensor.Int64:
+		return fastTyped[int64](m, op, out, outView, srcs)
+	case tensor.Int32:
+		return fastTyped[int32](m, op, out, outView, srcs)
+	case tensor.Bool, tensor.Uint8:
+		return fastTyped[uint8](m, op, out, outView, srcs)
+	default:
+		return false
+	}
+}
+
+func fastTyped[T tensor.Elem](m *Machine, op bytecode.Opcode, out tensor.Buffer, outView tensor.View, srcs []source) bool {
+	raw, ok := tensor.RawSlice[T](out)
+	if !ok {
+		return false
+	}
+	// Class semantics are defined per instruction dtype; an input stored as
+	// another dtype (even one with the same storage width) falls back.
+	for _, s := range srcs {
+		if !s.isConst && s.buf.DType() != out.DType() {
+			return false
+		}
+	}
 	n := outView.Size()
-	rs, ok := rawSources(srcs, n)
+	rs, ok := rawSources[T](srcs, n)
 	if !ok {
 		return false
 	}
 	dst := raw[outView.Offset : outView.Offset+n]
-	loop, ok := compileLoop(op, dst, rs)
+	loop, ok := compileLoop(out.DType(), op, dst, rs)
 	if !ok {
 		return false
 	}

@@ -13,7 +13,9 @@ import (
 // batch, we emit one fused Go loop.
 //
 // Two byte-codes may share a sweep when:
-//   - both are elementwise over float64 registers,
+//   - both are elementwise and each instruction's register operands all
+//     share one dtype (any supported dtype; steps of *different* dtypes
+//     may still share a cluster — each step compiles its own typed loop),
 //   - their result views share one iteration shape (inputs may broadcast
 //     into it), the result view addresses each element at most once, and
 //   - every register they share is addressed through the *same* view in
@@ -22,8 +24,12 @@ import (
 //
 // Fully contiguous clusters run over raw slices (execCluster); strided
 // clusters — stencils, sliced views — run with multi-cursor odometer
-// iteration (execClusterStrided). System byte-codes, reductions,
-// extensions, and RANDOM end a cluster.
+// iteration (execClusterStrided). A full or last-axis reduction that
+// consumes the cluster's output extends the cluster as an epilogue: the
+// producer chain folds into the reduction's accumulation loop
+// (execClusterReduce) and dead producer temporaries are never
+// materialized. System byte-codes, other reductions, extensions, and
+// RANDOM end a cluster.
 
 // cluster is a run of instruction indices executable as one sweep.
 type cluster struct {
@@ -31,6 +37,7 @@ type cluster struct {
 	fused      bool
 	shape      tensor.Shape // shared iteration shape when fused
 	linear     bool         // every operand contiguous: raw-slice path
+	reduce     bool         // p.Instrs[end-1] is a reduction epilogue
 }
 
 // planClusters splits the program into sweeps.
@@ -59,7 +66,14 @@ func (m *Machine) planClusters(p *bytecode.Program) []cluster {
 			acc.record(&p.Instrs[j])
 			j++
 		}
-		out = append(out, cluster{start: i, end: j, fused: j-i > 1, shape: shape, linear: linear})
+		cl := cluster{start: i, end: j, fused: j-i > 1, shape: shape, linear: linear}
+		if j < len(p.Instrs) && reduceEpilogueAt(p, cl, j) {
+			cl.end = j + 1
+			cl.fused = true
+			cl.reduce = true
+			j++
+		}
+		out = append(out, cl)
 		i = j
 	}
 	return out
@@ -75,17 +89,21 @@ func (m *Machine) fusibleAt(p *bytecode.Program, i int) (tensor.Shape, bool, boo
 	if !in.Out.IsReg() || !viewInjective(in.Out.View) {
 		return nil, false, false
 	}
-	if ri, ok := p.Reg(in.Out.Reg); !ok || ri.DType != tensor.Float64 {
+	ri, ok := p.Reg(in.Out.Reg)
+	if !ok || !ri.DType.Valid() {
 		return nil, false, false
 	}
+	dt := ri.DType
 	shape := in.Out.View.Shape
 	linear := in.Out.View.Contiguous()
 	for _, opnd := range in.Inputs() {
 		if !opnd.IsReg() {
 			continue
 		}
-		ri, ok := p.Reg(opnd.Reg)
-		if !ok || ri.DType != tensor.Float64 {
+		si, ok := p.Reg(opnd.Reg)
+		if !ok || si.DType != dt {
+			// Mixed-dtype steps (casts, promoted operands) keep the
+			// accessor path, which defines the conversion semantics.
 			return nil, false, false
 		}
 		if !opnd.View.Shape.BroadcastableTo(shape) {
@@ -101,6 +119,55 @@ func (m *Machine) fusibleAt(p *bytecode.Program, i int) (tensor.Shape, bool, boo
 		}
 	}
 	return shape, linear, true
+}
+
+// reduceEpilogueAt reports whether the reduction at index j can fold the
+// preceding elementwise cluster cl into its accumulation loop. The legal
+// shape: a full or last-axis reduction whose input is a register the
+// cluster wrote, through exactly the window of the cluster's final write,
+// into an output register the cluster does not write. Buffer-level
+// aliasing between the reduction output and the producers' operands is
+// checked at execution time (execClusterReduce falls back).
+func reduceEpilogueAt(p *bytecode.Program, cl cluster, j int) bool {
+	in := &p.Instrs[j]
+	if in.Op.Info().Kind != bytecode.KindReduction {
+		return false
+	}
+	if _, ok := in.Op.ReduceBase(); !ok {
+		return false
+	}
+	if !in.In1.IsReg() || !in.Out.IsReg() {
+		return false
+	}
+	// Only full (1-D) or last-axis reductions traverse the producer's
+	// iteration space in line order; other axes keep the two-sweep path.
+	nd := in.In1.View.NDim()
+	if nd == 0 || in.Axis != nd-1 {
+		return false
+	}
+	if in.In1.View.Shape[nd-1] == 0 {
+		return false // empty axis takes the identity-fill path
+	}
+	if !in.In1.View.Shape.Equal(cl.shape) {
+		return false
+	}
+	lastWrite := -1
+	for k := cl.start; k < cl.end; k++ {
+		if p.Instrs[k].Out.Reg == in.In1.Reg {
+			lastWrite = k
+		}
+	}
+	if lastWrite < 0 || !p.Instrs[lastWrite].Out.View.Equal(in.In1.View) {
+		return false
+	}
+	// The output register must be untouched by the cluster: the epilogue
+	// writes it line-by-line while producer steps still evaluate.
+	for k := cl.start; k < cl.end; k++ {
+		if p.Instrs[k].Out.Reg == in.Out.Reg {
+			return false
+		}
+	}
+	return in.Out.Reg != in.In1.Reg
 }
 
 // accessTracker records per-register read and write views inside a
@@ -166,24 +233,36 @@ func (a *accessTracker) compatible(in *bytecode.Instruction) bool {
 // would get without per-element dispatch. 8192 float64s = 64 KiB.
 const fusedBlockSize = 8192
 
-// runFused executes the program cluster by cluster.
+// runFused executes the program cluster by cluster. Errors name the
+// failing instruction (not merely the cluster's first): each execution
+// path annotates with the index and disassembly of the instruction whose
+// compilation or execution failed.
 func (m *Machine) runFused(p *bytecode.Program) error {
 	for _, cl := range m.planClusters(p) {
 		var err error
 		switch {
+		case cl.reduce:
+			err = m.execClusterReduce(p, cl)
 		case !cl.fused:
-			err = m.exec(p, &p.Instrs[cl.start])
+			if err = m.exec(p, &p.Instrs[cl.start]); err != nil {
+				err = instrErr(p, cl.start, err)
+			}
 		case cl.linear:
 			err = m.execCluster(p, cl)
 		default:
 			err = m.execClusterStrided(p, cl, cl.shape)
 		}
 		if err != nil {
-			return fmt.Errorf("%w: instrs [%d,%d) (%s): %v",
-				ErrExec, cl.start, cl.end, p.Instrs[cl.start].String(), err)
+			return fmt.Errorf("%w: cluster [%d,%d): %v", ErrExec, cl.start, cl.end, err)
 		}
 	}
 	return nil
+}
+
+// instrErr annotates err with the index and disassembly of the failing
+// instruction.
+func instrErr(p *bytecode.Program, i int, err error) error {
+	return fmt.Errorf("instr %d (%s): %v", i, p.Instrs[i].String(), err)
 }
 
 func (m *Machine) execCluster(p *bytecode.Program, cl cluster) error {
@@ -192,13 +271,14 @@ func (m *Machine) execCluster(p *bytecode.Program, cl cluster) error {
 	for i := cl.start; i < cl.end; i++ {
 		loop, err := m.compileStep(p, &p.Instrs[i], n)
 		if err != nil {
-			return err
+			return instrErr(p, i, err)
 		}
 		loops = append(loops, loop)
 	}
 
 	m.stats.Instructions += len(loops)
 	m.stats.FusedInstructions += len(loops)
+	m.countFusedDTypes(p, cl.start, cl.end)
 	m.stats.Sweeps++
 	m.stats.Elements += n * len(loops)
 
@@ -216,35 +296,64 @@ func (m *Machine) execCluster(p *bytecode.Program, cl cluster) error {
 	return nil
 }
 
+// countFusedDTypes attributes the instructions in [start, end) to the
+// per-dtype fused counters by their output register's dtype.
+func (m *Machine) countFusedDTypes(p *bytecode.Program, start, end int) {
+	for i := start; i < end; i++ {
+		if ri, ok := p.Reg(p.Instrs[i].Out.Reg); ok {
+			m.stats.FusedByDType.add(ri.DType, 1)
+		}
+	}
+}
+
+// compileStep compiles one cluster instruction into a raw-slice loop,
+// dispatching on the output register's storage dtype.
 func (m *Machine) compileStep(p *bytecode.Program, in *bytecode.Instruction, n int) (func(lo, hi int), error) {
 	outBuf, err := m.regs.ensure(p, in.Out.Reg)
 	if err != nil {
 		return nil, err
 	}
-	raw, ok := tensor.Float64s(outBuf)
+	switch outBuf.DType() {
+	case tensor.Float64:
+		return compileStepTyped[float64](m, p, in, n, outBuf)
+	case tensor.Float32:
+		return compileStepTyped[float32](m, p, in, n, outBuf)
+	case tensor.Int64:
+		return compileStepTyped[int64](m, p, in, n, outBuf)
+	case tensor.Int32:
+		return compileStepTyped[int32](m, p, in, n, outBuf)
+	case tensor.Bool, tensor.Uint8:
+		return compileStepTyped[uint8](m, p, in, n, outBuf)
+	default:
+		return nil, fmt.Errorf("fused output %s has unsupported dtype %v", in.Out.Reg, outBuf.DType())
+	}
+}
+
+func compileStepTyped[T tensor.Elem](m *Machine, p *bytecode.Program, in *bytecode.Instruction, n int, outBuf tensor.Buffer) (func(lo, hi int), error) {
+	raw, ok := tensor.RawSlice[T](outBuf)
 	if !ok {
-		return nil, fmt.Errorf("fused output %s is not float64", in.Out.Reg)
+		return nil, fmt.Errorf("fused output %s is not %v", in.Out.Reg, outBuf.DType())
 	}
 	dst := raw[in.Out.View.Offset : in.Out.View.Offset+n]
 
-	srcs := make([]rawSrc, 0, 2)
+	srcs := make([]rawSrc[T], 0, 2)
 	for _, opnd := range in.Inputs() {
 		if opnd.IsConst() {
-			srcs = append(srcs, rawSrc{c: opnd.Const.Float()})
+			srcs = append(srcs, rawSrc[T]{cf: opnd.Const.Float(), ci: opnd.Const.Int()})
 			continue
 		}
 		buf, err := m.regs.ensure(p, opnd.Reg)
 		if err != nil {
 			return nil, err
 		}
-		sraw, ok := tensor.Float64s(buf)
+		sraw, ok := tensor.RawSlice[T](buf)
 		if !ok {
-			return nil, fmt.Errorf("fused input %s is not float64", opnd.Reg)
+			return nil, fmt.Errorf("fused input %s is not %v", opnd.Reg, outBuf.DType())
 		}
-		srcs = append(srcs, rawSrc{arr: sraw[opnd.View.Offset : opnd.View.Offset+n]})
+		srcs = append(srcs, rawSrc[T]{arr: sraw[opnd.View.Offset : opnd.View.Offset+n]})
 	}
 
-	loop, ok := compileLoop(in.Op, dst, srcs)
+	loop, ok := compileLoop(outBuf.DType(), in.Op, dst, srcs)
 	if !ok {
 		return nil, fmt.Errorf("no compiled loop for %s", in.Op)
 	}

@@ -13,10 +13,13 @@ import (
 // slices) run as a single sweep with one shared odometer driving a cursor
 // per operand. Each odometer advance in dimension d moves every cursor by
 // a precomputed delta — O(1) per element, no per-element index math.
+// Element access is compiled per step for the step's storage dtype, with
+// the same computation-class semantics as the contiguous loops.
 
-// cursor walks one operand's buffer along the shared iteration shape.
+// cursor tracks one operand's buffer position along the shared iteration
+// shape. It carries positions only; typed array access lives in the step
+// closures.
 type cursor struct {
-	arr []float64
 	// offset is the start index for element 0 of the iteration space.
 	offset int
 	// strides are per-dimension element strides in the shared shape.
@@ -27,9 +30,9 @@ type cursor struct {
 	idx   int
 }
 
-func newCursor(arr []float64, v tensor.View) *cursor {
+func newCursor(v tensor.View) *cursor {
 	n := v.NDim()
-	c := &cursor{arr: arr, offset: v.Offset, strides: append([]int(nil), v.Strides...), delta: make([]int, n)}
+	c := &cursor{offset: v.Offset, strides: append([]int(nil), v.Strides...), delta: make([]int, n)}
 	for d := 0; d < n; d++ {
 		back := 0
 		for k := d + 1; k < n; k++ {
@@ -53,14 +56,17 @@ func (c *cursor) seek(shape []int, i int) {
 	c.idx = idx
 }
 
-// stridedStep is one instruction compiled for the strided sweep. Constant
-// operands carry a nil cursor and the constant value.
-type stridedStep struct {
-	dst    *cursor
-	unary  func(float64) float64
-	binary func(float64, float64) float64
-	a, b   *cursor
-	ca, cb float64
+// stridedStep executes one compiled instruction at the cursors' current
+// positions.
+type stridedStep func()
+
+// typedOperand is a source operand of a strided step: a typed array walked
+// by a cursor, or a constant carried in both computation classes.
+type typedOperand[T tensor.Elem] struct {
+	arr []T
+	cur *cursor // nil for constants
+	cf  float64
+	ci  int64
 }
 
 // execClusterStrided runs a same-shape cluster as one fused sweep.
@@ -69,78 +75,11 @@ func (m *Machine) execClusterStrided(p *bytecode.Program, cl cluster, shape tens
 		var steps []stridedStep
 		var cursors []*cursor
 		for i := cl.start; i < cl.end; i++ {
-			in := &p.Instrs[i]
-			outBuf, err := m.regs.ensure(p, in.Out.Reg)
+			step, err := m.compileStridedStep(p, &p.Instrs[i], shape, &cursors)
 			if err != nil {
-				return nil, nil, err
+				return nil, nil, instrErr(p, i, err)
 			}
-			raw, ok := tensor.Float64s(outBuf)
-			if !ok {
-				return nil, nil, fmt.Errorf("fused output %s is not float64", in.Out.Reg)
-			}
-			st := stridedStep{dst: newCursor(raw, in.Out.View)}
-			cursors = append(cursors, st.dst)
-
-			operandCursor := func(o bytecode.Operand) (*cursor, float64, error) {
-				if o.IsConst() {
-					return nil, o.Const.Float(), nil
-				}
-				buf, err := m.regs.ensure(p, o.Reg)
-				if err != nil {
-					return nil, 0, err
-				}
-				sraw, ok := tensor.Float64s(buf)
-				if !ok {
-					return nil, 0, fmt.Errorf("fused input %s is not float64", o.Reg)
-				}
-				// Broadcast singleton inputs to the shared shape so the
-				// cursor's strides align with the odometer.
-				view := o.View
-				if !view.Shape.Equal(shape) {
-					bv, err := view.BroadcastTo(shape)
-					if err != nil {
-						return nil, 0, err
-					}
-					view = bv
-				}
-				c := newCursor(sraw, view)
-				cursors = append(cursors, c)
-				return c, 0, nil
-			}
-
-			inputs := in.Inputs()
-			switch len(inputs) {
-			case 1:
-				k, ok := floatUnaryKernel(in.Op)
-				if !ok {
-					return nil, nil, fmt.Errorf("no unary kernel for %s", in.Op)
-				}
-				st.unary = k
-				c, cv, err := operandCursor(inputs[0])
-				if err != nil {
-					return nil, nil, err
-				}
-				st.a, st.ca = c, cv
-			case 2:
-				k, ok := floatBinaryKernel(in.Op)
-				if !ok {
-					return nil, nil, fmt.Errorf("no binary kernel for %s", in.Op)
-				}
-				st.binary = k
-				c, cv, err := operandCursor(inputs[0])
-				if err != nil {
-					return nil, nil, err
-				}
-				st.a, st.ca = c, cv
-				c, cv, err = operandCursor(inputs[1])
-				if err != nil {
-					return nil, nil, err
-				}
-				st.b, st.cb = c, cv
-			default:
-				return nil, nil, fmt.Errorf("fused %s has %d inputs", in.Op, len(inputs))
-			}
-			steps = append(steps, st)
+			steps = append(steps, step)
 		}
 		return steps, cursors, nil
 	}
@@ -154,6 +93,7 @@ func (m *Machine) execClusterStrided(p *bytecode.Program, cl cluster, shape tens
 	n := shape.Size()
 	m.stats.Instructions += cl.end - cl.start
 	m.stats.FusedInstructions += cl.end - cl.start
+	m.countFusedDTypes(p, cl.start, cl.end)
 	m.stats.Sweeps++
 	m.stats.Elements += n * (cl.end - cl.start)
 
@@ -171,24 +111,8 @@ func (m *Machine) execClusterStrided(p *bytecode.Program, cl cluster, shape tens
 		}
 		coords := unflatten(dims, lo)
 		for i := lo; i < hi; i++ {
-			for s := range steps {
-				st := &steps[s]
-				if st.unary != nil {
-					v := st.ca
-					if st.a != nil {
-						v = st.a.arr[st.a.idx]
-					}
-					st.dst.arr[st.dst.idx] = st.unary(v)
-					continue
-				}
-				av, bv := st.ca, st.cb
-				if st.a != nil {
-					av = st.a.arr[st.a.idx]
-				}
-				if st.b != nil {
-					bv = st.b.arr[st.b.idx]
-				}
-				st.dst.arr[st.dst.idx] = st.binary(av, bv)
+			for _, step := range steps {
+				step()
 			}
 			// Advance the shared odometer and every cursor by the
 			// matching per-dimension delta.
@@ -205,6 +129,139 @@ func (m *Machine) execClusterStrided(p *bytecode.Program, cl cluster, shape tens
 		}
 	})
 	return firstErr
+}
+
+// compileStridedStep compiles one instruction for the odometer sweep,
+// dispatching on the output register's storage dtype. New cursors are
+// appended to *cursors so the caller can drive them with the odometer.
+func (m *Machine) compileStridedStep(p *bytecode.Program, in *bytecode.Instruction, shape tensor.Shape, cursors *[]*cursor) (stridedStep, error) {
+	outBuf, err := m.regs.ensure(p, in.Out.Reg)
+	if err != nil {
+		return nil, err
+	}
+	switch outBuf.DType() {
+	case tensor.Float64:
+		return compileStridedTyped[float64](m, p, in, outBuf, shape, cursors)
+	case tensor.Float32:
+		return compileStridedTyped[float32](m, p, in, outBuf, shape, cursors)
+	case tensor.Int64:
+		return compileStridedTyped[int64](m, p, in, outBuf, shape, cursors)
+	case tensor.Int32:
+		return compileStridedTyped[int32](m, p, in, outBuf, shape, cursors)
+	case tensor.Bool, tensor.Uint8:
+		return compileStridedTyped[uint8](m, p, in, outBuf, shape, cursors)
+	default:
+		return nil, fmt.Errorf("fused output %s has unsupported dtype %v", in.Out.Reg, outBuf.DType())
+	}
+}
+
+func compileStridedTyped[T tensor.Elem](m *Machine, p *bytecode.Program, in *bytecode.Instruction, outBuf tensor.Buffer, shape tensor.Shape, cursors *[]*cursor) (stridedStep, error) {
+	dstArr, ok := tensor.RawSlice[T](outBuf)
+	if !ok {
+		return nil, fmt.Errorf("fused output %s is not %v", in.Out.Reg, outBuf.DType())
+	}
+	dstCur := newCursor(in.Out.View)
+	*cursors = append(*cursors, dstCur)
+
+	ins := make([]typedOperand[T], 0, 2)
+	for _, opnd := range in.Inputs() {
+		if opnd.IsConst() {
+			ins = append(ins, typedOperand[T]{cf: opnd.Const.Float(), ci: opnd.Const.Int()})
+			continue
+		}
+		buf, err := m.regs.ensure(p, opnd.Reg)
+		if err != nil {
+			return nil, err
+		}
+		arr, ok := tensor.RawSlice[T](buf)
+		if !ok {
+			return nil, fmt.Errorf("fused input %s is not %v", opnd.Reg, outBuf.DType())
+		}
+		// Broadcast singleton inputs to the shared shape so the cursor's
+		// strides align with the odometer.
+		view := opnd.View
+		if !view.Shape.Equal(shape) {
+			bv, err := view.BroadcastTo(shape)
+			if err != nil {
+				return nil, err
+			}
+			view = bv
+		}
+		cur := newCursor(view)
+		*cursors = append(*cursors, cur)
+		ins = append(ins, typedOperand[T]{arr: arr, cur: cur})
+	}
+	return makeStridedStep(outBuf.DType(), in.Op, dstArr, dstCur, ins)
+}
+
+// loadFloat/loadInt build class loaders reading the operand at its
+// cursor's current position.
+func loadFloat[T tensor.Elem](o typedOperand[T]) func() float64 {
+	if o.cur == nil {
+		c := o.cf
+		return func() float64 { return c }
+	}
+	arr, cur := o.arr, o.cur
+	return func() float64 { return float64(arr[cur.idx]) }
+}
+
+func loadInt[T tensor.Elem](o typedOperand[T]) func() int64 {
+	if o.cur == nil {
+		c := o.ci
+		return func() int64 { return c }
+	}
+	arr, cur := o.arr, o.cur
+	return func() int64 { return int64(arr[cur.idx]) }
+}
+
+// makeStridedStep compiles the per-element body for one instruction with
+// the same class rules as compileLoop: float dtypes use the float64
+// kernels, integer dtypes the int64 kernels (float fallback when none),
+// bool normalizes every store to 0/1.
+func makeStridedStep[T tensor.Elem](dt tensor.DType, op bytecode.Opcode, dstArr []T, dstCur *cursor, ins []typedOperand[T]) (stridedStep, error) {
+	isBool := dt == tensor.Bool
+	switch len(ins) {
+	case 1:
+		if !dt.IsFloat() {
+			if k, ok := intUnaryKernel(op); ok {
+				la := loadInt(ins[0])
+				if isBool {
+					return func() { dstArr[dstCur.idx] = b01[T](k(la()) != 0) }, nil
+				}
+				return func() { dstArr[dstCur.idx] = T(k(la())) }, nil
+			}
+		}
+		k, ok := floatUnaryKernel(op)
+		if !ok {
+			return nil, fmt.Errorf("no unary kernel for %s", op)
+		}
+		la := loadFloat(ins[0])
+		if isBool {
+			return func() { dstArr[dstCur.idx] = b01[T](k(la()) != 0) }, nil
+		}
+		return func() { dstArr[dstCur.idx] = T(k(la())) }, nil
+	case 2:
+		if !dt.IsFloat() {
+			if k, ok := intBinaryKernel(op); ok {
+				la, lb := loadInt(ins[0]), loadInt(ins[1])
+				if isBool {
+					return func() { dstArr[dstCur.idx] = b01[T](k(la(), lb()) != 0) }, nil
+				}
+				return func() { dstArr[dstCur.idx] = T(k(la(), lb())) }, nil
+			}
+		}
+		k, ok := floatBinaryKernel(op)
+		if !ok {
+			return nil, fmt.Errorf("no binary kernel for %s", op)
+		}
+		la, lb := loadFloat(ins[0]), loadFloat(ins[1])
+		if isBool {
+			return func() { dstArr[dstCur.idx] = b01[T](k(la(), lb()) != 0) }, nil
+		}
+		return func() { dstArr[dstCur.idx] = T(k(la(), lb())) }, nil
+	default:
+		return nil, fmt.Errorf("fused %s has %d inputs", op, len(ins))
+	}
 }
 
 func unflatten(dims []int, i int) []int {

@@ -170,21 +170,80 @@ BH_SYNC a0 [0:36:1]
 	runBoth(t, p)
 }
 
-func TestFusionBreaksOnDTypes(t *testing.T) {
+func TestFusionBreaksOnMixedDTypeStep(t *testing.T) {
+	// A single step whose operands mix dtypes (the cast below reads int64
+	// into a float64 result) must stay out of fused clusters — conversion
+	// semantics belong to the accessor path.
 	p := bytecode.MustParse(`
 .reg a0 float64 100
 .reg a1 int64 100
-BH_IDENTITY a0 0
-BH_IDENTITY a1 0
+BH_IDENTITY a1 3
 BH_ADD a1 a1 1
+BH_IDENTITY a0 a1
+BH_ADD a0 a0 0.5
+BH_SYNC a0
 `)
 	m := New(Config{Fusion: true})
 	defer m.Close()
 	for _, c := range m.planClusters(p) {
-		if c.fused {
-			t.Errorf("int64 instructions entered a fused cluster: %+v", c)
+		if !c.fused {
+			continue
+		}
+		for i := c.start; i < c.end; i++ {
+			in := &p.Instrs[i]
+			if in.Op == bytecode.OpIdentity && in.Out.Reg == 0 {
+				t.Errorf("mixed-dtype cast fused: %+v", c)
+			}
 		}
 	}
+	runBoth(t, p)
+}
+
+func TestFusionClustersEveryDType(t *testing.T) {
+	// Uniform-dtype chains fuse for every supported dtype, and steps of
+	// different dtypes may share one cluster when shapes agree.
+	for _, dt := range []string{"float64", "float32", "int64", "int32", "uint8"} {
+		t.Run(dt, func(t *testing.T) {
+			p := bytecode.MustParse(`
+.reg a0 ` + dt + ` 100
+BH_IDENTITY a0 2
+BH_ADD a0 a0 3
+BH_MULTIPLY a0 a0 a0
+BH_SYNC a0
+`)
+			m := New(Config{Fusion: true})
+			defer m.Close()
+			fusedRun := false
+			for _, c := range m.planClusters(p) {
+				if c.fused && c.end-c.start == 3 {
+					fusedRun = true
+				}
+			}
+			if !fusedRun {
+				t.Errorf("%s chain did not fuse: %+v", dt, m.planClusters(p))
+			}
+			runBoth(t, p)
+		})
+	}
+	// Cross-dtype cluster: float64 and int64 steps over one shape fuse
+	// into a single sweep, each step with its own typed loop.
+	p := bytecode.MustParse(`
+.reg a0 float64 100
+.reg a1 int64 100
+BH_IDENTITY a0 0.5
+BH_IDENTITY a1 3
+BH_ADD a0 a0 1.5
+BH_ADD a1 a1 1
+BH_SYNC a0
+BH_SYNC a1
+`)
+	m := New(Config{Fusion: true})
+	defer m.Close()
+	clusters := m.planClusters(p)
+	if !clusters[0].fused || clusters[0].end-clusters[0].start != 4 {
+		t.Errorf("cross-dtype cluster did not form: %+v", clusters)
+	}
+	runBoth(t, p)
 }
 
 func TestFusionSkipsMisalignedSelfOverlap(t *testing.T) {

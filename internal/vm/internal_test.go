@@ -77,8 +77,7 @@ func TestCursorSeekMatchesIterator(t *testing.T) {
 			Shape:   shape,
 			Strides: []int{int(st%3)*7 + 8, 2},
 		}
-		arr := make([]float64, 512)
-		c := newCursor(arr, v)
+		c := newCursor(v)
 
 		// Collect ground-truth indices.
 		var want []int

@@ -4,37 +4,64 @@ import (
 	"math"
 
 	"bohrium/internal/bytecode"
+	"bohrium/internal/tensor"
 )
 
-// Compiled loop bodies for contiguous float64 operands. compileLoop turns
-// one instruction into a range-callable closure with the arithmetic
-// inlined; the single-sweep fast path calls it across worker chunks, and
-// fused clusters call it per cache-sized block — the interpreted
-// equivalent of the kernel the paper's OpenCL backend would JIT.
-func compileLoop(op bytecode.Opcode, dst []float64, srcs []rawSrc) (func(lo, hi int), bool) {
-	switch len(srcs) {
-	case 1:
-		return compileUnaryLoop(op, dst, srcs[0])
-	case 2:
-		return compileBinaryLoop(op, dst, srcs[0], srcs[1])
+// Compiled loop bodies for contiguous operands of any storage dtype.
+// compileLoop turns one instruction into a range-callable closure with the
+// arithmetic inlined; the single-sweep fast path calls it across worker
+// chunks, and fused clusters call it per cache-sized block — the
+// interpreted equivalent of the kernel the paper's OpenCL backend would
+// JIT, instantiated per element type through Go generics.
+//
+// Semantics are pinned to the interpreted accessor path: float dtypes
+// compute in the float64 class and convert back through the storage type
+// (a no-op for float64; innocuous double rounding for float32 +,-,*,/),
+// integer dtypes compute in the exact int64 class (falling back to the
+// float class for ops with no integer kernel, exactly as slowElementwise
+// does), and bool stores normalize to 0/1 the way Buffer.Set/SetInt do.
+// This keeps fused execution bit-identical to the interpreter for every
+// dtype.
+func compileLoop[T tensor.Elem](dt tensor.DType, op bytecode.Opcode, dst []T, srcs []rawSrc[T]) (func(lo, hi int), bool) {
+	switch {
+	case dt == tensor.Bool:
+		return compileBoolLoop(op, dst, srcs)
+	case dt.IsFloat():
+		switch len(srcs) {
+		case 1:
+			return compileFloatUnaryLoop(op, dst, srcs[0])
+		case 2:
+			return compileFloatBinaryLoop(op, dst, srcs[0], srcs[1])
+		}
 	default:
-		return nil, false
+		switch len(srcs) {
+		case 1:
+			return compileIntUnaryLoop(op, dst, srcs[0])
+		case 2:
+			return compileIntBinaryLoop(op, dst, srcs[0], srcs[1])
+		}
+	}
+	return nil, false
+}
+
+// fillLoop writes the constant c across the range.
+func fillLoop[T tensor.Elem](dst []T, c T) func(lo, hi int) {
+	return func(lo, hi int) {
+		d := dst[lo:hi]
+		for i := range d {
+			d[i] = c
+		}
 	}
 }
 
-func compileUnaryLoop(op bytecode.Opcode, dst []float64, s rawSrc) (func(lo, hi int), bool) {
+func compileFloatUnaryLoop[T tensor.Elem](op bytecode.Opcode, dst []T, s rawSrc[T]) (func(lo, hi int), bool) {
 	if op == bytecode.OpIdentity {
 		if s.arr == nil {
-			c := s.c
-			return func(lo, hi int) {
-				d := dst[lo:hi]
-				for i := range d {
-					d[i] = c
-				}
-			}, true
+			return fillLoop(dst, T(s.cf)), true
 		}
+		arr := s.arr
 		return func(lo, hi int) {
-			copy(dst[lo:hi], s.arr[lo:hi])
+			copy(dst[lo:hi], arr[lo:hi])
 		}, true
 	}
 	k, ok := floatUnaryKernel(op)
@@ -42,35 +69,29 @@ func compileUnaryLoop(op bytecode.Opcode, dst []float64, s rawSrc) (func(lo, hi 
 		return nil, false
 	}
 	if s.arr == nil {
-		c := k(s.c)
-		return func(lo, hi int) {
-			d := dst[lo:hi]
-			for i := range d {
-				d[i] = c
-			}
-		}, true
+		return fillLoop(dst, T(k(s.cf))), true
 	}
 	arr := s.arr
 	return func(lo, hi int) {
 		d, a := dst[lo:hi], arr[lo:hi]
 		for i := range d {
-			d[i] = k(a[i])
+			d[i] = T(k(float64(a[i])))
 		}
 	}, true
 }
 
-func compileBinaryLoop(op bytecode.Opcode, dst []float64, a, b rawSrc) (func(lo, hi int), bool) {
+func compileFloatBinaryLoop[T tensor.Elem](op bytecode.Opcode, dst []T, a, b rawSrc[T]) (func(lo, hi int), bool) {
 	// Hand-inlined forms for the memory-bound sweeps the paper's
 	// transformations count.
 	switch op {
 	case bytecode.OpAdd:
 		switch {
 		case a.arr != nil && b.arr == nil:
-			x, c := a.arr, b.c
+			x, c := a.arr, b.cf
 			return func(lo, hi int) {
 				d, xs := dst[lo:hi], x[lo:hi]
 				for i := range d {
-					d[i] = xs[i] + c
+					d[i] = T(float64(xs[i]) + c)
 				}
 			}, true
 		case a.arr != nil && b.arr != nil:
@@ -78,18 +99,18 @@ func compileBinaryLoop(op bytecode.Opcode, dst []float64, a, b rawSrc) (func(lo,
 			return func(lo, hi int) {
 				d, xs, ys := dst[lo:hi], x[lo:hi], y[lo:hi]
 				for i := range d {
-					d[i] = xs[i] + ys[i]
+					d[i] = T(float64(xs[i]) + float64(ys[i]))
 				}
 			}, true
 		}
 	case bytecode.OpSubtract:
 		switch {
 		case a.arr != nil && b.arr == nil:
-			x, c := a.arr, b.c
+			x, c := a.arr, b.cf
 			return func(lo, hi int) {
 				d, xs := dst[lo:hi], x[lo:hi]
 				for i := range d {
-					d[i] = xs[i] - c
+					d[i] = T(float64(xs[i]) - c)
 				}
 			}, true
 		case a.arr != nil && b.arr != nil:
@@ -97,18 +118,18 @@ func compileBinaryLoop(op bytecode.Opcode, dst []float64, a, b rawSrc) (func(lo,
 			return func(lo, hi int) {
 				d, xs, ys := dst[lo:hi], x[lo:hi], y[lo:hi]
 				for i := range d {
-					d[i] = xs[i] - ys[i]
+					d[i] = T(float64(xs[i]) - float64(ys[i]))
 				}
 			}, true
 		}
 	case bytecode.OpMultiply:
 		switch {
 		case a.arr != nil && b.arr == nil:
-			x, c := a.arr, b.c
+			x, c := a.arr, b.cf
 			return func(lo, hi int) {
 				d, xs := dst[lo:hi], x[lo:hi]
 				for i := range d {
-					d[i] = xs[i] * c
+					d[i] = T(float64(xs[i]) * c)
 				}
 			}, true
 		case a.arr != nil && b.arr != nil:
@@ -116,18 +137,18 @@ func compileBinaryLoop(op bytecode.Opcode, dst []float64, a, b rawSrc) (func(lo,
 			return func(lo, hi int) {
 				d, xs, ys := dst[lo:hi], x[lo:hi], y[lo:hi]
 				for i := range d {
-					d[i] = xs[i] * ys[i]
+					d[i] = T(float64(xs[i]) * float64(ys[i]))
 				}
 			}, true
 		}
 	case bytecode.OpDivide:
 		switch {
 		case a.arr != nil && b.arr == nil:
-			x, c := a.arr, b.c
+			x, c := a.arr, b.cf
 			return func(lo, hi int) {
 				d, xs := dst[lo:hi], x[lo:hi]
 				for i := range d {
-					d[i] = xs[i] / c
+					d[i] = T(float64(xs[i]) / c)
 				}
 			}, true
 		case a.arr != nil && b.arr != nil:
@@ -135,7 +156,7 @@ func compileBinaryLoop(op bytecode.Opcode, dst []float64, a, b rawSrc) (func(lo,
 			return func(lo, hi int) {
 				d, xs, ys := dst[lo:hi], x[lo:hi], y[lo:hi]
 				for i := range d {
-					d[i] = xs[i] / ys[i]
+					d[i] = T(float64(xs[i]) / float64(ys[i]))
 				}
 			}, true
 		}
@@ -143,11 +164,11 @@ func compileBinaryLoop(op bytecode.Opcode, dst []float64, a, b rawSrc) (func(lo,
 		// The expensive sweep power expansion eliminates: keep it honest
 		// (a real math.Pow per element, as the OpenCL backend's pow()).
 		if a.arr != nil && b.arr == nil {
-			x, c := a.arr, b.c
+			x, c := a.arr, b.cf
 			return func(lo, hi int) {
 				d, xs := dst[lo:hi], x[lo:hi]
 				for i := range d {
-					d[i] = math.Pow(xs[i], c)
+					d[i] = T(math.Pow(float64(xs[i]), c))
 				}
 			}, true
 		}
@@ -159,27 +180,21 @@ func compileBinaryLoop(op bytecode.Opcode, dst []float64, a, b rawSrc) (func(lo,
 	}
 	switch {
 	case a.arr == nil && b.arr == nil:
-		c := k(a.c, b.c)
-		return func(lo, hi int) {
-			d := dst[lo:hi]
-			for i := range d {
-				d[i] = c
-			}
-		}, true
+		return fillLoop(dst, T(k(a.cf, b.cf))), true
 	case a.arr == nil:
-		y, c := b.arr, a.c
+		y, c := b.arr, a.cf
 		return func(lo, hi int) {
 			d, ys := dst[lo:hi], y[lo:hi]
 			for i := range d {
-				d[i] = k(c, ys[i])
+				d[i] = T(k(c, float64(ys[i])))
 			}
 		}, true
 	case b.arr == nil:
-		x, c := a.arr, b.c
+		x, c := a.arr, b.cf
 		return func(lo, hi int) {
 			d, xs := dst[lo:hi], x[lo:hi]
 			for i := range d {
-				d[i] = k(xs[i], c)
+				d[i] = T(k(float64(xs[i]), c))
 			}
 		}, true
 	default:
@@ -187,8 +202,253 @@ func compileBinaryLoop(op bytecode.Opcode, dst []float64, a, b rawSrc) (func(lo,
 		return func(lo, hi int) {
 			d, xs, ys := dst[lo:hi], x[lo:hi], y[lo:hi]
 			for i := range d {
-				d[i] = k(xs[i], ys[i])
+				d[i] = T(k(float64(xs[i]), float64(ys[i])))
 			}
 		}, true
 	}
+}
+
+func compileIntUnaryLoop[T tensor.Elem](op bytecode.Opcode, dst []T, s rawSrc[T]) (func(lo, hi int), bool) {
+	if k, ok := intUnaryKernel(op); ok {
+		if s.arr == nil {
+			return fillLoop(dst, T(k(s.ci))), true
+		}
+		arr := s.arr
+		return func(lo, hi int) {
+			d, a := dst[lo:hi], arr[lo:hi]
+			for i := range d {
+				d[i] = T(k(int64(a[i])))
+			}
+		}, true
+	}
+	// Transcendentals on integers compute in the float class and truncate
+	// back through the storage type, matching slowUnaryFloat + Buffer.Set.
+	k, ok := floatUnaryKernel(op)
+	if !ok {
+		return nil, false
+	}
+	if s.arr == nil {
+		return fillLoop(dst, T(k(s.cf))), true
+	}
+	arr := s.arr
+	return func(lo, hi int) {
+		d, a := dst[lo:hi], arr[lo:hi]
+		for i := range d {
+			d[i] = T(k(float64(a[i])))
+		}
+	}, true
+}
+
+func compileIntBinaryLoop[T tensor.Elem](op bytecode.Opcode, dst []T, a, b rawSrc[T]) (func(lo, hi int), bool) {
+	// Hand-inlined wrap-exact forms: widening to int64 and truncating back
+	// through T is identical to native T arithmetic for +,-,* and matches
+	// the interpreted int class for every width.
+	switch op {
+	case bytecode.OpAdd:
+		switch {
+		case a.arr != nil && b.arr == nil:
+			x, c := a.arr, b.ci
+			return func(lo, hi int) {
+				d, xs := dst[lo:hi], x[lo:hi]
+				for i := range d {
+					d[i] = T(int64(xs[i]) + c)
+				}
+			}, true
+		case a.arr != nil && b.arr != nil:
+			x, y := a.arr, b.arr
+			return func(lo, hi int) {
+				d, xs, ys := dst[lo:hi], x[lo:hi], y[lo:hi]
+				for i := range d {
+					d[i] = T(int64(xs[i]) + int64(ys[i]))
+				}
+			}, true
+		}
+	case bytecode.OpSubtract:
+		switch {
+		case a.arr != nil && b.arr == nil:
+			x, c := a.arr, b.ci
+			return func(lo, hi int) {
+				d, xs := dst[lo:hi], x[lo:hi]
+				for i := range d {
+					d[i] = T(int64(xs[i]) - c)
+				}
+			}, true
+		case a.arr != nil && b.arr != nil:
+			x, y := a.arr, b.arr
+			return func(lo, hi int) {
+				d, xs, ys := dst[lo:hi], x[lo:hi], y[lo:hi]
+				for i := range d {
+					d[i] = T(int64(xs[i]) - int64(ys[i]))
+				}
+			}, true
+		}
+	case bytecode.OpMultiply:
+		switch {
+		case a.arr != nil && b.arr == nil:
+			x, c := a.arr, b.ci
+			return func(lo, hi int) {
+				d, xs := dst[lo:hi], x[lo:hi]
+				for i := range d {
+					d[i] = T(int64(xs[i]) * c)
+				}
+			}, true
+		case a.arr != nil && b.arr != nil:
+			x, y := a.arr, b.arr
+			return func(lo, hi int) {
+				d, xs, ys := dst[lo:hi], x[lo:hi], y[lo:hi]
+				for i := range d {
+					d[i] = T(int64(xs[i]) * int64(ys[i]))
+				}
+			}, true
+		}
+	}
+	if k, ok := intBinaryKernel(op); ok {
+		switch {
+		case a.arr == nil && b.arr == nil:
+			return fillLoop(dst, T(k(a.ci, b.ci))), true
+		case a.arr == nil:
+			y, c := b.arr, a.ci
+			return func(lo, hi int) {
+				d, ys := dst[lo:hi], y[lo:hi]
+				for i := range d {
+					d[i] = T(k(c, int64(ys[i])))
+				}
+			}, true
+		case b.arr == nil:
+			x, c := a.arr, b.ci
+			return func(lo, hi int) {
+				d, xs := dst[lo:hi], x[lo:hi]
+				for i := range d {
+					d[i] = T(k(int64(xs[i]), c))
+				}
+			}, true
+		default:
+			x, y := a.arr, b.arr
+			return func(lo, hi int) {
+				d, xs, ys := dst[lo:hi], x[lo:hi], y[lo:hi]
+				for i := range d {
+					d[i] = T(k(int64(xs[i]), int64(ys[i])))
+				}
+			}, true
+		}
+	}
+	// Ops with no integer kernel (ARCTAN2) compute in the float class and
+	// truncate back, as the interpreted path does.
+	k, ok := floatBinaryKernel(op)
+	if !ok {
+		return nil, false
+	}
+	switch {
+	case a.arr == nil && b.arr == nil:
+		return fillLoop(dst, T(k(a.cf, b.cf))), true
+	case a.arr == nil:
+		y, c := b.arr, a.cf
+		return func(lo, hi int) {
+			d, ys := dst[lo:hi], y[lo:hi]
+			for i := range d {
+				d[i] = T(k(c, float64(ys[i])))
+			}
+		}, true
+	case b.arr == nil:
+		x, c := a.arr, b.cf
+		return func(lo, hi int) {
+			d, xs := dst[lo:hi], x[lo:hi]
+			for i := range d {
+				d[i] = T(k(float64(xs[i]), c))
+			}
+		}, true
+	default:
+		x, y := a.arr, b.arr
+		return func(lo, hi int) {
+			d, xs, ys := dst[lo:hi], x[lo:hi], y[lo:hi]
+			for i := range d {
+				d[i] = T(k(float64(xs[i]), float64(ys[i])))
+			}
+		}, true
+	}
+}
+
+// compileBoolLoop handles dtype bool (uint8 storage): values compute in
+// the int class where a kernel exists (float class otherwise) and every
+// store normalizes to 0/1 exactly as Buffer.Set/SetInt do.
+func compileBoolLoop[T tensor.Elem](op bytecode.Opcode, dst []T, srcs []rawSrc[T]) (func(lo, hi int), bool) {
+	switch len(srcs) {
+	case 1:
+		s := srcs[0]
+		if k, ok := intUnaryKernel(op); ok {
+			if s.arr == nil {
+				return fillLoop(dst, b01[T](k(s.ci) != 0)), true
+			}
+			arr := s.arr
+			return func(lo, hi int) {
+				d, a := dst[lo:hi], arr[lo:hi]
+				for i := range d {
+					d[i] = b01[T](k(int64(a[i])) != 0)
+				}
+			}, true
+		}
+		k, ok := floatUnaryKernel(op)
+		if !ok {
+			return nil, false
+		}
+		if s.arr == nil {
+			return fillLoop(dst, b01[T](k(s.cf) != 0)), true
+		}
+		arr := s.arr
+		return func(lo, hi int) {
+			d, a := dst[lo:hi], arr[lo:hi]
+			for i := range d {
+				d[i] = b01[T](k(float64(a[i])) != 0)
+			}
+		}, true
+	case 2:
+		a, b := srcs[0], srcs[1]
+		if k, ok := intBinaryKernel(op); ok {
+			la, lb := intLoad(a), intLoad(b)
+			return func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					dst[i] = b01[T](k(la(i), lb(i)) != 0)
+				}
+			}, true
+		}
+		k, ok := floatBinaryKernel(op)
+		if !ok {
+			return nil, false
+		}
+		la, lb := floatLoad(a), floatLoad(b)
+		return func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				dst[i] = b01[T](k(la(i), lb(i)) != 0)
+			}
+		}, true
+	}
+	return nil, false
+}
+
+// b01 is the bool-normalized store value.
+func b01[T tensor.Elem](v bool) T {
+	if v {
+		return 1
+	}
+	return 0
+}
+
+// intLoad/floatLoad build per-index class loaders for a source, used by
+// the (cold) bool path where per-element closure calls are acceptable.
+func intLoad[T tensor.Elem](s rawSrc[T]) func(i int) int64 {
+	if s.arr == nil {
+		c := s.ci
+		return func(int) int64 { return c }
+	}
+	arr := s.arr
+	return func(i int) int64 { return int64(arr[i]) }
+}
+
+func floatLoad[T tensor.Elem](s rawSrc[T]) func(i int) float64 {
+	if s.arr == nil {
+		c := s.cf
+		return func(int) float64 { return c }
+	}
+	arr := s.arr
+	return func(i int) float64 { return float64(arr[i]) }
 }

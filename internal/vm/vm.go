@@ -57,6 +57,43 @@ type Machine struct {
 	pool  *workerPool
 }
 
+// DTypeCounts holds one counter per dtype, indexed by tensor.DType. It is
+// a fixed-size array (not a map) so Stats stays a plain copyable value.
+type DTypeCounts [8]int
+
+func (c *DTypeCounts) add(dt tensor.DType, n int) {
+	if dt > 0 && int(dt) < len(c) {
+		c[dt] += n
+	}
+}
+
+// Get returns the counter for dt.
+func (c DTypeCounts) Get(dt tensor.DType) int {
+	if dt > 0 && int(dt) < len(c) {
+		return c[dt]
+	}
+	return 0
+}
+
+// String formats the non-zero counters as "float64:3 int32:1" in dtype
+// declaration order, or "-" when all are zero.
+func (c DTypeCounts) String() string {
+	out := ""
+	for dt := tensor.DType(1); int(dt) < len(c); dt++ {
+		if c[dt] == 0 || !dt.Valid() {
+			continue
+		}
+		if out != "" {
+			out += " "
+		}
+		out += fmt.Sprintf("%s:%d", dt, c[dt])
+	}
+	if out == "" {
+		return "-"
+	}
+	return out
+}
+
 // Stats counts execution work, for experiment tables and fusion ablations.
 type Stats struct {
 	// Instructions executed, excluding system byte-codes.
@@ -67,6 +104,14 @@ type Stats struct {
 	// FusedInstructions is how many instructions ran inside multi-op
 	// sweeps.
 	FusedInstructions int
+	// FusedReductions counts reductions executed as the epilogue of a
+	// fused producer sweep: the elementwise chain feeding the reduction
+	// was folded into its accumulation loop, and producer temporaries
+	// that were dead afterwards were never materialized.
+	FusedReductions int
+	// FusedByDType counts instructions executed inside fused sweeps,
+	// keyed by each instruction's output dtype.
+	FusedByDType DTypeCounts
 	// Elements processed, summed over instructions.
 	Elements int
 	// BuffersAllocated counts fresh register-buffer allocations.
