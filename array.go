@@ -25,10 +25,16 @@ import (
 // Call Keep on a temporary you want to read after an unrelated flush;
 // reading values (Data, At, Scalar, String) keeps the array automatically.
 type Array struct {
-	ctx   *Context
-	reg   bytecode.RegID
-	view  tensor.View
-	dt    tensor.DType
+	ctx  *Context
+	reg  bytecode.RegID
+	view tensor.View
+	dt   tensor.DType
+	// gen snapshots the register's generation at handle creation. Free
+	// bumps the context's counter, so every alias of a freed register —
+	// not just the handle Free was called on — fails the check() match.
+	// That makes use-after-free deterministic even though freed register
+	// ids are recycled for later arrays.
+	gen   uint64
 	freed bool
 }
 
@@ -57,7 +63,7 @@ func (a *Array) operand() bytecode.Operand {
 }
 
 func (a *Array) check() {
-	if a.freed {
+	if a.freed || a.gen != a.ctx.regGen[a.reg] {
 		panic("bohrium: use of freed array")
 	}
 	if a.ctx.closed {
@@ -381,7 +387,7 @@ func (a *Array) Reshape(dims ...int) (*Array, error) {
 }
 
 func (a *Array) alias(v tensor.View) *Array {
-	return &Array{ctx: a.ctx, reg: a.reg, view: v, dt: a.dt}
+	return &Array{ctx: a.ctx, reg: a.reg, view: v, dt: a.dt, gen: a.gen}
 }
 
 // Materialization and data access.
@@ -452,7 +458,7 @@ func (a *Array) At(coords ...int) (float64, error) {
 // String flushes and renders the array NumPy-style. Render errors are
 // reported inline (String cannot fail).
 func (a *Array) String() string {
-	if a.freed {
+	if a.freed || a.gen != a.ctx.regGen[a.reg] {
 		return "<freed array>"
 	}
 	a.Sync()
@@ -467,10 +473,13 @@ func (a *Array) String() string {
 }
 
 // Free records a BH_FREE for the register and invalidates this handle.
-// Other aliases of the same register become invalid too.
+// Other aliases of the same register become invalid too: the register's
+// generation advances, so any later use through a stale alias panics
+// instead of silently touching whatever array recycles the id.
 func (a *Array) Free() {
 	a.check()
 	a.ctx.pending.EmitFree(a.operand())
 	delete(a.ctx.keptRegs, a.reg)
+	a.ctx.regGen[a.reg]++
 	a.freed = true
 }

@@ -48,7 +48,16 @@ type Config struct {
 	ParallelThreshold int
 	// DisableFusion turns off fused-sweep execution.
 	DisableFusion bool
-	// CollectReports keeps per-flush optimizer reports (LastReport).
+	// PlanCacheSize caps the fingerprint-keyed plan cache, in entries.
+	// Flushing a batch whose structure was compiled before skips the
+	// whole rewrite pipeline and fusion analysis and re-executes the
+	// cached plan with the current buffer bindings. Zero selects
+	// vm.DefaultPlanCacheSize; negative disables the cache (every flush
+	// pays the full pipeline, as before).
+	PlanCacheSize int
+	// CollectReports keeps per-flush optimizer reports (LastReport). A
+	// plan-cache hit skips the optimizer, so LastReport keeps describing
+	// the most recent *compiled* flush.
 	CollectReports bool
 }
 
@@ -63,8 +72,20 @@ type Context struct {
 	pending  *bytecode.Program
 	defined  map[bytecode.RegID]bool // registers materialized by earlier flushes
 	keptRegs map[bytecode.RegID]bool // registers whose values must survive flushes
-	lastRep  *rewrite.Report
-	closed   bool
+	// freeRegs stacks register ids whose buffers were freed by an earlier
+	// flush; new temporaries reuse them (LIFO). Reuse keeps iterative
+	// workloads structurally stable: the batch an iteration records names
+	// the same registers as the previous iteration's, so its fingerprint
+	// repeats and the plan cache hits.
+	freeRegs []bytecode.RegID
+	inFree   map[bytecode.RegID]bool
+	// regGen counts each register's Free events. Array handles snapshot
+	// the generation at creation and panic on use after it advances —
+	// the guard that makes register-id recycling safe against stale
+	// aliases (Slice/Transpose handles of a freed array).
+	regGen  map[bytecode.RegID]uint64
+	lastRep *rewrite.Report
+	closed  bool
 }
 
 // NewContext creates a session. Pass nil for defaults.
@@ -84,10 +105,13 @@ func NewContext(cfg *Config) *Context {
 			Workers:           c.Workers,
 			ParallelThreshold: c.ParallelThreshold,
 			Fusion:            !c.DisableFusion,
+			PlanCacheSize:     c.PlanCacheSize,
 		}),
 		pending:  bytecode.NewProgram(),
 		defined:  map[bytecode.RegID]bool{},
 		keptRegs: map[bytecode.RegID]bool{},
+		inFree:   map[bytecode.RegID]bool{},
+		regGen:   map[bytecode.RegID]uint64{},
 	}
 }
 
@@ -110,7 +134,10 @@ func (c *Context) LastReport() *rewrite.Report { return c.lastRep }
 // materialized temporary), elements, and the buffer lifecycle counters
 // (BuffersAllocated, PoolHits, BytesAllocated) that show how much
 // allocation the register recycle pool saved — Free'd temporaries are
-// handed back to later allocations of the same dtype and length.
+// handed back to later allocations of the same dtype and length. The
+// plan-cache counters (PlanHits, PlanMisses, PlanEvictions) show how
+// many flushes skipped the rewrite pipeline and fusion analysis by
+// re-executing a cached compilation.
 func (c *Context) Stats() vm.Stats { return c.machine.Stats() }
 
 // PendingProgram returns a copy of the not-yet-flushed byte-code — the
@@ -120,7 +147,13 @@ func (c *Context) PendingProgram() *bytecode.Program { return c.pending.Clone() 
 
 // Flush optimizes and executes all recorded byte-code. Arrays read after
 // a flush observe the computed values. Flushing an empty buffer is a
-// no-op.
+// no-op: no clone, no pipeline, no VM call.
+//
+// When the plan cache is enabled (default), Flush first fingerprints the
+// batch; a structurally identical batch that was compiled before skips
+// the clone, the whole rewrite pass stack, and fusion cluster analysis,
+// and goes straight to executing the cached plan against the current
+// buffer bindings. See ARCHITECTURE.md, "Compile/execute split".
 func (c *Context) Flush() error {
 	if c.closed {
 		return ErrClosed
@@ -128,20 +161,27 @@ func (c *Context) Flush() error {
 	if c.pending.Len() == 0 {
 		return nil
 	}
-	// Mark externally observable registers: everything explicitly kept
-	// (creation-function arrays, Keep/Sync'd arrays) plus *leaf*
-	// temporaries — pure-op results no other byte-code consumes, which
-	// the caller almost certainly holds. Consumed temporaries stay
-	// droppable; that is what allows the equation (2) rewrite to delete
-	// a discarded inverse.
-	batch := c.pending.Clone()
-	consumed := batchReads(batch)
-	for r := range batch.Regs {
-		id := bytecode.RegID(r)
-		if c.keptRegs[id] || (writtenBy(batch, id) && !consumed[id]) {
-			batch.MarkOutput(id)
+	c.markPendingOutputs()
+
+	cached := c.machine.PlanCacheEnabled()
+	var fp bytecode.Fingerprint
+	var consts []bytecode.Constant
+	if cached {
+		fp = c.pending.Fingerprint()
+		consts = c.pending.Constants()
+		if plan, meta, ok := c.machine.LookupPlan(fp, consts, c.planUsable); ok {
+			pm := meta.(*planMeta)
+			if plan != nil { // nil: the batch is known to optimize to nothing
+				if err := plan.Execute(c.machine); err != nil {
+					return fmt.Errorf("bohrium: execution failed: %w", err)
+				}
+			}
+			c.advanceBatch(pm)
+			return nil
 		}
 	}
+
+	batch := c.pending.Clone()
 	optimized, report, err := c.pipeline.Optimize(batch)
 	if err != nil {
 		return fmt.Errorf("bohrium: optimize failed: %w", err)
@@ -149,16 +189,90 @@ func (c *Context) Flush() error {
 	if c.cfg.CollectReports {
 		c.lastRep = report
 	}
-	if err := c.machine.Run(optimized); err != nil {
+	// A plan's constants are parameters only when the optimizer applied
+	// nothing: every rule inspects constant values (merging, folding,
+	// CSE, power expansion), so any fired rewrite bakes the batch's
+	// constant vector into the cache key.
+	parametric := report.TotalApplied() == 0
+	pm := newPlanMeta(batch, optimized, len(c.pending.Regs))
+	if len(optimized.Instrs) == 0 {
+		// The batch optimized to nothing (e.g. temporaries freed before
+		// ever being observed): skip compilation and the VM entirely,
+		// keeping only the register bookkeeping.
+		if cached {
+			c.machine.InsertPlan(fp, consts, parametric, nil, pm)
+		}
+		c.advanceBatch(pm)
+		return nil
+	}
+	pruneInputs(optimized)
+	plan, err := c.machine.Compile(optimized)
+	if err != nil {
 		return fmt.Errorf("bohrium: execution failed: %w", err)
 	}
-	// Start a fresh batch that inherits the register declarations: every
-	// register defined so far is an input of the next batch.
-	// One pass over the optimized program records each register's fate —
-	// written (live) or destroyed by a BH_FREE after its last write
-	// (dead); registers the batch never touches keep their prior defined
-	// state. A freed register must not become an input of the next batch:
-	// its buffer has gone back to the VM's recycle pool.
+	if err := plan.Execute(c.machine); err != nil {
+		return fmt.Errorf("bohrium: execution failed: %w", err)
+	}
+	if cached {
+		c.machine.InsertPlan(fp, consts, parametric, plan, pm)
+	}
+	c.advanceBatch(pm)
+	return nil
+}
+
+// markPendingOutputs declares the externally observable registers of the
+// pending batch: everything explicitly kept (creation-function arrays,
+// Keep/Sync'd arrays) plus *leaf* temporaries — pure-op results no other
+// byte-code consumes, which the caller almost certainly holds. Consumed
+// temporaries stay droppable; that is what allows the equation (2)
+// rewrite to delete a discarded inverse. The roles feed both the
+// optimizer and the batch fingerprint, so a Keep between two otherwise
+// identical flushes changes the cache key (as it must — it changes what
+// the optimizer may delete).
+func (c *Context) markPendingOutputs() {
+	p := c.pending
+	p.Outputs = p.Outputs[:0]
+	consumed := batchReads(p)
+	written := map[bytecode.RegID]bool{}
+	for i := range p.Instrs {
+		in := &p.Instrs[i]
+		if in.Out.IsReg() && in.WritesReg(in.Out.Reg) {
+			written[in.Out.Reg] = true
+		}
+	}
+	for r := range p.Regs {
+		id := bytecode.RegID(r)
+		if c.keptRegs[id] || (written[id] && !consumed[id]) {
+			p.MarkOutput(id)
+		}
+	}
+}
+
+// planMeta is the front-end bookkeeping stored with each cached plan:
+// everything Flush needs to advance the session to the next batch
+// without re-deriving it from the optimized program.
+type planMeta struct {
+	// fate records each touched register's end-of-batch state: written
+	// and live (true) or destroyed by a BH_FREE after its last write
+	// (false). Registers the batch never touches are absent and keep
+	// their prior defined state.
+	fate map[bytecode.RegID]bool
+	// freed lists the registers the *batch* freed, whether or not those
+	// byte-codes survived optimization: a temporary created and freed
+	// unobserved is deleted outright, leaving no fate entry, yet its id
+	// must still recycle or the next iteration would mint a fresh one
+	// and change the fingerprint.
+	freed []bytecode.RegID
+	// base is the register count of the batch the plan was compiled
+	// from; extra holds declarations the optimizer appended beyond it
+	// (expansion scratch). They are part of the plan's program, so a hit
+	// is only legal while none of them has been recycled into a live
+	// front-end array (see planUsable).
+	base  int
+	extra []bytecode.RegInfo
+}
+
+func newPlanMeta(batch, optimized *bytecode.Program, base int) *planMeta {
 	fate := map[bytecode.RegID]bool{}
 	for i := range optimized.Instrs {
 		in := &optimized.Instrs[i]
@@ -172,11 +286,50 @@ func (c *Context) Flush() error {
 			fate[in.Out.Reg] = true
 		}
 	}
+	pm := &planMeta{fate: fate, base: base}
+	for i := range batch.Instrs {
+		in := &batch.Instrs[i]
+		if in.Op == bytecode.OpFree && in.Out.IsReg() {
+			pm.freed = append(pm.freed, in.Out.Reg)
+		}
+	}
+	if len(optimized.Regs) > base {
+		pm.extra = append([]bytecode.RegInfo(nil), optimized.Regs[base:]...)
+	}
+	return pm
+}
+
+// planUsable vets a cached plan for execution right now: any scratch
+// register the optimizer created for it must still be dead, or the plan
+// would clobber a live array that has since been recycled onto that id.
+func (c *Context) planUsable(meta any) bool {
+	pm, ok := meta.(*planMeta)
+	if !ok {
+		return false
+	}
+	for i := range pm.extra {
+		id := bytecode.RegID(pm.base + i)
+		if c.defined[id] || c.keptRegs[id] {
+			return false
+		}
+	}
+	return true
+}
+
+// advanceBatch starts a fresh batch that inherits the register
+// declarations: every register defined so far is an input of the next
+// batch. A freed register must not become an input — its buffer has gone
+// back to the VM's recycle pool — and, symmetrically, its id goes onto
+// the front-end free stack for the next temporary to reuse.
+func (c *Context) advanceBatch(pm *planMeta) {
 	next := bytecode.NewProgram()
-	next.Regs = append([]bytecode.RegInfo(nil), optimized.Regs...)
-	for r := range optimized.Regs {
+	next.Regs = append([]bytecode.RegInfo(nil), c.pending.Regs...)
+	for len(next.Regs) < pm.base+len(pm.extra) {
+		next.Regs = append(next.Regs, pm.extra[len(next.Regs)-pm.base])
+	}
+	for r := range next.Regs {
 		id := bytecode.RegID(r)
-		live, touched := fate[id]
+		live, touched := pm.fate[id]
 		if !touched {
 			live = c.defined[id]
 		}
@@ -185,10 +338,54 @@ func (c *Context) Flush() error {
 			c.defined[id] = true
 		} else {
 			delete(c.defined, id)
+			if touched && !c.keptRegs[id] {
+				c.recycleReg(id)
+			}
+		}
+	}
+	// Registers the batch freed but the optimizer deleted every trace of
+	// (unobserved temporaries) have no fate entry; recycle them too, as
+	// long as nothing re-defined or pinned them.
+	for _, id := range pm.freed {
+		if _, touched := pm.fate[id]; !touched && !c.defined[id] && !c.keptRegs[id] {
+			c.recycleReg(id)
 		}
 	}
 	c.pending = next
-	return nil
+}
+
+// recycleReg stacks a dead register id for reuse by a later temporary.
+func (c *Context) recycleReg(id bytecode.RegID) {
+	if c.inFree[id] {
+		return
+	}
+	c.inFree[id] = true
+	c.freeRegs = append(c.freeRegs, id)
+}
+
+// pruneInputs drops input declarations no instruction references: they do
+// not affect execution, and a cached plan must not demand bindings for
+// registers a later, structurally identical flush no longer keeps alive.
+func pruneInputs(p *bytecode.Program) {
+	used := map[bytecode.RegID]bool{}
+	for i := range p.Instrs {
+		in := &p.Instrs[i]
+		if in.Out.IsReg() {
+			used[in.Out.Reg] = true
+		}
+		for _, o := range in.Inputs() {
+			if o.IsReg() {
+				used[o.Reg] = true
+			}
+		}
+	}
+	kept := p.Inputs[:0]
+	for _, r := range p.Inputs {
+		if used[r] {
+			kept = append(kept, r)
+		}
+	}
+	p.Inputs = kept
 }
 
 // MustFlush is Flush that panics on error, for examples.
@@ -216,15 +413,6 @@ func batchReads(p *bytecode.Program) map[bytecode.RegID]bool {
 	return reads
 }
 
-func writtenBy(p *bytecode.Program, r bytecode.RegID) bool {
-	for i := range p.Instrs {
-		if p.Instrs[i].WritesReg(r) {
-			return true
-		}
-	}
-	return false
-}
-
 // newArray declares a kept register (creation-function arrays).
 func (c *Context) newArray(dt tensor.DType, shape tensor.Shape) *Array {
 	a := c.newTempArray(dt, shape)
@@ -233,13 +421,27 @@ func (c *Context) newArray(dt tensor.DType, shape tensor.Shape) *Array {
 }
 
 // newTempArray declares a droppable register (pure-operation results).
+// Dead register ids from earlier flushes are reused (with a fresh
+// declaration) before new ones are minted, so iterative workloads record
+// the same register names every iteration and keep hitting the plan
+// cache. Every handle to a freed register fails the generation check in
+// Array.check, so reuse never lets a stale alias touch live data.
 func (c *Context) newTempArray(dt tensor.DType, shape tensor.Shape) *Array {
-	reg := c.pending.NewReg(dt, shape.Size())
+	var reg bytecode.RegID
+	if n := len(c.freeRegs); n > 0 {
+		reg = c.freeRegs[n-1]
+		c.freeRegs = c.freeRegs[:n-1]
+		delete(c.inFree, reg)
+		c.pending.Regs[reg] = bytecode.RegInfo{DType: dt, Len: shape.Size()}
+	} else {
+		reg = c.pending.NewReg(dt, shape.Size())
+	}
 	return &Array{
 		ctx:  c,
 		reg:  reg,
 		view: tensor.NewView(shape),
 		dt:   dt,
+		gen:  c.regGen[reg],
 	}
 }
 

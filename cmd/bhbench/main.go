@@ -1,12 +1,26 @@
 // Command bhbench regenerates the paper's evaluation tables (experiments
-// E1–E7 in DESIGN.md / EXPERIMENTS.md): byte-code counts before/after
+// E1–E8 in DESIGN.md / EXPERIMENTS.md): byte-code counts before/after
 // optimization, baseline vs optimized wall-clock times, the ablation rows
-// for the design decisions D1–D4, and the dtype-generalized fusion sweep
-// with its reduction-epilogue counters.
+// for the design decisions D1–D4, the dtype-generalized fusion sweep with
+// its reduction-epilogue counters, and the plan-cache rows for iterative
+// flush-per-sweep workloads.
 //
 // Usage:
 //
-//	bhbench [-experiment all|E1|E2|E3|E4|E5|E6|E7] [-n elements] [-repeats r]
+//	bhbench [-experiment all|E1|...|E8] [-n elements] [-repeats r]
+//	        [-json path] [-require-plan-hits]
+//
+// -json writes the rows as a machine-readable BENCH_*.json document so
+// the perf trajectory can be tracked across commits. The schema
+// ("bohrium-bench/v1") is one object {"schema": ..., "rows": [...]};
+// each row carries experiment, workload, params, bc_before, bc_after,
+// baseline_ns, optimized_ns (best-of wall-clock, nanoseconds), speedup,
+// pool_hits, buffers_alloc, fused_reductions, plan_hits, plan_misses,
+// and note.
+//
+// -require-plan-hits exits non-zero when the E8 iterative workloads
+// record zero plan-cache hits — the CI smoke guard against silently
+// disabled caching.
 package main
 
 import (
@@ -27,10 +41,12 @@ func main() {
 
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("bhbench", flag.ContinueOnError)
-	exp := fs.String("experiment", "all", "which experiment to run: all, E1, E2, E3, E4, E5, E6, E7")
+	exp := fs.String("experiment", "all", "which experiment to run: all, E1, E2, E3, E4, E5, E6, E7, E8")
 	n := fs.Int("n", 1<<20, "elementwise vector length")
 	solveMax := fs.Int("solve-max", 256, "largest linear-system size for E4")
 	repeats := fs.Int("repeats", 3, "timing repetitions (best-of)")
+	jsonPath := fs.String("json", "", "also write the rows as machine-readable JSON (bohrium-bench/v1) to this path")
+	requireHits := fs.Bool("require-plan-hits", false, "fail if the E8 iterative workloads record zero plan-cache hits")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -44,6 +60,7 @@ func run(args []string, stdout io.Writer) error {
 		"E5": bench.E5Workloads,
 		"E6": bench.E6Ablations,
 		"E7": bench.E7DTypeFusion,
+		"E8": bench.E8PlanCache,
 	}
 
 	var rows []bench.Row
@@ -61,5 +78,29 @@ func run(args []string, stdout io.Writer) error {
 		return err
 	}
 	fmt.Fprint(stdout, bench.Table(rows))
+	if *jsonPath != "" {
+		data, err := bench.JSON(rows)
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*jsonPath, data, 0o644); err != nil {
+			return err
+		}
+	}
+	if *requireHits {
+		hits, lookups := 0, 0
+		for _, r := range rows {
+			if r.Experiment == "E8" {
+				hits += r.PlanHits
+				lookups += r.PlanHits + r.PlanMisses
+			}
+		}
+		if lookups == 0 {
+			return fmt.Errorf("plan-cache smoke: no E8 rows ran (pass -experiment E8 or all)")
+		}
+		if hits == 0 {
+			return fmt.Errorf("plan-cache smoke: zero plan-cache hits across %d iterative flushes — caching is broken or disabled", lookups)
+		}
+	}
 	return nil
 }

@@ -1,6 +1,8 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
 	"strings"
 	"testing"
 )
@@ -20,5 +22,44 @@ func TestBhbenchSingleExperiment(t *testing.T) {
 func TestBhbenchUnknownExperiment(t *testing.T) {
 	if err := run([]string{"-experiment", "E99"}, &strings.Builder{}); err == nil {
 		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestBhbenchJSONAndPlanSmoke(t *testing.T) {
+	path := t.TempDir() + "/bench.json"
+	var out strings.Builder
+	err := run([]string{"-experiment", "E8", "-n", "16384", "-repeats", "1",
+		"-json", path, "-require-plan-hits"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "plan") {
+		t.Errorf("table missing plan column:\n%s", out.String())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Schema string `json:"schema"`
+		Rows   []struct {
+			Experiment string `json:"experiment"`
+			PlanHits   int    `json:"plan_hits"`
+		} `json:"rows"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if doc.Schema != "bohrium-bench/v1" || len(doc.Rows) == 0 {
+		t.Errorf("unexpected document: %+v", doc)
+	}
+}
+
+func TestBhbenchRequirePlanHitsNeedsE8(t *testing.T) {
+	// Running only E1 with the guard must fail: there is nothing to check.
+	err := run([]string{"-experiment", "E1", "-n", "4096", "-repeats", "1",
+		"-require-plan-hits"}, &strings.Builder{})
+	if err == nil {
+		t.Error("guard accepted a run without E8 rows")
 	}
 }

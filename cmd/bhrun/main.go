@@ -4,10 +4,13 @@
 //
 // Usage:
 //
-//	bhrun [-O] [-workers n] [-no-fusion] [-trace] [file.bh]
+//	bhrun [-O] [-workers n] [-no-fusion] [-repeat n] [-trace] [file.bh]
 //
 // -O runs the algebraic optimizer before execution; -trace prints the
-// (possibly optimized) program and VM sweep statistics.
+// (possibly optimized) program and VM sweep statistics. Execution goes
+// through the VM's fingerprint-keyed plan cache: -repeat re-executes
+// the program n times, so the first run compiles a plan and the rest
+// replay it (the "# plans:" trace line shows n-1 hits).
 package main
 
 import (
@@ -34,6 +37,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	optimize := fs.Bool("O", false, "run the algebraic optimizer before executing")
 	workers := fs.Int("workers", 0, "VM worker pool size (0 = GOMAXPROCS)")
 	noFusion := fs.Bool("no-fusion", false, "disable sweep fusion")
+	repeat := fs.Int("repeat", 1, "execute the program n times through the plan cache")
 	trace := fs.Bool("trace", false, "print the executed program and sweep stats")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -79,8 +83,23 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 
 	machine := vm.New(vm.Config{Workers: *workers, Fusion: !*noFusion})
 	defer machine.Close()
-	if err := machine.Run(prog); err != nil {
-		return err
+	if *repeat < 1 {
+		*repeat = 1
+	}
+	fp := prog.Fingerprint()
+	consts := prog.Constants()
+	for i := 0; i < *repeat; i++ {
+		plan, _, ok := machine.LookupPlan(fp, consts, nil)
+		if !ok {
+			var err error
+			if plan, err = machine.Compile(prog); err != nil {
+				return err
+			}
+			machine.InsertPlan(fp, consts, false, plan, nil)
+		}
+		if err := plan.Execute(machine); err != nil {
+			return err
+		}
 	}
 
 	for i := range prog.Instrs {
@@ -102,6 +121,8 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		fmt.Fprintf(stdout, "# fused by dtype: %s\n", st.FusedByDType)
 		fmt.Fprintf(stdout, "# buffers: %d allocated (%d bytes), %d pool hits\n",
 			st.BuffersAllocated, st.BytesAllocated, st.PoolHits)
+		fmt.Fprintf(stdout, "# plans: %d hits, %d misses, %d evictions\n",
+			st.PlanHits, st.PlanMisses, st.PlanEvictions)
 	}
 	return nil
 }

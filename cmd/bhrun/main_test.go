@@ -59,3 +59,22 @@ func TestBhrunRejectsInvalid(t *testing.T) {
 		t.Error("use-before-def accepted")
 	}
 }
+
+func TestBhrunRepeatHitsPlanCache(t *testing.T) {
+	src := `.reg a0 float64 8
+BH_IDENTITY a0 1
+BH_ADD a0 a0 2
+BH_SYNC a0
+`
+	var out strings.Builder
+	if err := run([]string{"-trace", "-repeat", "3"}, strings.NewReader(src), &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "# plans: 2 hits, 1 misses") {
+		t.Errorf("repeat runs did not hit the plan cache:\n%s", got)
+	}
+	if !strings.Contains(got, "a0 = [3 3 3 3 3 3 3 3]") {
+		t.Errorf("repeated execution changed the result:\n%s", got)
+	}
+}

@@ -260,3 +260,86 @@ func TestE7Shape(t *testing.T) {
 		}
 	}
 }
+
+// TestStreamWorkloadsCachedEqualsUncached is the plan-cache differential
+// sweep: every E-series streaming workload must produce bit-for-bit the
+// same result with the cache enabled and disabled. Run under -race in CI,
+// it also exercises the cached execution paths for data races.
+func TestStreamWorkloadsCachedEqualsUncached(t *testing.T) {
+	workloads := []struct {
+		name string
+		run  func(*bohrium.Context) (float64, error)
+	}{
+		{"heat-2d-stream", func(c *bohrium.Context) (float64, error) { return Heat2DStream(c, 24, 30) }},
+		{"power-stream", func(c *bohrium.Context) (float64, error) { return PowerChainStream(c, 512, 30) }},
+		{"jacobi-1d-stream", func(c *bohrium.Context) (float64, error) { return Jacobi1DStream(c, 512, 30) }},
+	}
+	for _, w := range workloads {
+		t.Run(w.name, func(t *testing.T) {
+			off := bohrium.NewContext(&bohrium.Config{PlanCacheSize: -1})
+			defer off.Close()
+			want, err := w.run(off)
+			if err != nil {
+				t.Fatal(err)
+			}
+			on := bohrium.NewContext(nil)
+			defer on.Close()
+			got, err := w.run(on)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Float64bits(got) != math.Float64bits(want) {
+				t.Errorf("cached %v != uncached %v", got, want)
+			}
+			st := on.Stats()
+			if st.PlanHits == 0 {
+				t.Errorf("cached run never hit the plan cache (misses=%d)", st.PlanMisses)
+			}
+			if stOff := off.Stats(); stOff.PlanHits != 0 || stOff.PlanMisses != 0 {
+				t.Errorf("uncached run touched the plan cache: %+v", stOff)
+			}
+		})
+	}
+}
+
+// TestE8Shape checks the plan-cache experiment reports hits on every
+// workload and identical values across cached/uncached runs.
+func TestE8Shape(t *testing.T) {
+	rows, err := E8PlanCache(tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("E8 rows = %d, want 3", len(rows))
+	}
+	for _, r := range rows {
+		if r.PlanHits == 0 {
+			t.Errorf("%s: zero plan-cache hits (misses=%d)", r.Workload, r.PlanMisses)
+		}
+		if strings.Contains(r.Note, "MISMATCH") {
+			t.Errorf("%s: %s", r.Workload, r.Note)
+		}
+	}
+}
+
+// TestJSONSchema locks the BENCH_*.json document shape tools depend on.
+func TestJSONSchema(t *testing.T) {
+	rows := []Row{{
+		Experiment: "E8", Workload: "w", Params: "p",
+		Baseline: 2000, Optimized: 1000, Speedup: 2,
+		PlanHits: 9, PlanMisses: 1, Note: "n",
+	}}
+	data, err := JSON(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`"schema": "bohrium-bench/v1"`, `"rows"`, `"experiment": "E8"`,
+		`"baseline_ns": 2000`, `"optimized_ns": 1000`,
+		`"plan_hits": 9`, `"plan_misses": 1`,
+	} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("JSON missing %s:\n%s", want, data)
+		}
+	}
+}

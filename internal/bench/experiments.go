@@ -226,7 +226,8 @@ func E5Workloads(s Scale) ([]Row, error) {
 			Speedup:  float64(base) / float64(opt),
 			PoolHits: optStats.PoolHits, BuffersAlloc: optStats.BuffersAllocated,
 			FusedReductions: optStats.FusedReductions,
-			Note:            note,
+			PlanHits:        optStats.PlanHits, PlanMisses: optStats.PlanMisses,
+			Note: note,
 		})
 	}
 	return rows, nil
@@ -399,11 +400,88 @@ func E7DTypeFusion(s Scale) ([]Row, error) {
 	return rows, nil
 }
 
+// E8PlanCache measures the batch-fingerprinted plan cache on workloads
+// that flush a structurally identical batch every iteration (the
+// middleware's kernel-cache scenario): baseline runs with the cache
+// disabled and pays clone + rewrite pipeline + cluster analysis per
+// flush, optimized runs with the cache on and compiles only the first
+// iteration or two. Shapes are deliberately small-to-medium — that is
+// where per-flush compilation overhead dominates the sweeps themselves.
+func E8PlanCache(s Scale) ([]Row, error) {
+	s = s.withDefaults()
+	vec := s.VectorN >> 6
+	if vec < 256 {
+		vec = 256
+	}
+	grid := 64
+	iters := 60
+	type wl struct {
+		name   string
+		params string
+		run    func(*bohrium.Context) (float64, error)
+	}
+	workloads := []wl{
+		{
+			name: "heat-2d-stream", params: fmt.Sprintf("grid=%dx%d iters=%d", grid, grid, iters),
+			run: func(c *bohrium.Context) (float64, error) { return Heat2DStream(c, grid, iters) },
+		},
+		{
+			name: "power-stream", params: fmt.Sprintf("N=%d iters=%d", vec, iters),
+			run: func(c *bohrium.Context) (float64, error) { return PowerChainStream(c, vec, iters) },
+		},
+		{
+			name: "jacobi-1d-stream", params: fmt.Sprintf("N=%d iters=%d", vec, iters),
+			run: func(c *bohrium.Context) (float64, error) { return Jacobi1DStream(c, vec, iters) },
+		},
+	}
+	var rows []Row
+	for _, w := range workloads {
+		var baseVal float64
+		base, err := bestOf(s.Repeats, func() error {
+			ctx := bohrium.NewContext(&bohrium.Config{PlanCacheSize: -1})
+			defer ctx.Close()
+			v, err := w.run(ctx)
+			baseVal = v
+			return err
+		})
+		if err != nil {
+			return nil, fmt.Errorf("%s uncached: %w", w.name, err)
+		}
+		var optVal float64
+		var optStats vm.Stats
+		opt, err := bestOf(s.Repeats, func() error {
+			ctx := bohrium.NewContext(nil)
+			defer ctx.Close()
+			v, err := w.run(ctx)
+			optVal = v
+			optStats = ctx.Stats()
+			return err
+		})
+		if err != nil {
+			return nil, fmt.Errorf("%s cached: %w", w.name, err)
+		}
+		note := fmt.Sprintf("value=%.5g", optVal)
+		if optVal != baseVal {
+			note = fmt.Sprintf("VALUE MISMATCH uncached=%v cached=%v", baseVal, optVal)
+		}
+		rows = append(rows, Row{
+			Experiment: "E8", Workload: w.name, Params: w.params,
+			Baseline: base, Optimized: opt,
+			Speedup:  float64(base) / float64(opt),
+			PoolHits: optStats.PoolHits, BuffersAlloc: optStats.BuffersAllocated,
+			FusedReductions: optStats.FusedReductions,
+			PlanHits:        optStats.PlanHits, PlanMisses: optStats.PlanMisses,
+			Note: note,
+		})
+	}
+	return rows, nil
+}
+
 // All runs every experiment and returns the rows grouped in order.
 func All(s Scale) ([]Row, error) {
 	var rows []Row
 	for _, fn := range []func(Scale) ([]Row, error){
-		E1AddMerge, E2PowerChain, E3PowerSweep, E4Solve, E5Workloads, E6Ablations, E7DTypeFusion,
+		E1AddMerge, E2PowerChain, E3PowerSweep, E4Solve, E5Workloads, E6Ablations, E7DTypeFusion, E8PlanCache,
 	} {
 		r, err := fn(s)
 		if err != nil {

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"encoding/json"
 	"fmt"
 	"strings"
 	"time"
@@ -30,6 +31,10 @@ type Row struct {
 	// FusedReductions counts reductions the optimized run folded into
 	// their producer sweep (no separate reduction pass).
 	FusedReductions int
+	// PlanHits and PlanMisses are the plan-cache counters of the
+	// optimized run: hits re-executed a cached compilation (no rewrite
+	// passes, no cluster analysis), misses paid the full pipeline.
+	PlanHits, PlanMisses int
 	// Note carries per-row context ("chain=5 muls", "rewrite blocked").
 	Note string
 }
@@ -38,18 +43,67 @@ type Row struct {
 // EXPERIMENTS.md embed.
 func Table(rows []Row) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%-4s %-22s %-26s %9s %9s %12s %12s %8s %9s %6s  %s\n",
-		"exp", "workload", "params", "bc-before", "bc-after", "baseline", "optimized", "speedup", "pool", "fredux", "note")
+	fmt.Fprintf(&b, "%-4s %-22s %-26s %9s %9s %12s %12s %8s %9s %6s %9s  %s\n",
+		"exp", "workload", "params", "bc-before", "bc-after", "baseline", "optimized", "speedup", "pool", "fredux", "plan", "note")
 	for _, r := range rows {
 		// pool prints hits/materializations for the optimized run: 3/5
 		// means five register buffers were needed and three were recycled.
 		// fredux counts reductions folded into their producer sweep.
-		fmt.Fprintf(&b, "%-4s %-22s %-26s %9d %9d %12s %12s %7.2fx %9s %6d  %s\n",
+		// plan prints plan-cache hits/lookups: 58/60 means sixty flushes,
+		// fifty-eight served from a cached compilation.
+		fmt.Fprintf(&b, "%-4s %-22s %-26s %9d %9d %12s %12s %7.2fx %9s %6d %9s  %s\n",
 			r.Experiment, r.Workload, r.Params, r.BytecodesBefore, r.BytecodesAfter,
 			round(r.Baseline), round(r.Optimized), r.Speedup,
-			fmt.Sprintf("%d/%d", r.PoolHits, r.PoolHits+r.BuffersAlloc), r.FusedReductions, r.Note)
+			fmt.Sprintf("%d/%d", r.PoolHits, r.PoolHits+r.BuffersAlloc), r.FusedReductions,
+			fmt.Sprintf("%d/%d", r.PlanHits, r.PlanHits+r.PlanMisses), r.Note)
 	}
 	return b.String()
+}
+
+// JSON renders rows as the machine-readable BENCH_*.json document: a
+// top-level object {"schema": "bohrium-bench/v1", "rows": [...]} where
+// each row mirrors the text table (durations in nanoseconds). The perf
+// trajectory across PRs is tracked by diffing these files.
+func JSON(rows []Row) ([]byte, error) {
+	type jsonRow struct {
+		Experiment      string  `json:"experiment"`
+		Workload        string  `json:"workload"`
+		Params          string  `json:"params"`
+		BytecodesBefore int     `json:"bc_before"`
+		BytecodesAfter  int     `json:"bc_after"`
+		BaselineNs      int64   `json:"baseline_ns"`
+		OptimizedNs     int64   `json:"optimized_ns"`
+		Speedup         float64 `json:"speedup"`
+		PoolHits        int     `json:"pool_hits"`
+		BuffersAlloc    int     `json:"buffers_alloc"`
+		FusedReductions int     `json:"fused_reductions"`
+		PlanHits        int     `json:"plan_hits"`
+		PlanMisses      int     `json:"plan_misses"`
+		Note            string  `json:"note"`
+	}
+	doc := struct {
+		Schema string    `json:"schema"`
+		Rows   []jsonRow `json:"rows"`
+	}{Schema: "bohrium-bench/v1"}
+	for _, r := range rows {
+		doc.Rows = append(doc.Rows, jsonRow{
+			Experiment:      r.Experiment,
+			Workload:        r.Workload,
+			Params:          r.Params,
+			BytecodesBefore: r.BytecodesBefore,
+			BytecodesAfter:  r.BytecodesAfter,
+			BaselineNs:      r.Baseline.Nanoseconds(),
+			OptimizedNs:     r.Optimized.Nanoseconds(),
+			Speedup:         r.Speedup,
+			PoolHits:        r.PoolHits,
+			BuffersAlloc:    r.BuffersAlloc,
+			FusedReductions: r.FusedReductions,
+			PlanHits:        r.PlanHits,
+			PlanMisses:      r.PlanMisses,
+			Note:            r.Note,
+		})
+	}
+	return json.MarshalIndent(doc, "", "  ")
 }
 
 func round(d time.Duration) string {

@@ -1,0 +1,148 @@
+package bytecode
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// Fingerprint is a canonical digest of a program's *structure*: opcodes,
+// reduction axes, register operands (id, declared dtype and base length,
+// view offset/shape/strides), constant positions and dtypes, and the
+// input/output role of every referenced register. Constant *values* and
+// buffer contents are excluded, so two batches that differ only in their
+// immediates share a fingerprint — the property the plan cache keys on
+// (see ARCHITECTURE.md, "Fingerprint legality rules"). Declarations no
+// instruction references are excluded too: unrelated arrays living in
+// the same session must not perturb the key of an iterative batch.
+type Fingerprint [sha256.Size]byte
+
+// String renders the fingerprint's leading bytes for logs and tests.
+func (f Fingerprint) String() string { return fmt.Sprintf("%x", f[:8]) }
+
+// Fingerprint computes the structural digest of the program. Programs
+// that compare equal under it are interchangeable for compilation
+// purposes up to constant values: same instruction sequence, same
+// register declarations and views at every operand, same input/output
+// roles over the registers the instructions touch.
+func (p *Program) Fingerprint() Fingerprint {
+	h := sha256.New()
+	var word [8]byte
+	wr := func(v int64) {
+		binary.LittleEndian.PutUint64(word[:], uint64(v))
+		h.Write(word[:])
+	}
+	used := map[RegID]bool{}
+	writeOperand := func(o *Operand) {
+		wr(int64(o.Kind))
+		switch o.Kind {
+		case OperandReg:
+			used[o.Reg] = true
+			wr(int64(o.Reg))
+			ri, _ := p.Reg(o.Reg)
+			wr(int64(ri.DType))
+			wr(int64(ri.Len))
+			wr(int64(o.View.Offset))
+			wr(int64(len(o.View.Shape)))
+			for _, d := range o.View.Shape {
+				wr(int64(d))
+			}
+			for _, s := range o.View.Strides {
+				wr(int64(s))
+			}
+		case OperandConst:
+			// Dtype keys the cache (it selects the computation class);
+			// the value is a plan parameter and stays out of the digest.
+			wr(int64(o.Const.DType))
+		}
+	}
+	for i := range p.Instrs {
+		in := &p.Instrs[i]
+		wr(int64(in.Op))
+		wr(int64(in.Axis))
+		writeOperand(&in.Out)
+		writeOperand(&in.In1)
+		writeOperand(&in.In2)
+	}
+	// Roles of the referenced registers, in register order: whether each
+	// is bound before execution and whether it is externally observable.
+	// Both gate rewrites (liveness, DCE), so both key the cache.
+	ids := make([]RegID, 0, len(used))
+	for r := range used {
+		ids = append(ids, r)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	wr(int64(len(ids)))
+	for _, r := range ids {
+		role := int64(0)
+		if p.IsInput(r) {
+			role |= 1
+		}
+		if p.IsOutput(r) {
+			role |= 2
+		}
+		wr(int64(r))
+		wr(role)
+	}
+	var fp Fingerprint
+	h.Sum(fp[:0])
+	return fp
+}
+
+// Constants collects every constant operand in instruction order (In1
+// before In2). The slice is the batch's "constant vector": together with
+// the Fingerprint it fully identifies the batch, and for plans compiled
+// from rewrite-free batches it is the parameter list SetConstants patches.
+func (p *Program) Constants() []Constant {
+	var out []Constant
+	for i := range p.Instrs {
+		in := &p.Instrs[i]
+		if in.In1.IsConst() {
+			out = append(out, in.In1.Const)
+		}
+		if in.In2.IsConst() {
+			out = append(out, in.In2.Const)
+		}
+	}
+	return out
+}
+
+// SetConstants overwrites the program's constant operands with vals, in
+// the same order Constants collects them. It requires an exact positional
+// and dtype match — the caller guarantees structural identity via the
+// Fingerprint — and reports whether any value actually changed.
+func (p *Program) SetConstants(vals []Constant) (changed bool, err error) {
+	next := 0
+	set := func(o *Operand) error {
+		if !o.IsConst() {
+			return nil
+		}
+		if next >= len(vals) {
+			return fmt.Errorf("bytecode: %d constants supplied, program has more", len(vals))
+		}
+		v := vals[next]
+		next++
+		if v.DType != o.Const.DType {
+			return fmt.Errorf("bytecode: constant %d dtype %s, program wants %s", next-1, v.DType, o.Const.DType)
+		}
+		if !o.Const.Equal(v) {
+			o.Const = v
+			changed = true
+		}
+		return nil
+	}
+	for i := range p.Instrs {
+		in := &p.Instrs[i]
+		if err := set(&in.In1); err != nil {
+			return changed, err
+		}
+		if err := set(&in.In2); err != nil {
+			return changed, err
+		}
+	}
+	if next != len(vals) {
+		return changed, fmt.Errorf("bytecode: %d constants supplied, program has %d", len(vals), next)
+	}
+	return changed, nil
+}

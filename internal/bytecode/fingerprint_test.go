@@ -1,0 +1,126 @@
+package bytecode
+
+import (
+	"testing"
+
+	"bohrium/internal/tensor"
+)
+
+// fpProg builds a small two-register batch: a1 = a0 * c; sync a1.
+func fpProg(c Constant) *Program {
+	p := NewProgram()
+	a0 := p.NewReg(tensor.Float64, 10)
+	a1 := p.NewReg(tensor.Float64, 10)
+	v := tensor.NewView(tensor.MustShape(10))
+	p.MarkInput(a0)
+	p.EmitBinary(OpMultiply, Reg(a1, v), Reg(a0, v), Const(c))
+	p.EmitSync(Reg(a1, v))
+	p.MarkOutput(a1)
+	return p
+}
+
+func TestFingerprintStable(t *testing.T) {
+	a := fpProg(ConstFloat(2.5))
+	b := fpProg(ConstFloat(2.5))
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Error("identical programs fingerprint differently")
+	}
+	if a.Fingerprint() != a.Fingerprint() {
+		t.Error("fingerprint is not deterministic")
+	}
+}
+
+func TestFingerprintExcludesConstantValues(t *testing.T) {
+	a := fpProg(ConstFloat(2.5))
+	b := fpProg(ConstFloat(7.25))
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Error("constant value keyed the fingerprint; only structure may")
+	}
+	// The constant's dtype, however, is structure.
+	c := fpProg(ConstInt(2))
+	if a.Fingerprint() == c.Fingerprint() {
+		t.Error("constant dtype change not reflected in fingerprint")
+	}
+}
+
+func TestFingerprintExcludesUnusedDeclarations(t *testing.T) {
+	a := fpProg(ConstFloat(1.5))
+	b := fpProg(ConstFloat(1.5))
+	b.NewReg(tensor.Int32, 999) // unrelated array living in the session
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Error("unreferenced declaration perturbed the fingerprint")
+	}
+}
+
+func TestFingerprintSensitivity(t *testing.T) {
+	base := fpProg(ConstFloat(2.5))
+	mutants := map[string]func(*Program){
+		"opcode": func(p *Program) { p.Instrs[0].Op = OpAdd },
+		"axis":   func(p *Program) { p.Instrs[0].Axis = 1 },
+		"shape": func(p *Program) {
+			v := tensor.NewView(tensor.MustShape(2, 5))
+			p.Instrs[0].Out.View = v
+			p.Instrs[0].In1.View = v
+		},
+		"stride": func(p *Program) {
+			v, err := p.Instrs[0].In1.View.Slice(0, 0, 10, 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			v.Shape[0] = 10 // keep extent, change stride only
+			p.Instrs[0].In1.View = v
+		},
+		"offset": func(p *Program) { p.Instrs[0].In1.View.Offset = 3 },
+		"reg-dtype": func(p *Program) {
+			p.Regs[0].DType = tensor.Float32
+		},
+		"reg-len": func(p *Program) {
+			p.Regs[0].Len = 20
+		},
+		"reg-id": func(p *Program) {
+			p.NewReg(tensor.Float64, 10)
+			p.Instrs[0].Out.Reg = RegID(2)
+		},
+		"input-role":  func(p *Program) { p.Inputs = nil },
+		"output-role": func(p *Program) { p.Outputs = nil },
+	}
+	for name, mutate := range mutants {
+		m := fpProg(ConstFloat(2.5))
+		mutate(m)
+		if m.Fingerprint() == base.Fingerprint() {
+			t.Errorf("%s change not reflected in fingerprint", name)
+		}
+	}
+}
+
+func TestConstantsRoundTrip(t *testing.T) {
+	p := fpProg(ConstFloat(2.5))
+	got := p.Constants()
+	if len(got) != 1 || !got[0].Equal(ConstFloat(2.5)) {
+		t.Fatalf("Constants() = %v", got)
+	}
+	changed, err := p.SetConstants([]Constant{ConstFloat(9)})
+	if err != nil || !changed {
+		t.Fatalf("SetConstants: changed=%v err=%v", changed, err)
+	}
+	if !p.Instrs[0].In2.Const.Equal(ConstFloat(9)) {
+		t.Errorf("constant not patched: %v", p.Instrs[0].In2.Const)
+	}
+	changed, err = p.SetConstants([]Constant{ConstFloat(9)})
+	if err != nil || changed {
+		t.Errorf("same-value patch reported changed=%v err=%v", changed, err)
+	}
+}
+
+func TestSetConstantsRejectsMismatch(t *testing.T) {
+	p := fpProg(ConstFloat(2.5))
+	if _, err := p.SetConstants(nil); err == nil {
+		t.Error("count mismatch (too few) accepted")
+	}
+	if _, err := p.SetConstants([]Constant{ConstFloat(1), ConstFloat(2)}); err == nil {
+		t.Error("count mismatch (too many) accepted")
+	}
+	if _, err := p.SetConstants([]Constant{ConstInt(3)}); err == nil {
+		t.Error("dtype mismatch accepted")
+	}
+}

@@ -233,32 +233,6 @@ func (a *accessTracker) compatible(in *bytecode.Instruction) bool {
 // would get without per-element dispatch. 8192 float64s = 64 KiB.
 const fusedBlockSize = 8192
 
-// runFused executes the program cluster by cluster. Errors name the
-// failing instruction (not merely the cluster's first): each execution
-// path annotates with the index and disassembly of the instruction whose
-// compilation or execution failed.
-func (m *Machine) runFused(p *bytecode.Program) error {
-	for _, cl := range m.planClusters(p) {
-		var err error
-		switch {
-		case cl.reduce:
-			err = m.execClusterReduce(p, cl)
-		case !cl.fused:
-			if err = m.exec(p, &p.Instrs[cl.start]); err != nil {
-				err = instrErr(p, cl.start, err)
-			}
-		case cl.linear:
-			err = m.execCluster(p, cl)
-		default:
-			err = m.execClusterStrided(p, cl, cl.shape)
-		}
-		if err != nil {
-			return fmt.Errorf("%w: cluster [%d,%d): %v", ErrExec, cl.start, cl.end, err)
-		}
-	}
-	return nil
-}
-
 // instrErr annotates err with the index and disassembly of the failing
 // instruction.
 func instrErr(p *bytecode.Program, i int, err error) error {

@@ -484,10 +484,11 @@ func buildEpiStep[T tensor.Elem](m *Machine, p *bytecode.Program, plan *epiPlan,
 }
 
 // execClusterReduce executes a cluster whose final instruction is a
-// reduction epilogue, falling back to the two-sweep path when buffer
-// aliasing makes folding unsafe.
-func (m *Machine) execClusterReduce(p *bytecode.Program, cl cluster) error {
-	ok, err := m.tryReduceEpilogue(p, cl)
+// reduction epilogue, falling back to the two-sweep path when the
+// epilogue analysis failed at compile time (epi nil) or buffer aliasing
+// makes folding unsafe.
+func (m *Machine) execClusterReduce(p *bytecode.Program, cl cluster, epi *epiPlan) error {
+	ok, err := m.tryReduceEpilogue(p, cl, epi)
 	if err != nil || ok {
 		return err
 	}
@@ -526,16 +527,16 @@ func (m *Machine) countEpilogueStats(p *bytecode.Program, plan *epiPlan) {
 	m.stats.Elements += plan.shape.Size() * (nProd + 1)
 }
 
-// tryReduceEpilogue compiles and runs the folded sweep. It returns
-// (false, nil) when the reduction output's buffer aliases a producer
-// operand — the caller then takes the two-sweep path, whose serial write
-// order tolerates the alias. Linear (all-contiguous) clusters run the
-// blockwise vectorized fold; strided clusters run the per-element
-// evaluator below, which matches the cost model of their per-element
-// cluster sweep.
-func (m *Machine) tryReduceEpilogue(p *bytecode.Program, cl cluster) (bool, error) {
-	plan, ok := analyzeEpilogue(p, cl)
-	if !ok {
+// tryReduceEpilogue compiles and runs the folded sweep from the
+// precomputed (buffer-independent) epilogue analysis. It returns
+// (false, nil) when plan is nil or when the reduction output's buffer
+// aliases a producer operand — the caller then takes the two-sweep path,
+// whose serial write order tolerates the alias. Linear (all-contiguous)
+// clusters run the blockwise vectorized fold; strided clusters run the
+// per-element evaluator below, which matches the cost model of their
+// per-element cluster sweep.
+func (m *Machine) tryReduceEpilogue(p *bytecode.Program, cl cluster, plan *epiPlan) (bool, error) {
+	if plan == nil {
 		return false, nil
 	}
 	red := plan.red

@@ -1,0 +1,119 @@
+package vm
+
+import (
+	"fmt"
+
+	"bohrium/internal/bytecode"
+)
+
+// Plan is the reusable compilation of one program: validation, fusion
+// cluster discovery, and reduction-epilogue analysis — everything Run
+// used to redo on every call that does not depend on buffer bindings.
+// A Plan may be executed many times against the same Machine; each
+// Execute resolves register buffers from the machine's register file
+// afresh (new input bindings, recycled temporaries) without re-running
+// any analysis. Plans are not safe for concurrent use, matching the
+// Machine they were compiled on.
+type Plan struct {
+	prog     *bytecode.Program
+	fused    bool
+	clusters []cluster
+	epis     []*epiPlan // per cluster; non-nil only for foldable reductions
+}
+
+// Compile analyzes p into a Plan. Validation runs here (unless the
+// machine's SkipValidation is set), so Execute can trust the program.
+// The plan keeps a reference to p; callers must not mutate it afterwards
+// except through PatchConstants.
+func (m *Machine) Compile(p *bytecode.Program) (*Plan, error) {
+	if !m.cfg.SkipValidation {
+		if err := p.Validate(); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrExec, err)
+		}
+	}
+	pl := &Plan{prog: p, fused: m.cfg.Fusion}
+	if m.cfg.Fusion {
+		pl.clusters = m.planClusters(p)
+		pl.epis = make([]*epiPlan, len(pl.clusters))
+		for i, cl := range pl.clusters {
+			if cl.reduce {
+				if epi, ok := analyzeEpilogue(p, cl); ok {
+					pl.epis[i] = epi
+				}
+			}
+		}
+	}
+	return pl, nil
+}
+
+// Program returns the compiled program. Treat it as read-only: the plan's
+// cluster analysis describes exactly this instruction sequence.
+func (pl *Plan) Program() *bytecode.Program { return pl.prog }
+
+// PatchConstants rebinds the plan's constant operands to vals (in
+// Program.Constants order). Only plans whose program is structurally
+// identical to the batch the values come from may be patched — the plan
+// cache guarantees that by fingerprint. Epilogue analyses copy immediates
+// at analysis time, so a value change recompiles them (analysis only, no
+// buffer work).
+func (pl *Plan) PatchConstants(vals []bytecode.Constant) error {
+	changed, err := pl.prog.SetConstants(vals)
+	if err != nil || !changed {
+		return err
+	}
+	for i, cl := range pl.clusters {
+		if !cl.reduce || pl.epis[i] == nil {
+			continue
+		}
+		if epi, ok := analyzeEpilogue(pl.prog, cl); ok {
+			pl.epis[i] = epi
+		} else {
+			pl.epis[i] = nil
+		}
+	}
+	return nil
+}
+
+// Execute runs the plan against m's current register bindings. On error
+// the register file may hold partial results; the error reports the
+// failing instruction.
+func (pl *Plan) Execute(m *Machine) error {
+	p := pl.prog
+	m.regs.grow(len(p.Regs))
+	for _, r := range p.Inputs {
+		if m.regs.get(r) == nil {
+			return fmt.Errorf("%w: input register %s not bound", ErrExec, r)
+		}
+	}
+	if !pl.fused {
+		for idx := range p.Instrs {
+			if err := m.exec(p, &p.Instrs[idx]); err != nil {
+				return fmt.Errorf("%w: instr %d (%s): %v", ErrExec, idx, p.Instrs[idx].String(), err)
+			}
+		}
+		return nil
+	}
+	// Fused execution, cluster by cluster. Errors name the failing
+	// instruction (not merely the cluster's first): each execution path
+	// annotates with the index and disassembly of the instruction whose
+	// compilation or execution failed.
+	for i, cl := range pl.clusters {
+		var err error
+		switch {
+		case cl.reduce:
+			err = m.execClusterReduce(p, cl, pl.epis[i])
+		case !cl.fused:
+			if err = m.exec(p, &p.Instrs[cl.start]); err != nil {
+				err = instrErr(p, cl.start, err)
+			}
+		case cl.linear:
+			err = m.execCluster(p, cl)
+		default:
+			err = m.execClusterStrided(p, cl, cl.shape)
+		}
+		if err != nil {
+			return fmt.Errorf("%w: cluster [%d,%d): %v", ErrExec, cl.start, cl.end, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,139 @@
+package vm
+
+import (
+	"container/list"
+
+	"bohrium/internal/bytecode"
+)
+
+// The plan cache is the middleware's kernel-cache analogue: a batch whose
+// structure was already analyzed and compiled re-executes from its Plan
+// instead of being re-lowered. Entries are keyed by the batch's
+// structural Fingerprint plus its constant vector:
+//
+//   - A plan compiled from a batch the optimizer left untouched
+//     (parametric entry) matches ANY constant values — replaying its
+//     program with patched constants is exactly executing the new batch.
+//   - A plan the optimizer rewrote (baked entry) matches only the exact
+//     constant vector it was compiled from: rules inspect constant
+//     values (merging, folding, CSE, power expansion), so a different
+//     vector could have rewritten differently.
+//
+// Several entries may share one fingerprint (same structure, different
+// baked vectors); eviction is LRU over all entries.
+
+// DefaultPlanCacheSize is the entry cap when Config.PlanCacheSize is zero.
+const DefaultPlanCacheSize = 64
+
+type planEntry struct {
+	fp         bytecode.Fingerprint
+	vals       []bytecode.Constant
+	parametric bool
+	plan       *Plan // nil: the batch optimized to an empty program
+	meta       any   // front-end bookkeeping, opaque to the VM
+}
+
+type planCache struct {
+	cap   int
+	order *list.List // of *planEntry; front = most recently used
+	byFP  map[bytecode.Fingerprint][]*list.Element
+}
+
+func newPlanCache(cap int) *planCache {
+	return &planCache{cap: cap, order: list.New(), byFP: map[bytecode.Fingerprint][]*list.Element{}}
+}
+
+// PlanCacheEnabled reports whether this machine caches plans (it does
+// unless Config.PlanCacheSize was negative). Front-ends consult it before
+// paying for fingerprint computation.
+func (m *Machine) PlanCacheEnabled() bool { return m.plans != nil }
+
+// PlanCacheLen returns the number of cached plans.
+func (m *Machine) PlanCacheLen() int {
+	if m.plans == nil {
+		return 0
+	}
+	return m.plans.order.Len()
+}
+
+// LookupPlan finds a cached plan for the batch identified by fp and its
+// constant vector. accept (optional) filters candidates by the metadata
+// stored at insert time — front-ends use it to reject plans whose
+// scratch registers have since been repurposed. On a hit the entry moves
+// to the LRU front, parametric plans are patched to consts, and the
+// stored plan and metadata are returned; the plan is nil when the batch
+// is known to optimize to nothing. Counters: PlanHits / PlanMisses.
+func (m *Machine) LookupPlan(fp bytecode.Fingerprint, consts []bytecode.Constant, accept func(meta any) bool) (*Plan, any, bool) {
+	if m.plans == nil {
+		return nil, nil, false
+	}
+	for _, el := range m.plans.byFP[fp] {
+		e := el.Value.(*planEntry)
+		if !e.parametric && !constantsEqual(e.vals, consts) {
+			continue
+		}
+		if accept != nil && !accept(e.meta) {
+			continue
+		}
+		if e.parametric && e.plan != nil {
+			if err := e.plan.PatchConstants(consts); err != nil {
+				continue // digest collision or corrupted entry: recompile
+			}
+		}
+		m.plans.order.MoveToFront(el)
+		m.stats.PlanHits++
+		return e.plan, e.meta, true
+	}
+	m.stats.PlanMisses++
+	return nil, nil, false
+}
+
+// InsertPlan stores a freshly compiled plan (nil for a batch that
+// optimized to an empty program) under fp and its constant vector.
+// parametric marks plans compiled from batches the optimizer left
+// untouched; only those may be replayed with different constants. Over
+// capacity, the least recently used entry is dropped (PlanEvictions).
+func (m *Machine) InsertPlan(fp bytecode.Fingerprint, consts []bytecode.Constant, parametric bool, pl *Plan, meta any) {
+	if m.plans == nil {
+		return
+	}
+	e := &planEntry{
+		fp:         fp,
+		vals:       append([]bytecode.Constant(nil), consts...),
+		parametric: parametric,
+		plan:       pl,
+		meta:       meta,
+	}
+	el := m.plans.order.PushFront(e)
+	m.plans.byFP[fp] = append(m.plans.byFP[fp], el)
+	for m.plans.order.Len() > m.plans.cap {
+		back := m.plans.order.Back()
+		ev := back.Value.(*planEntry)
+		m.plans.order.Remove(back)
+		bucket := m.plans.byFP[ev.fp]
+		for i, b := range bucket {
+			if b == back {
+				bucket = append(bucket[:i], bucket[i+1:]...)
+				break
+			}
+		}
+		if len(bucket) == 0 {
+			delete(m.plans.byFP, ev.fp)
+		} else {
+			m.plans.byFP[ev.fp] = bucket
+		}
+		m.stats.PlanEvictions++
+	}
+}
+
+func constantsEqual(a, b []bytecode.Constant) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !a[i].Equal(b[i]) {
+			return false
+		}
+	}
+	return true
+}

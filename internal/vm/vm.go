@@ -40,6 +40,10 @@ type Config struct {
 	// SkipValidation trusts the caller to have validated the program
 	// (the optimizer pipeline validates after every pass).
 	SkipValidation bool
+	// PlanCacheSize caps the machine's fingerprint-keyed plan cache, in
+	// entries. Zero selects DefaultPlanCacheSize; negative disables the
+	// cache entirely (LookupPlan always misses without counting).
+	PlanCacheSize int
 }
 
 // DefaultParallelThreshold is the sweep size below which goroutine fan-out
@@ -55,6 +59,7 @@ type Machine struct {
 	regs  registerFile
 	stats Stats
 	pool  *workerPool
+	plans *planCache
 }
 
 // DTypeCounts holds one counter per dtype, indexed by tensor.DType. It is
@@ -122,6 +127,14 @@ type Stats struct {
 	// BytesAllocated totals the bytes of fresh allocations (pool hits add
 	// nothing — that is the point).
 	BytesAllocated int
+	// PlanHits counts batches served from the fingerprint-keyed plan
+	// cache: no rewrite passes, no cluster re-analysis — straight to
+	// Plan.Execute with rebound buffers.
+	PlanHits int
+	// PlanMisses counts cache lookups that had to compile a fresh plan.
+	PlanMisses int
+	// PlanEvictions counts plans the LRU dropped when over capacity.
+	PlanEvictions int
 }
 
 // New returns a Machine with the given configuration.
@@ -133,6 +146,13 @@ func New(cfg Config) *Machine {
 		cfg.ParallelThreshold = DefaultParallelThreshold
 	}
 	m := &Machine{cfg: cfg, pool: newWorkerPool(cfg.Workers)}
+	if cfg.PlanCacheSize >= 0 {
+		size := cfg.PlanCacheSize
+		if size == 0 {
+			size = DefaultPlanCacheSize
+		}
+		m.plans = newPlanCache(size)
+	}
 	m.regs.stats = &m.stats
 	return m
 }
@@ -161,30 +181,17 @@ func (m *Machine) Tensor(r bytecode.RegID, v tensor.View) (tensor.Tensor, bool) 
 	return tensor.Tensor{Buf: buf, View: v}, true
 }
 
-// Run executes the program. On error the register file may hold partial
-// results; the error reports the failing instruction.
+// Run compiles and executes the program in one step — Compile then
+// Plan.Execute. Callers that run a structurally identical program many
+// times should Compile once and Execute the plan per run (or go through
+// the plan cache, LookupPlan/InsertPlan). On error the register file may
+// hold partial results; the error reports the failing instruction.
 func (m *Machine) Run(p *bytecode.Program) error {
-	if !m.cfg.SkipValidation {
-		if err := p.Validate(); err != nil {
-			return fmt.Errorf("%w: %v", ErrExec, err)
-		}
+	pl, err := m.Compile(p)
+	if err != nil {
+		return err
 	}
-	m.regs.grow(len(p.Regs))
-	for _, r := range p.Inputs {
-		if m.regs.get(r) == nil {
-			return fmt.Errorf("%w: input register %s not bound", ErrExec, r)
-		}
-	}
-
-	if m.cfg.Fusion {
-		return m.runFused(p)
-	}
-	for idx := range p.Instrs {
-		if err := m.exec(p, &p.Instrs[idx]); err != nil {
-			return fmt.Errorf("%w: instr %d (%s): %v", ErrExec, idx, p.Instrs[idx].String(), err)
-		}
-	}
-	return nil
+	return pl.Execute(m)
 }
 
 // Close releases the worker pool. The Machine must not be used afterwards.
