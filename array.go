@@ -23,7 +23,9 @@ import (
 // optimizer may eliminate or rewrite away its value (this is what lets the
 // equation (2) inverse→solve rewrite fire on `a.Inverse().MatMul(b)`).
 // Call Keep on a temporary you want to read after an unrelated flush;
-// reading values (Data, At, Scalar, String) keeps the array automatically.
+// reading values (Data, At, Scalar, String) materializes the value for
+// that read but does not pin the array — a debug read must not change
+// how later batches optimize, fingerprint, or recycle registers.
 type Array struct {
 	ctx  *Context
 	reg  bytecode.RegID
@@ -335,9 +337,17 @@ func (a *Array) Max() *Array {
 	return out
 }
 
-// Mean returns the scalar mean of all elements.
+// Mean returns the scalar mean of all elements. The mean of an empty
+// array is undefined — like the MIN/MAX empty-axis reductions (and
+// unlike Sum, whose empty result is the additive identity 0), there is
+// no value to report, so Mean panics instead of silently dividing 0/0
+// into NaN. Emptiness is known from the shape at record time, which
+// makes it a programming error, the panicking category.
 func (a *Array) Mean() *Array {
 	n := a.Size()
+	if n == 0 {
+		panic("bohrium: Mean of an empty array is undefined")
+	}
 	return a.Sum().DivC(float64(n))
 }
 
@@ -352,6 +362,9 @@ func (a *Array) CumSum(axis int) *Array {
 // Views (no byte-code, no copies — aliases the same register).
 
 // Slice restricts dimension dim to [start, stop) with the given step.
+// Negative steps give NumPy reversed slices: Slice(dim, n-1, -1, -1)
+// reverses a dimension of extent n (see tensor.View.Slice for the exact
+// bounds rules).
 func (a *Array) Slice(dim, start, stop, step int) (*Array, error) {
 	a.check()
 	v, err := a.view.Slice(dim, start, stop, step)
@@ -393,7 +406,9 @@ func (a *Array) alias(v tensor.View) *Array {
 // Materialization and data access.
 
 // Sync records a BH_SYNC materialization fence for this array and keeps
-// its value across future flushes.
+// its value across future flushes (fence + Keep). Use fence-only reads
+// (Data, At, String) when the value is needed once; Sync when the array
+// must stay observable to every later batch.
 func (a *Array) Sync() *Array {
 	a.check()
 	a.ctx.keptRegs[a.reg] = true
@@ -401,11 +416,23 @@ func (a *Array) Sync() *Array {
 	return a
 }
 
+// fence records a BH_SYNC materialization fence without pinning the
+// register. The in-batch SYNC byte-code is what the optimizer's liveness
+// respects, so the value is materialized for the flush that follows —
+// but the register's cross-batch role is untouched: a read must not make
+// a temporary permanently kept (that would change every later batch's
+// outputs, and with them the plan-cache fingerprints, and block the
+// register id from recycling — the sticky-Sync read leak).
+func (a *Array) fence() {
+	a.ctx.pending.EmitSync(a.operand())
+}
+
 // Data flushes pending byte-code and returns the array contents flattened
-// to []float64 in row-major order.
+// to []float64 in row-major order. The read fences (materializes) the
+// value but does not Keep the array.
 func (a *Array) Data() ([]float64, error) {
 	a.check()
-	a.Sync()
+	a.fence()
 	if err := a.ctx.Flush(); err != nil {
 		return nil, err
 	}
@@ -444,7 +471,7 @@ func (a *Array) At(coords ...int) (float64, error) {
 	if len(coords) != a.NDim() {
 		return 0, fmt.Errorf("bohrium: %d coordinates for %d-d array", len(coords), a.NDim())
 	}
-	a.Sync()
+	a.fence()
 	if err := a.ctx.Flush(); err != nil {
 		return 0, err
 	}
@@ -461,7 +488,7 @@ func (a *Array) String() string {
 	if a.freed || a.gen != a.ctx.regGen[a.reg] {
 		return "<freed array>"
 	}
-	a.Sync()
+	a.fence()
 	if err := a.ctx.Flush(); err != nil {
 		return fmt.Sprintf("<error: %v>", err)
 	}

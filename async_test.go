@@ -1,0 +1,270 @@
+package bohrium
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"bohrium/internal/tensor"
+)
+
+// runStream drives an iterative stream workload through ctx, calling
+// step after each iteration's batch — ctx.Flush for the synchronous
+// discipline, ctx.Submit for the pipelined one — and returns the final
+// probe value. It is the differential harness: the recorded byte-code is
+// identical either way, so the results must be bit-for-bit equal.
+func runStream(t *testing.T, ctx *Context, name string, iters int, step func() error) float64 {
+	t.Helper()
+	var probe func() (float64, error)
+	switch name {
+	case "heat":
+		n := 16
+		grid := ctx.Zeros(n, n)
+		grid.MustSlice(0, 0, 1, 1).AddC(100)
+		center := grid.MustSlice(0, 1, n-1, 1).MustSlice(1, 1, n-1, 1)
+		north := grid.MustSlice(0, 0, n-2, 1).MustSlice(1, 1, n-1, 1)
+		south := grid.MustSlice(0, 2, n, 1).MustSlice(1, 1, n-1, 1)
+		west := grid.MustSlice(0, 1, n-1, 1).MustSlice(1, 0, n-2, 1)
+		east := grid.MustSlice(0, 1, n-1, 1).MustSlice(1, 2, n, 1)
+		for it := 0; it < iters; it++ {
+			next := center.Plus(north)
+			next.Add(south).Add(west).Add(east).MulC(0.2)
+			center.Assign(next)
+			next.Free()
+			if err := step(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		probe = func() (float64, error) { return grid.At(1, n/2) }
+	case "power":
+		x := ctx.Full(1.0000001, 64)
+		acc := ctx.Zeros(1)
+		for it := 0; it < iters; it++ {
+			p := x.Power(10)
+			s := p.Sum()
+			acc.Add(s)
+			p.Free()
+			s.Free()
+			if err := step(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		probe = func() (float64, error) { return acc.At(0) }
+	case "jacobi":
+		n := 64
+		u := ctx.Zeros(n)
+		f := ctx.Full(1.0/float64((n-1)*(n-1)), n)
+		uc := u.MustSlice(0, 1, n-1, 1)
+		ul := u.MustSlice(0, 0, n-2, 1)
+		ur := u.MustSlice(0, 2, n, 1)
+		fc := f.MustSlice(0, 1, n-1, 1)
+		for it := 0; it < iters; it++ {
+			tmp := ul.Plus(ur)
+			tmp.Add(fc).MulC(0.5)
+			uc.Assign(tmp)
+			tmp.Free()
+			if err := step(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		probe = func() (float64, error) { return u.At(n / 2) }
+	default:
+		t.Fatalf("unknown stream %q", name)
+	}
+	v, err := probe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+// TestAsyncMatchesSyncStreams is the differential acceptance sweep:
+// every stream workload submitted through the async pipeline must
+// produce bit-for-bit the synchronous result, and the async run must
+// actually have pipelined (Pipelined > 0) and hit the plan cache.
+// Run under -race this also exercises the recorder/executor split.
+func TestAsyncMatchesSyncStreams(t *testing.T) {
+	for _, name := range []string{"heat", "power", "jacobi"} {
+		t.Run(name, func(t *testing.T) {
+			sync := newTestContext(t, nil)
+			vSync := runStream(t, sync, name, 25, sync.Flush)
+
+			async := newTestContext(t, &Config{Async: true})
+			vAsync := runStream(t, async, name, 25, async.Submit)
+
+			if math.Float64bits(vSync) != math.Float64bits(vAsync) {
+				t.Errorf("async %v != sync %v", vAsync, vSync)
+			}
+			st := async.Stats()
+			if st.Pipelined == 0 {
+				t.Error("async run executed nothing on the background executor")
+			}
+			if st.PlanHits == 0 {
+				t.Error("async run never hit the plan cache")
+			}
+			if sSt := sync.Stats(); sSt.Pipelined != 0 {
+				t.Errorf("sync run pipelined %d plans", sSt.Pipelined)
+			}
+		})
+	}
+}
+
+// TestAsyncFlushMatchesSyncFlush: Flush is Submit+Wait, so Flush-only
+// code must behave identically with Async on — including the stats the
+// work leaves behind (modulo the Pipelined counter itself).
+func TestAsyncFlushMatchesSyncFlush(t *testing.T) {
+	sync := newTestContext(t, nil)
+	async := newTestContext(t, &Config{Async: true})
+	vSync := runStream(t, sync, "heat", 20, sync.Flush)
+	vAsync := runStream(t, async, "heat", 20, async.Flush)
+	if math.Float64bits(vSync) != math.Float64bits(vAsync) {
+		t.Errorf("async Flush %v != sync Flush %v", vAsync, vSync)
+	}
+	sSt, aSt := sync.Stats(), async.Stats()
+	aSt.Pipelined, sSt.Pipelined = 0, 0
+	if aSt != sSt {
+		t.Errorf("async Flush stats diverge:\n sync %+v\nasync %+v", sSt, aSt)
+	}
+}
+
+// TestAsyncMixedReads: data accesses interleaved with submits must see
+// every previously submitted batch (Data waits), in both modes.
+func TestAsyncMixedReads(t *testing.T) {
+	ctx := newTestContext(t, &Config{Async: true})
+	x := ctx.Full(2, 8)
+	for it := 1; it <= 5; it++ {
+		x.MulC(2)
+		if err := ctx.Submit(); err != nil {
+			t.Fatal(err)
+		}
+		want := math.Pow(2, float64(it)+1)
+		if v, err := x.At(0); err != nil || v != want {
+			t.Fatalf("iteration %d: x[0] = %v (err %v), want %v", it, v, err, want)
+		}
+	}
+}
+
+// asyncFailure records a batch that compiles but fails at execution — a
+// MAX reduction over an empty axis (the PR 1 semantics: no identity, so
+// the VM reports an error) — and returns it kept, plus the array.
+func asyncFailure(ctx *Context) {
+	e := ctx.ZerosTyped(tensor.Float64, 0)
+	m := e.MaxAxis(0)
+	m.Keep()
+}
+
+// TestAsyncErrorSurfacesAtNextSync pins the error contract: a failing
+// batch reports the same error text in both modes — at Flush when
+// synchronous, at the next synchronizing call (Wait here) when async —
+// and the async error is sticky for every later synchronizing call,
+// while later submits are refused rather than run against poisoned
+// state.
+func TestAsyncErrorSurfacesAtNextSync(t *testing.T) {
+	sync := newTestContext(t, nil)
+	asyncFailure(sync)
+	syncErr := sync.Flush()
+	if syncErr == nil {
+		t.Fatal("synchronous flush of the failing batch did not error")
+	}
+
+	async := newTestContext(t, &Config{Async: true})
+	asyncFailure(async)
+	if err := async.Submit(); err != nil {
+		t.Fatalf("Submit reported the execution error early: %v", err)
+	}
+	waitErr := async.Wait()
+	if waitErr == nil {
+		t.Fatal("Wait did not surface the execution error")
+	}
+	if waitErr.Error() != syncErr.Error() {
+		t.Errorf("async error %q != sync error %q", waitErr, syncErr)
+	}
+	// Sticky: the next Wait, and a fresh Submit, keep reporting it.
+	if err := async.Wait(); err == nil || err.Error() != waitErr.Error() {
+		t.Errorf("second Wait lost the sticky error: %v", err)
+	}
+	x := async.Full(1, 4)
+	x.AddC(1)
+	if err := async.Submit(); err == nil || !strings.Contains(err.Error(), "execution failed") {
+		t.Errorf("Submit on a poisoned pipeline did not refuse: %v", err)
+	}
+	if _, err := x.Data(); err == nil {
+		t.Error("data access on a poisoned pipeline did not error")
+	}
+}
+
+// TestAsyncSkipsQueuedBatchesAfterError: batches already queued behind a
+// failing one must not execute — their effects would be computed from
+// state the failure never produced.
+func TestAsyncSkipsQueuedBatchesAfterError(t *testing.T) {
+	ctx := newTestContext(t, &Config{Async: true})
+	x := ctx.Full(3, 4)
+	if err := ctx.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	asyncFailure(ctx)
+	if err := ctx.Submit(); err != nil {
+		t.Fatal(err)
+	}
+	x.MulC(10) // queued behind the failing batch (same Submit wave or later)
+	_ = ctx.Submit()
+	if err := ctx.Wait(); err == nil {
+		t.Fatal("pipeline error lost")
+	}
+	// The multiply must not have executed. Reads on the poisoned context
+	// error by design, so pin it through the Pipelined counter: the fill
+	// batch and the failing batch entered execution (2), while the MulC
+	// batch was either refused at Submit or skipped by the executor —
+	// in both cases it never starts executing and never counts.
+	st := ctx.Stats()
+	if st.Pipelined != 2 {
+		t.Errorf("pipelined %d plans after the error, want 2 (MulC batch must be skipped)", st.Pipelined)
+	}
+}
+
+// TestAsyncFromSliceFences: binding external data must wait for
+// in-flight batches (they own the register file) and still work.
+func TestAsyncFromSliceFences(t *testing.T) {
+	ctx := newTestContext(t, &Config{Async: true})
+	a := ctx.Full(1, 1<<12)
+	for i := 0; i < 6; i++ {
+		a.AddC(1)
+		if err := ctx.Submit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	b, err := ctx.FromSlice([]float64{1, 2, 3}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := b.Data()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d[0] != 1 || d[2] != 3 {
+		t.Errorf("bound data wrong: %v", d)
+	}
+	if v, err := a.At(0); err != nil || v != 7 {
+		t.Errorf("a[0] = %v (err %v), want 7", v, err)
+	}
+}
+
+// TestAsyncCloseDrains: Close must finish in-flight work before tearing
+// the worker pool down (a crash here would fail the test).
+func TestAsyncCloseDrains(t *testing.T) {
+	ctx := NewContext(&Config{Async: true})
+	a := ctx.Full(1, 1<<14)
+	for i := 0; i < 10; i++ {
+		a.AddC(1)
+		if err := ctx.Submit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ctx.Close()
+	if err := ctx.Submit(); err != ErrClosed {
+		t.Errorf("Submit after Close = %v, want ErrClosed", err)
+	}
+	if err := ctx.Wait(); err != ErrClosed {
+		t.Errorf("Wait after Close = %v, want ErrClosed", err)
+	}
+}

@@ -15,6 +15,10 @@
 //	a := ctx.Zeros(10)
 //	a.AddC(1).AddC(1).AddC(1) // records three BH_ADDs
 //	fmt.Println(a.MustData()) // optimizer merges them into one, VM runs it
+//
+// With Config{Async: true}, Flush splits into a non-blocking Submit and
+// a Wait fence, so one batch records while the previous one executes;
+// Flush itself remains Submit+Wait and behaves identically.
 package bohrium
 
 import (
@@ -59,12 +63,29 @@ type Config struct {
 	// plan-cache hit skips the optimizer, so LastReport keeps describing
 	// the most recent *compiled* flush.
 	CollectReports bool
+	// Async runs flushed batches on a background executor goroutine:
+	// Submit seals and enqueues the pending batch without blocking, so
+	// batch N+1 records (and fingerprints, and compiles) while batch N
+	// executes. Flush is always Submit+Wait, so Flush-only code behaves
+	// identically in both modes; the difference surfaces only for callers
+	// that Submit explicitly and synchronize later. Execution errors are
+	// reported by the next synchronizing call (Wait, Flush, or any data
+	// access) and are sticky from then on. See ARCHITECTURE.md,
+	// "Async pipelined flush".
+	Async bool
+	// AsyncDepth caps how many compiled batches may queue between the
+	// recording goroutine and the executor before Submit blocks
+	// (backpressure). Zero selects vm.DefaultAsyncDepth. Ignored unless
+	// Async is set.
+	AsyncDepth int
 }
 
 // Context owns a byte-code recording buffer and the virtual machine that
 // executes flushed batches. It is not safe for concurrent use — like a
 // NumPy session, one goroutine drives it; parallelism happens inside the
-// VM.
+// VM, and in async mode (Config.Async) additionally between the driving
+// goroutine and a background executor that runs submitted batches while
+// the driver records the next one.
 type Context struct {
 	cfg      Config
 	pipeline *rewrite.Pipeline
@@ -85,7 +106,12 @@ type Context struct {
 	// aliases (Slice/Transpose handles of a freed array).
 	regGen  map[bytecode.RegID]uint64
 	lastRep *rewrite.Report
-	closed  bool
+	// exec is the background plan executor of async mode (Config.Async);
+	// nil in synchronous mode. Everything else in this struct belongs to
+	// the recording goroutine — the executor only ever sees compiled
+	// vm.Plans and the machine's register file.
+	exec   *vm.Executor
+	closed bool
 }
 
 // NewContext creates a session. Pass nil for defaults.
@@ -98,7 +124,7 @@ func NewContext(cfg *Config) *Context {
 	if c.Optimizer != nil {
 		opts = *c.Optimizer
 	}
-	return &Context{
+	ctx := &Context{
 		cfg:      c,
 		pipeline: rewrite.Build(opts),
 		machine: vm.New(vm.Config{
@@ -113,14 +139,24 @@ func NewContext(cfg *Config) *Context {
 		inFree:   map[bytecode.RegID]bool{},
 		regGen:   map[bytecode.RegID]uint64{},
 	}
+	if c.Async {
+		ctx.exec = ctx.machine.NewExecutor(c.AsyncDepth)
+	}
+	return ctx
 }
 
-// Close releases the VM worker pool. The context must not be used after.
+// Close releases the VM worker pool. In async mode it first drains the
+// executor — every submitted batch finishes (or is skipped after a
+// pipeline error) before the pool goes away; call Wait first if you need
+// the error. The context must not be used after.
 func (c *Context) Close() {
 	if c.closed {
 		return
 	}
 	c.closed = true
+	if c.exec != nil {
+		c.exec.Close()
+	}
 	c.machine.Close()
 }
 
@@ -137,8 +173,16 @@ func (c *Context) LastReport() *rewrite.Report { return c.lastRep }
 // handed back to later allocations of the same dtype and length. The
 // plan-cache counters (PlanHits, PlanMisses, PlanEvictions) show how
 // many flushes skipped the rewrite pipeline and fusion analysis by
-// re-executing a cached compilation.
-func (c *Context) Stats() vm.Stats { return c.machine.Stats() }
+// re-executing a cached compilation, and Pipelined counts plans that ran
+// on the async executor. In async mode Stats first waits for the
+// in-flight batches so the counters are deterministic; a pipeline error
+// is not reported here — it stays sticky for the next synchronizing call.
+func (c *Context) Stats() vm.Stats {
+	if c.exec != nil && !c.closed {
+		c.exec.Wait()
+	}
+	return c.machine.Stats()
+}
 
 // PendingProgram returns a copy of the not-yet-flushed byte-code — the
 // stream the optimizer will see. Examples and tools use it to show
@@ -147,16 +191,44 @@ func (c *Context) PendingProgram() *bytecode.Program { return c.pending.Clone() 
 
 // Flush optimizes and executes all recorded byte-code. Arrays read after
 // a flush observe the computed values. Flushing an empty buffer is a
-// no-op: no clone, no pipeline, no VM call.
+// no-op: no clone, no pipeline, no VM call. Flush is exactly
+// Submit+Wait, in both synchronous and async mode.
 //
-// When the plan cache is enabled (default), Flush first fingerprints the
-// batch; a structurally identical batch that was compiled before skips
-// the clone, the whole rewrite pass stack, and fusion cluster analysis,
-// and goes straight to executing the cached plan against the current
-// buffer bindings. See ARCHITECTURE.md, "Compile/execute split".
+// When the plan cache is enabled (default), the flush first fingerprints
+// the batch; a structurally identical batch that was compiled before
+// skips the clone, the whole rewrite pass stack, and fusion cluster
+// analysis, and goes straight to executing the cached plan against the
+// current buffer bindings. See ARCHITECTURE.md, "Compile/execute split".
 func (c *Context) Flush() error {
+	if err := c.Submit(); err != nil {
+		return err
+	}
+	return c.Wait()
+}
+
+// Submit seals the pending batch and hands it to the executor without
+// waiting for the results. In synchronous mode (Config.Async unset) it
+// optimizes, compiles and executes on the spot — Submit then *is* the
+// whole flush, and the subsequent Wait is a no-op. In async mode it
+// resolves the batch against the plan cache (compiling on a miss) and
+// enqueues the plan on the background executor: recording, fingerprinting
+// and compilation of the next batch overlap the execution of this one.
+// Submit returns recording-side errors (optimize/compile failures, a
+// poisoned pipeline) immediately; execution errors surface at the next
+// synchronizing call — Wait, Flush, Close, or any data access.
+func (c *Context) Submit() error {
 	if c.closed {
 		return ErrClosed
+	}
+	if c.exec != nil {
+		// A failed batch poisons the pipeline: later batches were
+		// recorded against state the failure never produced, so they are
+		// not executed, and every synchronizing call keeps reporting the
+		// first error. The pending byte-code stays recorded, mirroring
+		// the synchronous path, which also leaves a failed batch pending.
+		if err := c.exec.Err(); err != nil {
+			return fmt.Errorf("bohrium: execution failed: %w", err)
+		}
 	}
 	if c.pending.Len() == 0 {
 		return nil
@@ -169,11 +241,22 @@ func (c *Context) Flush() error {
 	if cached {
 		fp = c.pending.Fingerprint()
 		consts = c.pending.Constants()
-		if plan, meta, ok := c.machine.LookupPlan(fp, consts, c.planUsable); ok {
+		var plan *vm.Plan
+		var meta any
+		var patch, ok bool
+		if c.exec != nil {
+			// Async: constant patching is deferred to the executor
+			// goroutine — the plan may still be running its previous
+			// submission's values.
+			plan, meta, patch, ok = c.machine.LookupPlanDeferred(fp, consts, c.planUsable)
+		} else {
+			plan, meta, ok = c.machine.LookupPlan(fp, consts, c.planUsable)
+		}
+		if ok {
 			pm := meta.(*planMeta)
 			if plan != nil { // nil: the batch is known to optimize to nothing
-				if err := plan.Execute(c.machine); err != nil {
-					return fmt.Errorf("bohrium: execution failed: %w", err)
+				if err := c.execute(plan, consts, patch); err != nil {
+					return err
 				}
 			}
 			c.advanceBatch(pm)
@@ -210,13 +293,48 @@ func (c *Context) Flush() error {
 	if err != nil {
 		return fmt.Errorf("bohrium: execution failed: %w", err)
 	}
-	if err := plan.Execute(c.machine); err != nil {
-		return fmt.Errorf("bohrium: execution failed: %w", err)
+	if err := c.execute(plan, nil, false); err != nil {
+		return err
 	}
 	if cached {
 		c.machine.InsertPlan(fp, consts, parametric, plan, pm)
 	}
 	c.advanceBatch(pm)
+	return nil
+}
+
+// execute runs one compiled plan: inline in synchronous mode, enqueued on
+// the background executor in async mode (where patch defers a parametric
+// cache hit's constant rebinding to the executor goroutine — the plan may
+// still be executing its previous submission's values).
+func (c *Context) execute(plan *vm.Plan, consts []bytecode.Constant, patch bool) error {
+	if c.exec != nil {
+		c.exec.Submit(plan, consts, patch)
+		return nil
+	}
+	// Synchronous mode: LookupPlan already patched constants (patch is
+	// never set here), so the plan runs as-is on the calling goroutine.
+	if err := plan.Execute(c.machine); err != nil {
+		return fmt.Errorf("bohrium: execution failed: %w", err)
+	}
+	return nil
+}
+
+// Wait blocks until every submitted batch has executed and returns the
+// pipeline's first execution error. The error is sticky: after a failed
+// batch, Wait (and every other synchronizing call) keeps returning it,
+// and no later batch executes. In synchronous mode Wait is a no-op —
+// Submit already ran everything.
+func (c *Context) Wait() error {
+	if c.closed {
+		return ErrClosed
+	}
+	if c.exec == nil {
+		return nil
+	}
+	if err := c.exec.Wait(); err != nil {
+		return fmt.Errorf("bohrium: execution failed: %w", err)
+	}
 	return nil
 }
 
@@ -481,16 +599,29 @@ func (c *Context) FullInt(v int64, dims ...int) *Array {
 	return a
 }
 
-// Arange returns a float64 vector [0, 1, ..., n-1].
+// Arange returns a float64 vector [0, 1, ..., n-1]. n == 0 yields an
+// empty array; a negative length is a programming error and panics.
 func (c *Context) Arange(n int) *Array {
+	if n < 0 {
+		panic(fmt.Sprintf("bohrium: Arange length must be non-negative, got %d", n))
+	}
 	a := c.newArray(tensor.Float64, tensor.MustShape(n))
 	c.pending.Emit(bytecode.Instruction{Op: bytecode.OpRange, Out: a.operand()})
 	return a
 }
 
 // Linspace returns n evenly spaced float64 values over [lo, hi].
+// Degenerate lengths follow NumPy: n == 0 yields an empty array, n == 1
+// yields [lo]; a negative length is a programming error and panics. No
+// arithmetic byte-code is recorded for the empty case.
 func (c *Context) Linspace(lo, hi float64, n int) *Array {
+	if n < 0 {
+		panic(fmt.Sprintf("bohrium: Linspace length must be non-negative, got %d", n))
+	}
 	a := c.Arange(n)
+	if n == 0 {
+		return a
+	}
 	if n > 1 {
 		a.MulC((hi - lo) / float64(n-1))
 	}
@@ -517,6 +648,11 @@ func (c *Context) FromSlice(values []float64, dims ...int) (*Array, error) {
 	shape := tensor.MustShape(dims...)
 	tt, err := tensor.FromFloat64s(values, shape)
 	if err != nil {
+		return nil, err
+	}
+	// Binding writes the machine's register file, which in-flight async
+	// batches own until they finish — fence first.
+	if err := c.Wait(); err != nil {
 		return nil, err
 	}
 	a := c.newArray(tensor.Float64, shape)

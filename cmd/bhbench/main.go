@@ -1,14 +1,14 @@
 // Command bhbench regenerates the paper's evaluation tables (experiments
-// E1–E8 in DESIGN.md / EXPERIMENTS.md): byte-code counts before/after
+// E1–E9 in DESIGN.md / EXPERIMENTS.md): byte-code counts before/after
 // optimization, baseline vs optimized wall-clock times, the ablation rows
 // for the design decisions D1–D4, the dtype-generalized fusion sweep with
-// its reduction-epilogue counters, and the plan-cache rows for iterative
-// flush-per-sweep workloads.
+// its reduction-epilogue counters, the plan-cache rows for iterative
+// flush-per-sweep workloads, and the async submit/wait pipeline rows.
 //
 // Usage:
 //
-//	bhbench [-experiment all|E1|...|E8] [-n elements] [-repeats r]
-//	        [-json path] [-require-plan-hits]
+//	bhbench [-experiment all|E1|...|E9] [-n elements] [-repeats r]
+//	        [-json path] [-require-plan-hits] [-require-pipelined]
 //
 // -json writes the rows as a machine-readable BENCH_*.json document so
 // the perf trajectory can be tracked across commits. The schema
@@ -16,11 +16,13 @@
 // each row carries experiment, workload, params, bc_before, bc_after,
 // baseline_ns, optimized_ns (best-of wall-clock, nanoseconds), speedup,
 // pool_hits, buffers_alloc, fused_reductions, plan_hits, plan_misses,
-// and note.
+// pipelined, and note.
 //
 // -require-plan-hits exits non-zero when the E8 iterative workloads
 // record zero plan-cache hits — the CI smoke guard against silently
-// disabled caching.
+// disabled caching. -require-pipelined is the matching guard for E9: it
+// exits non-zero when the async rows executed zero plans on the
+// background executor or report a sync/async value mismatch.
 package main
 
 import (
@@ -28,6 +30,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"bohrium/internal/bench"
 )
@@ -41,12 +44,13 @@ func main() {
 
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("bhbench", flag.ContinueOnError)
-	exp := fs.String("experiment", "all", "which experiment to run: all, E1, E2, E3, E4, E5, E6, E7, E8")
+	exp := fs.String("experiment", "all", "which experiment to run: all, E1, E2, E3, E4, E5, E6, E7, E8, E9")
 	n := fs.Int("n", 1<<20, "elementwise vector length")
 	solveMax := fs.Int("solve-max", 256, "largest linear-system size for E4")
 	repeats := fs.Int("repeats", 3, "timing repetitions (best-of)")
 	jsonPath := fs.String("json", "", "also write the rows as machine-readable JSON (bohrium-bench/v1) to this path")
 	requireHits := fs.Bool("require-plan-hits", false, "fail if the E8 iterative workloads record zero plan-cache hits")
+	requirePipelined := fs.Bool("require-pipelined", false, "fail if the E9 async workloads pipelined zero plans or mismatch their sync values")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -61,6 +65,7 @@ func run(args []string, stdout io.Writer) error {
 		"E6": bench.E6Ablations,
 		"E7": bench.E7DTypeFusion,
 		"E8": bench.E8PlanCache,
+		"E9": bench.E9Pipeline,
 	}
 
 	var rows []bench.Row
@@ -85,6 +90,25 @@ func run(args []string, stdout io.Writer) error {
 		}
 		if err := os.WriteFile(*jsonPath, data, 0o644); err != nil {
 			return err
+		}
+	}
+	if *requirePipelined {
+		pipelined, rowsSeen := 0, 0
+		for _, r := range rows {
+			if r.Experiment != "E9" {
+				continue
+			}
+			rowsSeen++
+			pipelined += r.Pipelined
+			if strings.Contains(r.Note, "MISMATCH") {
+				return fmt.Errorf("pipeline smoke: %s: %s", r.Workload, r.Note)
+			}
+		}
+		if rowsSeen == 0 {
+			return fmt.Errorf("pipeline smoke: no E9 rows ran (pass -experiment E9 or all)")
+		}
+		if pipelined == 0 {
+			return fmt.Errorf("pipeline smoke: zero plans executed on the async executor across %d workloads — pipelining is broken or disabled", rowsSeen)
 		}
 	}
 	if *requireHits {

@@ -63,3 +63,23 @@ func TestBhbenchRequirePlanHitsNeedsE8(t *testing.T) {
 		t.Error("guard accepted a run without E8 rows")
 	}
 }
+
+func TestBhbenchE9RequirePipelined(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-experiment", "E9", "-n", "16384", "-repeats", "1",
+		"-require-pipelined"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "pipe") {
+		t.Errorf("table missing pipe column:\n%s", out.String())
+	}
+}
+
+func TestBhbenchRequirePipelinedNeedsE9(t *testing.T) {
+	err := run([]string{"-experiment", "E1", "-n", "4096", "-repeats", "1",
+		"-require-pipelined"}, &strings.Builder{})
+	if err == nil {
+		t.Error("guard accepted a run without E9 rows")
+	}
+}

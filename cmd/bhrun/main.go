@@ -4,13 +4,16 @@
 //
 // Usage:
 //
-//	bhrun [-O] [-workers n] [-no-fusion] [-repeat n] [-trace] [file.bh]
+//	bhrun [-O] [-workers n] [-no-fusion] [-repeat n] [-async] [-trace] [file.bh]
 //
 // -O runs the algebraic optimizer before execution; -trace prints the
 // (possibly optimized) program and VM sweep statistics. Execution goes
 // through the VM's fingerprint-keyed plan cache: -repeat re-executes
 // the program n times, so the first run compiles a plan and the rest
-// replay it (the "# plans:" trace line shows n-1 hits).
+// replay it (the "# plans:" trace line shows n-1 hits). -async submits
+// every repeat to the VM's background executor and waits once at the
+// end — the submit/wait pipeline the bohrium front-end uses in async
+// mode (the "# pipeline:" trace line counts plans it executed).
 package main
 
 import (
@@ -38,6 +41,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	workers := fs.Int("workers", 0, "VM worker pool size (0 = GOMAXPROCS)")
 	noFusion := fs.Bool("no-fusion", false, "disable sweep fusion")
 	repeat := fs.Int("repeat", 1, "execute the program n times through the plan cache")
+	async := fs.Bool("async", false, "pipeline the repeats through the background executor (submit all, wait once)")
 	trace := fs.Bool("trace", false, "print the executed program and sweep stats")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -86,6 +90,10 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	if *repeat < 1 {
 		*repeat = 1
 	}
+	var exec *vm.Executor
+	if *async {
+		exec = machine.NewExecutor(0)
+	}
 	fp := prog.Fingerprint()
 	consts := prog.Constants()
 	for i := 0; i < *repeat; i++ {
@@ -97,7 +105,18 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 			}
 			machine.InsertPlan(fp, consts, false, plan, nil)
 		}
+		if exec != nil {
+			// The cached plan's constants never change here (entries are
+			// exact-vector), so no deferred patch is needed.
+			exec.Submit(plan, nil, false)
+			continue
+		}
 		if err := plan.Execute(machine); err != nil {
+			return err
+		}
+	}
+	if exec != nil {
+		if err := exec.Close(); err != nil {
 			return err
 		}
 	}
@@ -123,6 +142,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 			st.BuffersAllocated, st.BytesAllocated, st.PoolHits)
 		fmt.Fprintf(stdout, "# plans: %d hits, %d misses, %d evictions\n",
 			st.PlanHits, st.PlanMisses, st.PlanEvictions)
+		fmt.Fprintf(stdout, "# pipeline: %d plans executed asynchronously\n", st.Pipelined)
 	}
 	return nil
 }

@@ -78,3 +78,25 @@ BH_SYNC a0
 		t.Errorf("repeated execution changed the result:\n%s", got)
 	}
 }
+
+func TestBhrunAsyncMatchesSync(t *testing.T) {
+	src := `.reg a0 float64 8
+BH_IDENTITY a0 1
+BH_ADD a0 a0 2
+BH_SYNC a0
+`
+	var out strings.Builder
+	if err := run([]string{"-trace", "-repeat", "4", "-async"}, strings.NewReader(src), &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "a0 = [3 3 3 3 3 3 3 3]") {
+		t.Errorf("async execution result wrong:\n%s", got)
+	}
+	if !strings.Contains(got, "# pipeline: 4 plans executed asynchronously") {
+		t.Errorf("async repeats did not go through the executor:\n%s", got)
+	}
+	if !strings.Contains(got, "# plans: 3 hits, 1 misses") {
+		t.Errorf("async repeats bypassed the plan cache:\n%s", got)
+	}
+}

@@ -1,0 +1,78 @@
+package bohrium
+
+import (
+	"strings"
+	"testing"
+)
+
+func mustPanic(t *testing.T, contains string, fn func()) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Errorf("no panic (want one containing %q)", contains)
+			return
+		}
+		msg, ok := r.(string)
+		if !ok {
+			msg = ""
+			if err, isErr := r.(error); isErr {
+				msg = err.Error()
+			}
+		}
+		if !strings.Contains(msg, contains) {
+			t.Errorf("panic %q does not contain %q", msg, contains)
+		}
+	}()
+	fn()
+}
+
+// TestLinspaceDegenerate pins the degenerate lengths: n == 0 is a
+// defined empty result (no arithmetic byte-code, no panic), n == 1 is
+// [lo], and negative n panics with a clear front-end message instead of
+// leaking the tensor-layer shape error.
+func TestLinspaceDegenerate(t *testing.T) {
+	ctx := newTestContext(t, nil)
+
+	empty := ctx.Linspace(3, 7, 0)
+	d, err := empty.Data()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d) != 0 {
+		t.Errorf("Linspace(_, _, 0) = %v, want empty", d)
+	}
+	if got := empty.Shape(); len(got) != 1 || got[0] != 0 {
+		t.Errorf("empty Linspace shape = %v, want [0]", got)
+	}
+
+	one := ctx.Linspace(3, 7, 1)
+	if d := one.MustData(); len(d) != 1 || d[0] != 3 {
+		t.Errorf("Linspace(3, 7, 1) = %v, want [3]", d)
+	}
+
+	mustPanic(t, "Linspace length", func() { ctx.Linspace(0, 1, -2) })
+	mustPanic(t, "Arange length", func() { ctx.Arange(-1) })
+}
+
+// TestMeanDegenerate: Sum of an empty array is the additive identity
+// (the PR 1 empty-reduction semantics), but Mean of an empty array has
+// no defined value — it must panic with a clear message rather than
+// silently evaluate 0/0 into NaN.
+func TestMeanDegenerate(t *testing.T) {
+	ctx := newTestContext(t, nil)
+
+	empty := ctx.Zeros(0)
+	if v, err := empty.Sum().Scalar(); err != nil || v != 0 {
+		t.Errorf("Sum of empty = %v (err %v), want 0", v, err)
+	}
+
+	empty2 := ctx.Zeros(0)
+	mustPanic(t, "Mean of an empty array", func() { empty2.Mean() })
+
+	// Non-empty Mean is untouched.
+	x := ctx.Full(3, 4)
+	if v, err := x.Mean().Scalar(); err != nil || v != 3 {
+		t.Errorf("Mean = %v (err %v), want 3", v, err)
+	}
+}

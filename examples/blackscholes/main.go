@@ -31,7 +31,7 @@ func main() {
 	} {
 		ctx := bohrium.NewContext(cfg.conf)
 		start := time.Now()
-		mean, err := price(ctx)
+		mean, err := price(ctx, nOptions)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -45,15 +45,16 @@ func main() {
 	}
 }
 
-// price computes European call prices under Black-Scholes with the normal
-// CDF approximated by Φ(x) ≈ ½(1 + tanh(√(2/π)(x + 0.044715·x³))) and
-// returns the portfolio mean.
-func price(ctx *bohrium.Context) (float64, error) {
+// price computes European call prices for n options under Black-Scholes
+// with the normal CDF approximated by
+// Φ(x) ≈ ½(1 + tanh(√(2/π)(x + 0.044715·x³))) and returns the portfolio
+// mean.
+func price(ctx *bohrium.Context, n int) (float64, error) {
 	const r, sigma, strike = 0.02, 0.3, 100.0
 
-	spot := ctx.Random(2024, nOptions)
+	spot := ctx.Random(2024, n)
 	spot.MulC(40).AddC(80)
-	k := ctx.Full(strike, nOptions)
+	k := ctx.Full(strike, n)
 
 	d1 := spot.Over(k).Log()
 	d1.AddC(r + sigma*sigma/2).DivC(sigma) // T = 1 year

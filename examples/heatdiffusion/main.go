@@ -32,7 +32,7 @@ func main() {
 	} {
 		ctx := bohrium.NewContext(cfg.conf)
 		start := time.Now()
-		center, err := simulate(ctx)
+		center, err := simulate(ctx, gridN, iters)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -44,26 +44,27 @@ func main() {
 	}
 }
 
-// simulate runs the Jacobi iteration with a hot (100°) northern boundary
-// and returns the temperature at a probe point near the hot edge (heat
-// reaches the grid center only after ~n² iterations).
-func simulate(ctx *bohrium.Context) (float64, error) {
-	grid := ctx.Zeros(gridN, gridN)
+// simulate runs sweeps Jacobi iterations on an n×n grid with a hot
+// (100°) northern boundary and returns the temperature at a probe point
+// near the hot edge (heat reaches the grid center only after ~n²
+// iterations).
+func simulate(ctx *bohrium.Context, n, sweeps int) (float64, error) {
+	grid := ctx.Zeros(n, n)
 	grid.MustSlice(0, 0, 1, 1).AddC(100) // hot north edge
 
 	interior := func(r0, r1, c0, c1 int) *bohrium.Array {
 		return grid.MustSlice(0, r0, r1, 1).MustSlice(1, c0, c1, 1)
 	}
-	center := interior(1, gridN-1, 1, gridN-1)
-	north := interior(0, gridN-2, 1, gridN-1)
-	south := interior(2, gridN, 1, gridN-1)
-	west := interior(1, gridN-1, 0, gridN-2)
-	east := interior(1, gridN-1, 2, gridN)
+	center := interior(1, n-1, 1, n-1)
+	north := interior(0, n-2, 1, n-1)
+	south := interior(2, n, 1, n-1)
+	west := interior(1, n-1, 0, n-2)
+	east := interior(1, n-1, 2, n)
 
-	for i := 0; i < iters; i++ {
+	for i := 0; i < sweeps; i++ {
 		next := center.Plus(north)
 		next.Add(south).Add(west).Add(east).MulC(0.2)
 		center.Assign(next)
 	}
-	return grid.At(4, gridN/2)
+	return grid.At(4, n/2)
 }

@@ -25,7 +25,7 @@ func main() {
 
 	// Variant 1: x = A⁻¹·B, inverse discarded → rewrite fires.
 	ctx := bohrium.NewContext(&bohrium.Config{CollectReports: true})
-	a, b := system(ctx)
+	a, b := system(ctx, m)
 	start := time.Now()
 	x := a.Inverse().MatMul(b)
 	x0, err := x.At(0, 0)
@@ -38,7 +38,7 @@ func main() {
 
 	// Variant 2: the inverse is also summed afterwards → gate blocks.
 	ctx2 := bohrium.NewContext(&bohrium.Config{CollectReports: true})
-	a2, b2 := system(ctx2)
+	a2, b2 := system(ctx2, m)
 	start = time.Now()
 	inv := a2.Inverse()
 	x2 := inv.MatMul(b2)
@@ -57,7 +57,7 @@ func main() {
 
 	// Variant 3: calling Solve directly (what the rewrite produces).
 	ctx3 := bohrium.NewContext(nil)
-	a3, b3 := system(ctx3)
+	a3, b3 := system(ctx3, m)
 	start = time.Now()
 	x3 := a3.Solve(b3)
 	x30, err := x3.At(0, 0)
@@ -72,19 +72,17 @@ func main() {
 	fmt.Println("the second pays for the full inverse because the program reuses it.")
 }
 
-// system builds a deterministic diagonally dominant system.
-func system(ctx *bohrium.Context) (*bohrium.Array, *bohrium.Array) {
-	a := ctx.Random(3, m, m)
+// system builds a deterministic diagonally dominant n×n system.
+func system(ctx *bohrium.Context, n int) (*bohrium.Array, *bohrium.Array) {
+	a := ctx.Random(3, n, n)
 	a.MulC(2).SubC(1)
-	diag := a.MustSlice(0, 0, m, 1) // full matrix...
-	_ = diag
 	// Boost the diagonal via a strided 1-d view over the flat buffer.
-	flat, err := a.Reshape(m * m)
+	flat, err := a.Reshape(n * n)
 	if err != nil {
 		log.Fatal(err)
 	}
-	d := flat.MustSlice(0, 0, m*m, m+1)
-	d.AddC(float64(m))
-	b := ctx.Random(5, m, 1)
+	d := flat.MustSlice(0, 0, n*n, n+1)
+	d.AddC(float64(n))
+	b := ctx.Random(5, n, 1)
 	return a, b
 }

@@ -40,10 +40,8 @@ func main() {
 		opts := v.opts
 		ctx := bohrium.NewContext(&bohrium.Config{Optimizer: &opts, CollectReports: true})
 
-		x := ctx.Full(1.0000001, n)
 		start := time.Now()
-		y := x.Power(exponent)
-		first, err := y.At(0)
+		first, err := raise(ctx, n, exponent)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -69,6 +67,15 @@ func main() {
 		}
 		fmt.Printf("  %-18s %d multiplies: %v\n", s, c.MultiplyCount(), exps[1:])
 	}
+}
+
+// raise computes y = x^exp over n elements of the base 1.0000001 and
+// returns y[0]; whether BH_POWER survives or expands into a multiply
+// chain is the context's optimizer's decision.
+func raise(ctx *bohrium.Context, n int, exp float64) (float64, error) {
+	x := ctx.Full(1.0000001, n)
+	y := x.Power(exp)
+	return y.At(0)
 }
 
 func expansion(s chains.Strategy) rewrite.Options {

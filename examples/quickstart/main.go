@@ -19,10 +19,7 @@ func main() {
 	defer ctx.Close()
 
 	// Listing 1, line for line.
-	a := ctx.Zeros(10)
-	a.AddC(1)
-	a.AddC(1)
-	a.AddC(1)
+	a := listing1(ctx)
 
 	fmt.Println("recorded byte-code (paper Listing 2):")
 	fmt.Print(ctx.PendingProgram())
@@ -41,4 +38,14 @@ func main() {
 	st := ctx.Stats()
 	fmt.Printf("\nVM did %d sweep(s) over memory for %d byte-code(s)\n",
 		st.Sweeps, st.Instructions)
+}
+
+// listing1 records the paper's Listing 1: a 10-element zero vector and
+// three `+= 1` operations, nothing computed yet.
+func listing1(ctx *bohrium.Context) *bohrium.Array {
+	a := ctx.Zeros(10)
+	a.AddC(1)
+	a.AddC(1)
+	a.AddC(1)
+	return a
 }

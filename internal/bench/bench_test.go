@@ -322,12 +322,84 @@ func TestE8Shape(t *testing.T) {
 	}
 }
 
+// TestStreamWorkloadsAsyncEqualsSync is the pipelining differential
+// sweep: every step-parameterized stream must produce bit-for-bit the
+// same result submitted through the async executor as flushed
+// synchronously, and the async run must actually pipeline. Run under
+// -race in CI this exercises the recorder/executor split on the bench
+// workloads themselves.
+func TestStreamWorkloadsAsyncEqualsSync(t *testing.T) {
+	workloads := []struct {
+		name string
+		run  func(*bohrium.Context, func() error) (float64, error)
+	}{
+		{"heat-2d-stream", func(c *bohrium.Context, step func() error) (float64, error) {
+			return Heat2DStreamStep(c, 24, 30, step)
+		}},
+		{"power-accum-stream", func(c *bohrium.Context, step func() error) (float64, error) {
+			return PowerAccumStreamStep(c, 512, 30, step)
+		}},
+		{"jacobi-1d-stream", func(c *bohrium.Context, step func() error) (float64, error) {
+			return Jacobi1DStreamStep(c, 512, 30, step)
+		}},
+	}
+	for _, w := range workloads {
+		t.Run(w.name, func(t *testing.T) {
+			sync := bohrium.NewContext(nil)
+			defer sync.Close()
+			want, err := w.run(sync, sync.Flush)
+			if err != nil {
+				t.Fatal(err)
+			}
+			async := bohrium.NewContext(&bohrium.Config{Async: true})
+			defer async.Close()
+			got, err := w.run(async, async.Submit)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Float64bits(got) != math.Float64bits(want) {
+				t.Errorf("async %v != sync %v", got, want)
+			}
+			st := async.Stats()
+			if st.Pipelined == 0 {
+				t.Error("async run executed nothing on the background executor")
+			}
+			if sSt := sync.Stats(); sSt.Pipelined != 0 {
+				t.Errorf("sync run pipelined %d plans", sSt.Pipelined)
+			}
+		})
+	}
+}
+
+// TestE9Shape checks the pipeline experiment pipelines on every workload
+// and reports identical values across sync/async runs.
+func TestE9Shape(t *testing.T) {
+	rows, err := E9Pipeline(tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("E9 rows = %d, want 3", len(rows))
+	}
+	for _, r := range rows {
+		if r.Pipelined == 0 {
+			t.Errorf("%s: zero pipelined plans", r.Workload)
+		}
+		if r.PlanHits == 0 {
+			t.Errorf("%s: zero plan-cache hits (misses=%d)", r.Workload, r.PlanMisses)
+		}
+		if strings.Contains(r.Note, "MISMATCH") {
+			t.Errorf("%s: %s", r.Workload, r.Note)
+		}
+	}
+}
+
 // TestJSONSchema locks the BENCH_*.json document shape tools depend on.
 func TestJSONSchema(t *testing.T) {
 	rows := []Row{{
 		Experiment: "E8", Workload: "w", Params: "p",
 		Baseline: 2000, Optimized: 1000, Speedup: 2,
-		PlanHits: 9, PlanMisses: 1, Note: "n",
+		PlanHits: 9, PlanMisses: 1, Pipelined: 4, Note: "n",
 	}}
 	data, err := JSON(rows)
 	if err != nil {
@@ -336,7 +408,7 @@ func TestJSONSchema(t *testing.T) {
 	for _, want := range []string{
 		`"schema": "bohrium-bench/v1"`, `"rows"`, `"experiment": "E8"`,
 		`"baseline_ns": 2000`, `"optimized_ns": 1000`,
-		`"plan_hits": 9`, `"plan_misses": 1`,
+		`"plan_hits": 9`, `"plan_misses": 1`, `"pipelined": 4`,
 	} {
 		if !strings.Contains(string(data), want) {
 			t.Errorf("JSON missing %s:\n%s", want, data)

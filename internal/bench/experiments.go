@@ -477,11 +477,98 @@ func E8PlanCache(s Scale) ([]Row, error) {
 	return rows, nil
 }
 
+// E9Pipeline measures the async submit/wait pipeline on the E8 stream
+// workloads: baseline records and executes each batch synchronously
+// (Flush per iteration, plan cache on — the E8 optimized configuration),
+// optimized submits each batch to the background executor and keeps
+// recording (Submit per iteration; only the final probe read waits).
+// Both sides hit the plan cache in steady state, so the row isolates the
+// overlap win: the recorder's per-iteration work — recording,
+// fingerprinting, cache lookup, register bookkeeping — hidden behind the
+// previous batch's sweeps. Values must be bit-identical; a mismatch is
+// flagged in the note.
+func E9Pipeline(s Scale) ([]Row, error) {
+	s = s.withDefaults()
+	vec := s.VectorN >> 6
+	if vec < 256 {
+		vec = 256
+	}
+	grid := 64
+	iters := 60
+	type wl struct {
+		name   string
+		params string
+		run    func(*bohrium.Context, func() error) (float64, error)
+	}
+	workloads := []wl{
+		{
+			name: "heat-2d-stream", params: fmt.Sprintf("grid=%dx%d iters=%d", grid, grid, iters),
+			run: func(c *bohrium.Context, step func() error) (float64, error) {
+				return Heat2DStreamStep(c, grid, iters, step)
+			},
+		},
+		{
+			name: "power-accum-stream", params: fmt.Sprintf("N=%d iters=%d", vec, iters),
+			run: func(c *bohrium.Context, step func() error) (float64, error) {
+				return PowerAccumStreamStep(c, vec, iters, step)
+			},
+		},
+		{
+			name: "jacobi-1d-stream", params: fmt.Sprintf("N=%d iters=%d", vec, iters),
+			run: func(c *bohrium.Context, step func() error) (float64, error) {
+				return Jacobi1DStreamStep(c, vec, iters, step)
+			},
+		},
+	}
+	var rows []Row
+	for _, w := range workloads {
+		var syncVal float64
+		base, err := bestOf(s.Repeats, func() error {
+			ctx := bohrium.NewContext(nil)
+			defer ctx.Close()
+			v, err := w.run(ctx, ctx.Flush)
+			syncVal = v
+			return err
+		})
+		if err != nil {
+			return nil, fmt.Errorf("%s sync: %w", w.name, err)
+		}
+		var asyncVal float64
+		var asyncStats vm.Stats
+		opt, err := bestOf(s.Repeats, func() error {
+			ctx := bohrium.NewContext(&bohrium.Config{Async: true})
+			defer ctx.Close()
+			v, err := w.run(ctx, ctx.Submit)
+			asyncVal = v
+			asyncStats = ctx.Stats()
+			return err
+		})
+		if err != nil {
+			return nil, fmt.Errorf("%s async: %w", w.name, err)
+		}
+		note := fmt.Sprintf("value=%.5g", asyncVal)
+		if math.Float64bits(asyncVal) != math.Float64bits(syncVal) {
+			note = fmt.Sprintf("VALUE MISMATCH sync=%v async=%v", syncVal, asyncVal)
+		}
+		rows = append(rows, Row{
+			Experiment: "E9", Workload: w.name, Params: w.params,
+			Baseline: base, Optimized: opt,
+			Speedup:  float64(base) / float64(opt),
+			PoolHits: asyncStats.PoolHits, BuffersAlloc: asyncStats.BuffersAllocated,
+			FusedReductions: asyncStats.FusedReductions,
+			PlanHits:        asyncStats.PlanHits, PlanMisses: asyncStats.PlanMisses,
+			Pipelined: asyncStats.Pipelined,
+			Note:      note,
+		})
+	}
+	return rows, nil
+}
+
 // All runs every experiment and returns the rows grouped in order.
 func All(s Scale) ([]Row, error) {
 	var rows []Row
 	for _, fn := range []func(Scale) ([]Row, error){
-		E1AddMerge, E2PowerChain, E3PowerSweep, E4Solve, E5Workloads, E6Ablations, E7DTypeFusion, E8PlanCache,
+		E1AddMerge, E2PowerChain, E3PowerSweep, E4Solve, E5Workloads, E6Ablations, E7DTypeFusion, E8PlanCache, E9Pipeline,
 	} {
 		r, err := fn(s)
 		if err != nil {

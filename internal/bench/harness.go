@@ -35,6 +35,10 @@ type Row struct {
 	// optimized run: hits re-executed a cached compilation (no rewrite
 	// passes, no cluster analysis), misses paid the full pipeline.
 	PlanHits, PlanMisses int
+	// Pipelined counts plans the optimized run executed on the async
+	// background executor — batches whose execution overlapped the
+	// recording of the next batch.
+	Pipelined int
 	// Note carries per-row context ("chain=5 muls", "rewrite blocked").
 	Note string
 }
@@ -43,19 +47,20 @@ type Row struct {
 // EXPERIMENTS.md embed.
 func Table(rows []Row) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%-4s %-22s %-26s %9s %9s %12s %12s %8s %9s %6s %9s  %s\n",
-		"exp", "workload", "params", "bc-before", "bc-after", "baseline", "optimized", "speedup", "pool", "fredux", "plan", "note")
+	fmt.Fprintf(&b, "%-4s %-22s %-26s %9s %9s %12s %12s %8s %9s %6s %9s %5s  %s\n",
+		"exp", "workload", "params", "bc-before", "bc-after", "baseline", "optimized", "speedup", "pool", "fredux", "plan", "pipe", "note")
 	for _, r := range rows {
 		// pool prints hits/materializations for the optimized run: 3/5
 		// means five register buffers were needed and three were recycled.
 		// fredux counts reductions folded into their producer sweep.
 		// plan prints plan-cache hits/lookups: 58/60 means sixty flushes,
-		// fifty-eight served from a cached compilation.
-		fmt.Fprintf(&b, "%-4s %-22s %-26s %9d %9d %12s %12s %7.2fx %9s %6d %9s  %s\n",
+		// fifty-eight served from a cached compilation. pipe counts plans
+		// executed on the async executor (0 for synchronous runs).
+		fmt.Fprintf(&b, "%-4s %-22s %-26s %9d %9d %12s %12s %7.2fx %9s %6d %9s %5d  %s\n",
 			r.Experiment, r.Workload, r.Params, r.BytecodesBefore, r.BytecodesAfter,
 			round(r.Baseline), round(r.Optimized), r.Speedup,
 			fmt.Sprintf("%d/%d", r.PoolHits, r.PoolHits+r.BuffersAlloc), r.FusedReductions,
-			fmt.Sprintf("%d/%d", r.PlanHits, r.PlanHits+r.PlanMisses), r.Note)
+			fmt.Sprintf("%d/%d", r.PlanHits, r.PlanHits+r.PlanMisses), r.Pipelined, r.Note)
 	}
 	return b.String()
 }
@@ -79,6 +84,7 @@ func JSON(rows []Row) ([]byte, error) {
 		FusedReductions int     `json:"fused_reductions"`
 		PlanHits        int     `json:"plan_hits"`
 		PlanMisses      int     `json:"plan_misses"`
+		Pipelined       int     `json:"pipelined"`
 		Note            string  `json:"note"`
 	}
 	doc := struct {
@@ -100,6 +106,7 @@ func JSON(rows []Row) ([]byte, error) {
 			FusedReductions: r.FusedReductions,
 			PlanHits:        r.PlanHits,
 			PlanMisses:      r.PlanMisses,
+			Pipelined:       r.Pipelined,
 			Note:            r.Note,
 		})
 	}

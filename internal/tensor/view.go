@@ -168,13 +168,42 @@ func (v View) BroadcastTo(target Shape) (View, error) {
 }
 
 // Slice restricts dimension dim to the half-open range [start, stop) with
-// the given step (step >= 1). It mirrors NumPy basic slicing.
+// the given step. It mirrors NumPy basic slicing, including reversed
+// slices: a negative step selects start, start+step, ... down to but
+// excluding stop, so Slice(dim, n-1, -1, -1) reverses a dimension of
+// extent n (stop == -1 plays NumPy's "one before the first index" —
+// negative indices are not otherwise interpreted from the end). The
+// reversed window requires extent > start >= stop >= -1; start == stop
+// yields an empty view either way. step == 0 is an error.
 func (v View) Slice(dim, start, stop, step int) (View, error) {
 	if dim < 0 || dim >= v.NDim() {
 		return View{}, fmt.Errorf("tensor: slice dim %d out of range for %d-d view", dim, v.NDim())
 	}
-	if step < 1 {
-		return View{}, fmt.Errorf("tensor: slice step must be >= 1, got %d", step)
+	if step == 0 {
+		return View{}, fmt.Errorf("tensor: slice step must be non-zero")
+	}
+	if step < 0 {
+		if v.Shape[dim] == 0 && start == -1 && stop == -1 {
+			// Reversing an empty dimension: Slice(dim, n-1, -1, -1) with
+			// n == 0. There is no element to anchor the offset at, and
+			// none is needed — the view stays empty, stride reversed.
+			out := v.Clone()
+			out.Strides[dim] *= step
+			return out, nil
+		}
+		if start < 0 || start >= v.Shape[dim] || stop < -1 || stop > start {
+			return View{}, fmt.Errorf("tensor: reversed slice [%d:%d:%d] out of range for extent %d (need extent > start >= stop >= -1)",
+				start, stop, step, v.Shape[dim])
+		}
+		out := v.Clone()
+		out.Offset += start * v.Strides[dim]
+		if start == stop {
+			out.Shape[dim] = 0
+		} else {
+			out.Shape[dim] = (start-stop-1)/(-step) + 1
+		}
+		out.Strides[dim] *= step
+		return out, nil
 	}
 	if start < 0 || stop > v.Shape[dim] || start > stop {
 		return View{}, fmt.Errorf("tensor: slice [%d:%d] out of range for extent %d", start, stop, v.Shape[dim])

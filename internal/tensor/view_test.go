@@ -205,6 +205,17 @@ func TestViewSlice(t *testing.T) {
 		{name: "out of range", start: 0, stop: 11, step: 1, wantErr: true},
 		{name: "reversed", start: 6, stop: 2, step: 1, wantErr: true},
 		{name: "bad step", start: 0, stop: 10, step: 0, wantErr: true},
+		// Negative steps: NumPy reversed slices. start is the first index
+		// taken, stop the exclusive lower bound (-1 reaches index 0).
+		{name: "full reverse", start: 9, stop: -1, step: -1, wantShape: MustShape(10), wantOffset: 9, wantStride: -1},
+		{name: "reverse window", start: 7, stop: 2, step: -1, wantShape: MustShape(5), wantOffset: 7, wantStride: -1},
+		{name: "reverse step 2", start: 9, stop: -1, step: -2, wantShape: MustShape(5), wantOffset: 9, wantStride: -2},
+		{name: "reverse step 3 ragged", start: 8, stop: 1, step: -3, wantShape: MustShape(3), wantOffset: 8, wantStride: -3},
+		{name: "reverse empty", start: 4, stop: 4, step: -1, wantShape: MustShape(0), wantOffset: 4, wantStride: -1},
+		{name: "reverse start at extent", start: 10, stop: -1, step: -1, wantErr: true},
+		{name: "reverse stop below -1", start: 5, stop: -2, step: -1, wantErr: true},
+		{name: "reverse stop above start", start: 2, stop: 5, step: -1, wantErr: true},
+		{name: "reverse negative start", start: -1, stop: -1, step: -1, wantErr: true},
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {
@@ -270,5 +281,23 @@ func TestViewReshape(t *testing.T) {
 	nc := NewView(MustShape(3, 4)).Transpose()
 	if _, err := nc.Reshape(MustShape(12)); err == nil {
 		t.Error("non-contiguous reshape succeeded, want error")
+	}
+}
+
+// TestViewSliceReverseEmptyDim: the generic reverse recipe
+// Slice(dim, n-1, -1, -1) must work for n == 0 too, yielding the empty
+// view (matching the positive-step analogue and NumPy's a[::-1]).
+func TestViewSliceReverseEmptyDim(t *testing.T) {
+	empty := NewView(MustShape(0))
+	got, err := empty.Slice(0, -1, -1, -1)
+	if err != nil {
+		t.Fatalf("reverse of empty dim errored: %v", err)
+	}
+	if got.Size() != 0 || got.Offset != 0 {
+		t.Errorf("reverse of empty dim = %+v, want empty at offset 0", got)
+	}
+	// Anything else with a negative start stays rejected.
+	if _, err := NewView(MustShape(3)).Slice(0, -1, -1, -1); err == nil {
+		t.Error("negative start on non-empty dim did not error")
 	}
 }

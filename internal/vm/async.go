@@ -1,0 +1,125 @@
+package vm
+
+import (
+	"sync"
+
+	"bohrium/internal/bytecode"
+)
+
+// DefaultAsyncDepth is the submit-queue depth when Executor callers pass
+// zero: how many compiled batches may sit between the recording goroutine
+// and the executing one before Submit applies backpressure.
+const DefaultAsyncDepth = 8
+
+// Executor runs plans on a background goroutine so a front-end can record
+// batch N+1 while batch N executes — the async half of the submit/wait
+// pipeline. Exactly one goroutine (the "recorder") may call Submit, Wait
+// and Close; the executor goroutine is the only one that touches the
+// machine's register file (and therefore the buffer recycle pool) while
+// jobs are in flight. The recorder keeps ownership of the plan cache and
+// of compilation; the machine's counters are atomic, so both sides count.
+//
+// Constant patching for parametric plan-cache hits is deferred to the
+// executor goroutine (see LookupPlanDeferred): the same *Plan may be
+// queued twice with different constant vectors, and each execution must
+// see its own values — patching at lookup time would race with, and
+// corrupt, the execution still in flight.
+//
+// The first execution error poisons the pipeline: queued and future jobs
+// are skipped, and Wait (and every later Wait) returns that error. The
+// register file may hold partial results, exactly as after a failed
+// synchronous Run.
+type Executor struct {
+	m    *Machine
+	jobs chan execJob
+	wg   sync.WaitGroup
+	done chan struct{}
+
+	mu     sync.Mutex
+	err    error
+	closed bool
+}
+
+type execJob struct {
+	plan   *Plan
+	consts []bytecode.Constant
+	patch  bool
+}
+
+// NewExecutor starts a background executor for m with the given queue
+// depth (0 selects DefaultAsyncDepth). Close it before closing the
+// machine: the worker pool must outlive every in-flight plan.
+func (m *Machine) NewExecutor(depth int) *Executor {
+	if depth <= 0 {
+		depth = DefaultAsyncDepth
+	}
+	e := &Executor{m: m, jobs: make(chan execJob, depth), done: make(chan struct{})}
+	go e.loop()
+	return e
+}
+
+func (e *Executor) loop() {
+	defer close(e.done)
+	for j := range e.jobs {
+		if e.Err() == nil {
+			if err := e.m.runJob(j); err != nil {
+				e.mu.Lock()
+				if e.err == nil {
+					e.err = err
+				}
+				e.mu.Unlock()
+			}
+		}
+		e.wg.Done()
+	}
+}
+
+func (m *Machine) runJob(j execJob) error {
+	if j.patch {
+		if err := j.plan.PatchConstants(j.consts); err != nil {
+			return err
+		}
+	}
+	m.stats.pipelined.Add(1)
+	return j.plan.Execute(m)
+}
+
+// Submit queues one plan for background execution. consts and patch come
+// from LookupPlanDeferred: a parametric cache hit is patched to consts on
+// the executor goroutine immediately before it runs. Submit blocks only
+// when the queue is full (backpressure), never on execution itself.
+func (e *Executor) Submit(pl *Plan, consts []bytecode.Constant, patch bool) {
+	e.wg.Add(1)
+	e.jobs <- execJob{plan: pl, consts: consts, patch: patch}
+}
+
+// Wait blocks until every submitted plan has executed (or been skipped
+// after a failure) and returns the pipeline's first execution error. The
+// error is sticky: once a plan fails, every subsequent Wait reports it.
+func (e *Executor) Wait() error {
+	e.wg.Wait()
+	return e.Err()
+}
+
+// Err returns the sticky pipeline error without waiting.
+func (e *Executor) Err() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.err
+}
+
+// Close drains the queue, stops the executor goroutine, and returns the
+// sticky pipeline error. Close is idempotent; Submit must not be called
+// afterwards.
+func (e *Executor) Close() error {
+	e.mu.Lock()
+	already := e.closed
+	e.closed = true
+	e.mu.Unlock()
+	if !already {
+		e.wg.Wait()
+		close(e.jobs)
+	}
+	<-e.done
+	return e.Err()
+}

@@ -1,0 +1,169 @@
+package vm
+
+import (
+	"strings"
+	"testing"
+
+	"bohrium/internal/bytecode"
+	"bohrium/internal/tensor"
+)
+
+// TestExecutorRunsSubmittedPlans: plans submitted to the background
+// executor execute in order against the machine's register file, Wait
+// drains, and the Pipelined counter tracks them.
+func TestExecutorRunsSubmittedPlans(t *testing.T) {
+	m := New(Config{Fusion: true})
+	defer m.Close()
+	e := m.NewExecutor(0)
+	defer e.Close()
+
+	bindVec(t, m, 0, []float64{1, 2, 3, 4, 5, 6, 7, 8})
+	pl, err := m.Compile(planTestProg(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		e.Submit(pl, nil, false)
+	}
+	if err := e.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	got := regVals(t, m, 1, 8)
+	if got[0] != 4 || got[7] != 18 { // (x+1)*2, last submission wins (idempotent here)
+		t.Errorf("executed values = %v", got)
+	}
+	if st := m.Stats(); st.Pipelined != 3 {
+		t.Errorf("Pipelined = %d, want 3", st.Pipelined)
+	}
+}
+
+// TestExecutorDeferredPatch: the same parametric plan queued twice with
+// different constant vectors must execute each submission with its own
+// values — patching happens on the executor immediately before each run,
+// not at lookup time.
+func TestExecutorDeferredPatch(t *testing.T) {
+	m := New(Config{Fusion: true})
+	defer m.Close()
+	e := m.NewExecutor(0)
+	defer e.Close()
+
+	prog := planTestProg(1)
+	fp := prog.Fingerprint()
+	pl, err := m.Compile(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.InsertPlan(fp, prog.Constants(), true, pl, nil)
+	bindVec(t, m, 0, []float64{1, 1, 1, 1, 1, 1, 1, 1})
+
+	// Two structurally identical batches with different immediates.
+	for _, c := range []float64{1, 10} {
+		b := planTestProg(c)
+		plan, _, patch, ok := m.LookupPlanDeferred(b.Fingerprint(), b.Constants(), nil)
+		if !ok {
+			t.Fatalf("c=%v: deferred lookup missed", c)
+		}
+		if !patch {
+			t.Fatalf("c=%v: parametric hit did not request a deferred patch", c)
+		}
+		e.Submit(plan, b.Constants(), patch)
+	}
+	if err := e.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	// The last submission used c=10: (1+10)*2 = 22. If patching had
+	// happened at lookup time the in-flight first run could have seen 10
+	// too, but serial execution with deferred patching guarantees each
+	// run its own constants; the final state reflects the final vector.
+	if got := regVals(t, m, 1, 8); got[0] != 22 {
+		t.Errorf("patched execution = %v, want 22", got[0])
+	}
+}
+
+// failingProg reduces an empty axis with MAX — compiles fine, fails at
+// execution (no identity for empty MAX).
+func failingProg() *bytecode.Program {
+	p := bytecode.NewProgram()
+	src := p.NewReg(tensor.Float64, 0)
+	dst := p.NewReg(tensor.Float64, 1)
+	vEmpty := tensor.NewView(tensor.MustShape(0))
+	v1 := tensor.NewView(tensor.MustShape(1))
+	p.EmitIdentity(bytecode.Reg(src, vEmpty), bytecode.Const(bytecode.ConstFloat(0)))
+	p.EmitReduce(bytecode.OpMaximumReduce, bytecode.Reg(dst, v1), bytecode.Reg(src, vEmpty), 0)
+	p.EmitSync(bytecode.Reg(dst, v1))
+	p.MarkOutput(dst)
+	return p
+}
+
+// TestExecutorErrorPoisonsAndSkips: the first failing plan poisons the
+// pipeline — queued plans are skipped, Wait returns the error, and the
+// error stays sticky through further Waits and Close.
+func TestExecutorErrorPoisonsAndSkips(t *testing.T) {
+	m := New(Config{Fusion: true})
+	defer m.Close()
+	e := m.NewExecutor(4)
+
+	bad, err := m.Compile(failingProg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bindVec(t, m, 0, []float64{1, 2, 3, 4, 5, 6, 7, 8})
+	good, err := m.Compile(planTestProg(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	e.Submit(bad, nil, false)
+	e.Submit(good, nil, false) // must be skipped
+	werr := e.Wait()
+	if werr == nil {
+		t.Fatal("Wait returned nil for a failing plan")
+	}
+	if !strings.Contains(werr.Error(), "MAX_REDUCE") && !strings.Contains(werr.Error(), "reduce") {
+		t.Logf("error text: %v", werr)
+	}
+	if st := m.Stats(); st.Pipelined != 1 {
+		t.Errorf("Pipelined = %d, want 1 (queued plan after the failure must be skipped)", st.Pipelined)
+	}
+	if again := e.Wait(); again == nil || again.Error() != werr.Error() {
+		t.Errorf("sticky error lost: %v", again)
+	}
+	if cerr := e.Close(); cerr == nil || cerr.Error() != werr.Error() {
+		t.Errorf("Close error = %v, want the pipeline error", cerr)
+	}
+}
+
+// TestExecutorCloseIdempotent: Close twice is safe and keeps returning
+// the same (nil) error.
+func TestExecutorCloseIdempotent(t *testing.T) {
+	m := New(Config{})
+	defer m.Close()
+	e := m.NewExecutor(0)
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLookupPlanDeferredBakedNoPatch: baked (non-parametric) entries
+// match only their exact constant vector and never request patching.
+func TestLookupPlanDeferredBakedNoPatch(t *testing.T) {
+	m := New(Config{})
+	defer m.Close()
+	prog := planTestProg(3)
+	pl, err := m.Compile(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.InsertPlan(prog.Fingerprint(), prog.Constants(), false, pl, nil)
+
+	if _, _, patch, ok := m.LookupPlanDeferred(prog.Fingerprint(), prog.Constants(), nil); !ok || patch {
+		t.Errorf("exact-vector baked lookup: ok=%v patch=%v, want hit without patch", ok, patch)
+	}
+	other := planTestProg(4)
+	if _, _, _, ok := m.LookupPlanDeferred(other.Fingerprint(), other.Constants(), nil); ok {
+		t.Error("baked entry matched a different constant vector")
+	}
+}

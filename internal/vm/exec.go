@@ -99,9 +99,9 @@ func (m *Machine) execElementwise(p *bytecode.Program, in *bytecode.Instruction)
 		}
 	}
 
-	m.stats.Instructions++
-	m.stats.Sweeps++
-	m.stats.Elements += outView.Size()
+	m.stats.instructions.Add(1)
+	m.stats.sweeps.Add(1)
+	m.stats.elements.Add(int64(outView.Size()))
 
 	if m.fastElementwise(in.Op, outBuf, outView, srcs) {
 		return nil
@@ -246,9 +246,9 @@ func (m *Machine) execRange(p *bytecode.Program, in *bytecode.Instruction) error
 	if err != nil {
 		return err
 	}
-	m.stats.Instructions++
-	m.stats.Sweeps++
-	m.stats.Elements += in.Out.View.Size()
+	m.stats.instructions.Add(1)
+	m.stats.sweeps.Add(1)
+	m.stats.elements.Add(int64(in.Out.View.Size()))
 	it := tensor.NewIterator(in.Out.View)
 	i := 0
 	for it.Next() {
@@ -268,9 +268,9 @@ func (m *Machine) execRandom(p *bytecode.Program, in *bytecode.Instruction) erro
 	}
 	seed := uint64(in.In1.Const.Int())
 	key := uint64(in.In2.Const.Int())
-	m.stats.Instructions++
-	m.stats.Sweeps++
-	m.stats.Elements += in.Out.View.Size()
+	m.stats.instructions.Add(1)
+	m.stats.sweeps.Add(1)
+	m.stats.elements.Add(int64(in.Out.View.Size()))
 	isFloat := outBuf.DType().IsFloat()
 	it := tensor.NewIterator(in.Out.View)
 	i := uint64(0)

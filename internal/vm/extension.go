@@ -26,9 +26,9 @@ func (m *Machine) execExtension(p *bytecode.Program, in *bytecode.Instruction) e
 		return linalg.FromTensor(tensor.Tensor{Buf: buf, View: o.View})
 	}
 
-	m.stats.Instructions++
-	m.stats.Sweeps++
-	m.stats.Elements += in.Out.View.Size()
+	m.stats.instructions.Add(1)
+	m.stats.sweeps.Add(1)
+	m.stats.elements.Add(int64(in.Out.View.Size()))
 
 	switch in.Op {
 	case bytecode.OpMatmul:

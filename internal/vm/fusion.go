@@ -250,11 +250,11 @@ func (m *Machine) execCluster(p *bytecode.Program, cl cluster) error {
 		loops = append(loops, loop)
 	}
 
-	m.stats.Instructions += len(loops)
-	m.stats.FusedInstructions += len(loops)
+	m.stats.instructions.Add(int64(len(loops)))
+	m.stats.fusedInstructions.Add(int64(len(loops)))
 	m.countFusedDTypes(p, cl.start, cl.end)
-	m.stats.Sweeps++
-	m.stats.Elements += n * len(loops)
+	m.stats.sweeps.Add(1)
+	m.stats.elements.Add(int64(n * len(loops)))
 
 	m.pool.parallelFor(n, m.cfg.ParallelThreshold, func(lo, hi int) {
 		for blockLo := lo; blockLo < hi; blockLo += fusedBlockSize {
@@ -275,7 +275,7 @@ func (m *Machine) execCluster(p *bytecode.Program, cl cluster) error {
 func (m *Machine) countFusedDTypes(p *bytecode.Program, start, end int) {
 	for i := start; i < end; i++ {
 		if ri, ok := p.Reg(p.Instrs[i].Out.Reg); ok {
-			m.stats.FusedByDType.add(ri.DType, 1)
+			m.stats.addDType(ri.DType, 1)
 		}
 	}
 }

@@ -519,12 +519,12 @@ func (m *Machine) execClusterReduce(p *bytecode.Program, cl cluster, epi *epiPla
 // producer plus the reduction ran, fused, in a single launch.
 func (m *Machine) countEpilogueStats(p *bytecode.Program, plan *epiPlan) {
 	nProd := len(plan.steps)
-	m.stats.Instructions += nProd + 1
-	m.stats.FusedInstructions += nProd + 1
+	m.stats.instructions.Add(int64(nProd + 1))
+	m.stats.fusedInstructions.Add(int64(nProd + 1))
 	m.countFusedDTypes(p, plan.cl.start, plan.cl.end)
-	m.stats.Sweeps++
-	m.stats.FusedReductions++
-	m.stats.Elements += plan.shape.Size() * (nProd + 1)
+	m.stats.sweeps.Add(1)
+	m.stats.fusedReductions.Add(1)
+	m.stats.elements.Add(int64(plan.shape.Size() * (nProd + 1)))
 }
 
 // tryReduceEpilogue compiles and runs the folded sweep from the

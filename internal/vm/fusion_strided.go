@@ -91,11 +91,11 @@ func (m *Machine) execClusterStrided(p *bytecode.Program, cl cluster, shape tens
 	}
 
 	n := shape.Size()
-	m.stats.Instructions += cl.end - cl.start
-	m.stats.FusedInstructions += cl.end - cl.start
+	m.stats.instructions.Add(int64(cl.end - cl.start))
+	m.stats.fusedInstructions.Add(int64(cl.end - cl.start))
 	m.countFusedDTypes(p, cl.start, cl.end)
-	m.stats.Sweeps++
-	m.stats.Elements += n * (cl.end - cl.start)
+	m.stats.sweeps.Add(1)
+	m.stats.elements.Add(int64(n * (cl.end - cl.start)))
 
 	var firstErr error
 	m.pool.parallelFor(n, m.cfg.ParallelThreshold, func(lo, hi int) {

@@ -64,8 +64,34 @@ func (m *Machine) PlanCacheLen() int {
 // stored plan and metadata are returned; the plan is nil when the batch
 // is known to optimize to nothing. Counters: PlanHits / PlanMisses.
 func (m *Machine) LookupPlan(fp bytecode.Fingerprint, consts []bytecode.Constant, accept func(meta any) bool) (*Plan, any, bool) {
-	if m.plans == nil {
+	plan, meta, patch, ok := m.lookupPlan(fp, consts, accept, true)
+	if !ok {
 		return nil, nil, false
+	}
+	if patch {
+		// patch is only reported when immediate patching was declined, so
+		// it cannot be set here.
+		panic("vm: immediate lookup returned a deferred patch")
+	}
+	return plan, meta, true
+}
+
+// LookupPlanDeferred is LookupPlan for pipelined execution: it never
+// patches constants on the calling goroutine. When patch is true the
+// caller must hand consts along with the plan to the executing goroutine
+// (Executor.Submit does), which applies them immediately before Execute —
+// the plan may still be executing a previous submission's values, so
+// patching here would corrupt that run. The one behavioural difference
+// from LookupPlan: a constant-vector/structure mismatch (a fingerprint
+// collision) surfaces as an execution error instead of a silent
+// recompile.
+func (m *Machine) LookupPlanDeferred(fp bytecode.Fingerprint, consts []bytecode.Constant, accept func(meta any) bool) (plan *Plan, meta any, patch, ok bool) {
+	return m.lookupPlan(fp, consts, accept, false)
+}
+
+func (m *Machine) lookupPlan(fp bytecode.Fingerprint, consts []bytecode.Constant, accept func(meta any) bool, patchNow bool) (*Plan, any, bool, bool) {
+	if m.plans == nil {
+		return nil, nil, false, false
 	}
 	for _, el := range m.plans.byFP[fp] {
 		e := el.Value.(*planEntry)
@@ -75,17 +101,19 @@ func (m *Machine) LookupPlan(fp bytecode.Fingerprint, consts []bytecode.Constant
 		if accept != nil && !accept(e.meta) {
 			continue
 		}
-		if e.parametric && e.plan != nil {
+		patch := e.parametric && e.plan != nil
+		if patch && patchNow {
 			if err := e.plan.PatchConstants(consts); err != nil {
 				continue // digest collision or corrupted entry: recompile
 			}
+			patch = false
 		}
 		m.plans.order.MoveToFront(el)
-		m.stats.PlanHits++
-		return e.plan, e.meta, true
+		m.stats.planHits.Add(1)
+		return e.plan, e.meta, patch, true
 	}
-	m.stats.PlanMisses++
-	return nil, nil, false
+	m.stats.planMisses.Add(1)
+	return nil, nil, false, false
 }
 
 // InsertPlan stores a freshly compiled plan (nil for a batch that
@@ -122,7 +150,7 @@ func (m *Machine) InsertPlan(fp bytecode.Fingerprint, consts []bytecode.Constant
 		} else {
 			m.plans.byFP[ev.fp] = bucket
 		}
-		m.stats.PlanEvictions++
+		m.stats.planEvictions.Add(1)
 	}
 }
 

@@ -128,9 +128,9 @@ func (m *Machine) execReduce(p *bytecode.Program, in *bytecode.Instruction) erro
 	srcView := in.In1.View
 	reduced, axStride, axLen := removeAxis(srcView, in.Axis)
 
-	m.stats.Instructions++
-	m.stats.Sweeps++
-	m.stats.Elements += srcView.Size()
+	m.stats.instructions.Add(1)
+	m.stats.sweeps.Add(1)
+	m.stats.elements.Add(int64(srcView.Size()))
 
 	if axLen == 0 {
 		return fillReduceIdentity(base, outBuf, in.Out.View)
@@ -263,9 +263,9 @@ func (m *Machine) execScan(p *bytecode.Program, in *bytecode.Instruction) error 
 	reducedIn, inStride, axLen := removeAxis(srcView, in.Axis)
 	reducedOut, outStride, _ := removeAxis(in.Out.View, in.Axis)
 
-	m.stats.Instructions++
-	m.stats.Sweeps++
-	m.stats.Elements += srcView.Size()
+	m.stats.instructions.Add(1)
+	m.stats.sweeps.Add(1)
+	m.stats.elements.Add(int64(srcView.Size()))
 
 	if axLen == 0 {
 		// A scan over an empty axis has no output elements.

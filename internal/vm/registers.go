@@ -35,9 +35,9 @@ type registerFile struct {
 	bufs        []tensor.Buffer
 	owned       []bool // owned[r]: bufs[r] was allocated here, safe to recycle
 	pool        map[poolKey][]tensor.Buffer
-	pooledBytes int    // bytes currently parked across all buckets
-	poolCap     int    // pooledBytes bound; 0 means defaultPoolCapBytes
-	stats       *Stats // counters live on the Machine; nil in zero-value files
+	pooledBytes int          // bytes currently parked across all buckets
+	poolCap     int          // pooledBytes bound; 0 means defaultPoolCapBytes
+	stats       *atomicStats // counters live on the Machine; nil in zero-value files
 }
 
 func (rf *registerFile) grow(n int) {
@@ -79,7 +79,7 @@ func (rf *registerFile) ensure(p *bytecode.Program, r bytecode.RegID) (tensor.Bu
 		rf.pooledBytes -= info.Len * info.DType.Size()
 		buf.Zero() // fresh allocations are zeroed; reuse must match
 		if rf.stats != nil {
-			rf.stats.PoolHits++
+			rf.stats.poolHits.Add(1)
 		}
 		rf.bufs[r] = buf
 		rf.owned[r] = true
@@ -90,8 +90,8 @@ func (rf *registerFile) ensure(p *bytecode.Program, r bytecode.RegID) (tensor.Bu
 		return nil, err
 	}
 	if rf.stats != nil {
-		rf.stats.BuffersAllocated++
-		rf.stats.BytesAllocated += info.Len * info.DType.Size()
+		rf.stats.buffersAllocated.Add(1)
+		rf.stats.bytesAllocated.Add(int64(info.Len * info.DType.Size()))
 	}
 	rf.bufs[r] = buf
 	rf.owned[r] = true

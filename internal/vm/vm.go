@@ -12,6 +12,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"sync/atomic"
 
 	"bohrium/internal/bytecode"
 	"bohrium/internal/tensor"
@@ -52,12 +53,17 @@ const DefaultParallelThreshold = 1 << 15
 
 // Machine executes programs against a register file. A Machine may run
 // many programs; registers persist between runs so a lazy front-end can
-// flush incrementally. Machine is not safe for concurrent use — it *is*
-// the execution engine, parallelism happens inside Run.
+// flush incrementally. Machine is not safe for general concurrent use —
+// it *is* the execution engine, parallelism happens inside Run — but it
+// supports exactly one sanctioned split: a recording goroutine that
+// compiles and looks up plans while an Executor goroutine executes them
+// (see async.go for the ownership rules). Counters are atomic so both
+// sides may count; the register file and the plan cache each stay on
+// their own side of that split.
 type Machine struct {
 	cfg   Config
 	regs  registerFile
-	stats Stats
+	stats atomicStats
 	pool  *workerPool
 	plans *planCache
 }
@@ -135,6 +141,75 @@ type Stats struct {
 	PlanMisses int
 	// PlanEvictions counts plans the LRU dropped when over capacity.
 	PlanEvictions int
+	// Pipelined counts plans executed on a background Executor goroutine
+	// (async submit/wait pipelining) rather than on the caller.
+	Pipelined int
+}
+
+// atomicStats is the Machine's internal counter set. The counters are
+// atomics because the pipelined flush mode splits the machine across two
+// goroutines — the recorder counts plan-cache traffic while the Executor
+// counts sweeps and buffer work — and Stats() may be read while both are
+// active. snapshot assembles the exported value type.
+type atomicStats struct {
+	instructions      atomic.Int64
+	sweeps            atomic.Int64
+	fusedInstructions atomic.Int64
+	fusedReductions   atomic.Int64
+	fusedByDType      [8]atomic.Int64
+	elements          atomic.Int64
+	buffersAllocated  atomic.Int64
+	poolHits          atomic.Int64
+	bytesAllocated    atomic.Int64
+	planHits          atomic.Int64
+	planMisses        atomic.Int64
+	planEvictions     atomic.Int64
+	pipelined         atomic.Int64
+}
+
+func (s *atomicStats) addDType(dt tensor.DType, n int) {
+	if dt > 0 && int(dt) < len(s.fusedByDType) {
+		s.fusedByDType[dt].Add(int64(n))
+	}
+}
+
+func (s *atomicStats) snapshot() Stats {
+	out := Stats{
+		Instructions:      int(s.instructions.Load()),
+		Sweeps:            int(s.sweeps.Load()),
+		FusedInstructions: int(s.fusedInstructions.Load()),
+		FusedReductions:   int(s.fusedReductions.Load()),
+		Elements:          int(s.elements.Load()),
+		BuffersAllocated:  int(s.buffersAllocated.Load()),
+		PoolHits:          int(s.poolHits.Load()),
+		BytesAllocated:    int(s.bytesAllocated.Load()),
+		PlanHits:          int(s.planHits.Load()),
+		PlanMisses:        int(s.planMisses.Load()),
+		PlanEvictions:     int(s.planEvictions.Load()),
+		Pipelined:         int(s.pipelined.Load()),
+	}
+	for dt := range s.fusedByDType {
+		out.FusedByDType[dt] = int(s.fusedByDType[dt].Load())
+	}
+	return out
+}
+
+func (s *atomicStats) reset() {
+	s.instructions.Store(0)
+	s.sweeps.Store(0)
+	s.fusedInstructions.Store(0)
+	s.fusedReductions.Store(0)
+	for i := range s.fusedByDType {
+		s.fusedByDType[i].Store(0)
+	}
+	s.elements.Store(0)
+	s.buffersAllocated.Store(0)
+	s.poolHits.Store(0)
+	s.bytesAllocated.Store(0)
+	s.planHits.Store(0)
+	s.planMisses.Store(0)
+	s.planEvictions.Store(0)
+	s.pipelined.Store(0)
 }
 
 // New returns a Machine with the given configuration.
@@ -157,11 +232,13 @@ func New(cfg Config) *Machine {
 	return m
 }
 
-// Stats returns cumulative execution counters.
-func (m *Machine) Stats() Stats { return m.stats }
+// Stats returns a snapshot of the cumulative execution counters. It is
+// safe to call while an Executor is running plans in the background; for
+// deterministic numbers, Wait on the executor first.
+func (m *Machine) Stats() Stats { return m.stats.snapshot() }
 
 // ResetStats zeroes the counters (between experiment repetitions).
-func (m *Machine) ResetStats() { m.stats = Stats{} }
+func (m *Machine) ResetStats() { m.stats.reset() }
 
 // Bind presets register r with an existing tensor before Run — the
 // front-end binds arrays listed in the program's Inputs this way. The

@@ -1,0 +1,97 @@
+package bohrium
+
+import "testing"
+
+// TestReverseSlice pins the negative-step slice semantics at the array
+// level: Slice(dim, n-1, -1, -1) reverses a dimension (NumPy a[::-1]),
+// larger negative steps subsample from the end, and computation through
+// reversed views is correct (they are plain strided views with negative
+// strides — no copies).
+func TestReverseSlice(t *testing.T) {
+	ctx := newTestContext(t, nil)
+	a := ctx.Arange(6) // 0 1 2 3 4 5
+	rev, err := a.Slice(0, 5, -1, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := rev.MustData()
+	want := []float64{5, 4, 3, 2, 1, 0}
+	for i := range want {
+		if d[i] != want[i] {
+			t.Fatalf("reversed = %v, want %v", d, want)
+		}
+	}
+
+	// Stepped from the end: indices 5, 3, 1.
+	odd := a.MustSlice(0, 5, -1, -2)
+	if d := odd.MustData(); len(d) != 3 || d[0] != 5 || d[1] != 3 || d[2] != 1 {
+		t.Errorf("a[5::-2] = %v, want [5 3 1]", d)
+	}
+
+	// Bounded below: indices 4, 3, 2 (stop 1 exclusive).
+	mid := a.MustSlice(0, 4, 1, -1)
+	if d := mid.MustData(); len(d) != 3 || d[0] != 4 || d[2] != 2 {
+		t.Errorf("a[4:1:-1] = %v, want [4 3 2]", d)
+	}
+
+	// Compute through a reversed view: b + reverse(b) is constant.
+	b := ctx.Arange(8)
+	sum := b.Plus(b.MustSlice(0, 7, -1, -1))
+	for i, v := range sum.MustData() {
+		if v != 7 {
+			t.Fatalf("palindrome sum[%d] = %v, want 7", i, v)
+		}
+	}
+
+	// Writing through a reversed view reverses in place.
+	c := ctx.Arange(4)
+	crev := c.MustSlice(0, 3, -1, -1)
+	tmp := crev.Copy()
+	c.Assign(tmp)
+	if d := c.MustData(); d[0] != 3 || d[3] != 0 {
+		t.Errorf("in-place reverse = %v, want [3 2 1 0]", d)
+	}
+
+	// Empty reversed slice: start == stop.
+	e := a.MustSlice(0, 2, 2, -1)
+	if e.Size() != 0 {
+		t.Errorf("a[2:2:-1] size = %d, want 0", e.Size())
+	}
+
+	// The generic reverse recipe works on an empty array too.
+	z := ctx.Zeros(0)
+	if r := z.MustSlice(0, -1, -1, -1); r.Size() != 0 {
+		t.Errorf("reverse of empty array size = %d, want 0", r.Size())
+	}
+
+	// Errors: zero step, and out-of-range reversed windows.
+	if _, err := a.Slice(0, 2, 4, 0); err == nil {
+		t.Error("step 0 did not error")
+	}
+	if _, err := a.Slice(0, 6, -1, -1); err == nil {
+		t.Error("reversed start == extent did not error")
+	}
+	if _, err := a.Slice(0, 3, -2, -1); err == nil {
+		t.Error("reversed stop < -1 did not error")
+	}
+	if _, err := a.Slice(0, 2, 4, -1); err == nil {
+		t.Error("reversed stop > start did not error")
+	}
+}
+
+// TestReverseSlice2D: reversing one axis of a matrix flips its rows.
+func TestReverseSlice2D(t *testing.T) {
+	ctx := newTestContext(t, nil)
+	m := ctx.MustFromSlice([]float64{1, 2, 3, 4, 5, 6}, 2, 3)
+	flipped := m.MustSlice(0, 1, -1, -1) // rows reversed
+	d := flipped.MustData()
+	want := []float64{4, 5, 6, 1, 2, 3}
+	for i := range want {
+		if d[i] != want[i] {
+			t.Fatalf("flipud = %v, want %v", d, want)
+		}
+	}
+	if v, err := flipped.At(0, 2); err != nil || v != 6 {
+		t.Errorf("flipped[0,2] = %v (err %v), want 6", v, err)
+	}
+}
