@@ -429,8 +429,13 @@ func (a *Array) fence() {
 
 // Data flushes pending byte-code and returns the array contents flattened
 // to []float64 in row-major order. The read fences (materializes) the
-// value but does not Keep the array.
+// value but does not Keep the array. On a closed context Data reports
+// ErrClosed — data access is a runtime question, not a programming error,
+// so it errors instead of panicking.
 func (a *Array) Data() ([]float64, error) {
+	if a.ctx.closed {
+		return nil, ErrClosed
+	}
 	a.check()
 	a.fence()
 	if err := a.ctx.Flush(); err != nil {
@@ -465,8 +470,12 @@ func (a *Array) Scalar() (float64, error) {
 	return d[0], nil
 }
 
-// At flushes and returns one element by coordinates.
+// At flushes and returns one element by coordinates. On a closed context
+// it reports ErrClosed.
 func (a *Array) At(coords ...int) (float64, error) {
+	if a.ctx.closed {
+		return 0, ErrClosed
+	}
 	a.check()
 	if len(coords) != a.NDim() {
 		return 0, fmt.Errorf("bohrium: %d coordinates for %d-d array", len(coords), a.NDim())
@@ -487,6 +496,9 @@ func (a *Array) At(coords ...int) (float64, error) {
 func (a *Array) String() string {
 	if a.freed || a.gen != a.ctx.regGen[a.reg] {
 		return "<freed array>"
+	}
+	if a.ctx.closed {
+		return fmt.Sprintf("<error: %v>", ErrClosed)
 	}
 	a.fence()
 	if err := a.ctx.Flush(); err != nil {

@@ -95,14 +95,14 @@ func TestAsyncMatchesSyncStreams(t *testing.T) {
 			if math.Float64bits(vSync) != math.Float64bits(vAsync) {
 				t.Errorf("async %v != sync %v", vAsync, vSync)
 			}
-			st := async.Stats()
+			st := async.MustStats()
 			if st.Pipelined == 0 {
 				t.Error("async run executed nothing on the background executor")
 			}
 			if st.PlanHits == 0 {
 				t.Error("async run never hit the plan cache")
 			}
-			if sSt := sync.Stats(); sSt.Pipelined != 0 {
+			if sSt := sync.MustStats(); sSt.Pipelined != 0 {
 				t.Errorf("sync run pipelined %d plans", sSt.Pipelined)
 			}
 		})
@@ -120,7 +120,7 @@ func TestAsyncFlushMatchesSyncFlush(t *testing.T) {
 	if math.Float64bits(vSync) != math.Float64bits(vAsync) {
 		t.Errorf("async Flush %v != sync Flush %v", vAsync, vSync)
 	}
-	sSt, aSt := sync.Stats(), async.Stats()
+	sSt, aSt := sync.MustStats(), async.MustStats()
 	aSt.Pipelined, sSt.Pipelined = 0, 0
 	if aSt != sSt {
 		t.Errorf("async Flush stats diverge:\n sync %+v\nasync %+v", sSt, aSt)
@@ -216,7 +216,7 @@ func TestAsyncSkipsQueuedBatchesAfterError(t *testing.T) {
 	// batch and the failing batch entered execution (2), while the MulC
 	// batch was either refused at Submit or skipped by the executor —
 	// in both cases it never starts executing and never counts.
-	st := ctx.Stats()
+	st := ctx.MustStats()
 	if st.Pipelined != 2 {
 		t.Errorf("pipelined %d plans after the error, want 2 (MulC batch must be skipped)", st.Pipelined)
 	}

@@ -80,15 +80,26 @@ type Config struct {
 	AsyncDepth int
 }
 
-// Context owns a byte-code recording buffer and the virtual machine that
-// executes flushed batches. It is not safe for concurrent use — like a
-// NumPy session, one goroutine drives it; parallelism happens inside the
-// VM, and in async mode (Config.Async) additionally between the driving
-// goroutine and a background executor that runs submitted batches while
-// the driver records the next one.
+// Context owns a byte-code recording buffer and the per-session virtual
+// machine state that executes flushed batches. It is not safe for
+// concurrent use — like a NumPy session, one goroutine drives it;
+// parallelism happens inside the VM, in async mode (Config.Async)
+// additionally between the driving goroutine and a background executor,
+// and between whole sessions when several Contexts share one Runtime
+// (each driven by its own goroutine).
 type Context struct {
 	cfg      Config
+	rt       *Runtime
+	ownsRT   bool // NewContext-made: Close tears the private runtime down
 	pipeline *rewrite.Pipeline
+	// sig identifies this session's compilation semantics (optimizer
+	// options + fusion). Plans in the shared cache carry the signature of
+	// the session that compiled them, and planUsable rejects any
+	// mismatch: a batch fingerprint says nothing about HOW it was
+	// compiled, and a session with the optimizer ablated must never
+	// execute another session's optimized plan (or vice versa) — the
+	// values could differ in ULPs and the sweep stats would lie.
+	sig      compileSig
 	machine  *vm.Machine
 	pending  *bytecode.Program
 	defined  map[bytecode.RegID]bool // registers materialized by earlier flushes
@@ -114,20 +125,35 @@ type Context struct {
 	closed bool
 }
 
-// NewContext creates a session. Pass nil for defaults.
+// NewContext creates a session on a lazily created runtime of its own:
+// the session gets a private worker pool, plan cache, and recycle pool,
+// sized by its Config, exactly as before runtimes existed, and Close
+// tears all of it down. Pass nil for defaults. To share one engine across
+// many sessions, use Runtime.NewContext instead.
 func NewContext(cfg *Config) *Context {
 	c := Config{}
 	if cfg != nil {
 		c = *cfg
 	}
+	rt := NewRuntime(&RuntimeConfig{Workers: c.Workers, PlanCacheSize: c.PlanCacheSize})
+	return newContext(rt, true, c)
+}
+
+// newContext wires a session onto a runtime. ownsRT marks the private
+// single-session shape, where closing the Context also closes the
+// runtime.
+func newContext(rt *Runtime, ownsRT bool, c Config) *Context {
 	opts := rewrite.DefaultOptions()
 	if c.Optimizer != nil {
 		opts = *c.Optimizer
 	}
 	ctx := &Context{
 		cfg:      c,
+		rt:       rt,
+		ownsRT:   ownsRT,
 		pipeline: rewrite.Build(opts),
-		machine: vm.New(vm.Config{
+		sig:      compileSig{opts: opts, fusion: !c.DisableFusion},
+		machine: rt.eng.NewMachine(vm.Config{
 			Workers:           c.Workers,
 			ParallelThreshold: c.ParallelThreshold,
 			Fusion:            !c.DisableFusion,
@@ -145,10 +171,14 @@ func NewContext(cfg *Config) *Context {
 	return ctx
 }
 
-// Close releases the VM worker pool. In async mode it first drains the
-// executor — every submitted batch finishes (or is skipped after a
-// pipeline error) before the pool goes away; call Wait first if you need
-// the error. The context must not be used after.
+// Close releases the session. In async mode it first drains the executor
+// — every submitted batch finishes (or is skipped after a pipeline error)
+// — call Wait first if you need the error. The session's counters fold
+// into its runtime's process-wide totals. A NewContext-made session owns
+// its private runtime and tears the worker pool down too; a session on a
+// shared Runtime only detaches — the pool, the plan cache, and every
+// other session keep running. The context must not be used after: public
+// entry points report ErrClosed from here on.
 func (c *Context) Close() {
 	if c.closed {
 		return
@@ -158,6 +188,9 @@ func (c *Context) Close() {
 		c.exec.Close()
 	}
 	c.machine.Close()
+	if c.ownsRT {
+		c.rt.Close()
+	}
 }
 
 // LastReport returns the optimizer report of the most recent flush, when
@@ -174,14 +207,28 @@ func (c *Context) LastReport() *rewrite.Report { return c.lastRep }
 // plan-cache counters (PlanHits, PlanMisses, PlanEvictions) show how
 // many flushes skipped the rewrite pipeline and fusion analysis by
 // re-executing a cached compilation, and Pipelined counts plans that ran
-// on the async executor. In async mode Stats first waits for the
-// in-flight batches so the counters are deterministic; a pipeline error
-// is not reported here — it stays sticky for the next synchronizing call.
-func (c *Context) Stats() vm.Stats {
-	if c.exec != nil && !c.closed {
+// on the async executor. The counters are this session's own, even on a
+// shared Runtime (Runtime.Stats aggregates across sessions). In async
+// mode Stats first waits for the in-flight batches so the counters are
+// deterministic; a pipeline error is not reported here — it stays sticky
+// for the next synchronizing call. After Close, Stats reports ErrClosed.
+func (c *Context) Stats() (vm.Stats, error) {
+	if c.closed {
+		return vm.Stats{}, ErrClosed
+	}
+	if c.exec != nil {
 		c.exec.Wait()
 	}
-	return c.machine.Stats()
+	return c.machine.Stats(), nil
+}
+
+// MustStats is Stats that panics on error, for examples and tools.
+func (c *Context) MustStats() vm.Stats {
+	st, err := c.Stats()
+	if err != nil {
+		panic(err)
+	}
+	return st
 }
 
 // PendingProgram returns a copy of the not-yet-flushed byte-code — the
@@ -241,21 +288,16 @@ func (c *Context) Submit() error {
 	if cached {
 		fp = c.pending.Fingerprint()
 		consts = c.pending.Constants()
-		var plan *vm.Plan
-		var meta any
-		var patch, ok bool
-		if c.exec != nil {
-			// Async: constant patching is deferred to the executor
-			// goroutine — the plan may still be running its previous
-			// submission's values.
-			plan, meta, patch, ok = c.machine.LookupPlanDeferred(fp, consts, c.planUsable)
-		} else {
-			plan, meta, ok = c.machine.LookupPlan(fp, consts, c.planUsable)
-		}
+		// A parametric hit under new constants comes back as a patched
+		// clone (the cached plan is immutable), so the same lookup is safe
+		// in both modes: the executor may still be running the previous
+		// submission, and other sessions on a shared Runtime may be
+		// executing the very same cached plan right now.
+		plan, meta, ok := c.machine.LookupPlan(fp, consts, c.planUsable)
 		if ok {
 			pm := meta.(*planMeta)
 			if plan != nil { // nil: the batch is known to optimize to nothing
-				if err := c.execute(plan, consts, patch); err != nil {
+				if err := c.execute(plan); err != nil {
 					return err
 				}
 			}
@@ -278,6 +320,7 @@ func (c *Context) Submit() error {
 	// constant vector into the cache key.
 	parametric := report.TotalApplied() == 0
 	pm := newPlanMeta(batch, optimized, len(c.pending.Regs))
+	pm.sig = c.sig
 	if len(optimized.Instrs) == 0 {
 		// The batch optimized to nothing (e.g. temporaries freed before
 		// ever being observed): skip compilation and the VM entirely,
@@ -293,7 +336,7 @@ func (c *Context) Submit() error {
 	if err != nil {
 		return fmt.Errorf("bohrium: execution failed: %w", err)
 	}
-	if err := c.execute(plan, nil, false); err != nil {
+	if err := c.execute(plan); err != nil {
 		return err
 	}
 	if cached {
@@ -304,16 +347,14 @@ func (c *Context) Submit() error {
 }
 
 // execute runs one compiled plan: inline in synchronous mode, enqueued on
-// the background executor in async mode (where patch defers a parametric
-// cache hit's constant rebinding to the executor goroutine — the plan may
-// still be executing its previous submission's values).
-func (c *Context) execute(plan *vm.Plan, consts []bytecode.Constant, patch bool) error {
+// the background executor in async mode. Either way the plan is treated
+// as immutable from here on — it may simultaneously be executing in other
+// sessions that share the plan cache.
+func (c *Context) execute(plan *vm.Plan) error {
 	if c.exec != nil {
-		c.exec.Submit(plan, consts, patch)
+		c.exec.Submit(plan)
 		return nil
 	}
-	// Synchronous mode: LookupPlan already patched constants (patch is
-	// never set here), so the plan runs as-is on the calling goroutine.
 	if err := plan.Execute(c.machine); err != nil {
 		return fmt.Errorf("bohrium: execution failed: %w", err)
 	}
@@ -366,6 +407,20 @@ func (c *Context) markPendingOutputs() {
 	}
 }
 
+// compileSig is the comparable identity of a session's compilation
+// semantics: the resolved optimizer options plus the fusion switch.
+// Sessions with equal signatures compile any given batch identically, so
+// sharing cached plans between them is indistinguishable from each
+// compiling its own; unequal signatures must not share (planUsable).
+// Workers/ParallelThreshold are deliberately absent — results are
+// bit-equal across them by the VM's parallel-execution contract — as are
+// Async/AsyncDepth/PlanCacheSize/CollectReports, which never change what
+// a batch compiles to.
+type compileSig struct {
+	opts   rewrite.Options
+	fusion bool
+}
+
 // planMeta is the front-end bookkeeping stored with each cached plan:
 // everything Flush needs to advance the session to the next batch
 // without re-deriving it from the optimized program.
@@ -388,6 +443,9 @@ type planMeta struct {
 	// front-end array (see planUsable).
 	base  int
 	extra []bytecode.RegInfo
+	// sig is the compiling session's compileSig; only sessions with the
+	// same signature may execute the plan.
+	sig compileSig
 }
 
 func newPlanMeta(batch, optimized *bytecode.Program, base int) *planMeta {
@@ -420,9 +478,22 @@ func newPlanMeta(batch, optimized *bytecode.Program, base int) *planMeta {
 // planUsable vets a cached plan for execution right now: any scratch
 // register the optimizer created for it must still be dead, or the plan
 // would clobber a live array that has since been recycled onto that id.
+// On a shared Runtime the plan may come from another session whose batch
+// carried extra unreferenced register declarations (the fingerprint
+// ignores those): a plan whose register file was WIDER than this
+// session's is rejected — its scratch placement assumes ids this session
+// has not declared — while a narrower or equal base lines up exactly.
+// It also rejects any plan compiled under different semantics (optimizer
+// options, fusion) — see compileSig.
 func (c *Context) planUsable(meta any) bool {
 	pm, ok := meta.(*planMeta)
 	if !ok {
+		return false
+	}
+	if pm.sig != c.sig {
+		return false
+	}
+	if pm.base > len(c.pending.Regs) {
 		return false
 	}
 	for i := range pm.extra {
@@ -645,6 +716,9 @@ func (c *Context) Random(seed uint64, dims ...int) *Array {
 // FromSlice copies values into a new float64 array of the given shape.
 // The data is bound directly to the VM register (no byte-code needed).
 func (c *Context) FromSlice(values []float64, dims ...int) (*Array, error) {
+	if c.closed {
+		return nil, ErrClosed
+	}
 	shape := tensor.MustShape(dims...)
 	tt, err := tensor.FromFloat64s(values, shape)
 	if err != nil {

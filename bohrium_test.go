@@ -379,7 +379,7 @@ func TestStatsAndFusion(t *testing.T) {
 	if _, err := a.Data(); err != nil {
 		t.Fatal(err)
 	}
-	st := ctx.Stats()
+	st := ctx.MustStats()
 	if st.Sweeps != 1 {
 		t.Errorf("fusion off-stats: sweeps = %d, want 1 fused cluster", st.Sweeps)
 	}
@@ -446,7 +446,7 @@ func TestPoolHitsSurfaceThroughContextStats(t *testing.T) {
 	if _, err := acc.Data(); err != nil {
 		t.Fatal(err)
 	}
-	st := ctx.Stats()
+	st := ctx.MustStats()
 	if st.PoolHits < 7 {
 		t.Errorf("PoolHits = %d, want ≥ 7 (one per recycled loop temporary)", st.PoolHits)
 	}

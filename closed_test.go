@@ -1,0 +1,110 @@
+package bohrium
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// TestClosedContextEntryPoints is the audit table: every public entry
+// point on a closed Context reports ErrClosed — errors for the
+// error-returning API, the ErrClosed text for String (which cannot fail)
+// — never a panic and never a silent zero value.
+func TestClosedContextEntryPoints(t *testing.T) {
+	newClosed := func() (*Context, *Array) {
+		ctx := NewContext(nil)
+		a := ctx.Ones(4)
+		ctx.MustFlush()
+		ctx.Close()
+		ctx.Close() // idempotent
+		return ctx, a
+	}
+
+	tests := []struct {
+		name string
+		call func(ctx *Context, a *Array) error
+	}{
+		{"Flush", func(ctx *Context, a *Array) error { return ctx.Flush() }},
+		{"Submit", func(ctx *Context, a *Array) error { return ctx.Submit() }},
+		{"Wait", func(ctx *Context, a *Array) error { return ctx.Wait() }},
+		{"Stats", func(ctx *Context, a *Array) error {
+			_, err := ctx.Stats()
+			return err
+		}},
+		{"FromSlice", func(ctx *Context, a *Array) error {
+			_, err := ctx.FromSlice([]float64{1, 2}, 2)
+			return err
+		}},
+		{"Array.Data", func(ctx *Context, a *Array) error {
+			_, err := a.Data()
+			return err
+		}},
+		{"Array.At", func(ctx *Context, a *Array) error {
+			_, err := a.At(0)
+			return err
+		}},
+		{"Array.Scalar", func(ctx *Context, a *Array) error {
+			_, err := a.Scalar() // ErrClosed wins over the size complaint
+			return err
+		}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			ctx, a := newClosed()
+			err := tt.call(ctx, a)
+			if !errors.Is(err, ErrClosed) {
+				t.Fatalf("%s after close: err = %v, want ErrClosed", tt.name, err)
+			}
+		})
+	}
+
+	t.Run("Array.String", func(t *testing.T) {
+		ctx := NewContext(nil)
+		a := ctx.Ones(4)
+		ctx.MustFlush()
+		ctx.Close()
+		if got := a.String(); !strings.Contains(got, ErrClosed.Error()) {
+			t.Fatalf("String after close = %q, want the ErrClosed text", got)
+		}
+	})
+
+	t.Run("MustStats panics with ErrClosed", func(t *testing.T) {
+		ctx, _ := newClosed()
+		defer func() {
+			r := recover()
+			err, ok := r.(error)
+			if !ok || !errors.Is(err, ErrClosed) {
+				t.Fatalf("MustStats panic = %v, want ErrClosed", r)
+			}
+		}()
+		ctx.MustStats()
+	})
+}
+
+// TestClosedSharedContextLeavesSiblingsRunning: closing one session on a
+// shared Runtime reports ErrClosed for that session while its siblings
+// (and the shared pool) keep working.
+func TestClosedSharedContextLeavesSiblingsRunning(t *testing.T) {
+	rt := NewRuntime(nil)
+	defer rt.Close()
+	a := rt.NewContext(nil)
+	b := rt.NewContext(nil)
+	defer b.Close()
+
+	x := a.Ones(8)
+	a.MustFlush()
+	a.Close()
+	if _, err := x.Data(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("closed session data access: %v, want ErrClosed", err)
+	}
+
+	y := b.Ones(1 << 16) // big enough to fan out on the shared pool
+	y.AddC(1)
+	got, err := y.Data()
+	if err != nil {
+		t.Fatalf("sibling session broken after Close: %v", err)
+	}
+	if got[0] != 2 || got[len(got)-1] != 2 {
+		t.Fatalf("sibling session computed %v", got[0])
+	}
+}

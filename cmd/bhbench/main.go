@@ -1,14 +1,19 @@
 // Command bhbench regenerates the paper's evaluation tables (experiments
-// E1–E9 in DESIGN.md / EXPERIMENTS.md): byte-code counts before/after
+// E1–E10 in DESIGN.md / EXPERIMENTS.md): byte-code counts before/after
 // optimization, baseline vs optimized wall-clock times, the ablation rows
 // for the design decisions D1–D4, the dtype-generalized fusion sweep with
 // its reduction-epilogue counters, the plan-cache rows for iterative
-// flush-per-sweep workloads, and the async submit/wait pipeline rows.
+// flush-per-sweep workloads, the async submit/wait pipeline rows, and the
+// shared-runtime multi-session rows.
 //
 // Usage:
 //
-//	bhbench [-experiment all|E1|...|E9] [-n elements] [-repeats r]
-//	        [-json path] [-require-plan-hits] [-require-pipelined]
+//	bhbench [-experiment all|E1|...|E10] [-n elements] [-repeats r]
+//	        [-sessions k] [-json path] [-require-plan-hits]
+//	        [-require-pipelined] [-require-shared-hits]
+//
+// -sessions sets how many concurrent sessions the E10 rows drive against
+// one shared Runtime (and against K private runtimes as the baseline).
 //
 // -json writes the rows as a machine-readable BENCH_*.json document so
 // the perf trajectory can be tracked across commits. The schema
@@ -16,13 +21,18 @@
 // each row carries experiment, workload, params, bc_before, bc_after,
 // baseline_ns, optimized_ns (best-of wall-clock, nanoseconds), speedup,
 // pool_hits, buffers_alloc, fused_reductions, plan_hits, plan_misses,
-// pipelined, and note.
+// pipelined, sessions / cross_session_hits / baseline_allocs (E10 rows
+// only), and note.
 //
 // -require-plan-hits exits non-zero when the E8 iterative workloads
 // record zero plan-cache hits — the CI smoke guard against silently
 // disabled caching. -require-pipelined is the matching guard for E9: it
 // exits non-zero when the async rows executed zero plans on the
 // background executor or report a sync/async value mismatch.
+// -require-shared-hits is the E10 guard: it exits non-zero when the
+// shared-runtime sessions scored zero cross-session plan-cache hits, when
+// no workload reduced BuffersAllocated versus the private baseline, or on
+// a value mismatch.
 package main
 
 import (
@@ -44,28 +54,31 @@ func main() {
 
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("bhbench", flag.ContinueOnError)
-	exp := fs.String("experiment", "all", "which experiment to run: all, E1, E2, E3, E4, E5, E6, E7, E8, E9")
+	exp := fs.String("experiment", "all", "which experiment to run: all, E1, E2, E3, E4, E5, E6, E7, E8, E9, E10")
 	n := fs.Int("n", 1<<20, "elementwise vector length")
 	solveMax := fs.Int("solve-max", 256, "largest linear-system size for E4")
 	repeats := fs.Int("repeats", 3, "timing repetitions (best-of)")
+	sessions := fs.Int("sessions", 4, "concurrent sessions for the E10 shared-runtime rows")
 	jsonPath := fs.String("json", "", "also write the rows as machine-readable JSON (bohrium-bench/v1) to this path")
 	requireHits := fs.Bool("require-plan-hits", false, "fail if the E8 iterative workloads record zero plan-cache hits")
 	requirePipelined := fs.Bool("require-pipelined", false, "fail if the E9 async workloads pipelined zero plans or mismatch their sync values")
+	requireShared := fs.Bool("require-shared-hits", false, "fail if the E10 shared-runtime sessions score zero cross-session plan hits, save no allocations, or mismatch values")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	scale := bench.Scale{VectorN: *n, SolveMax: *solveMax, Repeats: *repeats}
+	scale := bench.Scale{VectorN: *n, SolveMax: *solveMax, Repeats: *repeats, Sessions: *sessions}
 	runners := map[string]func(bench.Scale) ([]bench.Row, error){
-		"E1": bench.E1AddMerge,
-		"E2": bench.E2PowerChain,
-		"E3": bench.E3PowerSweep,
-		"E4": bench.E4Solve,
-		"E5": bench.E5Workloads,
-		"E6": bench.E6Ablations,
-		"E7": bench.E7DTypeFusion,
-		"E8": bench.E8PlanCache,
-		"E9": bench.E9Pipeline,
+		"E1":  bench.E1AddMerge,
+		"E2":  bench.E2PowerChain,
+		"E3":  bench.E3PowerSweep,
+		"E4":  bench.E4Solve,
+		"E5":  bench.E5Workloads,
+		"E6":  bench.E6Ablations,
+		"E7":  bench.E7DTypeFusion,
+		"E8":  bench.E8PlanCache,
+		"E9":  bench.E9Pipeline,
+		"E10": bench.E10MultiSession,
 	}
 
 	var rows []bench.Row
@@ -109,6 +122,31 @@ func run(args []string, stdout io.Writer) error {
 		}
 		if pipelined == 0 {
 			return fmt.Errorf("pipeline smoke: zero plans executed on the async executor across %d workloads — pipelining is broken or disabled", rowsSeen)
+		}
+	}
+	if *requireShared {
+		crossHits, rowsSeen, allocWins := 0, 0, 0
+		for _, r := range rows {
+			if r.Experiment != "E10" {
+				continue
+			}
+			rowsSeen++
+			crossHits += r.CrossSessionHits
+			if r.BuffersAlloc < r.BaselineAllocs {
+				allocWins++
+			}
+			if strings.Contains(r.Note, "MISMATCH") {
+				return fmt.Errorf("shared-runtime smoke: %s: %s", r.Workload, r.Note)
+			}
+		}
+		if rowsSeen == 0 {
+			return fmt.Errorf("shared-runtime smoke: no E10 rows ran (pass -experiment E10 or all)")
+		}
+		if crossHits == 0 {
+			return fmt.Errorf("shared-runtime smoke: zero cross-session plan-cache hits across %d workloads — sessions are not sharing the runtime", rowsSeen)
+		}
+		if allocWins == 0 {
+			return fmt.Errorf("shared-runtime smoke: none of the %d workloads allocated fewer buffers on the shared runtime than on private runtimes", rowsSeen)
 		}
 	}
 	if *requireHits {

@@ -4,16 +4,28 @@
 //
 // Usage:
 //
-//	bhrun [-O] [-workers n] [-no-fusion] [-repeat n] [-async] [-trace] [file.bh]
+//	bhrun [-O] [-workers n] [-par-threshold n] [-no-fusion] [-repeat n]
+//	      [-async] [-sessions k] [-shared] [-trace] [file.bh]
 //
 // -O runs the algebraic optimizer before execution; -trace prints the
-// (possibly optimized) program and VM sweep statistics. Execution goes
+// (possibly optimized) program and VM sweep statistics. -workers and
+// -par-threshold plumb the VM's Workers and ParallelThreshold knobs, so
+// any bench configuration is reproducible from the CLI. Execution goes
 // through the VM's fingerprint-keyed plan cache: -repeat re-executes
 // the program n times, so the first run compiles a plan and the rest
 // replay it (the "# plans:" trace line shows n-1 hits). -async submits
 // every repeat to the VM's background executor and waits once at the
 // end — the submit/wait pipeline the bohrium front-end uses in async
 // mode (the "# pipeline:" trace line counts plans it executed).
+//
+// -sessions runs the program in k concurrent sessions (each its own
+// machine and register file, each doing its -repeat runs); with -shared
+// the sessions hang off ONE engine — one worker pool, one plan cache, one
+// buffer recycle pool, the paper's shared-middleware configuration —
+// while without it each session gets a private engine. The printed
+// registers come from session 0; -trace reports the summed stats, where
+// the plan column shows cross-session reuse under -shared (k·n runs, one
+// compile).
 package main
 
 import (
@@ -21,6 +33,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sync"
 
 	"bohrium/internal/bytecode"
 	"bohrium/internal/rewrite"
@@ -39,9 +52,12 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	fs := flag.NewFlagSet("bhrun", flag.ContinueOnError)
 	optimize := fs.Bool("O", false, "run the algebraic optimizer before executing")
 	workers := fs.Int("workers", 0, "VM worker pool size (0 = GOMAXPROCS)")
+	parThreshold := fs.Int("par-threshold", 0, "minimum sweep size before splitting across workers (0 = default)")
 	noFusion := fs.Bool("no-fusion", false, "disable sweep fusion")
 	repeat := fs.Int("repeat", 1, "execute the program n times through the plan cache")
 	async := fs.Bool("async", false, "pipeline the repeats through the background executor (submit all, wait once)")
+	sessions := fs.Int("sessions", 1, "run the program in k concurrent sessions")
+	shared := fs.Bool("shared", false, "share one engine (pool, plan cache, buffer pool) across -sessions")
 	trace := fs.Bool("trace", false, "print the executed program and sweep stats")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -85,39 +101,89 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		fmt.Fprintln(stdout, "# ---")
 	}
 
-	machine := vm.New(vm.Config{Workers: *workers, Fusion: !*noFusion})
-	defer machine.Close()
+	cfg := vm.Config{Workers: *workers, ParallelThreshold: *parThreshold, Fusion: !*noFusion}
 	if *repeat < 1 {
 		*repeat = 1
 	}
-	var exec *vm.Executor
-	if *async {
-		exec = machine.NewExecutor(0)
+	if *sessions < 1 {
+		*sessions = 1
 	}
-	fp := prog.Fingerprint()
-	consts := prog.Constants()
-	for i := 0; i < *repeat; i++ {
-		plan, _, ok := machine.LookupPlan(fp, consts, nil)
-		if !ok {
-			var err error
-			if plan, err = machine.Compile(prog); err != nil {
+
+	// Build the session machines: private engines by default, one shared
+	// engine (pool + plan cache + recycle pool) under -shared.
+	machines := make([]*vm.Machine, *sessions)
+	var eng *vm.Engine
+	if *shared {
+		eng = vm.NewEngine(vm.EngineConfig{Workers: *workers})
+		defer eng.Close()
+		for i := range machines {
+			machines[i] = eng.NewMachine(cfg)
+		}
+	} else {
+		for i := range machines {
+			machines[i] = vm.New(cfg)
+		}
+	}
+	for _, m := range machines {
+		defer m.Close()
+	}
+
+	// sessionRun does one session's -repeat executions through the plan
+	// cache (each session runs its own copy of the program; under -shared
+	// every session after the first hits the plan another compiled).
+	sessionRun := func(m *vm.Machine, p *bytecode.Program) (err error) {
+		var exec *vm.Executor
+		if *async {
+			exec = m.NewExecutor(0)
+			// Close on every path — an early compile/execute error must
+			// not leave the executor goroutine or queued plans behind.
+			defer func() {
+				if cerr := exec.Close(); err == nil {
+					err = cerr
+				}
+			}()
+		}
+		fp := p.Fingerprint()
+		consts := p.Constants()
+		for i := 0; i < *repeat; i++ {
+			plan, _, ok := m.LookupPlan(fp, consts, nil)
+			if !ok {
+				var err error
+				if plan, err = m.Compile(p); err != nil {
+					return err
+				}
+				m.InsertPlan(fp, consts, false, plan, nil)
+			}
+			if exec != nil {
+				exec.Submit(plan)
+				continue
+			}
+			if err := plan.Execute(m); err != nil {
 				return err
 			}
-			machine.InsertPlan(fp, consts, false, plan, nil)
 		}
-		if exec != nil {
-			// The cached plan's constants never change here (entries are
-			// exact-vector), so no deferred patch is needed.
-			exec.Submit(plan, nil, false)
-			continue
-		}
-		if err := plan.Execute(machine); err != nil {
-			return err
-		}
+		return nil
 	}
-	if exec != nil {
-		if err := exec.Close(); err != nil {
+
+	if *sessions == 1 {
+		if err := sessionRun(machines[0], prog); err != nil {
 			return err
+		}
+	} else {
+		errs := make([]error, *sessions)
+		var wg sync.WaitGroup
+		for i, m := range machines {
+			wg.Add(1)
+			go func(i int, m *vm.Machine) {
+				defer wg.Done()
+				errs[i] = sessionRun(m, prog.Clone())
+			}(i, m)
+		}
+		wg.Wait()
+		for i, err := range errs {
+			if err != nil {
+				return fmt.Errorf("session %d: %w", i, err)
+			}
 		}
 	}
 
@@ -126,7 +192,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		if in.Op != bytecode.OpSync {
 			continue
 		}
-		t, ok := machine.Tensor(in.Out.Reg, in.Out.View)
+		t, ok := machines[0].Tensor(in.Out.Reg, in.Out.View)
 		if !ok {
 			fmt.Fprintf(stdout, "%s = <freed>\n", in.Out.Reg)
 			continue
@@ -134,7 +200,17 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		fmt.Fprintf(stdout, "%s = %s\n", in.Out.Reg, t.Format(tensor.FormatOptions{MaxPerDim: 10, Precision: 6}))
 	}
 	if *trace {
-		st := machine.Stats()
+		var st vm.Stats
+		for _, m := range machines {
+			st.Accumulate(m.Stats())
+		}
+		if *sessions > 1 {
+			mode := "private engines"
+			if *shared {
+				mode = "one shared engine"
+			}
+			fmt.Fprintf(stdout, "# sessions: %d (%s)\n", *sessions, mode)
+		}
 		fmt.Fprintf(stdout, "# stats: %d instructions, %d sweeps, %d fused, %d fused-reductions, %d elements\n",
 			st.Instructions, st.Sweeps, st.FusedInstructions, st.FusedReductions, st.Elements)
 		fmt.Fprintf(stdout, "# fused by dtype: %s\n", st.FusedByDType)

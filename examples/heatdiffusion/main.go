@@ -37,7 +37,7 @@ func main() {
 			log.Fatal(err)
 		}
 		elapsed := time.Since(start)
-		st := ctx.Stats()
+		st := ctx.MustStats()
 		fmt.Printf("%-22s %10v   probe=%.4f   sweeps=%d (of %d byte-codes)\n",
 			cfg.name, elapsed.Round(100*time.Microsecond), center, st.Sweeps, st.Instructions)
 		ctx.Close()

@@ -49,7 +49,7 @@ func main() {
 
 		muls := "kept BH_POWER"
 		if rep := ctx.LastReport(); rep != nil && rep.Applied["power-expand"] > 0 {
-			muls = fmt.Sprintf("expanded to %d BH_MULTIPLYs", ctx.Stats().Instructions-1)
+			muls = fmt.Sprintf("expanded to %d BH_MULTIPLYs", ctx.MustStats().Instructions-1)
 		}
 		fmt.Printf("%-28s %10v   y[0]=%.9f   (%s)\n", v.name, elapsed.Round(10*time.Microsecond), first, muls)
 		ctx.Close()

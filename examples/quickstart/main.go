@@ -35,7 +35,7 @@ func main() {
 	fmt.Println("\nresult:")
 	fmt.Println(data)
 
-	st := ctx.Stats()
+	st := ctx.MustStats()
 	fmt.Printf("\nVM did %d sweep(s) over memory for %d byte-code(s)\n",
 		st.Sweeps, st.Instructions)
 }

@@ -291,11 +291,11 @@ func TestStreamWorkloadsCachedEqualsUncached(t *testing.T) {
 			if math.Float64bits(got) != math.Float64bits(want) {
 				t.Errorf("cached %v != uncached %v", got, want)
 			}
-			st := on.Stats()
+			st := on.MustStats()
 			if st.PlanHits == 0 {
 				t.Errorf("cached run never hit the plan cache (misses=%d)", st.PlanMisses)
 			}
-			if stOff := off.Stats(); stOff.PlanHits != 0 || stOff.PlanMisses != 0 {
+			if stOff := off.MustStats(); stOff.PlanHits != 0 || stOff.PlanMisses != 0 {
 				t.Errorf("uncached run touched the plan cache: %+v", stOff)
 			}
 		})
@@ -360,11 +360,11 @@ func TestStreamWorkloadsAsyncEqualsSync(t *testing.T) {
 			if math.Float64bits(got) != math.Float64bits(want) {
 				t.Errorf("async %v != sync %v", got, want)
 			}
-			st := async.Stats()
+			st := async.MustStats()
 			if st.Pipelined == 0 {
 				t.Error("async run executed nothing on the background executor")
 			}
-			if sSt := sync.Stats(); sSt.Pipelined != 0 {
+			if sSt := sync.MustStats(); sSt.Pipelined != 0 {
 				t.Errorf("sync run pipelined %d plans", sSt.Pipelined)
 			}
 		})
@@ -391,6 +391,41 @@ func TestE9Shape(t *testing.T) {
 		if strings.Contains(r.Note, "MISMATCH") {
 			t.Errorf("%s: %s", r.Workload, r.Note)
 		}
+	}
+}
+
+// TestE10Shape runs the multi-session experiment at a small scale and
+// checks its acceptance properties: cross-session plan-cache hits, an
+// allocation win on at least one workload, and bit-identical values
+// across sessions and variants.
+func TestE10Shape(t *testing.T) {
+	s := tinyScale()
+	s.Sessions = 3
+	rows, err := E10MultiSession(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("E10 rows = %d, want 3", len(rows))
+	}
+	allocWin := false
+	for _, r := range rows {
+		if r.Sessions != 3 {
+			t.Errorf("%s: sessions = %d, want 3", r.Workload, r.Sessions)
+		}
+		if r.CrossSessionHits == 0 {
+			t.Errorf("%s: zero cross-session plan hits (hits=%d misses=%d)",
+				r.Workload, r.PlanHits, r.PlanMisses)
+		}
+		if r.BuffersAlloc < r.BaselineAllocs {
+			allocWin = true
+		}
+		if strings.Contains(r.Note, "MISMATCH") {
+			t.Errorf("%s: %s", r.Workload, r.Note)
+		}
+	}
+	if !allocWin {
+		t.Error("no workload allocated fewer buffers on the shared runtime")
 	}
 }
 

@@ -9,6 +9,7 @@ import (
 	"bohrium/internal/vm"
 	"fmt"
 	"math"
+	"sync"
 )
 
 // Scale tunes experiment sizes: 1 is the quick CI profile, larger values
@@ -18,11 +19,12 @@ type Scale struct {
 	VectorN  int // elementwise sweep length (default 1 << 20)
 	SolveMax int // largest linear system (default 256)
 	Repeats  int // timing repetitions, best-of (default 3)
+	Sessions int // concurrent sessions in the E10 multi-session rows (default 4)
 }
 
 // DefaultScale returns the profile used by cmd/bhbench and EXPERIMENTS.md.
 func DefaultScale() Scale {
-	return Scale{VectorN: 1 << 20, SolveMax: 256, Repeats: 3}
+	return Scale{VectorN: 1 << 20, SolveMax: 256, Repeats: 3, Sessions: 4}
 }
 
 func (s Scale) withDefaults() Scale {
@@ -34,6 +36,9 @@ func (s Scale) withDefaults() Scale {
 	}
 	if s.Repeats == 0 {
 		s.Repeats = 3
+	}
+	if s.Sessions <= 0 {
+		s.Sessions = 4
 	}
 	return s
 }
@@ -210,7 +215,7 @@ func E5Workloads(s Scale) ([]Row, error) {
 			defer ctx.Close()
 			v, err := w.run(ctx)
 			lastVal = v
-			optStats = ctx.Stats()
+			optStats = ctx.MustStats()
 			return err
 		})
 		if err != nil {
@@ -454,7 +459,7 @@ func E8PlanCache(s Scale) ([]Row, error) {
 			defer ctx.Close()
 			v, err := w.run(ctx)
 			optVal = v
-			optStats = ctx.Stats()
+			optStats = ctx.MustStats()
 			return err
 		})
 		if err != nil {
@@ -540,7 +545,7 @@ func E9Pipeline(s Scale) ([]Row, error) {
 			defer ctx.Close()
 			v, err := w.run(ctx, ctx.Submit)
 			asyncVal = v
-			asyncStats = ctx.Stats()
+			asyncStats = ctx.MustStats()
 			return err
 		})
 		if err != nil {
@@ -564,11 +569,152 @@ func E9Pipeline(s Scale) ([]Row, error) {
 	return rows, nil
 }
 
+// E10MultiSession measures the shared-Runtime tentpole: K concurrent
+// sessions each running a stream workload, private runtimes (every
+// session its own pool, plan cache, and recycle pool — the pre-Runtime
+// shape) versus one shared Runtime serving all K. The shared runtime is
+// warmed by one throwaway session — the steady state of a server that has
+// seen the workload before — so every measured session's flushes hit
+// plans another session compiled (the xsess column) and recycle buffers
+// other sessions freed. Values must be bit-identical across all sessions
+// and both variants; a mismatch is flagged in the note.
+func E10MultiSession(s Scale) ([]Row, error) {
+	s = s.withDefaults()
+	k := s.Sessions
+	vec := s.VectorN >> 6
+	if vec < 256 {
+		vec = 256
+	}
+	grid := 64
+	iters := 40
+	type wl struct {
+		name   string
+		params string
+		run    func(*bohrium.Context) (float64, error)
+	}
+	workloads := []wl{
+		{
+			name: "heat-2d-stream", params: fmt.Sprintf("K=%d grid=%dx%d iters=%d", k, grid, grid, iters),
+			run: func(c *bohrium.Context) (float64, error) { return Heat2DStream(c, grid, iters) },
+		},
+		{
+			name: "power-stream", params: fmt.Sprintf("K=%d N=%d iters=%d", k, vec, iters),
+			run: func(c *bohrium.Context) (float64, error) { return PowerChainStream(c, vec, iters) },
+		},
+		{
+			name: "jacobi-1d-stream", params: fmt.Sprintf("K=%d N=%d iters=%d", k, vec, iters),
+			run: func(c *bohrium.Context) (float64, error) { return Jacobi1DStream(c, vec, iters) },
+		},
+	}
+
+	var rows []Row
+	for _, w := range workloads {
+		// runK drives K sessions concurrently and returns their summed
+		// stats and every session's value.
+		runK := func(factory func() *bohrium.Context) (vm.Stats, []float64, error) {
+			var mu sync.Mutex
+			var total vm.Stats
+			vals := make([]float64, k)
+			var firstErr error
+			var wg sync.WaitGroup
+			for i := 0; i < k; i++ {
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					ctx := factory()
+					defer ctx.Close()
+					v, err := w.run(ctx)
+					st, sErr := ctx.Stats()
+					mu.Lock()
+					defer mu.Unlock()
+					vals[i] = v
+					if err == nil {
+						err = sErr
+					}
+					if err != nil && firstErr == nil {
+						firstErr = err
+					}
+					total.Accumulate(st)
+				}(i)
+			}
+			wg.Wait()
+			return total, vals, firstErr
+		}
+
+		// Private runtimes: the pre-Runtime shape.
+		var privStats vm.Stats
+		var privVals []float64
+		base, err := bestOf(s.Repeats, func() error {
+			st, vals, err := runK(func() *bohrium.Context { return bohrium.NewContext(nil) })
+			privStats, privVals = st, vals
+			return err
+		})
+		if err != nil {
+			return nil, fmt.Errorf("%s private: %w", w.name, err)
+		}
+
+		// One shared runtime, warmed once so the measured sessions run in
+		// plan-cache steady state.
+		rt := bohrium.NewRuntime(nil)
+		warm := rt.NewContext(nil)
+		if _, err := w.run(warm); err != nil {
+			rt.Close()
+			return nil, fmt.Errorf("%s warmup: %w", w.name, err)
+		}
+		warm.Close()
+		var shStats vm.Stats
+		var shVals []float64
+		opt, err := bestOf(s.Repeats, func() error {
+			st, vals, err := runK(func() *bohrium.Context { return rt.NewContext(nil) })
+			shStats, shVals = st, vals
+			return err
+		})
+		rt.Close()
+		if err != nil {
+			return nil, fmt.Errorf("%s shared: %w", w.name, err)
+		}
+
+		// Every session, in both variants, must agree bit-for-bit.
+		note := fmt.Sprintf("value=%.5g; alloc %d -> %d", shVals[0], privStats.BuffersAllocated, shStats.BuffersAllocated)
+		for i := 0; i < k; i++ {
+			if math.Float64bits(privVals[i]) != math.Float64bits(shVals[0]) ||
+				math.Float64bits(shVals[i]) != math.Float64bits(shVals[0]) {
+				note = fmt.Sprintf("VALUE MISMATCH session=%d private=%v shared=%v", i, privVals[i], shVals[i])
+				break
+			}
+		}
+		// Cross-session reuse: the cache was warmed by another session, so
+		// in a healthy shared runtime the measured sessions miss nothing
+		// and every hit is on a plan some other session compiled. Any miss
+		// means a session compiled for itself — its later hits could be
+		// self-hits — so the count collapses to 0 rather than letting
+		// own-plan hits masquerade as sharing (a per-session cache would
+		// otherwise still show hits >> misses and sneak past the guard).
+		cross := 0
+		if shStats.PlanMisses == 0 {
+			cross = shStats.PlanHits
+		}
+		rows = append(rows, Row{
+			Experiment: "E10", Workload: w.name, Params: w.params,
+			Baseline: base, Optimized: opt,
+			Speedup:  float64(base) / float64(opt),
+			PoolHits: shStats.PoolHits, BuffersAlloc: shStats.BuffersAllocated,
+			FusedReductions: shStats.FusedReductions,
+			PlanHits:        shStats.PlanHits, PlanMisses: shStats.PlanMisses,
+			Sessions:         k,
+			CrossSessionHits: cross,
+			BaselineAllocs:   privStats.BuffersAllocated,
+			Note:             note,
+		})
+	}
+	return rows, nil
+}
+
 // All runs every experiment and returns the rows grouped in order.
 func All(s Scale) ([]Row, error) {
 	var rows []Row
 	for _, fn := range []func(Scale) ([]Row, error){
-		E1AddMerge, E2PowerChain, E3PowerSweep, E4Solve, E5Workloads, E6Ablations, E7DTypeFusion, E8PlanCache, E9Pipeline,
+		E1AddMerge, E2PowerChain, E3PowerSweep, E4Solve, E5Workloads, E6Ablations, E7DTypeFusion, E8PlanCache, E9Pipeline, E10MultiSession,
 	} {
 		r, err := fn(s)
 		if err != nil {

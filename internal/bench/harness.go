@@ -39,6 +39,17 @@ type Row struct {
 	// background executor — batches whose execution overlapped the
 	// recording of the next batch.
 	Pipelined int
+	// Sessions is the concurrent-session count of a multi-session row
+	// (E10); zero for single-session experiments.
+	Sessions int
+	// CrossSessionHits counts plan-cache hits the measured sessions of a
+	// shared-runtime run scored on plans some OTHER session compiled —
+	// the sharing the tentpole exists for. Zero for single-session rows.
+	CrossSessionHits int
+	// BaselineAllocs is the summed BuffersAllocated of the private-runtime
+	// baseline sessions the shared run's BuffersAlloc is compared against
+	// (E10 only).
+	BaselineAllocs int
 	// Note carries per-row context ("chain=5 muls", "rewrite blocked").
 	Note string
 }
@@ -47,20 +58,26 @@ type Row struct {
 // EXPERIMENTS.md embed.
 func Table(rows []Row) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%-4s %-22s %-26s %9s %9s %12s %12s %8s %9s %6s %9s %5s  %s\n",
-		"exp", "workload", "params", "bc-before", "bc-after", "baseline", "optimized", "speedup", "pool", "fredux", "plan", "pipe", "note")
+	fmt.Fprintf(&b, "%-4s %-22s %-26s %9s %9s %12s %12s %8s %9s %6s %9s %5s %6s  %s\n",
+		"exp", "workload", "params", "bc-before", "bc-after", "baseline", "optimized", "speedup", "pool", "fredux", "plan", "pipe", "xsess", "note")
 	for _, r := range rows {
 		// pool prints hits/materializations for the optimized run: 3/5
 		// means five register buffers were needed and three were recycled.
 		// fredux counts reductions folded into their producer sweep.
 		// plan prints plan-cache hits/lookups: 58/60 means sixty flushes,
 		// fifty-eight served from a cached compilation. pipe counts plans
-		// executed on the async executor (0 for synchronous runs).
-		fmt.Fprintf(&b, "%-4s %-22s %-26s %9d %9d %12s %12s %7.2fx %9s %6d %9s %5d  %s\n",
+		// executed on the async executor (0 for synchronous runs). xsess
+		// counts cross-session plan-cache hits of a shared-runtime row
+		// ("-" for single-session experiments).
+		xsess := "-"
+		if r.Sessions > 0 {
+			xsess = fmt.Sprintf("%d", r.CrossSessionHits)
+		}
+		fmt.Fprintf(&b, "%-4s %-22s %-26s %9d %9d %12s %12s %7.2fx %9s %6d %9s %5d %6s  %s\n",
 			r.Experiment, r.Workload, r.Params, r.BytecodesBefore, r.BytecodesAfter,
 			round(r.Baseline), round(r.Optimized), r.Speedup,
 			fmt.Sprintf("%d/%d", r.PoolHits, r.PoolHits+r.BuffersAlloc), r.FusedReductions,
-			fmt.Sprintf("%d/%d", r.PlanHits, r.PlanHits+r.PlanMisses), r.Pipelined, r.Note)
+			fmt.Sprintf("%d/%d", r.PlanHits, r.PlanHits+r.PlanMisses), r.Pipelined, xsess, r.Note)
 	}
 	return b.String()
 }
@@ -85,7 +102,14 @@ func JSON(rows []Row) ([]byte, error) {
 		PlanHits        int     `json:"plan_hits"`
 		PlanMisses      int     `json:"plan_misses"`
 		Pipelined       int     `json:"pipelined"`
-		Note            string  `json:"note"`
+		// sessions keys multi-session rows (always > 0 for them); the two
+		// measurement fields below are never omitted, so a measured zero —
+		// the failure the guard looks for — stays distinguishable from
+		// "not a multi-session row".
+		Sessions         int    `json:"sessions,omitempty"`
+		CrossSessionHits int    `json:"cross_session_hits"`
+		BaselineAllocs   int    `json:"baseline_allocs"`
+		Note             string `json:"note"`
 	}
 	doc := struct {
 		Schema string    `json:"schema"`
@@ -93,21 +117,24 @@ func JSON(rows []Row) ([]byte, error) {
 	}{Schema: "bohrium-bench/v1"}
 	for _, r := range rows {
 		doc.Rows = append(doc.Rows, jsonRow{
-			Experiment:      r.Experiment,
-			Workload:        r.Workload,
-			Params:          r.Params,
-			BytecodesBefore: r.BytecodesBefore,
-			BytecodesAfter:  r.BytecodesAfter,
-			BaselineNs:      r.Baseline.Nanoseconds(),
-			OptimizedNs:     r.Optimized.Nanoseconds(),
-			Speedup:         r.Speedup,
-			PoolHits:        r.PoolHits,
-			BuffersAlloc:    r.BuffersAlloc,
-			FusedReductions: r.FusedReductions,
-			PlanHits:        r.PlanHits,
-			PlanMisses:      r.PlanMisses,
-			Pipelined:       r.Pipelined,
-			Note:            r.Note,
+			Experiment:       r.Experiment,
+			Workload:         r.Workload,
+			Params:           r.Params,
+			BytecodesBefore:  r.BytecodesBefore,
+			BytecodesAfter:   r.BytecodesAfter,
+			BaselineNs:       r.Baseline.Nanoseconds(),
+			OptimizedNs:      r.Optimized.Nanoseconds(),
+			Speedup:          r.Speedup,
+			PoolHits:         r.PoolHits,
+			BuffersAlloc:     r.BuffersAlloc,
+			FusedReductions:  r.FusedReductions,
+			PlanHits:         r.PlanHits,
+			PlanMisses:       r.PlanMisses,
+			Pipelined:        r.Pipelined,
+			Sessions:         r.Sessions,
+			CrossSessionHits: r.CrossSessionHits,
+			BaselineAllocs:   r.BaselineAllocs,
+			Note:             r.Note,
 		})
 	}
 	return json.MarshalIndent(doc, "", "  ")

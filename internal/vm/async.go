@@ -1,10 +1,6 @@
 package vm
 
-import (
-	"sync"
-
-	"bohrium/internal/bytecode"
-)
+import "sync"
 
 // DefaultAsyncDepth is the submit-queue depth when Executor callers pass
 // zero: how many compiled batches may sit between the recording goroutine
@@ -15,15 +11,15 @@ const DefaultAsyncDepth = 8
 // batch N+1 while batch N executes — the async half of the submit/wait
 // pipeline. Exactly one goroutine (the "recorder") may call Submit, Wait
 // and Close; the executor goroutine is the only one that touches the
-// machine's register file (and therefore the buffer recycle pool) while
-// jobs are in flight. The recorder keeps ownership of the plan cache and
-// of compilation; the machine's counters are atomic, so both sides count.
+// machine's register file while jobs are in flight. The recorder keeps
+// ownership of plan lookup and compilation; the machine's counters are
+// atomic, so both sides count.
 //
-// Constant patching for parametric plan-cache hits is deferred to the
-// executor goroutine (see LookupPlanDeferred): the same *Plan may be
-// queued twice with different constant vectors, and each execution must
-// see its own values — patching at lookup time would race with, and
-// corrupt, the execution still in flight.
+// Every queued plan is immutable (a parametric plan-cache hit under new
+// constants is a patched clone, see Plan.WithConstants), so two
+// submissions of structurally identical batches with different constant
+// vectors are simply two different *Plan values — each execution sees its
+// own values with no patching on this side of the handoff.
 //
 // The first execution error poisons the pipeline: queued and future jobs
 // are skipped, and Wait (and every later Wait) returns that error. The
@@ -31,19 +27,13 @@ const DefaultAsyncDepth = 8
 // synchronous Run.
 type Executor struct {
 	m    *Machine
-	jobs chan execJob
+	jobs chan *Plan
 	wg   sync.WaitGroup
 	done chan struct{}
 
 	mu     sync.Mutex
 	err    error
 	closed bool
-}
-
-type execJob struct {
-	plan   *Plan
-	consts []bytecode.Constant
-	patch  bool
 }
 
 // NewExecutor starts a background executor for m with the given queue
@@ -53,16 +43,17 @@ func (m *Machine) NewExecutor(depth int) *Executor {
 	if depth <= 0 {
 		depth = DefaultAsyncDepth
 	}
-	e := &Executor{m: m, jobs: make(chan execJob, depth), done: make(chan struct{})}
+	e := &Executor{m: m, jobs: make(chan *Plan, depth), done: make(chan struct{})}
 	go e.loop()
 	return e
 }
 
 func (e *Executor) loop() {
 	defer close(e.done)
-	for j := range e.jobs {
+	for pl := range e.jobs {
 		if e.Err() == nil {
-			if err := e.m.runJob(j); err != nil {
+			e.m.stats.pipelined.Add(1)
+			if err := pl.Execute(e.m); err != nil {
 				e.mu.Lock()
 				if e.err == nil {
 					e.err = err
@@ -74,23 +65,13 @@ func (e *Executor) loop() {
 	}
 }
 
-func (m *Machine) runJob(j execJob) error {
-	if j.patch {
-		if err := j.plan.PatchConstants(j.consts); err != nil {
-			return err
-		}
-	}
-	m.stats.pipelined.Add(1)
-	return j.plan.Execute(m)
-}
-
-// Submit queues one plan for background execution. consts and patch come
-// from LookupPlanDeferred: a parametric cache hit is patched to consts on
-// the executor goroutine immediately before it runs. Submit blocks only
-// when the queue is full (backpressure), never on execution itself.
-func (e *Executor) Submit(pl *Plan, consts []bytecode.Constant, patch bool) {
+// Submit queues one plan for background execution. The plan must not be
+// mutated afterwards — cache hits and freshly compiled plans both satisfy
+// this. Submit blocks only when the queue is full (backpressure), never
+// on execution itself.
+func (e *Executor) Submit(pl *Plan) {
 	e.wg.Add(1)
-	e.jobs <- execJob{plan: pl, consts: consts, patch: patch}
+	e.jobs <- pl
 }
 
 // Wait blocks until every submitted plan has executed (or been skipped

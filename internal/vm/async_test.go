@@ -23,7 +23,7 @@ func TestExecutorRunsSubmittedPlans(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := 0; i < 3; i++ {
-		e.Submit(pl, nil, false)
+		e.Submit(pl)
 	}
 	if err := e.Wait(); err != nil {
 		t.Fatal(err)
@@ -37,11 +37,12 @@ func TestExecutorRunsSubmittedPlans(t *testing.T) {
 	}
 }
 
-// TestExecutorDeferredPatch: the same parametric plan queued twice with
-// different constant vectors must execute each submission with its own
-// values — patching happens on the executor immediately before each run,
-// not at lookup time.
-func TestExecutorDeferredPatch(t *testing.T) {
+// TestExecutorQueuedPlansKeepOwnConstants: two structurally identical
+// batches with different constant vectors queued back to back must each
+// execute with their own values. A parametric cache hit under new
+// constants is a patched CLONE (the cached plan is immutable), so the
+// plan already in the executor queue is never retouched.
+func TestExecutorQueuedPlansKeepOwnConstants(t *testing.T) {
 	m := New(Config{Fusion: true})
 	defer m.Close()
 	e := m.NewExecutor(0)
@@ -57,24 +58,31 @@ func TestExecutorDeferredPatch(t *testing.T) {
 	bindVec(t, m, 0, []float64{1, 1, 1, 1, 1, 1, 1, 1})
 
 	// Two structurally identical batches with different immediates.
+	var plans []*Plan
 	for _, c := range []float64{1, 10} {
 		b := planTestProg(c)
-		plan, _, patch, ok := m.LookupPlanDeferred(b.Fingerprint(), b.Constants(), nil)
+		plan, _, ok := m.LookupPlan(b.Fingerprint(), b.Constants(), nil)
 		if !ok {
-			t.Fatalf("c=%v: deferred lookup missed", c)
+			t.Fatalf("c=%v: lookup missed", c)
 		}
-		if !patch {
-			t.Fatalf("c=%v: parametric hit did not request a deferred patch", c)
+		if cs := plan.Program().Constants(); !constantsEqual(cs, b.Constants()) {
+			t.Fatalf("c=%v: returned plan carries %v", c, cs)
 		}
-		e.Submit(plan, b.Constants(), patch)
+		plans = append(plans, plan)
+		e.Submit(plan)
+	}
+	if plans[0] == plans[1] {
+		t.Fatal("different constant vectors returned the same plan object")
+	}
+	// The first queued plan must still hold ITS vector after the second
+	// lookup patched the cache entry — immutability of queued plans.
+	if cs := plans[0].Program().Constants(); cs[0].Float() != 1 {
+		t.Errorf("queued plan was retouched: %v", cs)
 	}
 	if err := e.Wait(); err != nil {
 		t.Fatal(err)
 	}
-	// The last submission used c=10: (1+10)*2 = 22. If patching had
-	// happened at lookup time the in-flight first run could have seen 10
-	// too, but serial execution with deferred patching guarantees each
-	// run its own constants; the final state reflects the final vector.
+	// The last submission used c=10: (1+10)*2 = 22.
 	if got := regVals(t, m, 1, 8); got[0] != 22 {
 		t.Errorf("patched execution = %v, want 22", got[0])
 	}
@@ -113,8 +121,8 @@ func TestExecutorErrorPoisonsAndSkips(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	e.Submit(bad, nil, false)
-	e.Submit(good, nil, false) // must be skipped
+	e.Submit(bad)
+	e.Submit(good) // must be skipped
 	werr := e.Wait()
 	if werr == nil {
 		t.Fatal("Wait returned nil for a failing plan")
@@ -147,9 +155,10 @@ func TestExecutorCloseIdempotent(t *testing.T) {
 	}
 }
 
-// TestLookupPlanDeferredBakedNoPatch: baked (non-parametric) entries
-// match only their exact constant vector and never request patching.
-func TestLookupPlanDeferredBakedNoPatch(t *testing.T) {
+// TestLookupBakedExactVectorOnly: baked (non-parametric) entries match
+// only their exact constant vector, and an exact-vector hit returns the
+// stored plan itself — no clone, no patch.
+func TestLookupBakedExactVectorOnly(t *testing.T) {
 	m := New(Config{})
 	defer m.Close()
 	prog := planTestProg(3)
@@ -159,11 +168,12 @@ func TestLookupPlanDeferredBakedNoPatch(t *testing.T) {
 	}
 	m.InsertPlan(prog.Fingerprint(), prog.Constants(), false, pl, nil)
 
-	if _, _, patch, ok := m.LookupPlanDeferred(prog.Fingerprint(), prog.Constants(), nil); !ok || patch {
-		t.Errorf("exact-vector baked lookup: ok=%v patch=%v, want hit without patch", ok, patch)
+	got, _, ok := m.LookupPlan(prog.Fingerprint(), prog.Constants(), nil)
+	if !ok || got != pl {
+		t.Errorf("exact-vector baked lookup: ok=%v samePlan=%v, want hit on the stored plan", ok, got == pl)
 	}
 	other := planTestProg(4)
-	if _, _, _, ok := m.LookupPlanDeferred(other.Fingerprint(), other.Constants(), nil); ok {
+	if _, _, ok := m.LookupPlan(other.Fingerprint(), other.Constants(), nil); ok {
 		t.Error("baked entry matched a different constant vector")
 	}
 }

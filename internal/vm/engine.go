@@ -1,0 +1,136 @@
+package vm
+
+import (
+	"runtime"
+	"sync"
+)
+
+// EngineConfig tunes the shared execution substrate. The zero value gives
+// a GOMAXPROCS-wide pool, the default plan-cache capacity, and the default
+// recycle-pool byte bound.
+type EngineConfig struct {
+	// Workers is the goroutine pool width. Zero means GOMAXPROCS. Machines
+	// cap their own sweep fan-out with their Config.Workers; the engine
+	// width only sets how many goroutines serve all of them.
+	Workers int
+	// PlanCacheSize caps the shared fingerprint-keyed plan cache, in
+	// entries across all shards. Zero selects DefaultPlanCacheSize;
+	// negative disables the cache for every machine on the engine.
+	PlanCacheSize int
+	// PoolCapBytes bounds the bytes parked in the shared buffer recycle
+	// pool; zero selects the default (256 MiB).
+	PoolCapBytes int
+}
+
+// Engine is the shared execution substrate behind one or more Machines:
+// the worker pool, the sharded plan cache, and the buffer recycle pool.
+// The paper's middleware is exactly this shape — one configurable VM layer
+// that many front-end sessions plug into — so the shareable state lives
+// here and the per-session state (register file, counters) stays on the
+// Machine. All Engine methods are safe for concurrent use; Machines from
+// different goroutines may execute plans, hit the plan cache, and recycle
+// buffers simultaneously.
+type Engine struct {
+	pool  *workerPool
+	plans *planCache
+	bufs  *bufferPool
+
+	mu       sync.Mutex
+	machines map[*Machine]struct{}
+	retired  Stats // folded-in counters of machines closed so far
+}
+
+// NewEngine builds a shared engine. Close it after every Machine created
+// on it is done; closing a Machine never tears the engine down.
+func NewEngine(cfg EngineConfig) *Engine {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	e := &Engine{
+		pool:     newWorkerPool(cfg.Workers),
+		bufs:     newBufferPool(cfg.PoolCapBytes),
+		machines: map[*Machine]struct{}{},
+	}
+	if cfg.PlanCacheSize >= 0 {
+		size := cfg.PlanCacheSize
+		if size == 0 {
+			size = DefaultPlanCacheSize
+		}
+		e.plans = newPlanCache(size)
+	}
+	return e
+}
+
+// NewMachine creates a session-private Machine on the shared engine. The
+// machine's Config governs its own sweep fan-out (Workers), thresholds,
+// fusion, and validation; PlanCacheSize < 0 opts this machine out of the
+// shared plan cache (lookups miss silently, inserts are dropped) while a
+// non-negative value defers to the engine's cache configuration.
+//
+// The shared plan cache keys on program fingerprints only — it does not
+// know which Config a plan was compiled under. A plan executes with the
+// fusion decisions of its compiling machine, so machines with different
+// Fusion settings sharing one cache will serve each other plans whose
+// sweep/fusion counters don't match their own setting (values stay
+// bit-identical — fused and unfused execution are differentially
+// pinned). Callers mixing compile configs on one engine must segregate
+// entries themselves via LookupPlan's accept filter, the way the
+// bohrium front-end does with its compileSig metadata.
+func (e *Engine) NewMachine(cfg Config) *Machine {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.ParallelThreshold <= 0 {
+		cfg.ParallelThreshold = DefaultParallelThreshold
+	}
+	m := &Machine{cfg: cfg, eng: e, useCache: cfg.PlanCacheSize >= 0}
+	m.par = parRunner{pool: e.pool, width: cfg.Workers}
+	m.regs.stats = &m.stats
+	m.regs.shared = e.bufs
+	e.mu.Lock()
+	e.machines[m] = struct{}{}
+	e.mu.Unlock()
+	return m
+}
+
+// detach removes a closing machine from the registry, folding its counters
+// into the engine's retired total so Engine.Stats keeps counting it.
+func (e *Engine) detach(m *Machine) {
+	e.mu.Lock()
+	if _, ok := e.machines[m]; ok {
+		delete(e.machines, m)
+		e.retired.Accumulate(m.stats.snapshot())
+	}
+	e.mu.Unlock()
+}
+
+// Stats returns the process-wide aggregate over every machine the engine
+// has hosted: live sessions contribute a snapshot, closed sessions were
+// folded in at detach time. Like Machine.Stats, it may be read while
+// executions are in flight.
+func (e *Engine) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := e.retired
+	for m := range e.machines {
+		out.Accumulate(m.stats.snapshot())
+	}
+	return out
+}
+
+// PlanCacheLen returns the number of plans cached across all shards.
+func (e *Engine) PlanCacheLen() int {
+	if e.plans == nil {
+		return 0
+	}
+	return e.plans.len()
+}
+
+// Close shuts the shared worker pool down. It waits for in-flight sweep
+// submissions (a session mid-parallelFor finishes its chunks first) and is
+// idempotent. Machines must not Run/Execute after their engine closes —
+// sweeps would degrade to inline execution — so close Contexts/Machines
+// first; the order is only a convention, not a safety requirement.
+func (e *Engine) Close() {
+	e.pool.close() // idempotent: guards its own close-once
+}

@@ -83,6 +83,6 @@ func fastTyped[T tensor.Elem](m *Machine, op bytecode.Opcode, out tensor.Buffer,
 	if !ok {
 		return false
 	}
-	m.pool.parallelFor(n, m.cfg.ParallelThreshold, loop)
+	m.par.parallelFor(n, m.cfg.ParallelThreshold, loop)
 	return true
 }

@@ -256,7 +256,7 @@ func (m *Machine) execCluster(p *bytecode.Program, cl cluster) error {
 	m.stats.sweeps.Add(1)
 	m.stats.elements.Add(int64(n * len(loops)))
 
-	m.pool.parallelFor(n, m.cfg.ParallelThreshold, func(lo, hi int) {
+	m.par.parallelFor(n, m.cfg.ParallelThreshold, func(lo, hi int) {
 		for blockLo := lo; blockLo < hi; blockLo += fusedBlockSize {
 			blockHi := blockLo + fusedBlockSize
 			if blockHi > hi {

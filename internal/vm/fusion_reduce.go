@@ -606,7 +606,7 @@ func runEpilogue[E int64 | float64](m *Machine, strategy sweepStrategy, build fu
 
 	switch strategy {
 	case sweepSplitOutputs:
-		m.pool.parallelFor(lines, 2, func(lo, hi int) {
+		m.par.parallelFor(lines, 2, func(lo, hi int) {
 			ev, err := build()
 			if err != nil {
 				return // validated up front; cannot fail here
@@ -619,7 +619,7 @@ func runEpilogue[E int64 | float64](m *Machine, strategy sweepStrategy, build fu
 		size, nc := chunkParams(axLen)
 		partials := make([]E, nc)
 		for l := 0; l < lines; l++ {
-			m.pool.parallelFor(nc, 2, func(lo, hi int) {
+			m.par.parallelFor(nc, 2, func(lo, hi int) {
 				ev, err := build()
 				if err != nil {
 					return

@@ -374,7 +374,7 @@ func runLinEpilogue[E int64 | float64](m *Machine, plan *epiPlan, steps []linSte
 
 	switch strategy {
 	case sweepSplitOutputs:
-		m.pool.parallelFor(lines, 2, func(lo, hi int) {
+		m.par.parallelFor(lines, 2, func(lo, hi int) {
 			processLines(newLinScratch(plan), linOutIndexer(plan), lo, hi)
 		})
 	case sweepChunkAxis:
@@ -382,7 +382,7 @@ func runLinEpilogue[E int64 | float64](m *Machine, plan *epiPlan, steps []linSte
 		partials := make([]E, nc)
 		for l := 0; l < lines; l++ {
 			base := l * axLen
-			m.pool.parallelFor(nc, 2, func(cLo, cHi int) {
+			m.par.parallelFor(nc, 2, func(cLo, cHi int) {
 				scratch := newLinScratch(plan)
 				for c := cLo; c < cHi; c++ {
 					start, end := chunkBounds(c, size, axLen)

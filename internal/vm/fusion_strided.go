@@ -98,7 +98,7 @@ func (m *Machine) execClusterStrided(p *bytecode.Program, cl cluster, shape tens
 	m.stats.elements.Add(int64(n * (cl.end - cl.start)))
 
 	var firstErr error
-	m.pool.parallelFor(n, m.cfg.ParallelThreshold, func(lo, hi int) {
+	m.par.parallelFor(n, m.cfg.ParallelThreshold, func(lo, hi int) {
 		// Each chunk compiles its own cursor set (independent positions).
 		steps, cursors, err := build()
 		if err != nil {

@@ -9,11 +9,16 @@ import (
 // Plan is the reusable compilation of one program: validation, fusion
 // cluster discovery, and reduction-epilogue analysis — everything Run
 // used to redo on every call that does not depend on buffer bindings.
-// A Plan may be executed many times against the same Machine; each
-// Execute resolves register buffers from the machine's register file
-// afresh (new input bindings, recycled temporaries) without re-running
-// any analysis. Plans are not safe for concurrent use, matching the
-// Machine they were compiled on.
+// A Plan may be executed many times, against any Machine on any Engine;
+// each Execute resolves register buffers from that machine's register
+// file afresh (new input bindings, recycled temporaries) without
+// re-running any analysis. Execute is read-only on the Plan, so one Plan
+// may execute on several Machines concurrently — the shared plan cache
+// and the async Executor both depend on that, which is why a cached or
+// queued plan must never be mutated: rebind constants with WithConstants
+// (clone); PatchConstants (in place) is only for a plan the caller owns
+// outright and is not executing anywhere. Keep any new Plan/epiPlan
+// state immutable after Compile for the same reason.
 type Plan struct {
 	prog     *bytecode.Program
 	fused    bool
@@ -50,12 +55,44 @@ func (m *Machine) Compile(p *bytecode.Program) (*Plan, error) {
 // cluster analysis describes exactly this instruction sequence.
 func (pl *Plan) Program() *bytecode.Program { return pl.prog }
 
+// WithConstants returns a plan identical to pl but with its constant
+// operands rebound to vals (in Program.Constants order); pl itself is
+// never mutated, so it may be executing concurrently — on this machine's
+// async executor or on another session sharing the engine's plan cache.
+// When vals already equal the plan's constants, pl is returned as-is.
+// Cluster analysis is structural and carries over; reduction-epilogue
+// analyses copy immediates, so they are recomputed against the patched
+// program (analysis only, no buffer work).
+func (pl *Plan) WithConstants(vals []bytecode.Constant) (*Plan, error) {
+	prog := pl.prog.Clone()
+	changed, err := prog.SetConstants(vals)
+	if err != nil {
+		return nil, err
+	}
+	if !changed {
+		return pl, nil
+	}
+	np := &Plan{prog: prog, fused: pl.fused, clusters: pl.clusters}
+	if pl.epis != nil {
+		np.epis = make([]*epiPlan, len(pl.epis))
+		for i, cl := range np.clusters {
+			if !cl.reduce || pl.epis[i] == nil {
+				continue
+			}
+			if epi, ok := analyzeEpilogue(prog, cl); ok {
+				np.epis[i] = epi
+			}
+		}
+	}
+	return np, nil
+}
+
 // PatchConstants rebinds the plan's constant operands to vals (in
-// Program.Constants order). Only plans whose program is structurally
-// identical to the batch the values come from may be patched — the plan
-// cache guarantees that by fingerprint. Epilogue analyses copy immediates
-// at analysis time, so a value change recompiles them (analysis only, no
-// buffer work).
+// Program.Constants order), in place. Only for plans the caller owns
+// outright and is not executing anywhere: cached plans are shared and
+// immutable — the plan cache uses WithConstants instead. Epilogue
+// analyses copy immediates at analysis time, so a value change recompiles
+// them (analysis only, no buffer work).
 func (pl *Plan) PatchConstants(vals []bytecode.Constant) error {
 	changed, err := pl.prog.SetConstants(vals)
 	if err != nil || !changed {

@@ -118,18 +118,61 @@ BH_SYNC a1
 func TestPoolByteCapBoundsMemory(t *testing.T) {
 	// Once pooledBytes would exceed the cap, freed buffers go to the GC
 	// instead of the pool, so diverse sizes cannot pin memory forever.
-	rf := registerFile{poolCap: 1000}
+	rf := registerFile{shared: newBufferPool(1000)}
 	for i := 0; i < 3; i++ {
 		rf.bind(bytecode.RegID(i), tensor.MustBuffer(tensor.Float64, 100)) // 800 bytes each
 		rf.owned[i] = true
 		rf.free(bytecode.RegID(i))
 	}
 	key := poolKey{dt: tensor.Float64, n: 100}
-	if got := len(rf.pool[key]); got != 1 {
+	if got := len(rf.shared.buckets[key]); got != 1 {
 		t.Errorf("pooled buffers = %d, want 1 (cap 1000 fits one 800-byte buffer)", got)
 	}
-	if rf.pooledBytes != 800 {
-		t.Errorf("pooledBytes = %d, want 800", rf.pooledBytes)
+	if rf.shared.pooledBytes != 800 {
+		t.Errorf("pooledBytes = %d, want 800", rf.shared.pooledBytes)
+	}
+}
+
+// TestPoolSharedAcrossMachines: two machines on one engine recycle each
+// other's buffers — the buffer one session frees satisfies the other
+// session's next matching allocation.
+func TestPoolSharedAcrossMachines(t *testing.T) {
+	eng := NewEngine(EngineConfig{})
+	defer eng.Close()
+	src := `
+.reg a0 float64 100
+BH_IDENTITY a0 1
+BH_FREE a0
+`
+	use := `
+.reg a0 float64 100
+BH_IDENTITY a0 2
+BH_SYNC a0
+`
+	freeProg, err := bytecode.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	useProg, err := bytecode.Parse(use)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1 := eng.NewMachine(Config{})
+	m2 := eng.NewMachine(Config{})
+	defer m1.Close()
+	defer m2.Close()
+	if err := m1.Run(freeProg); err != nil {
+		t.Fatal(err)
+	}
+	if err := m2.Run(useProg); err != nil {
+		t.Fatal(err)
+	}
+	if st := m2.Stats(); st.PoolHits != 1 || st.BuffersAllocated != 0 {
+		t.Errorf("cross-session recycle: hits=%d allocs=%d, want 1/0", st.PoolHits, st.BuffersAllocated)
+	}
+	agg := eng.Stats()
+	if agg.BuffersAllocated != 1 || agg.PoolHits != 1 {
+		t.Errorf("engine aggregate: allocs=%d hits=%d, want 1/1", agg.BuffersAllocated, agg.PoolHits)
 	}
 }
 

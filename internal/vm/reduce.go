@@ -153,7 +153,7 @@ func (m *Machine) execReduce(p *bytecode.Program, in *bytecode.Instruction) erro
 		if !ok {
 			return fmt.Errorf("no int kernel for %s", base)
 		}
-		runReduce(m.pool, strategy, k, tensor.Buffer.GetInt, tensor.Buffer.SetInt,
+		runReduce(m.par, strategy, k, tensor.Buffer.GetInt, tensor.Buffer.SetInt,
 			outBuf, srcBuf, outView, reduced, axStride, axLen)
 		return nil
 	}
@@ -161,14 +161,14 @@ func (m *Machine) execReduce(p *bytecode.Program, in *bytecode.Instruction) erro
 	if !ok {
 		return fmt.Errorf("no kernel for %s", base)
 	}
-	runReduce(m.pool, strategy, k, tensor.Buffer.Get, tensor.Buffer.Set,
+	runReduce(m.par, strategy, k, tensor.Buffer.Get, tensor.Buffer.Set,
 		outBuf, srcBuf, outView, reduced, axStride, axLen)
 	return nil
 }
 
 // runReduce executes one reduction with the chosen strategy; get/set are
 // Buffer method expressions selecting the computation class.
-func runReduce[E int64 | float64](pool *workerPool, strategy sweepStrategy, k func(a, b E) E,
+func runReduce[E int64 | float64](pool parRunner, strategy sweepStrategy, k func(a, b E) E,
 	get func(tensor.Buffer, int) E, set func(tensor.Buffer, int, E),
 	out, src tensor.Buffer, outView, reduced tensor.View, axStride, axLen int) {
 
@@ -219,7 +219,7 @@ func fillReduceIdentity(base bytecode.Opcode, out tensor.Buffer, outView tensor.
 // bitwise identical to the serial fold; the float64 instantiation
 // re-associates the fold, carrying reassociation error relative to the
 // serial strategy but staying identical across worker counts.
-func chunkReduce[E int64 | float64](pool *workerPool, k func(a, b E) E,
+func chunkReduce[E int64 | float64](pool parRunner, k func(a, b E) E,
 	get func(tensor.Buffer, int) E, set func(tensor.Buffer, int, E),
 	out, src tensor.Buffer, outView, reduced tensor.View, axStride, axLen int) {
 
@@ -287,7 +287,7 @@ func (m *Machine) execScan(p *bytecode.Program, in *bytecode.Instruction) error 
 		if !ok {
 			return fmt.Errorf("no int kernel for %s", base)
 		}
-		runScan(m.pool, strategy, k, tensor.Buffer.GetInt, tensor.Buffer.SetInt,
+		runScan(m.par, strategy, k, tensor.Buffer.GetInt, tensor.Buffer.SetInt,
 			outBuf, srcBuf, reducedOut, reducedIn, outStride, inStride, axLen)
 		return nil
 	}
@@ -295,14 +295,14 @@ func (m *Machine) execScan(p *bytecode.Program, in *bytecode.Instruction) error 
 	if !ok {
 		return fmt.Errorf("no kernel for %s", base)
 	}
-	runScan(m.pool, strategy, k, tensor.Buffer.Get, tensor.Buffer.Set,
+	runScan(m.par, strategy, k, tensor.Buffer.Get, tensor.Buffer.Set,
 		outBuf, srcBuf, reducedOut, reducedIn, outStride, inStride, axLen)
 	return nil
 }
 
 // runScan executes one scan with the chosen strategy; get/set are Buffer
 // method expressions selecting the computation class.
-func runScan[E int64 | float64](pool *workerPool, strategy sweepStrategy, k func(a, b E) E,
+func runScan[E int64 | float64](pool parRunner, strategy sweepStrategy, k func(a, b E) E,
 	get func(tensor.Buffer, int) E, set func(tensor.Buffer, int, E),
 	out, src tensor.Buffer, reducedOut, reducedIn tensor.View, outStride, inStride, axLen int) {
 
@@ -332,7 +332,7 @@ func runScan[E int64 | float64](pool *workerPool, strategy sweepStrategy, k func
 // chunk seeded with its offset (pass 3). As with chunkReduce, the int64
 // instantiation is bitwise identical to the serial scan and the float64
 // instantiation carries reassociation tolerance.
-func chunkScan[E int64 | float64](pool *workerPool, k func(a, b E) E,
+func chunkScan[E int64 | float64](pool parRunner, k func(a, b E) E,
 	get func(tensor.Buffer, int) E, set func(tensor.Buffer, int, E),
 	out, src tensor.Buffer, reducedOut, reducedIn tensor.View, outStride, inStride, axLen int) {
 

@@ -2,6 +2,7 @@ package vm
 
 import (
 	"fmt"
+	"sync"
 
 	"bohrium/internal/bytecode"
 	"bohrium/internal/tensor"
@@ -19,25 +20,76 @@ type poolKey struct {
 const maxPooledPerKey = 32
 
 // defaultPoolCapBytes bounds the bytes parked across ALL freelist buckets,
-// so a long-lived machine that marches through many distinct array sizes
+// so a long-lived engine that marches through many distinct array sizes
 // cannot accumulate 32 stale buffers per size forever. Once full, freed
 // buffers go back to the GC instead of the pool.
 const defaultPoolCapBytes = 256 << 20
 
+// bufferPool is the size-and-dtype-keyed buffer freelist. It lives on the
+// Engine, not the register file, so buffers one session frees recycle into
+// allocations made by any other session on the same engine — the shared
+// half of the register lifecycle. All methods are safe for concurrent use.
+// One mutex guards all buckets: the critical sections are O(1) slice
+// pops/pushes, a few per flush per session, far from the per-sweep hot
+// path. If profiles ever show this lock under very high session counts,
+// shard the buckets by poolKey hash the way the plan cache shards by
+// fingerprint (the byte budget then splits per shard).
+type bufferPool struct {
+	mu          sync.Mutex
+	buckets     map[poolKey][]tensor.Buffer
+	pooledBytes int // bytes currently parked across all buckets
+	capBytes    int // pooledBytes bound
+}
+
+func newBufferPool(capBytes int) *bufferPool {
+	if capBytes <= 0 {
+		capBytes = defaultPoolCapBytes
+	}
+	return &bufferPool{buckets: map[poolKey][]tensor.Buffer{}, capBytes: capBytes}
+}
+
+// take removes and returns a pooled buffer for key, or nil when the bucket
+// is empty. The caller is responsible for zeroing before reuse.
+func (bp *bufferPool) take(key poolKey) tensor.Buffer {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	list := bp.buckets[key]
+	if len(list) == 0 {
+		return nil
+	}
+	buf := list[len(list)-1]
+	bp.buckets[key] = list[:len(list)-1]
+	bp.pooledBytes -= key.n * key.dt.Size()
+	return buf
+}
+
+// put parks a freed buffer for reuse, unless its bucket is full or the
+// byte bound would be exceeded (then the buffer goes back to the GC).
+func (bp *bufferPool) put(buf tensor.Buffer) {
+	key := poolKey{dt: buf.DType(), n: buf.Len()}
+	bytes := key.n * key.dt.Size()
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	if len(bp.buckets[key]) < maxPooledPerKey && bp.pooledBytes+bytes <= bp.capBytes {
+		bp.buckets[key] = append(bp.buckets[key], buf)
+		bp.pooledBytes += bytes
+	}
+}
+
 // registerFile maps byte-code registers to buffers. Buffers are allocated
 // lazily at first definition and released by BH_FREE, mirroring Bohrium's
 // base-array lifecycle. Released buffers that the VM itself allocated are
-// parked on a size-and-dtype-keyed freelist and handed back out (zeroed) by
-// the next matching allocation, so flush-per-iteration workloads stop
-// paying an allocation per temporary per sweep. Buffers bound from outside
-// (front-end input arrays) are never pooled — the caller owns them.
+// handed to the engine's shared bufferPool and come back out (zeroed) at
+// the next matching allocation — possibly in a different session — so
+// flush-per-iteration workloads stop paying an allocation per temporary
+// per sweep. Buffers bound from outside (front-end input arrays) are never
+// pooled — the caller owns them. The register file itself is per-session
+// state: only its machine's goroutines touch it.
 type registerFile struct {
-	bufs        []tensor.Buffer
-	owned       []bool // owned[r]: bufs[r] was allocated here, safe to recycle
-	pool        map[poolKey][]tensor.Buffer
-	pooledBytes int          // bytes currently parked across all buckets
-	poolCap     int          // pooledBytes bound; 0 means defaultPoolCapBytes
-	stats       *atomicStats // counters live on the Machine; nil in zero-value files
+	bufs   []tensor.Buffer
+	owned  []bool       // owned[r]: bufs[r] was allocated here, safe to recycle
+	shared *bufferPool  // engine-owned freelist; nil in zero-value files
+	stats  *atomicStats // counters live on the Machine; nil in zero-value files
 }
 
 func (rf *registerFile) grow(n int) {
@@ -61,8 +113,9 @@ func (rf *registerFile) get(r bytecode.RegID) tensor.Buffer {
 }
 
 // ensure returns the buffer for r, materializing it from the declaration if
-// the register has no buffer yet — from the recycle pool when a buffer of
-// the right dtype and length is parked there, freshly allocated otherwise.
+// the register has no buffer yet — from the shared recycle pool when a
+// buffer of the right dtype and length is parked there, freshly allocated
+// otherwise.
 func (rf *registerFile) ensure(p *bytecode.Program, r bytecode.RegID) (tensor.Buffer, error) {
 	rf.grow(len(p.Regs))
 	if rf.bufs[r] != nil {
@@ -72,18 +125,16 @@ func (rf *registerFile) ensure(p *bytecode.Program, r bytecode.RegID) (tensor.Bu
 	if !ok {
 		return nil, fmt.Errorf("register %s not declared", r)
 	}
-	key := poolKey{dt: info.DType, n: info.Len}
-	if list := rf.pool[key]; len(list) > 0 {
-		buf := list[len(list)-1]
-		rf.pool[key] = list[:len(list)-1]
-		rf.pooledBytes -= info.Len * info.DType.Size()
-		buf.Zero() // fresh allocations are zeroed; reuse must match
-		if rf.stats != nil {
-			rf.stats.poolHits.Add(1)
+	if rf.shared != nil {
+		if buf := rf.shared.take(poolKey{dt: info.DType, n: info.Len}); buf != nil {
+			buf.Zero() // fresh allocations are zeroed; reuse must match
+			if rf.stats != nil {
+				rf.stats.poolHits.Add(1)
+			}
+			rf.bufs[r] = buf
+			rf.owned[r] = true
+			return buf, nil
 		}
-		rf.bufs[r] = buf
-		rf.owned[r] = true
-		return buf, nil
 	}
 	buf, err := tensor.NewBuffer(info.DType, info.Len)
 	if err != nil {
@@ -98,8 +149,8 @@ func (rf *registerFile) ensure(p *bytecode.Program, r bytecode.RegID) (tensor.Bu
 	return buf, nil
 }
 
-// free releases register r. VM-owned buffers return to the freelist for
-// reuse; externally bound buffers are only unlinked.
+// free releases register r. VM-owned buffers return to the shared freelist
+// for reuse; externally bound buffers are only unlinked.
 func (rf *registerFile) free(r bytecode.RegID) {
 	if int(r) >= len(rf.bufs) || rf.bufs[r] == nil {
 		return
@@ -110,17 +161,7 @@ func (rf *registerFile) free(r bytecode.RegID) {
 		return
 	}
 	rf.owned[r] = false
-	key := poolKey{dt: buf.DType(), n: buf.Len()}
-	if rf.pool == nil {
-		rf.pool = map[poolKey][]tensor.Buffer{}
-	}
-	capBytes := rf.poolCap
-	if capBytes == 0 {
-		capBytes = defaultPoolCapBytes
-	}
-	bytes := buf.Len() * buf.DType().Size()
-	if len(rf.pool[key]) < maxPooledPerKey && rf.pooledBytes+bytes <= capBytes {
-		rf.pool[key] = append(rf.pool[key], buf)
-		rf.pooledBytes += bytes
+	if rf.shared != nil {
+		rf.shared.put(buf)
 	}
 }

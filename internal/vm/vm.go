@@ -11,7 +11,6 @@ package vm
 import (
 	"errors"
 	"fmt"
-	"runtime"
 	"sync/atomic"
 
 	"bohrium/internal/bytecode"
@@ -41,9 +40,14 @@ type Config struct {
 	// SkipValidation trusts the caller to have validated the program
 	// (the optimizer pipeline validates after every pass).
 	SkipValidation bool
-	// PlanCacheSize caps the machine's fingerprint-keyed plan cache, in
-	// entries. Zero selects DefaultPlanCacheSize; negative disables the
-	// cache entirely (LookupPlan always misses without counting).
+	// PlanCacheSize tunes the machine's use of the fingerprint-keyed plan
+	// cache. Negative opts the machine out entirely (LookupPlan always
+	// misses without counting, inserts are dropped). For a machine made
+	// by New — which builds its own private Engine — a positive value
+	// caps that engine's cache in entries and zero selects
+	// DefaultPlanCacheSize; for a machine on a shared Engine
+	// (Engine.NewMachine) capacity is fixed by EngineConfig.PlanCacheSize
+	// and only this field's sign is consulted.
 	PlanCacheSize int
 }
 
@@ -51,21 +55,27 @@ type Config struct {
 // costs more than it buys.
 const DefaultParallelThreshold = 1 << 15
 
-// Machine executes programs against a register file. A Machine may run
-// many programs; registers persist between runs so a lazy front-end can
-// flush incrementally. Machine is not safe for general concurrent use —
-// it *is* the execution engine, parallelism happens inside Run — but it
-// supports exactly one sanctioned split: a recording goroutine that
-// compiles and looks up plans while an Executor goroutine executes them
-// (see async.go for the ownership rules). Counters are atomic so both
-// sides may count; the register file and the plan cache each stay on
-// their own side of that split.
+// Machine is one session's execution state on an Engine: the register
+// file, the session counters, and the session's view of the shared
+// substrate (its sweep fan-out width, its opt-in to the shared plan
+// cache). A Machine may run many programs; registers persist between runs
+// so a lazy front-end can flush incrementally. Machine is not safe for
+// general concurrent use — one goroutine drives it, parallelism happens
+// inside Run — but it supports exactly one sanctioned split: a recording
+// goroutine that compiles and looks up plans while an Executor goroutine
+// executes them (see async.go for the ownership rules). Counters are
+// atomic so both sides may count. Different Machines on one shared Engine
+// may run fully concurrently: everything they share (worker pool, plan
+// cache, buffer pool) is concurrency-safe, and everything per-session
+// lives here.
 type Machine struct {
-	cfg   Config
-	regs  registerFile
-	stats atomicStats
-	pool  *workerPool
-	plans *planCache
+	cfg      Config
+	eng      *Engine
+	par      parRunner
+	useCache bool // session opted into the engine's plan cache
+	private  bool // Close also closes the engine (vm.New compatibility)
+	regs     registerFile
+	stats    atomicStats
 }
 
 // DTypeCounts holds one counter per dtype, indexed by tensor.DType. It is
@@ -146,6 +156,26 @@ type Stats struct {
 	Pipelined int
 }
 
+// Accumulate adds every counter of o into s — how Engine.Stats (and any
+// host summing per-session numbers) folds snapshots into one total.
+func (s *Stats) Accumulate(o Stats) {
+	s.Instructions += o.Instructions
+	s.Sweeps += o.Sweeps
+	s.FusedInstructions += o.FusedInstructions
+	s.FusedReductions += o.FusedReductions
+	for dt := range s.FusedByDType {
+		s.FusedByDType[dt] += o.FusedByDType[dt]
+	}
+	s.Elements += o.Elements
+	s.BuffersAllocated += o.BuffersAllocated
+	s.PoolHits += o.PoolHits
+	s.BytesAllocated += o.BytesAllocated
+	s.PlanHits += o.PlanHits
+	s.PlanMisses += o.PlanMisses
+	s.PlanEvictions += o.PlanEvictions
+	s.Pipelined += o.Pipelined
+}
+
 // atomicStats is the Machine's internal counter set. The counters are
 // atomics because the pipelined flush mode splits the machine across two
 // goroutines — the recorder counts plan-cache traffic while the Executor
@@ -212,23 +242,14 @@ func (s *atomicStats) reset() {
 	s.pipelined.Store(0)
 }
 
-// New returns a Machine with the given configuration.
+// New returns a Machine on a private Engine built from the same
+// configuration — the single-session shape every pre-Runtime caller used.
+// Closing the machine closes its engine too. Multi-session hosts create
+// one Engine (or a bohrium.Runtime) and hang machines off it instead.
 func New(cfg Config) *Machine {
-	if cfg.Workers <= 0 {
-		cfg.Workers = runtime.GOMAXPROCS(0)
-	}
-	if cfg.ParallelThreshold <= 0 {
-		cfg.ParallelThreshold = DefaultParallelThreshold
-	}
-	m := &Machine{cfg: cfg, pool: newWorkerPool(cfg.Workers)}
-	if cfg.PlanCacheSize >= 0 {
-		size := cfg.PlanCacheSize
-		if size == 0 {
-			size = DefaultPlanCacheSize
-		}
-		m.plans = newPlanCache(size)
-	}
-	m.regs.stats = &m.stats
+	eng := NewEngine(EngineConfig{Workers: cfg.Workers, PlanCacheSize: cfg.PlanCacheSize})
+	m := eng.NewMachine(cfg)
+	m.private = true
 	return m
 }
 
@@ -271,7 +292,17 @@ func (m *Machine) Run(p *bytecode.Program) error {
 	return pl.Execute(m)
 }
 
-// Close releases the worker pool. The Machine must not be used afterwards.
+// Engine returns the (possibly shared) engine this machine runs on.
+func (m *Machine) Engine() *Engine { return m.eng }
+
+// Close detaches the machine from its engine: the session's counters fold
+// into the engine's process-wide totals and the machine must not be used
+// afterwards. A machine made by New owns its engine and closes it too; a
+// machine made by Engine.NewMachine never touches the shared pool — other
+// sessions keep running.
 func (m *Machine) Close() {
-	m.pool.close()
+	m.eng.detach(m)
+	if m.private {
+		m.eng.Close()
+	}
 }

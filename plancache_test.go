@@ -43,7 +43,7 @@ func TestPlanCacheSteadyStateHits(t *testing.T) {
 	ctx := newTestContext(t, &Config{CollectReports: true})
 	const iters = 30
 	heatLoop(t, ctx, 16, iters)
-	st := ctx.Stats()
+	st := ctx.MustStats()
 	if st.PlanHits < iters-3 {
 		t.Errorf("steady state not reached: hits=%d misses=%d", st.PlanHits, st.PlanMisses)
 	}
@@ -54,13 +54,13 @@ func TestPlanCacheSteadyStateHits(t *testing.T) {
 	// From here on the structure is known: more iterations must add hits
 	// only, and must not run the optimizer again (the collected report
 	// object stays the very same pointer).
-	before := ctx.Stats()
+	before := ctx.MustStats()
 	rep := ctx.LastReport()
 	grid := ctx.Zeros(16, 16) // unrelated array must not perturb the key
 	_ = grid
 	heatLoop(t, ctx, 16, 5)
 	_ = rep
-	after := ctx.Stats()
+	after := ctx.MustStats()
 	if after.PlanEvictions != before.PlanEvictions {
 		t.Errorf("unexpected evictions: %d", after.PlanEvictions)
 	}
@@ -79,10 +79,10 @@ func TestPlanCacheHitSkipsOptimizer(t *testing.T) {
 	if rep == nil || rep.TotalApplied() == 0 {
 		t.Fatalf("expected rewrites on the compiling flush, report=%v", rep)
 	}
-	hitsBefore := ctx.Stats().PlanHits
+	hitsBefore := ctx.MustStats().PlanHits
 	x.MulC(3).MulC(4)
 	ctx.MustFlush()
-	if got := ctx.Stats().PlanHits; got != hitsBefore+1 {
+	if got := ctx.MustStats().PlanHits; got != hitsBefore+1 {
 		t.Fatalf("identical batch did not hit: hits %d -> %d", hitsBefore, got)
 	}
 	if ctx.LastReport() != rep {
@@ -96,9 +96,9 @@ func TestPlanCacheHitSkipsOptimizer(t *testing.T) {
 
 // flushDelta runs fn and returns the change in (hits, misses).
 func flushDelta(ctx *Context, fn func()) (hits, misses int) {
-	before := ctx.Stats()
+	before := ctx.MustStats()
 	fn()
-	after := ctx.Stats()
+	after := ctx.MustStats()
 	return after.PlanHits - before.PlanHits, after.PlanMisses - before.PlanMisses
 }
 
@@ -214,7 +214,7 @@ func TestPlanCacheLRUCapacity(t *testing.T) {
 		b.MulC(2)
 		small.MustFlush()
 	}
-	st := small.Stats()
+	st := small.MustStats()
 	if st.PlanEvictions == 0 {
 		t.Errorf("capacity-1 cache never evicted (hits=%d misses=%d)", st.PlanHits, st.PlanMisses)
 	}
@@ -232,7 +232,7 @@ func TestPlanCacheLRUCapacity(t *testing.T) {
 		b.MulC(2)
 		roomy.MustFlush()
 	}
-	st = roomy.Stats()
+	st = roomy.MustStats()
 	if st.PlanHits != 4 || st.PlanEvictions != 0 {
 		t.Errorf("default cache: hits=%d evictions=%d, want 4/0", st.PlanHits, st.PlanEvictions)
 	}
@@ -249,10 +249,10 @@ func TestPlanCacheDisabledMatchesEnabled(t *testing.T) {
 	if math.Float64bits(vOff) != math.Float64bits(vOn) {
 		t.Errorf("cached %v != uncached %v", vOn, vOff)
 	}
-	if st := off.Stats(); st.PlanHits != 0 || st.PlanMisses != 0 {
+	if st := off.MustStats(); st.PlanHits != 0 || st.PlanMisses != 0 {
 		t.Errorf("disabled cache counted: hits=%d misses=%d", st.PlanHits, st.PlanMisses)
 	}
-	if st := on.Stats(); st.PlanHits == 0 {
+	if st := on.MustStats(); st.PlanHits == 0 {
 		t.Error("enabled cache never hit")
 	}
 }
@@ -264,13 +264,13 @@ func TestNoOpFlushSkipsEverything(t *testing.T) {
 	x := ctx.Full(1, 8)
 	ctx.MustFlush()
 	_ = x
-	before := ctx.Stats()
+	before := ctx.MustStats()
 	for i := 0; i < 5; i++ {
 		if err := ctx.Flush(); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if after := ctx.Stats(); after != before {
+	if after := ctx.MustStats(); after != before {
 		t.Errorf("empty flush changed stats: %+v -> %+v", before, after)
 	}
 }
@@ -290,9 +290,9 @@ func TestOptimizedToEmptyFlushSkipsVM(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	before := ctx.Stats()
+	before := ctx.MustStats()
 	empty()
-	mid := ctx.Stats()
+	mid := ctx.MustStats()
 	if mid.Sweeps != before.Sweeps || mid.Instructions != before.Instructions {
 		t.Errorf("optimized-to-empty flush ran the VM: %+v -> %+v", before, mid)
 	}
@@ -300,7 +300,7 @@ func TestOptimizedToEmptyFlushSkipsVM(t *testing.T) {
 		t.Errorf("empty compile not recorded as miss")
 	}
 	empty()
-	after := ctx.Stats()
+	after := ctx.MustStats()
 	if after.Sweeps != before.Sweeps {
 		t.Error("cached empty flush ran the VM")
 	}

@@ -44,11 +44,11 @@ func TestDataReadDoesNotPerturbPlanKeys(t *testing.T) {
 	}
 
 	// Reading twice is still fine (the read batch itself now hits too).
-	before := ctx.Stats()
+	before := ctx.MustStats()
 	if _, err := u.Data(); err != nil {
 		t.Fatal(err)
 	}
-	if after := ctx.Stats(); after.PlanMisses != before.PlanMisses {
+	if after := ctx.MustStats(); after.PlanMisses != before.PlanMisses {
 		t.Errorf("repeated identical read batch missed the cache")
 	}
 }

@@ -1,0 +1,120 @@
+package bohrium
+
+import (
+	"sync"
+
+	"bohrium/internal/vm"
+)
+
+// RuntimeConfig tunes the shared engine behind a Runtime. The zero value
+// (or nil) gives a GOMAXPROCS-wide worker pool, the default plan-cache
+// capacity, and the default recycle-pool byte bound.
+type RuntimeConfig struct {
+	// Workers is the shared worker-pool width (0: GOMAXPROCS). Individual
+	// sessions cap their own sweep fan-out with Config.Workers; this knob
+	// only sets how many goroutines serve all of them together.
+	Workers int
+	// PlanCacheSize caps the shared plan cache, in entries across all
+	// sessions. Zero selects vm.DefaultPlanCacheSize; negative disables
+	// plan caching for every session on this runtime.
+	PlanCacheSize int
+	// PoolCapBytes bounds the bytes parked in the shared buffer recycle
+	// pool (0: 256 MiB).
+	PoolCapBytes int
+}
+
+// Runtime is the shared component stack of the paper's middleware: one
+// worker pool, one fingerprint-keyed plan cache, and one buffer recycle
+// pool serving many concurrent sessions. Contexts made with
+// Runtime.NewContext may be driven from different goroutines at the same
+// time — each Context is still single-goroutine, but the runtime
+// underneath is fully concurrency-safe — and they feed each other's fast
+// paths: a batch one session compiled is a plan-cache hit for every
+// other session flushing the same structure, and a buffer one session
+// frees is recycled into any session's next matching allocation.
+//
+// NewContext (the package-level function) instead gives each session a
+// private runtime, preserving the one-session-per-engine behavior of
+// earlier versions: per-session plan-cache and pool counters start at
+// zero, and nothing another session does can turn this session's compile
+// into a hit. Hosts that want the sharing create a Runtime (or use
+// DefaultRuntime) explicitly.
+type Runtime struct {
+	eng *vm.Engine
+	// isDefault marks the process-wide DefaultRuntime, whose Close is a
+	// no-op. Set once, before the runtime is ever visible to callers.
+	isDefault bool
+}
+
+// NewRuntime builds a shared runtime. Pass nil for defaults. Close it
+// after the sessions are done; closing a Context never tears the shared
+// runtime down.
+func NewRuntime(cfg *RuntimeConfig) *Runtime {
+	c := RuntimeConfig{}
+	if cfg != nil {
+		c = *cfg
+	}
+	return &Runtime{eng: vm.NewEngine(vm.EngineConfig{
+		Workers:       c.Workers,
+		PlanCacheSize: c.PlanCacheSize,
+		PoolCapBytes:  c.PoolCapBytes,
+	})}
+}
+
+// defaultRuntime is the lazily created process-wide runtime behind
+// DefaultRuntime.
+var (
+	defaultRuntimeOnce sync.Once
+	defaultRuntime     *Runtime
+)
+
+// DefaultRuntime returns the lazily created process-wide shared runtime:
+// the convenience engine for servers that want cross-session sharing
+// without threading a Runtime value around. It lives for the process,
+// like the Go runtime's own worker structures — calling Close on it is
+// a no-op.
+func DefaultRuntime() *Runtime {
+	defaultRuntimeOnce.Do(func() {
+		defaultRuntime = NewRuntime(nil)
+		defaultRuntime.isDefault = true
+	})
+	return defaultRuntime
+}
+
+// NewContext creates a session on the shared runtime. Pass nil for
+// defaults. The Context is single-goroutine like any other, but many of
+// them — each driven by its own goroutine — can coexist on one Runtime;
+// results are bit-for-bit identical to the same sessions running on
+// private runtimes. Config.Workers and Config.ParallelThreshold govern
+// this session's sweep fan-out on the shared pool; Config.PlanCacheSize
+// only opts the session out of the shared cache when negative (capacity
+// is fixed by the RuntimeConfig).
+func (r *Runtime) NewContext(cfg *Config) *Context {
+	c := Config{}
+	if cfg != nil {
+		c = *cfg
+	}
+	return newContext(r, false, c)
+}
+
+// Stats returns the process-wide aggregate counters over every session
+// the runtime has hosted, live and closed. Per-session numbers stay
+// available on each Context's own Stats.
+func (r *Runtime) Stats() vm.Stats { return r.eng.Stats() }
+
+// PlanCacheLen returns the number of plans currently in the shared cache.
+func (r *Runtime) PlanCacheLen() int { return r.eng.PlanCacheLen() }
+
+// Close drains and stops the shared worker pool. Sessions mid-sweep
+// finish their submitted chunks first; close Contexts before their
+// Runtime as a matter of hygiene. Close is idempotent (the engine
+// guards the close-once itself). Closing the process-wide
+// DefaultRuntime is a no-op — it lives for the process, and a stray
+// Close from copied teardown code must not degrade every future
+// session to inline sweeps.
+func (r *Runtime) Close() {
+	if r.isDefault {
+		return
+	}
+	r.eng.Close()
+}
