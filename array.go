@@ -441,7 +441,7 @@ func (a *Array) Data() ([]float64, error) {
 	if err := a.ctx.Flush(); err != nil {
 		return nil, err
 	}
-	tt, ok := a.ctx.machine.Tensor(a.reg, a.view)
+	tt, ok := a.ctx.backend.Tensor(a.reg, a.view)
 	if !ok {
 		return nil, fmt.Errorf("bohrium: array register %s has no data", a.reg)
 	}
@@ -484,7 +484,7 @@ func (a *Array) At(coords ...int) (float64, error) {
 	if err := a.ctx.Flush(); err != nil {
 		return 0, err
 	}
-	tt, ok := a.ctx.machine.Tensor(a.reg, a.view)
+	tt, ok := a.ctx.backend.Tensor(a.reg, a.view)
 	if !ok {
 		return 0, fmt.Errorf("bohrium: array register %s has no data", a.reg)
 	}
@@ -504,7 +504,7 @@ func (a *Array) String() string {
 	if err := a.ctx.Flush(); err != nil {
 		return fmt.Sprintf("<error: %v>", err)
 	}
-	tt, ok := a.ctx.machine.Tensor(a.reg, a.view)
+	tt, ok := a.ctx.backend.Tensor(a.reg, a.view)
 	if !ok {
 		return "<unmaterialized array>"
 	}

@@ -25,6 +25,7 @@ import (
 	"errors"
 	"fmt"
 
+	"bohrium/internal/backend"
 	"bohrium/internal/bytecode"
 	"bohrium/internal/rewrite"
 	"bohrium/internal/tensor"
@@ -78,6 +79,19 @@ type Config struct {
 	// (backpressure). Zero selects vm.DefaultAsyncDepth. Ignored unless
 	// Async is set.
 	AsyncDepth int
+	// Backend selects the execution backend by registered name. The empty
+	// string (and "inprocess") is the reference fused-sweep machine;
+	// "outofcore" streams elementwise segments through fixed-size chunks so
+	// working-set memory stays bounded by ChunkBytes per array instead of
+	// the arrays themselves. Every backend is value- and error-identical —
+	// the differential suite pins it — so the choice is purely an
+	// execution-strategy knob. An unknown name panics in NewContext, like
+	// any other invalid construction parameter.
+	Backend string
+	// ChunkBytes bounds the per-array tile size of chunked backends
+	// (Backend: "outofcore"); zero selects the backend's default (1 MiB).
+	// Ignored by backends without the Chunked capability.
+	ChunkBytes int
 }
 
 // Context owns a byte-code recording buffer and the per-session virtual
@@ -99,8 +113,13 @@ type Context struct {
 	// compiled, and a session with the optimizer ablated must never
 	// execute another session's optimized plan (or vice versa) — the
 	// values could differ in ULPs and the sweep stats would lie.
-	sig      compileSig
-	machine  *vm.Machine
+	sig compileSig
+	// backend executes this session's batches. The front end only ever
+	// speaks the backend.Backend interface — compile, execute, bind, read,
+	// cache, stats — so every execution strategy (in-process fused sweeps,
+	// out-of-core chunking, whatever is registered next) plugs in below
+	// this line without the recorder changing.
+	backend  backend.Backend
 	pending  *bytecode.Program
 	defined  map[bytecode.RegID]bool // registers materialized by earlier flushes
 	keptRegs map[bytecode.RegID]bool // registers whose values must survive flushes
@@ -120,8 +139,8 @@ type Context struct {
 	// exec is the background plan executor of async mode (Config.Async);
 	// nil in synchronous mode. Everything else in this struct belongs to
 	// the recording goroutine — the executor only ever sees compiled
-	// vm.Plans and the machine's register file.
-	exec   *vm.Executor
+	// backend plans and the backend's register state.
+	exec   *backend.Executor
 	closed bool
 }
 
@@ -147,18 +166,25 @@ func newContext(rt *Runtime, ownsRT bool, c Config) *Context {
 	if c.Optimizer != nil {
 		opts = *c.Optimizer
 	}
+	be, err := backend.Open(c.Backend, rt.eng, backend.Config{
+		VM: vm.Config{
+			Workers:           c.Workers,
+			ParallelThreshold: c.ParallelThreshold,
+			Fusion:            !c.DisableFusion,
+			PlanCacheSize:     c.PlanCacheSize,
+		},
+		ChunkBytes: c.ChunkBytes,
+	})
+	if err != nil {
+		panic(fmt.Sprintf("bohrium: %v", err))
+	}
 	ctx := &Context{
 		cfg:      c,
 		rt:       rt,
 		ownsRT:   ownsRT,
 		pipeline: rewrite.Build(opts),
 		sig:      compileSig{opts: opts, fusion: !c.DisableFusion},
-		machine: rt.eng.NewMachine(vm.Config{
-			Workers:           c.Workers,
-			ParallelThreshold: c.ParallelThreshold,
-			Fusion:            !c.DisableFusion,
-			PlanCacheSize:     c.PlanCacheSize,
-		}),
+		backend:  be,
 		pending:  bytecode.NewProgram(),
 		defined:  map[bytecode.RegID]bool{},
 		keptRegs: map[bytecode.RegID]bool{},
@@ -166,7 +192,7 @@ func newContext(rt *Runtime, ownsRT bool, c Config) *Context {
 		regGen:   map[bytecode.RegID]uint64{},
 	}
 	if c.Async {
-		ctx.exec = ctx.machine.NewExecutor(c.AsyncDepth)
+		ctx.exec = backend.NewExecutor(be, c.AsyncDepth)
 	}
 	return ctx
 }
@@ -187,7 +213,7 @@ func (c *Context) Close() {
 	if c.exec != nil {
 		c.exec.Close()
 	}
-	c.machine.Close()
+	c.backend.Close()
 	if c.ownsRT {
 		c.rt.Close()
 	}
@@ -219,7 +245,7 @@ func (c *Context) Stats() (vm.Stats, error) {
 	if c.exec != nil {
 		c.exec.Wait()
 	}
-	return c.machine.Stats(), nil
+	return c.backend.Stats(), nil
 }
 
 // MustStats is Stats that panics on error, for examples and tools.
@@ -282,7 +308,7 @@ func (c *Context) Submit() error {
 	}
 	c.markPendingOutputs()
 
-	cached := c.machine.PlanCacheEnabled()
+	cached := c.backend.PlanCacheEnabled()
 	var fp bytecode.Fingerprint
 	var consts []bytecode.Constant
 	if cached {
@@ -292,8 +318,10 @@ func (c *Context) Submit() error {
 		// clone (the cached plan is immutable), so the same lookup is safe
 		// in both modes: the executor may still be running the previous
 		// submission, and other sessions on a shared Runtime may be
-		// executing the very same cached plan right now.
-		plan, meta, ok := c.machine.LookupPlan(fp, consts, c.planUsable)
+		// executing the very same cached plan right now. The backend scopes
+		// the fingerprint, so two backends on one Runtime never serve each
+		// other's plans.
+		plan, meta, ok := c.backend.LookupPlan(fp, consts, c.planUsable)
 		if ok {
 			pm := meta.(*planMeta)
 			if plan != nil { // nil: the batch is known to optimize to nothing
@@ -326,13 +354,13 @@ func (c *Context) Submit() error {
 		// ever being observed): skip compilation and the VM entirely,
 		// keeping only the register bookkeeping.
 		if cached {
-			c.machine.InsertPlan(fp, consts, parametric, nil, pm)
+			c.backend.InsertPlan(fp, consts, parametric, nil, pm)
 		}
 		c.advanceBatch(pm)
 		return nil
 	}
 	pruneInputs(optimized)
-	plan, err := c.machine.Compile(optimized)
+	plan, err := c.backend.Compile(optimized)
 	if err != nil {
 		return fmt.Errorf("bohrium: execution failed: %w", err)
 	}
@@ -340,7 +368,10 @@ func (c *Context) Submit() error {
 		return err
 	}
 	if cached {
-		c.machine.InsertPlan(fp, consts, parametric, plan, pm)
+		// A backend whose plans are constant-exact (out-of-core) demotes
+		// parametric to false here; the nil empty-batch entry above stays
+		// parametric on every backend — there is nothing to patch.
+		c.backend.InsertPlan(fp, consts, parametric, plan, pm)
 	}
 	c.advanceBatch(pm)
 	return nil
@@ -350,12 +381,12 @@ func (c *Context) Submit() error {
 // the background executor in async mode. Either way the plan is treated
 // as immutable from here on — it may simultaneously be executing in other
 // sessions that share the plan cache.
-func (c *Context) execute(plan *vm.Plan) error {
+func (c *Context) execute(plan backend.Plan) error {
 	if c.exec != nil {
 		c.exec.Submit(plan)
 		return nil
 	}
-	if err := plan.Execute(c.machine); err != nil {
+	if err := c.backend.Execute(plan); err != nil {
 		return fmt.Errorf("bohrium: execution failed: %w", err)
 	}
 	return nil
@@ -724,13 +755,13 @@ func (c *Context) FromSlice(values []float64, dims ...int) (*Array, error) {
 	if err != nil {
 		return nil, err
 	}
-	// Binding writes the machine's register file, which in-flight async
+	// Binding writes the backend's register state, which in-flight async
 	// batches own until they finish — fence first.
 	if err := c.Wait(); err != nil {
 		return nil, err
 	}
 	a := c.newArray(tensor.Float64, shape)
-	c.machine.Bind(a.reg, tt)
+	c.backend.Bind(a.reg, tt)
 	c.pending.MarkInput(a.reg)
 	c.defined[a.reg] = true
 	return a, nil

@@ -1,0 +1,96 @@
+package bohrium
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestFrontEndStaysBehindBackendSeam is the import-boundary check for the
+// pluggable-backend refactor: the front-end package records byte-code and
+// hands batches to a backend.Backend — it must never reach past that seam
+// into the VM's execution machinery. Concretely, non-test files of this
+// package may use internal/vm only for the engine-level surface that
+// backend.Config/Runtime expose (configuration knobs, the shared Engine,
+// the Stats snapshot); compiling or executing through vm.Machine,
+// vm.Plan, or vm.Executor directly would bypass backend selection, the
+// scoped plan cache, and the differential contract. The test parses every
+// non-test file and rejects any vm.<identifier> outside the allowlist, so
+// a regression is a test failure, not a code-review catch.
+func TestFrontEndStaysBehindBackendSeam(t *testing.T) {
+	allowedVM := map[string]bool{
+		// Configuration the front end translates into backend.Config.
+		"Config":                   true,
+		"DefaultPlanCacheSize":     true,
+		"DefaultParallelThreshold": true,
+		"DefaultAsyncDepth":        true,
+		// The shared engine a Runtime owns and hands to backend.Open.
+		"Engine":       true,
+		"EngineConfig": true,
+		"NewEngine":    true,
+		// The counters Context.Stats republishes.
+		"Stats": true,
+	}
+
+	files, err := filepath.Glob("*.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fset := token.NewFileSet()
+	checked := 0
+	for _, file := range files {
+		if strings.HasSuffix(file, "_test.go") {
+			continue
+		}
+		src, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f, err := parser.ParseFile(fset, file, src, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checked++
+
+		// The seam only admits four internal packages: the byte-code and
+		// tensor data model the public API is built from, the rewrite
+		// options surfaced through Config, the backend seam itself, and
+		// internal/vm under the selector allowlist below.
+		for _, imp := range f.Imports {
+			path := strings.Trim(imp.Path.Value, `"`)
+			if !strings.HasPrefix(path, "bohrium/internal/") {
+				continue
+			}
+			switch path {
+			case "bohrium/internal/backend", "bohrium/internal/bytecode",
+				"bohrium/internal/tensor", "bohrium/internal/rewrite",
+				"bohrium/internal/vm":
+			default:
+				t.Errorf("%s: import %s crosses the backend seam", file, path)
+			}
+		}
+
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			pkg, ok := sel.X.(*ast.Ident)
+			if !ok || pkg.Name != "vm" || pkg.Obj != nil {
+				return true
+			}
+			if !allowedVM[sel.Sel.Name] {
+				t.Errorf("%s: vm.%s reaches past the Backend interface (allowed: config/engine/stats surface only)",
+					fset.Position(sel.Pos()), sel.Sel.Name)
+			}
+			return true
+		})
+	}
+	if checked < 4 {
+		t.Fatalf("only %d non-test files checked — the glob is broken", checked)
+	}
+}

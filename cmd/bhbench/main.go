@@ -9,20 +9,27 @@
 // Usage:
 //
 //	bhbench [-experiment all|E1|...|E10] [-n elements] [-repeats r]
-//	        [-sessions k] [-json path] [-require-plan-hits]
+//	        [-sessions k] [-backend name] [-chunk-bytes n] [-json path]
+//	        [-schema-check file] [-require-plan-hits]
 //	        [-require-pipelined] [-require-shared-hits]
 //
 // -sessions sets how many concurrent sessions the E10 rows drive against
 // one shared Runtime (and against K private runtimes as the baseline).
+// -backend re-measures every experiment on another execution backend
+// ("outofcore" with -chunk-bytes for the chunked engine); values are
+// backend-independent by the differential contract, so only the timing
+// columns move.
 //
 // -json writes the rows as a machine-readable BENCH_*.json document so
 // the perf trajectory can be tracked across commits. The schema
 // ("bohrium-bench/v1") is one object {"schema": ..., "rows": [...]};
-// each row carries experiment, workload, params, bc_before, bc_after,
-// baseline_ns, optimized_ns (best-of wall-clock, nanoseconds), speedup,
-// pool_hits, buffers_alloc, fused_reductions, plan_hits, plan_misses,
-// pipelined, sessions / cross_session_hits / baseline_allocs (E10 rows
-// only), and note.
+// each row carries experiment, workload, params, backend, bc_before,
+// bc_after, baseline_ns, optimized_ns (best-of wall-clock, nanoseconds),
+// speedup, pool_hits, buffers_alloc, fused_reductions, plan_hits,
+// plan_misses, pipelined, sessions / cross_session_hits / baseline_allocs
+// (E10 rows only), and note. -schema-check validates an existing
+// BENCH_*.json against that schema and exits without running experiments
+// — the CI guard that keeps committed snapshots loadable.
 //
 // -require-plan-hits exits non-zero when the E8 iterative workloads
 // record zero plan-cache hits — the CI smoke guard against silently
@@ -42,6 +49,7 @@ import (
 	"os"
 	"strings"
 
+	"bohrium/internal/backend"
 	"bohrium/internal/bench"
 )
 
@@ -59,7 +67,10 @@ func run(args []string, stdout io.Writer) error {
 	solveMax := fs.Int("solve-max", 256, "largest linear-system size for E4")
 	repeats := fs.Int("repeats", 3, "timing repetitions (best-of)")
 	sessions := fs.Int("sessions", 4, "concurrent sessions for the E10 shared-runtime rows")
+	backendName := fs.String("backend", "", fmt.Sprintf("execution backend %v (default %q)", backend.Names(), backend.DefaultName))
+	chunkBytes := fs.Int("chunk-bytes", 0, "per-array tile budget of chunked backends (0 = backend default)")
 	jsonPath := fs.String("json", "", "also write the rows as machine-readable JSON (bohrium-bench/v1) to this path")
+	schemaCheck := fs.String("schema-check", "", "validate an existing BENCH_*.json against bohrium-bench/v1 and exit")
 	requireHits := fs.Bool("require-plan-hits", false, "fail if the E8 iterative workloads record zero plan-cache hits")
 	requirePipelined := fs.Bool("require-pipelined", false, "fail if the E9 async workloads pipelined zero plans or mismatch their sync values")
 	requireShared := fs.Bool("require-shared-hits", false, "fail if the E10 shared-runtime sessions score zero cross-session plan hits, save no allocations, or mismatch values")
@@ -67,7 +78,20 @@ func run(args []string, stdout io.Writer) error {
 		return err
 	}
 
-	scale := bench.Scale{VectorN: *n, SolveMax: *solveMax, Repeats: *repeats, Sessions: *sessions}
+	if *schemaCheck != "" {
+		data, err := os.ReadFile(*schemaCheck)
+		if err != nil {
+			return err
+		}
+		if err := bench.CheckSchema(data); err != nil {
+			return fmt.Errorf("%s: %w", *schemaCheck, err)
+		}
+		fmt.Fprintf(stdout, "%s: valid bohrium-bench/v1 document\n", *schemaCheck)
+		return nil
+	}
+
+	scale := bench.Scale{VectorN: *n, SolveMax: *solveMax, Repeats: *repeats, Sessions: *sessions,
+		Backend: *backendName, ChunkBytes: *chunkBytes}
 	runners := map[string]func(bench.Scale) ([]bench.Row, error){
 		"E1":  bench.E1AddMerge,
 		"E2":  bench.E2PowerChain,

@@ -55,6 +55,55 @@ func TestBhbenchJSONAndPlanSmoke(t *testing.T) {
 	}
 }
 
+// TestBhbenchBackendFlag runs one experiment on the out-of-core backend
+// and checks the backend lands in the table column and the JSON rows,
+// then round-trips the document through -schema-check.
+func TestBhbenchBackendFlag(t *testing.T) {
+	path := t.TempDir() + "/bench.json"
+	var out strings.Builder
+	err := run([]string{"-experiment", "E1", "-n", "4096", "-repeats", "1",
+		"-backend", "outofcore", "-chunk-bytes", "8192", "-json", path}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "outofcore") {
+		t.Errorf("table missing backend column:\n%s", out.String())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Rows []struct {
+			Backend string `json:"backend"`
+		} `json:"rows"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Rows) == 0 || doc.Rows[0].Backend != "outofcore" {
+		t.Errorf("JSON rows missing backend: %+v", doc.Rows)
+	}
+
+	var check strings.Builder
+	if err := run([]string{"-schema-check", path}, &check); err != nil {
+		t.Fatalf("schema-check rejected fresh document: %v", err)
+	}
+	if !strings.Contains(check.String(), "valid bohrium-bench/v1") {
+		t.Errorf("schema-check output:\n%s", check.String())
+	}
+}
+
+func TestBhbenchSchemaCheckRejectsGarbage(t *testing.T) {
+	path := t.TempDir() + "/bad.json"
+	if err := os.WriteFile(path, []byte(`{"schema":"bohrium-bench/v1","rows":[{"experiment":"E1"}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-schema-check", path}, &strings.Builder{}); err == nil {
+		t.Error("schema-check accepted a row missing required fields")
+	}
+}
+
 func TestBhbenchRequirePlanHitsNeedsE8(t *testing.T) {
 	// Running only E1 with the guard must fail: there is nothing to check.
 	err := run([]string{"-experiment", "E1", "-n", "4096", "-repeats", "1",

@@ -4,28 +4,34 @@
 //
 // Usage:
 //
-//	bhrun [-O] [-workers n] [-par-threshold n] [-no-fusion] [-repeat n]
-//	      [-async] [-sessions k] [-shared] [-trace] [file.bh]
+//	bhrun [-O] [-backend name] [-chunk-bytes n] [-workers n]
+//	      [-par-threshold n] [-no-fusion] [-repeat n] [-async]
+//	      [-sessions k] [-shared] [-trace] [file.bh]
 //
 // -O runs the algebraic optimizer before execution; -trace prints the
 // (possibly optimized) program and VM sweep statistics. -workers and
 // -par-threshold plumb the VM's Workers and ParallelThreshold knobs, so
-// any bench configuration is reproducible from the CLI. Execution goes
-// through the VM's fingerprint-keyed plan cache: -repeat re-executes
-// the program n times, so the first run compiles a plan and the rest
-// replay it (the "# plans:" trace line shows n-1 hits). -async submits
-// every repeat to the VM's background executor and waits once at the
-// end — the submit/wait pipeline the bohrium front-end uses in async
-// mode (the "# pipeline:" trace line counts plans it executed).
+// any bench configuration is reproducible from the CLI. -backend selects
+// the execution backend ("inprocess" fused sweeps by default; "outofcore"
+// streams elementwise segments through -chunk-bytes-sized tiles) — every
+// backend is value- and error-identical, so the flag only changes the
+// execution strategy. Execution goes through the fingerprint-keyed plan
+// cache, scoped per backend: -repeat re-executes the program n times, so
+// the first run compiles a plan and the rest replay it (the "# plans:"
+// trace line shows n-1 hits). -async submits every repeat to the
+// background executor and waits once at the end — the submit/wait
+// pipeline the bohrium front-end uses in async mode (the "# pipeline:"
+// trace line counts plans it executed).
 //
 // -sessions runs the program in k concurrent sessions (each its own
-// machine and register file, each doing its -repeat runs); with -shared
+// backend and register state, each doing its -repeat runs); with -shared
 // the sessions hang off ONE engine — one worker pool, one plan cache, one
 // buffer recycle pool, the paper's shared-middleware configuration —
 // while without it each session gets a private engine. The printed
 // registers come from session 0; -trace reports the summed stats, where
 // the plan column shows cross-session reuse under -shared (k·n runs, one
-// compile).
+// compile) and the "# chunks:" line counts the tiles a chunked backend
+// streamed.
 package main
 
 import (
@@ -35,6 +41,7 @@ import (
 	"os"
 	"sync"
 
+	"bohrium/internal/backend"
 	"bohrium/internal/bytecode"
 	"bohrium/internal/rewrite"
 	"bohrium/internal/tensor"
@@ -51,6 +58,8 @@ func main() {
 func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	fs := flag.NewFlagSet("bhrun", flag.ContinueOnError)
 	optimize := fs.Bool("O", false, "run the algebraic optimizer before executing")
+	backendName := fs.String("backend", "", fmt.Sprintf("execution backend %v (default %q)", backend.Names(), backend.DefaultName))
+	chunkBytes := fs.Int("chunk-bytes", 0, "per-array tile budget of chunked backends (0 = backend default)")
 	workers := fs.Int("workers", 0, "VM worker pool size (0 = GOMAXPROCS)")
 	parThreshold := fs.Int("par-threshold", 0, "minimum sweep size before splitting across workers (0 = default)")
 	noFusion := fs.Bool("no-fusion", false, "disable sweep fusion")
@@ -101,7 +110,10 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		fmt.Fprintln(stdout, "# ---")
 	}
 
-	cfg := vm.Config{Workers: *workers, ParallelThreshold: *parThreshold, Fusion: !*noFusion}
+	bcfg := backend.Config{
+		VM:         vm.Config{Workers: *workers, ParallelThreshold: *parThreshold, Fusion: !*noFusion},
+		ChunkBytes: *chunkBytes,
+	}
 	if *repeat < 1 {
 		*repeat = 1
 	}
@@ -109,32 +121,39 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		*sessions = 1
 	}
 
-	// Build the session machines: private engines by default, one shared
+	// Build the session backends: private engines by default, one shared
 	// engine (pool + plan cache + recycle pool) under -shared.
-	machines := make([]*vm.Machine, *sessions)
-	var eng *vm.Engine
-	if *shared {
-		eng = vm.NewEngine(vm.EngineConfig{Workers: *workers})
-		defer eng.Close()
-		for i := range machines {
-			machines[i] = eng.NewMachine(cfg)
+	backends := make([]backend.Backend, *sessions)
+	open := func() (backend.Backend, error) {
+		eng := vm.NewEngine(vm.EngineConfig{Workers: *workers})
+		b, err := backend.Open(*backendName, eng, bcfg)
+		if err != nil {
+			eng.Close()
+			return nil, err
 		}
-	} else {
-		for i := range machines {
-			machines[i] = vm.New(cfg)
-		}
+		// The backend is the engine's only tenant; closing it may close
+		// the engine too.
+		return privateEngineBackend{Backend: b, eng: eng}, nil
 	}
-	for _, m := range machines {
-		defer m.Close()
+	if *shared {
+		eng := vm.NewEngine(vm.EngineConfig{Workers: *workers})
+		defer eng.Close()
+		open = func() (backend.Backend, error) { return backend.Open(*backendName, eng, bcfg) }
+	}
+	for i := range backends {
+		if backends[i], err = open(); err != nil {
+			return err
+		}
+		defer backends[i].Close()
 	}
 
 	// sessionRun does one session's -repeat executions through the plan
 	// cache (each session runs its own copy of the program; under -shared
 	// every session after the first hits the plan another compiled).
-	sessionRun := func(m *vm.Machine, p *bytecode.Program) (err error) {
-		var exec *vm.Executor
+	sessionRun := func(b backend.Backend, p *bytecode.Program) (err error) {
+		var exec *backend.Executor
 		if *async {
-			exec = m.NewExecutor(0)
+			exec = backend.NewExecutor(b, 0)
 			// Close on every path — an early compile/execute error must
 			// not leave the executor goroutine or queued plans behind.
 			defer func() {
@@ -146,19 +165,19 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		fp := p.Fingerprint()
 		consts := p.Constants()
 		for i := 0; i < *repeat; i++ {
-			plan, _, ok := m.LookupPlan(fp, consts, nil)
+			plan, _, ok := b.LookupPlan(fp, consts, nil)
 			if !ok {
 				var err error
-				if plan, err = m.Compile(p); err != nil {
+				if plan, err = b.Compile(p); err != nil {
 					return err
 				}
-				m.InsertPlan(fp, consts, false, plan, nil)
+				b.InsertPlan(fp, consts, false, plan, nil)
 			}
 			if exec != nil {
 				exec.Submit(plan)
 				continue
 			}
-			if err := plan.Execute(m); err != nil {
+			if err := b.Execute(plan); err != nil {
 				return err
 			}
 		}
@@ -166,18 +185,18 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	}
 
 	if *sessions == 1 {
-		if err := sessionRun(machines[0], prog); err != nil {
+		if err := sessionRun(backends[0], prog); err != nil {
 			return err
 		}
 	} else {
 		errs := make([]error, *sessions)
 		var wg sync.WaitGroup
-		for i, m := range machines {
+		for i, b := range backends {
 			wg.Add(1)
-			go func(i int, m *vm.Machine) {
+			go func(i int, b backend.Backend) {
 				defer wg.Done()
-				errs[i] = sessionRun(m, prog.Clone())
-			}(i, m)
+				errs[i] = sessionRun(b, prog.Clone())
+			}(i, b)
 		}
 		wg.Wait()
 		for i, err := range errs {
@@ -192,7 +211,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		if in.Op != bytecode.OpSync {
 			continue
 		}
-		t, ok := machines[0].Tensor(in.Out.Reg, in.Out.View)
+		t, ok := backends[0].Tensor(in.Out.Reg, in.Out.View)
 		if !ok {
 			fmt.Fprintf(stdout, "%s = <freed>\n", in.Out.Reg)
 			continue
@@ -201,8 +220,8 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	}
 	if *trace {
 		var st vm.Stats
-		for _, m := range machines {
-			st.Accumulate(m.Stats())
+		for _, b := range backends {
+			st.Accumulate(b.Stats())
 		}
 		if *sessions > 1 {
 			mode := "private engines"
@@ -211,6 +230,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 			}
 			fmt.Fprintf(stdout, "# sessions: %d (%s)\n", *sessions, mode)
 		}
+		fmt.Fprintf(stdout, "# backend: %s\n", backends[0].Name())
 		fmt.Fprintf(stdout, "# stats: %d instructions, %d sweeps, %d fused, %d fused-reductions, %d elements\n",
 			st.Instructions, st.Sweeps, st.FusedInstructions, st.FusedReductions, st.Elements)
 		fmt.Fprintf(stdout, "# fused by dtype: %s\n", st.FusedByDType)
@@ -219,6 +239,22 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		fmt.Fprintf(stdout, "# plans: %d hits, %d misses, %d evictions\n",
 			st.PlanHits, st.PlanMisses, st.PlanEvictions)
 		fmt.Fprintf(stdout, "# pipeline: %d plans executed asynchronously\n", st.Pipelined)
+		if backends[0].Capabilities().Chunked {
+			fmt.Fprintf(stdout, "# chunks: %d tiles streamed\n", st.Chunks)
+		}
 	}
 	return nil
+}
+
+// privateEngineBackend ties a backend to the engine created just for it:
+// closing the backend closes the engine, restoring the old one-machine
+// vm.New teardown shape for unshared sessions.
+type privateEngineBackend struct {
+	backend.Backend
+	eng *vm.Engine
+}
+
+func (p privateEngineBackend) Close() {
+	p.Backend.Close()
+	p.eng.Close()
 }

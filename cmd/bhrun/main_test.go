@@ -79,6 +79,63 @@ BH_SYNC a0
 	}
 }
 
+// TestBhrunBackendsAgree runs one listing under every registered backend,
+// sync and async, and requires byte-identical output — the CLI face of
+// the backend-differential contract. The 1000-element register with an
+// 800-byte chunk budget forces the out-of-core backend to stream ten
+// tiles, visible in the trace footer.
+func TestBhrunBackendsAgree(t *testing.T) {
+	src := `.reg a0 float64 1000
+.reg a1 float64 1000
+.reg a2 float64 1
+BH_RANGE a0
+BH_MULTIPLY a1 a0 0.001
+BH_ADD a1 a1 1.5
+BH_SQRT a1 a1
+BH_ADD_REDUCE a2 [0:1:1] a1 axis=0
+BH_SYNC a1
+BH_SYNC a2
+`
+	var ref string
+	for _, args := range [][]string{
+		nil,
+		{"-backend", "inprocess"},
+		{"-backend", "inprocess", "-async"},
+		{"-backend", "outofcore", "-chunk-bytes", "800"},
+		{"-backend", "outofcore", "-chunk-bytes", "800", "-async"},
+	} {
+		var out strings.Builder
+		if err := run(args, strings.NewReader(src), &out); err != nil {
+			t.Fatalf("%v: %v", args, err)
+		}
+		if ref == "" {
+			ref = out.String()
+		} else if out.String() != ref {
+			t.Errorf("%v output differs:\n%s\nwant:\n%s", args, out.String(), ref)
+		}
+	}
+
+	var out strings.Builder
+	if err := run([]string{"-backend", "outofcore", "-chunk-bytes", "800", "-trace"}, strings.NewReader(src), &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "# backend: outofcore") {
+		t.Errorf("missing backend trace line:\n%s", got)
+	}
+	if !strings.Contains(got, "# chunks: 10 tiles streamed") {
+		t.Errorf("expected 10 streamed tiles (1000 elems / 100-elem tiles):\n%s", got)
+	}
+}
+
+func TestBhrunUnknownBackend(t *testing.T) {
+	src := ".reg a0 float64 4\nBH_IDENTITY a0 1\nBH_SYNC a0\n"
+	err := run([]string{"-backend", "gpu"}, strings.NewReader(src), &strings.Builder{})
+	if err == nil || !strings.Contains(err.Error(), `unknown backend "gpu"`) {
+		t.Fatalf("err = %v, want unknown-backend error", err)
+	}
+}
+
 func TestBhrunAsyncMatchesSync(t *testing.T) {
 	src := `.reg a0 float64 8
 BH_IDENTITY a0 1

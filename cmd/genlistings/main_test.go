@@ -1,0 +1,37 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestListingsFresh regenerates every listing in memory and compares it
+// against the committed examples/<name>/listing.bh — the guard that keeps
+// the byte-code listings in lockstep with the examples and the recording
+// front end. On mismatch, rerun `go run ./cmd/genlistings`.
+func TestListingsFresh(t *testing.T) {
+	for _, l := range listings() {
+		t.Run(l.name, func(t *testing.T) {
+			path := filepath.Join("..", "..", "examples", l.name, "listing.bh")
+			committed, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("%v (run `go run ./cmd/genlistings`)", err)
+			}
+			if got := render(l); got != string(committed) {
+				t.Errorf("%s is stale — run `go run ./cmd/genlistings`", path)
+			}
+		})
+	}
+}
+
+// TestListingsDeterministic pins that recording is reproducible: two
+// fresh contexts dump byte-identical programs, so the freshness check
+// above cannot flake.
+func TestListingsDeterministic(t *testing.T) {
+	for _, l := range listings() {
+		if render(l) != render(l) {
+			t.Errorf("%s: recording is not deterministic", l.name)
+		}
+	}
+}

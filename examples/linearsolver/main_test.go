@@ -13,8 +13,9 @@ import (
 func TestSolveVariants(t *testing.T) {
 	const n = 32
 	for name, cfg := range map[string]*bohrium.Config{
-		"default": nil,
-		"async":   {Async: true},
+		"default":   nil,
+		"async":     {Async: true},
+		"outofcore": {Backend: "outofcore", ChunkBytes: 2048},
 	} {
 		t.Run(name, func(t *testing.T) {
 			ctx := bohrium.NewContext(cfg)

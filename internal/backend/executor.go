@@ -1,0 +1,99 @@
+package backend
+
+import (
+	"sync"
+
+	"bohrium/internal/vm"
+)
+
+// Executor runs backend plans on a background goroutine so a front end
+// can record batch N+1 while batch N executes — the seam-level twin of
+// vm.Executor, with identical semantics over any Backend. Exactly one
+// goroutine (the "recorder") may call Submit, Wait and Close; the
+// executor goroutine is the only one driving the backend's register state
+// while jobs are in flight. The recorder keeps ownership of plan lookup
+// and compilation — both are register-free on every backend.
+//
+// The first execution error poisons the pipeline: queued and future jobs
+// are skipped, and Wait (and every later Wait) returns that error. The
+// register file may hold partial results, exactly as after a failed
+// synchronous Execute.
+type Executor struct {
+	b    Backend
+	jobs chan Plan
+	wg   sync.WaitGroup
+	done chan struct{}
+
+	mu     sync.Mutex
+	err    error
+	closed bool
+}
+
+// NewExecutor starts a background executor for b with the given queue
+// depth (0 selects vm.DefaultAsyncDepth). Close it before closing the
+// backend: the backend must outlive every in-flight plan.
+func NewExecutor(b Backend, depth int) *Executor {
+	if depth <= 0 {
+		depth = vm.DefaultAsyncDepth
+	}
+	e := &Executor{b: b, jobs: make(chan Plan, depth), done: make(chan struct{})}
+	go e.loop()
+	return e
+}
+
+func (e *Executor) loop() {
+	defer close(e.done)
+	for pl := range e.jobs {
+		if e.Err() == nil {
+			e.b.CountPipelined()
+			if err := e.b.Execute(pl); err != nil {
+				e.mu.Lock()
+				if e.err == nil {
+					e.err = err
+				}
+				e.mu.Unlock()
+			}
+		}
+		e.wg.Done()
+	}
+}
+
+// Submit queues one plan for background execution. The plan must not be
+// mutated afterwards — cache hits and freshly compiled plans both satisfy
+// this. Submit blocks only when the queue is full (backpressure), never
+// on execution itself.
+func (e *Executor) Submit(pl Plan) {
+	e.wg.Add(1)
+	e.jobs <- pl
+}
+
+// Wait blocks until every submitted plan has executed (or been skipped
+// after a failure) and returns the pipeline's first execution error. The
+// error is sticky: once a plan fails, every subsequent Wait reports it.
+func (e *Executor) Wait() error {
+	e.wg.Wait()
+	return e.Err()
+}
+
+// Err returns the sticky pipeline error without waiting.
+func (e *Executor) Err() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.err
+}
+
+// Close drains the queue, stops the executor goroutine, and returns the
+// sticky pipeline error. Close is idempotent; Submit must not be called
+// afterwards.
+func (e *Executor) Close() error {
+	e.mu.Lock()
+	already := e.closed
+	e.closed = true
+	e.mu.Unlock()
+	if !already {
+		e.wg.Wait()
+		close(e.jobs)
+	}
+	<-e.done
+	return e.Err()
+}

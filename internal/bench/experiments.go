@@ -2,6 +2,7 @@ package bench
 
 import (
 	"bohrium"
+	"bohrium/internal/backend"
 	"bohrium/internal/bytecode"
 	"bohrium/internal/chains"
 	"bohrium/internal/rewrite"
@@ -20,11 +21,20 @@ type Scale struct {
 	SolveMax int // largest linear system (default 256)
 	Repeats  int // timing repetitions, best-of (default 3)
 	Sessions int // concurrent sessions in the E10 multi-session rows (default 4)
+	// Backend selects the execution backend every experiment runs on
+	// (default backend.DefaultName, the in-process reference). The
+	// differential contract makes values identical across backends, so a
+	// non-default backend only changes the timing columns — which is the
+	// point: the same tables, re-measured on another engine.
+	Backend string
+	// ChunkBytes is the tile budget of chunked backends (0: backend
+	// default). Ignored by backends without the Chunked capability.
+	ChunkBytes int
 }
 
 // DefaultScale returns the profile used by cmd/bhbench and EXPERIMENTS.md.
 func DefaultScale() Scale {
-	return Scale{VectorN: 1 << 20, SolveMax: 256, Repeats: 3, Sessions: 4}
+	return Scale{VectorN: 1 << 20, SolveMax: 256, Repeats: 3, Sessions: 4, Backend: backend.DefaultName}
 }
 
 func (s Scale) withDefaults() Scale {
@@ -40,7 +50,19 @@ func (s Scale) withDefaults() Scale {
 	if s.Sessions <= 0 {
 		s.Sessions = 4
 	}
+	if s.Backend == "" {
+		s.Backend = backend.DefaultName
+	}
 	return s
+}
+
+// stamp records the Scale's backend on every row, so tables and JSON
+// documents always say which engine produced the numbers.
+func stamp(rows []Row, s Scale) []Row {
+	for i := range rows {
+		rows[i].Backend = s.Backend
+	}
+	return rows
 }
 
 // foldOnlyPipeline reproduces exactly the paper's Listing 2→3 step:
@@ -59,7 +81,7 @@ func E1AddMerge(s Scale) ([]Row, error) {
 		for _, k := range []int{2, 3, 8, 16} {
 			prog := AddMergeProgram(k, s.VectorN, dt)
 			row, err := comparePrograms("E1", "add-merge("+dt.String()+")",
-				fmt.Sprintf("k=%d N=%d", k, s.VectorN), prog, foldOnlyPipeline(), s.Repeats, nil)
+				fmt.Sprintf("k=%d N=%d", k, s.VectorN), prog, foldOnlyPipeline(), s, nil)
 			if err != nil {
 				return nil, err
 			}
@@ -67,7 +89,7 @@ func E1AddMerge(s Scale) ([]Row, error) {
 			rows = append(rows, row)
 		}
 	}
-	return rows, nil
+	return stamp(rows, s), nil
 }
 
 // E2PowerChain reproduces Listings 4–5: x¹⁰ as BH_POWER (baseline) versus
@@ -91,7 +113,7 @@ func E2PowerChain(s Scale) ([]Row, error) {
 			PowerStrategy:    st.strat,
 			PowerNoCostModel: true,
 		})
-		row, err := comparePrograms("E2", "power-x10", fmt.Sprintf("N=%d", s.VectorN), prog, pl, s.Repeats, nil)
+		row, err := comparePrograms("E2", "power-x10", fmt.Sprintf("N=%d", s.VectorN), prog, pl, s, nil)
 		if err != nil {
 			return nil, err
 		}
@@ -102,7 +124,7 @@ func E2PowerChain(s Scale) ([]Row, error) {
 		row.Note = fmt.Sprintf("%s: %d multiplies", st.label, chain.MultiplyCount())
 		rows = append(rows, row)
 	}
-	return rows, nil
+	return stamp(rows, s), nil
 }
 
 // E3PowerSweep reproduces the conclusion claim "for values close to a
@@ -122,7 +144,7 @@ func E3PowerSweep(s Scale) ([]Row, error) {
 				PowerNoCostModel: true,
 			})
 			row, err := comparePrograms("E3", "power-sweep-"+strat.String(),
-				fmt.Sprintf("n=%d N=%d", n, s.VectorN), prog, pl, s.Repeats, nil)
+				fmt.Sprintf("n=%d N=%d", n, s.VectorN), prog, pl, s, nil)
 			if err != nil {
 				return nil, err
 			}
@@ -138,7 +160,7 @@ func E3PowerSweep(s Scale) ([]Row, error) {
 			rows = append(rows, row)
 		}
 	}
-	return rows, nil
+	return stamp(rows, s), nil
 }
 
 // E4Solve reproduces equation (2): x = A⁻¹·B (baseline) against the
@@ -149,14 +171,14 @@ func E4Solve(s Scale) ([]Row, error) {
 	for m := 16; m <= s.SolveMax; m *= 2 {
 		prog := SolveProgram(m)
 		row, err := comparePrograms("E4", "inverse-vs-solve",
-			fmt.Sprintf("m=%d", m), prog, rewrite.Default(), s.Repeats, bindSolveInputs(m))
+			fmt.Sprintf("m=%d", m), prog, rewrite.Default(), s, bindSolveInputs(m))
 		if err != nil {
 			return nil, err
 		}
 		row.Note = "INVERSE+MATMUL -> SOLVE"
 		rows = append(rows, row)
 	}
-	return rows, nil
+	return stamp(rows, s), nil
 }
 
 // E5Workloads runs the end-to-end scientific kernels through the public
@@ -199,7 +221,7 @@ func E5Workloads(s Scale) ([]Row, error) {
 	for _, w := range workloads {
 		var lastVal float64
 		base, err := bestOf(s.Repeats, func() error {
-			ctx := bohrium.NewContext(&bohrium.Config{Optimizer: off, DisableFusion: true})
+			ctx := bohrium.NewContext(&bohrium.Config{Optimizer: off, DisableFusion: true, Backend: s.Backend, ChunkBytes: s.ChunkBytes})
 			defer ctx.Close()
 			v, err := w.run(ctx)
 			lastVal = v
@@ -211,7 +233,7 @@ func E5Workloads(s Scale) ([]Row, error) {
 		baseVal := lastVal
 		var optStats vm.Stats
 		opt, err := bestOf(s.Repeats, func() error {
-			ctx := bohrium.NewContext(nil)
+			ctx := bohrium.NewContext(&bohrium.Config{Backend: s.Backend, ChunkBytes: s.ChunkBytes})
 			defer ctx.Close()
 			v, err := w.run(ctx)
 			lastVal = v
@@ -235,7 +257,7 @@ func E5Workloads(s Scale) ([]Row, error) {
 			Note: note,
 		})
 	}
-	return rows, nil
+	return stamp(rows, s), nil
 }
 
 // E6Ablations quantifies the design decisions D1–D4 from DESIGN.md.
@@ -258,14 +280,14 @@ func E6Ablations(s Scale) ([]Row, error) {
 		return nil, err
 	}
 	adjTime, err := bestOf(s.Repeats, func() error {
-		_, err := runProgram(adjOut.Clone(), nil)
+		_, err := runProgram(adjOut.Clone(), s, nil)
 		return err
 	})
 	if err != nil {
 		return nil, err
 	}
 	tolTime, err := bestOf(s.Repeats, func() error {
-		_, err := runProgram(tolOut.Clone(), nil)
+		_, err := runProgram(tolOut.Clone(), s, nil)
 		return err
 	})
 	if err != nil {
@@ -284,7 +306,7 @@ func E6Ablations(s Scale) ([]Row, error) {
 	guarded := rewrite.Build(rewrite.Options{PowerExpand: true, PowerStrategy: chains.StrategyNaive})
 	unguarded := rewrite.Build(rewrite.Options{PowerExpand: true, PowerStrategy: chains.StrategyNaive, PowerNoCostModel: true})
 	row, err := comparePrograms("E6/D2", "cost-model", fmt.Sprintf("x^60 N=%d", s.VectorN),
-		PowerProgram(60, s.VectorN), unguarded, s.Repeats, nil)
+		PowerProgram(60, s.VectorN), unguarded, s, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -326,17 +348,15 @@ func E6Ablations(s Scale) ([]Row, error) {
 	// without and with sweep fusion.
 	prog := AddMergeProgram(8, s.VectorN, tensor.Float64)
 	noFuse, err := bestOf(s.Repeats, func() error {
-		m := vm.New(vm.Config{Fusion: false, SkipValidation: true})
-		defer m.Close()
-		return m.Run(prog.Clone())
+		_, err := runConfigured(prog.Clone(), s, vm.Config{Fusion: false, SkipValidation: true})
+		return err
 	})
 	if err != nil {
 		return nil, err
 	}
 	fuse, err := bestOf(s.Repeats, func() error {
-		m := vm.New(vm.Config{Fusion: true, SkipValidation: true})
-		defer m.Close()
-		return m.Run(prog.Clone())
+		_, err := runConfigured(prog.Clone(), s, vm.Config{Fusion: true, SkipValidation: true})
+		return err
 	})
 	if err != nil {
 		return nil, err
@@ -347,7 +367,7 @@ func E6Ablations(s Scale) ([]Row, error) {
 		Baseline: noFuse, Optimized: fuse, Speedup: float64(noFuse) / float64(fuse),
 		Note: "same byte-code, fused sweeps",
 	})
-	return rows, nil
+	return stamp(rows, s), nil
 }
 
 // E7DTypeFusion measures the dtype-generalized fused engine: the same
@@ -375,19 +395,16 @@ func E7DTypeFusion(s Scale) ([]Row, error) {
 			return nil, fmt.Errorf("bench: invalid workload %s: %w", w.name, err)
 		}
 		base, err := bestOf(s.Repeats, func() error {
-			m := vm.New(vm.Config{Fusion: false, SkipValidation: true})
-			defer m.Close()
-			return m.Run(w.prog.Clone())
+			_, err := runConfigured(w.prog.Clone(), s, vm.Config{Fusion: false, SkipValidation: true})
+			return err
 		})
 		if err != nil {
 			return nil, fmt.Errorf("%s baseline: %w", w.name, err)
 		}
 		var st vm.Stats
 		opt, err := bestOf(s.Repeats, func() error {
-			m := vm.New(vm.Config{Fusion: true, SkipValidation: true})
-			defer m.Close()
-			err := m.Run(w.prog.Clone())
-			st = m.Stats()
+			var err error
+			st, err = runConfigured(w.prog.Clone(), s, vm.Config{Fusion: true, SkipValidation: true})
 			return err
 		})
 		if err != nil {
@@ -402,7 +419,7 @@ func E7DTypeFusion(s Scale) ([]Row, error) {
 			Note:            "fused " + st.FusedByDType.String(),
 		})
 	}
-	return rows, nil
+	return stamp(rows, s), nil
 }
 
 // E8PlanCache measures the batch-fingerprinted plan cache on workloads
@@ -443,7 +460,7 @@ func E8PlanCache(s Scale) ([]Row, error) {
 	for _, w := range workloads {
 		var baseVal float64
 		base, err := bestOf(s.Repeats, func() error {
-			ctx := bohrium.NewContext(&bohrium.Config{PlanCacheSize: -1})
+			ctx := bohrium.NewContext(&bohrium.Config{PlanCacheSize: -1, Backend: s.Backend, ChunkBytes: s.ChunkBytes})
 			defer ctx.Close()
 			v, err := w.run(ctx)
 			baseVal = v
@@ -455,7 +472,7 @@ func E8PlanCache(s Scale) ([]Row, error) {
 		var optVal float64
 		var optStats vm.Stats
 		opt, err := bestOf(s.Repeats, func() error {
-			ctx := bohrium.NewContext(nil)
+			ctx := bohrium.NewContext(&bohrium.Config{Backend: s.Backend, ChunkBytes: s.ChunkBytes})
 			defer ctx.Close()
 			v, err := w.run(ctx)
 			optVal = v
@@ -479,7 +496,7 @@ func E8PlanCache(s Scale) ([]Row, error) {
 			Note: note,
 		})
 	}
-	return rows, nil
+	return stamp(rows, s), nil
 }
 
 // E9Pipeline measures the async submit/wait pipeline on the E8 stream
@@ -529,7 +546,7 @@ func E9Pipeline(s Scale) ([]Row, error) {
 	for _, w := range workloads {
 		var syncVal float64
 		base, err := bestOf(s.Repeats, func() error {
-			ctx := bohrium.NewContext(nil)
+			ctx := bohrium.NewContext(&bohrium.Config{Backend: s.Backend, ChunkBytes: s.ChunkBytes})
 			defer ctx.Close()
 			v, err := w.run(ctx, ctx.Flush)
 			syncVal = v
@@ -541,7 +558,7 @@ func E9Pipeline(s Scale) ([]Row, error) {
 		var asyncVal float64
 		var asyncStats vm.Stats
 		opt, err := bestOf(s.Repeats, func() error {
-			ctx := bohrium.NewContext(&bohrium.Config{Async: true})
+			ctx := bohrium.NewContext(&bohrium.Config{Async: true, Backend: s.Backend, ChunkBytes: s.ChunkBytes})
 			defer ctx.Close()
 			v, err := w.run(ctx, ctx.Submit)
 			asyncVal = v
@@ -566,7 +583,7 @@ func E9Pipeline(s Scale) ([]Row, error) {
 			Note:      note,
 		})
 	}
-	return rows, nil
+	return stamp(rows, s), nil
 }
 
 // E10MultiSession measures the shared-Runtime tentpole: K concurrent
@@ -645,7 +662,9 @@ func E10MultiSession(s Scale) ([]Row, error) {
 		var privStats vm.Stats
 		var privVals []float64
 		base, err := bestOf(s.Repeats, func() error {
-			st, vals, err := runK(func() *bohrium.Context { return bohrium.NewContext(nil) })
+			st, vals, err := runK(func() *bohrium.Context {
+				return bohrium.NewContext(&bohrium.Config{Backend: s.Backend, ChunkBytes: s.ChunkBytes})
+			})
 			privStats, privVals = st, vals
 			return err
 		})
@@ -656,7 +675,7 @@ func E10MultiSession(s Scale) ([]Row, error) {
 		// One shared runtime, warmed once so the measured sessions run in
 		// plan-cache steady state.
 		rt := bohrium.NewRuntime(nil)
-		warm := rt.NewContext(nil)
+		warm := rt.NewContext(&bohrium.Config{Backend: s.Backend, ChunkBytes: s.ChunkBytes})
 		if _, err := w.run(warm); err != nil {
 			rt.Close()
 			return nil, fmt.Errorf("%s warmup: %w", w.name, err)
@@ -665,7 +684,9 @@ func E10MultiSession(s Scale) ([]Row, error) {
 		var shStats vm.Stats
 		var shVals []float64
 		opt, err := bestOf(s.Repeats, func() error {
-			st, vals, err := runK(func() *bohrium.Context { return rt.NewContext(nil) })
+			st, vals, err := runK(func() *bohrium.Context {
+				return rt.NewContext(&bohrium.Config{Backend: s.Backend, ChunkBytes: s.ChunkBytes})
+			})
 			shStats, shVals = st, vals
 			return err
 		})
@@ -707,7 +728,7 @@ func E10MultiSession(s Scale) ([]Row, error) {
 			Note:             note,
 		})
 	}
-	return rows, nil
+	return stamp(rows, s), nil
 }
 
 // All runs every experiment and returns the rows grouped in order.

@@ -6,6 +6,7 @@ import (
 	"strings"
 	"time"
 
+	"bohrium/internal/backend"
 	"bohrium/internal/bytecode"
 	"bohrium/internal/rewrite"
 	"bohrium/internal/tensor"
@@ -17,6 +18,10 @@ type Row struct {
 	Experiment string
 	Workload   string
 	Params     string
+	// Backend names the execution backend the row was measured on
+	// ("inprocess", "outofcore", ...). Values are backend-independent by
+	// the differential contract; the timings are not.
+	Backend string
 	// BytecodesBefore/After count instructions entering/leaving the
 	// optimizer (the paper's unit of work).
 	BytecodesBefore, BytecodesAfter int
@@ -58,8 +63,8 @@ type Row struct {
 // EXPERIMENTS.md embed.
 func Table(rows []Row) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%-4s %-22s %-26s %9s %9s %12s %12s %8s %9s %6s %9s %5s %6s  %s\n",
-		"exp", "workload", "params", "bc-before", "bc-after", "baseline", "optimized", "speedup", "pool", "fredux", "plan", "pipe", "xsess", "note")
+	fmt.Fprintf(&b, "%-4s %-22s %-26s %-10s %9s %9s %12s %12s %8s %9s %6s %9s %5s %6s  %s\n",
+		"exp", "workload", "params", "backend", "bc-before", "bc-after", "baseline", "optimized", "speedup", "pool", "fredux", "plan", "pipe", "xsess", "note")
 	for _, r := range rows {
 		// pool prints hits/materializations for the optimized run: 3/5
 		// means five register buffers were needed and three were recycled.
@@ -73,8 +78,8 @@ func Table(rows []Row) string {
 		if r.Sessions > 0 {
 			xsess = fmt.Sprintf("%d", r.CrossSessionHits)
 		}
-		fmt.Fprintf(&b, "%-4s %-22s %-26s %9d %9d %12s %12s %7.2fx %9s %6d %9s %5d %6s  %s\n",
-			r.Experiment, r.Workload, r.Params, r.BytecodesBefore, r.BytecodesAfter,
+		fmt.Fprintf(&b, "%-4s %-22s %-26s %-10s %9d %9d %12s %12s %7.2fx %9s %6d %9s %5d %6s  %s\n",
+			r.Experiment, r.Workload, r.Params, r.Backend, r.BytecodesBefore, r.BytecodesAfter,
 			round(r.Baseline), round(r.Optimized), r.Speedup,
 			fmt.Sprintf("%d/%d", r.PoolHits, r.PoolHits+r.BuffersAlloc), r.FusedReductions,
 			fmt.Sprintf("%d/%d", r.PlanHits, r.PlanHits+r.PlanMisses), r.Pipelined, xsess, r.Note)
@@ -91,6 +96,7 @@ func JSON(rows []Row) ([]byte, error) {
 		Experiment      string  `json:"experiment"`
 		Workload        string  `json:"workload"`
 		Params          string  `json:"params"`
+		Backend         string  `json:"backend"`
 		BytecodesBefore int     `json:"bc_before"`
 		BytecodesAfter  int     `json:"bc_after"`
 		BaselineNs      int64   `json:"baseline_ns"`
@@ -120,6 +126,7 @@ func JSON(rows []Row) ([]byte, error) {
 			Experiment:       r.Experiment,
 			Workload:         r.Workload,
 			Params:           r.Params,
+			Backend:          r.Backend,
 			BytecodesBefore:  r.BytecodesBefore,
 			BytecodesAfter:   r.BytecodesAfter,
 			BaselineNs:       r.Baseline.Nanoseconds(),
@@ -165,22 +172,58 @@ func bestOf(repeats int, fn func() error) (time.Duration, error) {
 	return best, nil
 }
 
-// runProgram executes prog on a fresh machine, optionally binding the E4
-// linear-system inputs, and reports the machine's execution counters.
-func runProgram(prog *bytecode.Program, bind func(*vm.Machine)) (vm.Stats, error) {
-	m := vm.New(vm.Config{Fusion: true, SkipValidation: true})
-	defer m.Close()
-	if bind != nil {
-		bind(m)
+// openBench opens the Scale's backend on a private engine, returning the
+// backend and the paired teardown.
+func openBench(s Scale, cfg vm.Config) (backend.Backend, func(), error) {
+	eng := vm.NewEngine(vm.EngineConfig{Workers: cfg.Workers})
+	b, err := backend.Open(s.Backend, eng, backend.Config{VM: cfg, ChunkBytes: s.ChunkBytes})
+	if err != nil {
+		eng.Close()
+		return nil, nil, err
 	}
-	err := m.Run(prog)
-	return m.Stats(), err
+	return b, func() { b.Close(); eng.Close() }, nil
+}
+
+// runProgram executes prog on a fresh backend of the Scale's kind,
+// optionally binding the E4 linear-system inputs, and reports the
+// execution counters.
+func runProgram(prog *bytecode.Program, s Scale, bind func(backend.Backend)) (vm.Stats, error) {
+	b, done, err := openBench(s, vm.Config{Fusion: true, SkipValidation: true})
+	if err != nil {
+		return vm.Stats{}, err
+	}
+	defer done()
+	if bind != nil {
+		bind(b)
+	}
+	pl, err := b.Compile(prog)
+	if err != nil {
+		return b.Stats(), err
+	}
+	err = b.Execute(pl)
+	return b.Stats(), err
+}
+
+// runConfigured is runProgram with an explicit vm.Config — for the
+// ablation rows that flip Fusion themselves.
+func runConfigured(prog *bytecode.Program, s Scale, cfg vm.Config) (vm.Stats, error) {
+	b, done, err := openBench(s, cfg)
+	if err != nil {
+		return vm.Stats{}, err
+	}
+	defer done()
+	pl, err := b.Compile(prog)
+	if err != nil {
+		return b.Stats(), err
+	}
+	err = b.Execute(pl)
+	return b.Stats(), err
 }
 
 // comparePrograms times the raw program against its optimized form and
 // fills a Row. Both versions are validated once up front.
 func comparePrograms(exp, workload, params string, prog *bytecode.Program,
-	pl *rewrite.Pipeline, repeats int, bind func(*vm.Machine)) (Row, error) {
+	pl *rewrite.Pipeline, s Scale, bind func(backend.Backend)) (Row, error) {
 
 	if err := prog.Validate(); err != nil {
 		return Row{}, fmt.Errorf("bench: invalid workload: %w", err)
@@ -189,16 +232,16 @@ func comparePrograms(exp, workload, params string, prog *bytecode.Program,
 	if err != nil {
 		return Row{}, fmt.Errorf("bench: optimize: %w", err)
 	}
-	base, err := bestOf(repeats, func() error {
-		_, err := runProgram(prog.Clone(), bind)
+	base, err := bestOf(s.Repeats, func() error {
+		_, err := runProgram(prog.Clone(), s, bind)
 		return err
 	})
 	if err != nil {
 		return Row{}, err
 	}
 	var optStats vm.Stats
-	opt, err := bestOf(repeats, func() error {
-		st, err := runProgram(optimized.Clone(), bind)
+	opt, err := bestOf(s.Repeats, func() error {
+		st, err := runProgram(optimized.Clone(), s, bind)
 		optStats = st
 		return err
 	})
@@ -209,6 +252,7 @@ func comparePrograms(exp, workload, params string, prog *bytecode.Program,
 		Experiment:      exp,
 		Workload:        workload,
 		Params:          params,
+		Backend:         s.Backend,
 		BytecodesBefore: report.Before.Instructions,
 		BytecodesAfter:  report.After.Instructions,
 		Baseline:        base,
@@ -222,16 +266,55 @@ func comparePrograms(exp, workload, params string, prog *bytecode.Program,
 
 // bindSolveInputs binds deterministic diagonally dominant data to the E4
 // solve program's input registers (a0 = A, a2 = B).
-func bindSolveInputs(m int) func(*vm.Machine) {
-	return func(machine *vm.Machine) {
+func bindSolveInputs(m int) func(backend.Backend) {
+	return func(b backend.Backend) {
 		a := tensor.MustNew(tensor.Float64, tensor.MustShape(m, m))
 		a.FillRandom(42, -1, 1)
 		for i := 0; i < m; i++ {
 			a.SetAt(float64(m)+2, i, i) // dominant diagonal
 		}
-		b := tensor.MustNew(tensor.Float64, tensor.MustShape(m))
-		b.FillRandom(43, -1, 1)
-		machine.Bind(0, a)
-		machine.Bind(2, b)
+		rhs := tensor.MustNew(tensor.Float64, tensor.MustShape(m))
+		rhs.FillRandom(43, -1, 1)
+		b.Bind(0, a)
+		b.Bind(2, rhs)
 	}
+}
+
+// CheckSchema validates a BENCH_*.json document against the
+// "bohrium-bench/v1" shape: the schema marker, a non-empty row list, and
+// per-row required fields. It is the CI guard that keeps committed
+// snapshots and freshly generated ones structurally interchangeable.
+func CheckSchema(data []byte) error {
+	var doc struct {
+		Schema string                       `json:"schema"`
+		Rows   []map[string]json.RawMessage `json:"rows"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return fmt.Errorf("bench: not a JSON document: %w", err)
+	}
+	if doc.Schema != "bohrium-bench/v1" {
+		return fmt.Errorf("bench: schema %q, want \"bohrium-bench/v1\"", doc.Schema)
+	}
+	if len(doc.Rows) == 0 {
+		return fmt.Errorf("bench: document has no rows")
+	}
+	required := []string{
+		"experiment", "workload", "params", "backend",
+		"bc_before", "bc_after", "baseline_ns", "optimized_ns", "speedup",
+		"pool_hits", "buffers_alloc", "fused_reductions",
+		"plan_hits", "plan_misses", "pipelined",
+		"cross_session_hits", "baseline_allocs", "note",
+	}
+	for i, row := range doc.Rows {
+		for _, key := range required {
+			if _, ok := row[key]; !ok {
+				return fmt.Errorf("bench: row %d is missing %q", i, key)
+			}
+		}
+		var name string
+		if err := json.Unmarshal(row["backend"], &name); err != nil || name == "" {
+			return fmt.Errorf("bench: row %d has no backend name", i)
+		}
+	}
+	return nil
 }

@@ -61,10 +61,11 @@ func TestExecutorQueuedPlansKeepOwnConstants(t *testing.T) {
 	var plans []*Plan
 	for _, c := range []float64{1, 10} {
 		b := planTestProg(c)
-		plan, _, ok := m.LookupPlan(b.Fingerprint(), b.Constants(), nil)
+		cached, _, ok := m.LookupPlan(b.Fingerprint(), b.Constants(), nil)
 		if !ok {
 			t.Fatalf("c=%v: lookup missed", c)
 		}
+		plan := cached.(*Plan)
 		if cs := plan.Program().Constants(); !constantsEqual(cs, b.Constants()) {
 			t.Fatalf("c=%v: returned plan carries %v", c, cs)
 		}

@@ -154,6 +154,10 @@ type Stats struct {
 	// Pipelined counts plans executed on a background Executor goroutine
 	// (async submit/wait pipelining) rather than on the caller.
 	Pipelined int
+	// Chunks counts the tiles an out-of-core backend streamed through the
+	// buffer recycle pool: each chunk of a segmented sweep counts once.
+	// Always zero for purely in-process execution.
+	Chunks int
 }
 
 // Accumulate adds every counter of o into s — how Engine.Stats (and any
@@ -174,6 +178,7 @@ func (s *Stats) Accumulate(o Stats) {
 	s.PlanMisses += o.PlanMisses
 	s.PlanEvictions += o.PlanEvictions
 	s.Pipelined += o.Pipelined
+	s.Chunks += o.Chunks
 }
 
 // atomicStats is the Machine's internal counter set. The counters are
@@ -195,6 +200,7 @@ type atomicStats struct {
 	planMisses        atomic.Int64
 	planEvictions     atomic.Int64
 	pipelined         atomic.Int64
+	chunks            atomic.Int64
 }
 
 func (s *atomicStats) addDType(dt tensor.DType, n int) {
@@ -217,6 +223,7 @@ func (s *atomicStats) snapshot() Stats {
 		PlanMisses:        int(s.planMisses.Load()),
 		PlanEvictions:     int(s.planEvictions.Load()),
 		Pipelined:         int(s.pipelined.Load()),
+		Chunks:            int(s.chunks.Load()),
 	}
 	for dt := range s.fusedByDType {
 		out.FusedByDType[dt] = int(s.fusedByDType[dt].Load())
@@ -240,6 +247,7 @@ func (s *atomicStats) reset() {
 	s.planMisses.Store(0)
 	s.planEvictions.Store(0)
 	s.pipelined.Store(0)
+	s.chunks.Store(0)
 }
 
 // New returns a Machine on a private Engine built from the same
