@@ -142,6 +142,9 @@ type Context struct {
 	// backend plans and the backend's register state.
 	exec   *backend.Executor
 	closed bool
+	// unregister releases this session's entry in the runtime's session
+	// registry (Runtime.Sessions enumeration) on Close.
+	unregister func()
 }
 
 // NewContext creates a session on a lazily created runtime of its own:
@@ -191,6 +194,7 @@ func newContext(rt *Runtime, ownsRT bool, c Config) *Context {
 		inFree:   map[bytecode.RegID]bool{},
 		regGen:   map[bytecode.RegID]uint64{},
 	}
+	ctx.unregister = rt.Register("context/" + be.Name())
 	if c.Async {
 		ctx.exec = backend.NewExecutor(be, c.AsyncDepth)
 	}
@@ -214,6 +218,7 @@ func (c *Context) Close() {
 		c.exec.Close()
 	}
 	c.backend.Close()
+	c.unregister()
 	if c.ownsRT {
 		c.rt.Close()
 	}

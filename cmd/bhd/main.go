@@ -1,0 +1,157 @@
+// Command bhd serves the shared runtime as a multi-tenant HTTP
+// service — the paper's array engine as long-running middleware.
+// Clients authenticate with bearer tokens, create sessions (each one a
+// backend on the daemon's single shared engine), submit textual
+// byte-code batches, and read synced registers back; docs/api.md
+// specifies the wire protocol.
+//
+// Usage:
+//
+//	bhd [-addr host:port] [-token tenant=secret]... [-backend name]
+//	    [-workers n] [-max-sessions n] [-max-submitted-bytes n]
+//	    [-max-queued-batches n] [-body-limit n] [-idle-timeout d]
+//	    [-token-ttl d] [-quiet]
+//
+// -token is repeatable: each occurrence maps one bearer secret to the
+// tenant it authenticates. At least one is required — bhd refuses to
+// serve an engine nobody can be authorized against. The -max-* flags
+// set the per-tenant quotas (0 = unlimited); -idle-timeout bounds how
+// long an untouched session survives before the janitor reaps it.
+//
+// bhd exits cleanly on SIGINT/SIGTERM: in-flight requests drain,
+// every session closes, and the engine shuts down.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"bohrium"
+	"bohrium/internal/backend"
+	"bohrium/internal/server"
+	"bohrium/internal/server/middleware"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr, nil); err != nil {
+		fmt.Fprintln(os.Stderr, "bhd:", err)
+		os.Exit(1)
+	}
+}
+
+// tokenFlag accumulates repeated -token tenant=secret mappings into the
+// secret→tenant table the auth middleware resolves against.
+type tokenFlag struct{ tokens middleware.StaticTokens }
+
+func (f *tokenFlag) String() string { return fmt.Sprintf("%d token(s)", len(f.tokens)) }
+
+func (f *tokenFlag) Set(v string) error {
+	tenant, secret, ok := strings.Cut(v, "=")
+	if !ok || tenant == "" || secret == "" {
+		return fmt.Errorf("-token wants tenant=secret, got %q", v)
+	}
+	if f.tokens == nil {
+		f.tokens = middleware.StaticTokens{}
+	}
+	if prev, dup := f.tokens[secret]; dup && prev != tenant {
+		return fmt.Errorf("-token secret already maps to tenant %q", prev)
+	}
+	f.tokens[secret] = tenant
+	return nil
+}
+
+// run parses flags and serves until ctx (or a termination signal when
+// ctx is nil) ends the daemon. The bound address is printed to stdout
+// once listening, so callers starting bhd on ":0" can find it.
+func run(args []string, stdout, stderr io.Writer, ctx context.Context) error {
+	fs := flag.NewFlagSet("bhd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", "localhost:8700", "listen address")
+	var tokens tokenFlag
+	fs.Var(&tokens, "token", "tenant=secret bearer credential (repeatable, at least one required)")
+	backendName := fs.String("backend", "", fmt.Sprintf("default session backend %v (default %q)", backend.Names(), backend.DefaultName))
+	workers := fs.Int("workers", 0, "shared engine worker pool size (0 = GOMAXPROCS)")
+	maxSessions := fs.Int("max-sessions", 0, "per-tenant live session cap (0 = unlimited)")
+	maxBytes := fs.Int64("max-submitted-bytes", 0, "per-tenant cumulative batch byte cap (0 = unlimited)")
+	maxQueued := fs.Int("max-queued-batches", 0, "per-tenant queued async batch cap (0 = unlimited)")
+	bodyLimit := fs.Int64("body-limit", 0, "request body size cap in bytes (0 = 1 MiB)")
+	idleTimeout := fs.Duration("idle-timeout", 5*time.Minute, "reap sessions idle this long")
+	tokenTTL := fs.Duration("token-ttl", time.Minute, "token→tenant cache entry lifetime")
+	quiet := fs.Bool("quiet", false, "suppress per-request log lines")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected argument %q", fs.Arg(0))
+	}
+	if len(tokens.tokens) == 0 {
+		return errors.New("no -token tenant=secret credentials given; refusing to serve unauthenticatable engine")
+	}
+
+	logger := log.New(stderr, "bhd: ", log.LstdFlags)
+	if *quiet {
+		logger = log.New(io.Discard, "", 0)
+	}
+
+	rt := bohrium.NewRuntime(&bohrium.RuntimeConfig{Workers: *workers})
+	defer rt.Close()
+
+	srv, err := server.New(server.Config{
+		Runtime:        rt,
+		DefaultBackend: *backendName,
+		Auth:           tokens.tokens,
+		TokenTTL:       *tokenTTL,
+		Quotas: server.Quotas{
+			MaxSessions:       *maxSessions,
+			MaxSubmittedBytes: *maxBytes,
+			MaxQueuedBatches:  *maxQueued,
+		},
+		MaxBodyBytes: *bodyLimit,
+		IdleTimeout:  *idleTimeout,
+		Logger:       logger,
+	})
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "bhd listening on http://%s\n", ln.Addr())
+
+	if ctx == nil {
+		var cancel context.CancelFunc
+		ctx, cancel = signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+		defer cancel()
+	}
+
+	hs := &http.Server{Handler: srv.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		return err
+	case <-ctx.Done():
+	}
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(shutdownCtx); err != nil {
+		return err
+	}
+	<-serveErr // http.ErrServerClosed
+	return nil
+}

@@ -1,0 +1,123 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestFlagValidation pins the daemon's refusal paths: it never serves
+// without credentials, rejects malformed -token values and ambiguous
+// secrets, and rejects stray arguments.
+func TestFlagValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"no tokens", []string{"-addr", "localhost:0"}, "no -token"},
+		{"malformed token", []string{"-token", "justasecret"}, "tenant=secret"},
+		{"empty tenant", []string{"-token", "=s"}, "tenant=secret"},
+		{"ambiguous secret", []string{"-token", "a=s", "-token", "b=s"}, "already maps"},
+		{"stray argument", []string{"-token", "a=s", "listing.bh"}, "unexpected argument"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var out, errOut bytes.Buffer
+			err := run(tc.args, &out, &errOut, context.Background())
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("run(%v) = %v, want error containing %q", tc.args, err, tc.want)
+			}
+		})
+	}
+}
+
+// TestServeSmoke boots the real daemon on an ephemeral port, drives one
+// session through it over TCP — health check, create, batch, array —
+// and shuts it down cleanly via context cancellation (the code path
+// SIGINT/SIGTERM take).
+func TestServeSmoke(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	outR, outW := io.Pipe()
+	runErr := make(chan error, 1)
+	go func() {
+		defer outW.Close()
+		runErr <- run([]string{
+			"-addr", "localhost:0",
+			"-token", "acme=sesame",
+			"-max-sessions", "4",
+			"-quiet",
+		}, outW, io.Discard, ctx)
+	}()
+
+	// The daemon prints its bound address once listening.
+	var banner [256]byte
+	n, err := outR.Read(banner[:])
+	if err != nil {
+		t.Fatalf("reading banner: %v (run: %v)", err, <-runErr)
+	}
+	line := strings.TrimSpace(string(banner[:n]))
+	base := strings.TrimPrefix(line, "bhd listening on ")
+	if base == line {
+		t.Fatalf("unexpected banner %q", line)
+	}
+
+	do := func(method, path, token, body string, want int) []byte {
+		t.Helper()
+		req, err := http.NewRequest(method, base+path, strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if token != "" {
+			req.Header.Set("Authorization", "Bearer "+token)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		data, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode != want {
+			t.Fatalf("%s %s: status %d, want %d; body %s", method, path, resp.StatusCode, want, data)
+		}
+		return data
+	}
+
+	do("GET", "/healthz", "", "", http.StatusOK)
+	do("GET", "/v1/sessions", "", "", http.StatusUnauthorized)
+
+	var sess struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal(do("POST", "/v1/sessions", "sesame", "", http.StatusCreated), &sess); err != nil {
+		t.Fatal(err)
+	}
+	listing := ".reg a0 float64 4\nBH_IDENTITY a0 [0:4:1] 2\nBH_MULTIPLY a0 [0:4:1] a0 [0:4:1] 21\nBH_SYNC a0 [0:4:1]\n"
+	do("POST", "/v1/sessions/"+sess.ID+"/batches", "sesame", listing, http.StatusOK)
+	var arr struct {
+		Values []float64 `json:"values"`
+	}
+	if err := json.Unmarshal(do("GET", "/v1/sessions/"+sess.ID+"/arrays/a0", "sesame", "", http.StatusOK), &arr); err != nil {
+		t.Fatal(err)
+	}
+	if len(arr.Values) != 4 || arr.Values[0] != 42 {
+		t.Fatalf("array over TCP: %v, want four 42s", arr.Values)
+	}
+
+	cancel()
+	select {
+	case err := <-runErr:
+		if err != nil {
+			t.Fatalf("daemon exit: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not shut down after cancellation")
+	}
+}

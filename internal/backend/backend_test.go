@@ -294,3 +294,37 @@ func TestExecutorSticky(t *testing.T) {
 		t.Fatalf("Close() = %v, want sticky %v", cerr, err)
 	}
 }
+
+// TestExecutorPending: the pending counter counts submitted-not-finished
+// plans and settles to zero at every recorder synchronization point —
+// the invariant the bhd daemon's max-queued-batches quota meters.
+func TestExecutorPending(t *testing.T) {
+	b, _ := openTest(t, "inprocess", Config{})
+	prog := chainProg(64, 3)
+	in, _ := tensor.FromFloat64s(irregularVals(64), tensor.MustShape(64))
+	b.Bind(0, in)
+	pl, err := b.Compile(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewExecutor(b, 4)
+	if got := e.Pending(); got != 0 {
+		t.Fatalf("Pending() = %d before any submit, want 0", got)
+	}
+	for i := 0; i < 8; i++ {
+		e.Submit(pl)
+	}
+	if err := e.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.Pending(); got != 0 {
+		t.Fatalf("Pending() = %d after Wait, want 0", got)
+	}
+	e.Submit(pl)
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.Pending(); got != 0 {
+		t.Fatalf("Pending() = %d after Close, want 0", got)
+	}
+}

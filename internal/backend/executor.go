@@ -2,6 +2,7 @@ package backend
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"bohrium/internal/vm"
 )
@@ -23,6 +24,9 @@ type Executor struct {
 	jobs chan Plan
 	wg   sync.WaitGroup
 	done chan struct{}
+	// pending counts submitted-not-yet-finished plans (queued or in
+	// flight) for admission control and monitoring.
+	pending atomic.Int64
 
 	mu     sync.Mutex
 	err    error
@@ -54,6 +58,7 @@ func (e *Executor) loop() {
 				e.mu.Unlock()
 			}
 		}
+		e.pending.Add(-1)
 		e.wg.Done()
 	}
 }
@@ -64,8 +69,17 @@ func (e *Executor) loop() {
 // on execution itself.
 func (e *Executor) Submit(pl Plan) {
 	e.wg.Add(1)
+	e.pending.Add(1)
 	e.jobs <- pl
 }
+
+// Pending reports how many submitted plans have not yet finished
+// executing or being skipped (queued plus in flight). The value is a
+// racy snapshot from any goroutine except the recorder's own
+// synchronization points — right after Wait or Close it is exactly
+// zero. Hosts use it for admission control: the bhd daemon's
+// max-queued-batches quota counts a tenant's pending plans through it.
+func (e *Executor) Pending() int { return int(e.pending.Load()) }
 
 // Wait blocks until every submitted plan has executed (or been skipped
 // after a failure) and returns the pipeline's first execution error. The

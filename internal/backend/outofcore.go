@@ -56,6 +56,7 @@ func init() {
 			m:          eng.NewMachine(cfg.VM),
 			cm:         eng.NewMachine(cmCfg),
 			chunkBytes: chunkBytes,
+			scope:      fmt.Sprintf("outofcore/%d", chunkBytes),
 		}, nil
 	})
 }
@@ -69,6 +70,14 @@ type outOfCore struct {
 	m          *vm.Machine
 	cm         *vm.Machine
 	chunkBytes int
+	// scope salts the shared plan-cache key with the chunk budget as
+	// well as the backend name: oocPlans bake their tile size into every
+	// segment body, so a session streaming 4 KiB tiles must never
+	// execute a plan compiled for 1 MiB tiles (the values would match —
+	// chunking is bit-exact — but the session's memory budget would
+	// not). Sessions sharing one engine AND one budget still share
+	// plans.
+	scope string
 }
 
 // oocPlan is the out-of-core compiled form: the original program plus its
@@ -474,7 +483,7 @@ func (b *outOfCore) Tensor(r bytecode.RegID, v tensor.View) (tensor.Tensor, bool
 func (b *outOfCore) PlanCacheEnabled() bool { return b.m.PlanCacheEnabled() }
 
 func (b *outOfCore) LookupPlan(fp bytecode.Fingerprint, consts []bytecode.Constant, accept func(meta any) bool) (Plan, any, bool) {
-	cached, meta, ok := b.m.LookupPlan(scopeFingerprint(b.Name(), fp), consts, accept)
+	cached, meta, ok := b.m.LookupPlan(scopeFingerprint(b.scope, fp), consts, accept)
 	if !ok {
 		return nil, nil, false
 	}
@@ -498,7 +507,7 @@ func (b *outOfCore) InsertPlan(fp bytecode.Fingerprint, consts []bytecode.Consta
 		// optimized-to-empty entry stays parametric.
 		parametric = false
 	}
-	b.m.InsertPlan(scopeFingerprint(b.Name(), fp), consts, parametric, cached, meta)
+	b.m.InsertPlan(scopeFingerprint(b.scope, fp), consts, parametric, cached, meta)
 }
 
 // Stats combines the session machine's counters (barriers, plan cache,

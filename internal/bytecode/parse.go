@@ -28,6 +28,16 @@ var ErrParse = errors.New("bytecode: parse error")
 // '#' starts a comment. Constants: integers ("3"), floats ("3.5", "1.0",
 // "1e-3"), booleans ("true"/"false").
 func Parse(src string) (*Program, error) {
+	p, _, err := ParseNames(src)
+	return p, err
+}
+
+// ParseNames is Parse that additionally returns the listing's register
+// name → id mapping (declared and auto-declared registers alike). Hosts
+// that address registers by their source name after execution — the bhd
+// wire protocol's GET /arrays/{reg} — need the mapping because ids are
+// assigned in declaration order, which a listing's names need not follow.
+func ParseNames(src string) (*Program, map[string]RegID, error) {
 	ps := &parseState{
 		prog:     NewProgram(),
 		declared: map[string]RegID{},
@@ -43,11 +53,18 @@ func Parse(src string) (*Program, error) {
 			continue
 		}
 		if err := ps.parseLine(line); err != nil {
-			return nil, fmt.Errorf("%w: line %d: %v", ErrParse, lineNo+1, err)
+			return nil, nil, fmt.Errorf("%w: line %d: %v", ErrParse, lineNo+1, err)
 		}
 	}
 	ps.resolvePending()
-	return ps.prog, nil
+	names := make(map[string]RegID, len(ps.declared)+len(ps.pending))
+	for name, id := range ps.declared {
+		names[name] = id
+	}
+	for name, pend := range ps.pending {
+		names[name] = pend.id
+	}
+	return ps.prog, names, nil
 }
 
 // MustParse is Parse for known-good sources in tests and examples.
@@ -283,6 +300,10 @@ func parseView(spec string) (tensor.View, error) {
 		span := stops[i] - starts[i]
 		switch {
 		case steps[i] == 0: // broadcast dimension
+			if span < 0 {
+				return tensor.View{}, fmt.Errorf("view group [%d:%d:%d] has negative extent",
+					starts[i], stops[i], steps[i])
+			}
 			shape[i] = span
 			strides[i] = 0
 		case span%steps[i] != 0 || span/steps[i] < 0:

@@ -1,0 +1,122 @@
+package middleware
+
+import (
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"bohrium/internal/server/api"
+)
+
+// Authenticator resolves a bearer token to a tenant name. Resolution
+// may be expensive (an upstream identity service); wrap it in a
+// TokenCache so the hot path is a map lookup.
+type Authenticator interface {
+	// TenantOf returns the tenant owning token, or false for an unknown
+	// token.
+	TenantOf(token string) (string, bool)
+}
+
+// StaticTokens is the flat-file authenticator cmd/bhd builds from its
+// -token flags: token → tenant.
+type StaticTokens map[string]string
+
+// TenantOf implements Authenticator.
+func (s StaticTokens) TenantOf(token string) (string, bool) {
+	tenant, ok := s[token]
+	return tenant, ok
+}
+
+// TokenCache memoizes positive token resolutions with a TTL — the
+// token→session cache in front of the authenticator, so one upstream
+// validation serves every request the same client sends within the
+// window. Negative results are not cached: a token created upstream
+// mid-window must start working without waiting out the TTL.
+type TokenCache struct {
+	auth Authenticator
+	ttl  time.Duration
+	now  func() time.Time
+
+	mu      sync.Mutex
+	entries map[string]tokenEntry
+	hits    int64
+	misses  int64
+}
+
+type tokenEntry struct {
+	tenant  string
+	expires time.Time
+}
+
+// NewTokenCache wraps auth with a TTL cache. now is the clock (nil for
+// time.Now), injectable for tests.
+func NewTokenCache(auth Authenticator, ttl time.Duration, now func() time.Time) *TokenCache {
+	if now == nil {
+		now = time.Now
+	}
+	return &TokenCache{auth: auth, ttl: ttl, now: now, entries: map[string]tokenEntry{}}
+}
+
+// TenantOf implements Authenticator with the cached fast path.
+func (c *TokenCache) TenantOf(token string) (string, bool) {
+	t := c.now()
+	c.mu.Lock()
+	if e, ok := c.entries[token]; ok && t.Before(e.expires) {
+		c.hits++
+		c.mu.Unlock()
+		return e.tenant, true
+	}
+	c.misses++
+	c.mu.Unlock()
+
+	tenant, ok := c.auth.TenantOf(token)
+	if !ok {
+		return "", false
+	}
+	c.mu.Lock()
+	c.entries[token] = tokenEntry{tenant: tenant, expires: t.Add(c.ttl)}
+	c.mu.Unlock()
+	return tenant, true
+}
+
+// Lookups reports cache hits and misses, for tests and stats.
+func (c *TokenCache) Lookups() (hits, misses int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// Auth authenticates every request with a bearer token and stores the
+// resolved tenant in the request context (Tenant). Missing, malformed,
+// and unknown tokens all get the 401 envelope — the response does not
+// reveal which.
+func Auth(auth Authenticator) Middleware {
+	return func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			token, ok := bearerToken(r)
+			if !ok {
+				api.WriteError(w, api.Errorf(http.StatusUnauthorized, api.CodeUnauthorized,
+					"missing or malformed Authorization: Bearer token"))
+				return
+			}
+			tenant, ok := auth.TenantOf(token)
+			if !ok {
+				api.WriteError(w, api.Errorf(http.StatusUnauthorized, api.CodeUnauthorized,
+					"unknown token"))
+				return
+			}
+			next.ServeHTTP(w, r.WithContext(WithTenant(r.Context(), tenant)))
+		})
+	}
+}
+
+// bearerToken extracts the RFC 6750 bearer token from a request.
+func bearerToken(r *http.Request) (string, bool) {
+	h := r.Header.Get("Authorization")
+	const prefix = "Bearer "
+	if len(h) <= len(prefix) || !strings.EqualFold(h[:len(prefix)], prefix) {
+		return "", false
+	}
+	return strings.TrimSpace(h[len(prefix):]), true
+}

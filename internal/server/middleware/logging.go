@@ -1,0 +1,31 @@
+package middleware
+
+import (
+	"context"
+	"log"
+	"net/http"
+	"time"
+)
+
+// Logging writes one line per request — method, path, status, response
+// bytes, latency, and tenant (or "-" before auth) — to l. Install it
+// outermost so it times and reports the whole chain, including the
+// 500s the recovery middleware synthesizes.
+func Logging(l *log.Logger) Middleware {
+	return func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			sw := &statusWriter{ResponseWriter: w}
+			holder := &tenantHolder{tenant: "-"}
+			r = r.WithContext(context.WithValue(r.Context(), tenantHolderKey, holder))
+			start := time.Now()
+			next.ServeHTTP(sw, r)
+			tenant := holder.tenant
+			status := sw.status
+			if status == 0 {
+				status = http.StatusOK
+			}
+			l.Printf("%s %s %d %dB %s tenant=%s",
+				r.Method, r.URL.Path, status, sw.bytes, time.Since(start).Round(time.Microsecond), tenant)
+		})
+	}
+}

@@ -1,0 +1,85 @@
+// Package middleware is bhd's composable HTTP request-path plumbing: a
+// Chain combinator plus the four links the daemon installs around its
+// handlers — request logging, panic recovery, bearer-token auth with a
+// token→tenant cache, and per-tenant quota admission. Each link is an
+// ordinary func(http.Handler) http.Handler, so hosts can reorder,
+// drop, or extend the chain; the daemon's order (outermost first) is
+// Logging, Recover, Auth, Quota — logging must see the status recovery
+// writes, and quotas are per-tenant so auth must run first.
+package middleware
+
+import (
+	"context"
+	"net/http"
+)
+
+// Middleware wraps a handler with one request-path concern.
+type Middleware func(http.Handler) http.Handler
+
+// Chain applies mw to h with mw[0] outermost: Chain(h, a, b) serves
+// a(b(h)).
+func Chain(h http.Handler, mw ...Middleware) http.Handler {
+	for i := len(mw) - 1; i >= 0; i-- {
+		h = mw[i](h)
+	}
+	return h
+}
+
+// ctxKey keys middleware values in the request context.
+type ctxKey int
+
+const (
+	tenantKey ctxKey = iota
+	tenantHolderKey
+)
+
+// tenantHolder lets an outer middleware (Logging) observe the tenant an
+// inner one (Auth) resolves: context values only flow inward, so Auth
+// also fills this holder when one is present. Single-assignment per
+// request — no lock needed.
+type tenantHolder struct{ tenant string }
+
+// WithTenant returns ctx carrying the authenticated tenant name, and
+// publishes it to any outer middleware holding a tenant slot.
+func WithTenant(ctx context.Context, tenant string) context.Context {
+	if h, ok := ctx.Value(tenantHolderKey).(*tenantHolder); ok {
+		h.tenant = tenant
+	}
+	return context.WithValue(ctx, tenantKey, tenant)
+}
+
+// Tenant returns the authenticated tenant of the request context, if
+// the Auth middleware ran.
+func Tenant(ctx context.Context) (string, bool) {
+	t, ok := ctx.Value(tenantKey).(string)
+	return t, ok
+}
+
+// statusWriter captures the status code and body size a handler wrote,
+// for the logging middleware, and whether anything was written at all,
+// for the recovery middleware (a panic after the header is sent cannot
+// be converted into a clean 500 response).
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int
+}
+
+func (w *statusWriter) WriteHeader(status int) {
+	if w.status == 0 {
+		w.status = status
+	}
+	w.ResponseWriter.WriteHeader(status)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(p)
+	w.bytes += n
+	return n, err
+}
+
+// wrote reports whether the handler committed a response.
+func (w *statusWriter) wrote() bool { return w.status != 0 }

@@ -1,0 +1,275 @@
+package middleware
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"bohrium/internal/server/api"
+)
+
+// TestChainOrder pins Chain's composition: mw[0] is outermost, so its
+// before-hook runs first and its after-hook last.
+func TestChainOrder(t *testing.T) {
+	var trace []string
+	mark := func(name string) Middleware {
+		return func(next http.Handler) http.Handler {
+			return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+				trace = append(trace, name+">")
+				next.ServeHTTP(w, r)
+				trace = append(trace, "<"+name)
+			})
+		}
+	}
+	h := Chain(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		trace = append(trace, "handler")
+	}), mark("a"), mark("b"))
+	h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("GET", "/", nil))
+	if got, want := strings.Join(trace, " "), "a> b> handler <b <a"; got != want {
+		t.Fatalf("chain order %q, want %q", got, want)
+	}
+}
+
+// TestAuthErrorPaths is the table of every way auth can reject a
+// request, pinning status and envelope code.
+func TestAuthErrorPaths(t *testing.T) {
+	h := Chain(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		tenant, ok := Tenant(r.Context())
+		if !ok {
+			t.Error("handler reached without tenant in context")
+		}
+		fmt.Fprint(w, tenant)
+	}), Auth(StaticTokens{"good": "acme"}))
+
+	cases := []struct {
+		name   string
+		header string
+		status int
+		body   string // tenant on 200, envelope code otherwise
+	}{
+		{"no header", "", http.StatusUnauthorized, api.CodeUnauthorized},
+		{"wrong scheme", "Basic Zm9vOmJhcg==", http.StatusUnauthorized, api.CodeUnauthorized},
+		{"empty bearer", "Bearer", http.StatusUnauthorized, api.CodeUnauthorized},
+		{"unknown token", "Bearer nope", http.StatusUnauthorized, api.CodeUnauthorized},
+		{"known token", "Bearer good", http.StatusOK, "acme"},
+		{"case-insensitive scheme", "bearer good", http.StatusOK, "acme"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := httptest.NewRequest("GET", "/", nil)
+			if tc.header != "" {
+				r.Header.Set("Authorization", tc.header)
+			}
+			w := httptest.NewRecorder()
+			h.ServeHTTP(w, r)
+			if w.Code != tc.status {
+				t.Fatalf("status %d, want %d; body %s", w.Code, tc.status, w.Body)
+			}
+			if tc.status == http.StatusOK {
+				if w.Body.String() != tc.body {
+					t.Fatalf("tenant %q, want %q", w.Body, tc.body)
+				}
+				return
+			}
+			apiErr, err := api.DecodeError(w.Body.Bytes())
+			if err != nil || apiErr.Code != tc.body || apiErr.Status != tc.status {
+				t.Fatalf("envelope %+v (err %v), want code %q status %d", apiErr, err, tc.body, tc.status)
+			}
+		})
+	}
+}
+
+// TestTokenCache pins the token→tenant session cache: a repeated token
+// is resolved upstream once per TTL window, expiry triggers
+// revalidation, and unknown tokens are never cached (they start working
+// the moment the upstream learns them).
+func TestTokenCache(t *testing.T) {
+	upstream := 0
+	auth := authFunc(func(token string) (string, bool) {
+		upstream++
+		if token == "good" {
+			return "acme", true
+		}
+		return "", false
+	})
+	clock := time.Unix(0, 0)
+	cache := NewTokenCache(auth, time.Minute, func() time.Time { return clock })
+
+	for i := 0; i < 5; i++ {
+		if tenant, ok := cache.TenantOf("good"); !ok || tenant != "acme" {
+			t.Fatalf("lookup %d: %q %v", i, tenant, ok)
+		}
+	}
+	if upstream != 1 {
+		t.Fatalf("upstream resolved %d times within TTL, want 1", upstream)
+	}
+	if hits, misses := cache.Lookups(); hits != 4 || misses != 1 {
+		t.Fatalf("counters %d/%d, want 4 hits / 1 miss", hits, misses)
+	}
+
+	clock = clock.Add(2 * time.Minute) // expire the entry
+	cache.TenantOf("good")
+	if upstream != 2 {
+		t.Fatalf("expired entry not revalidated (upstream %d)", upstream)
+	}
+
+	// Negative results bypass the cache every time.
+	before := upstream
+	cache.TenantOf("bad")
+	cache.TenantOf("bad")
+	if upstream != before+2 {
+		t.Fatalf("negative lookups cached (upstream %d, want %d)", upstream, before+2)
+	}
+	if tenant, ok := cache.TenantOf("good"); !ok || tenant != "acme" {
+		t.Fatalf("good token broken after negative lookups: %q %v", tenant, ok)
+	}
+}
+
+// authFunc adapts a function to Authenticator.
+type authFunc func(string) (string, bool)
+
+func (f authFunc) TenantOf(token string) (string, bool) { return f(token) }
+
+// TestQuotaMiddleware pins admission behavior: the admitter's error is
+// written verbatim, admitted requests pass, and a chain misconfigured
+// to run Quota without Auth yields a 500, never a quota bypass.
+func TestQuotaMiddleware(t *testing.T) {
+	deny := func(tenant string, r *http.Request) *api.Error {
+		if tenant == "blocked" {
+			return api.Errorf(http.StatusTooManyRequests, api.CodeQuota, "tenant %q is over quota", tenant)
+		}
+		return nil
+	}
+	handler := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) { fmt.Fprint(w, "ok") })
+
+	run := func(h http.Handler, token string) *httptest.ResponseRecorder {
+		r := httptest.NewRequest("POST", "/v1/sessions", nil)
+		if token != "" {
+			r.Header.Set("Authorization", "Bearer "+token)
+		}
+		w := httptest.NewRecorder()
+		h.ServeHTTP(w, r)
+		return w
+	}
+
+	chain := Chain(handler,
+		Auth(StaticTokens{"t1": "blocked", "t2": "fine"}),
+		Quota(admitFunc(deny)))
+	if w := run(chain, "t1"); w.Code != http.StatusTooManyRequests {
+		t.Fatalf("blocked tenant: %d %s", w.Code, w.Body)
+	} else if apiErr, _ := api.DecodeError(w.Body.Bytes()); apiErr == nil || apiErr.Code != api.CodeQuota {
+		t.Fatalf("blocked tenant envelope: %s", w.Body)
+	}
+	if w := run(chain, "t2"); w.Code != http.StatusOK || w.Body.String() != "ok" {
+		t.Fatalf("admitted tenant: %d %s", w.Code, w.Body)
+	}
+
+	// Quota without Auth: fail closed.
+	broken := Chain(handler, Quota(admitFunc(deny)))
+	if w := run(broken, ""); w.Code != http.StatusInternalServerError {
+		t.Fatalf("quota without auth: %d %s, want 500", w.Code, w.Body)
+	}
+}
+
+// admitFunc adapts a function to Admitter.
+type admitFunc func(string, *http.Request) *api.Error
+
+func (f admitFunc) Admit(tenant string, r *http.Request) *api.Error { return f(tenant, r) }
+
+// TestRecover pins panic conversion: a panicking handler becomes a 500
+// envelope and a log line; a panic after the response is committed is
+// logged but the partial response stands; http.ErrAbortHandler is
+// re-raised for net/http to swallow.
+func TestRecover(t *testing.T) {
+	var buf bytes.Buffer
+	logger := log.New(&buf, "", 0)
+
+	t.Run("panic before write", func(t *testing.T) {
+		buf.Reset()
+		h := Chain(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			panic("engine exploded")
+		}), Recover(logger))
+		w := httptest.NewRecorder()
+		h.ServeHTTP(w, httptest.NewRequest("POST", "/v1/sessions/s-1/batches", nil))
+		if w.Code != http.StatusInternalServerError {
+			t.Fatalf("status %d, want 500", w.Code)
+		}
+		apiErr, err := api.DecodeError(w.Body.Bytes())
+		if err != nil || apiErr.Code != api.CodeInternal {
+			t.Fatalf("envelope %+v (%v)", apiErr, err)
+		}
+		if strings.Contains(apiErr.Message, "engine exploded") {
+			t.Fatal("panic detail leaked to the client")
+		}
+		if !strings.Contains(buf.String(), "engine exploded") {
+			t.Fatalf("panic not logged: %s", buf.String())
+		}
+	})
+
+	t.Run("panic after write", func(t *testing.T) {
+		buf.Reset()
+		h := Chain(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			w.WriteHeader(http.StatusAccepted)
+			panic("late")
+		}), Recover(logger))
+		w := httptest.NewRecorder()
+		h.ServeHTTP(w, httptest.NewRequest("GET", "/", nil))
+		if w.Code != http.StatusAccepted {
+			t.Fatalf("committed status clobbered: %d", w.Code)
+		}
+		if strings.Contains(w.Body.String(), "internal") {
+			t.Fatalf("envelope appended to committed response: %s", w.Body)
+		}
+		if !strings.Contains(buf.String(), "late") {
+			t.Fatalf("late panic not logged: %s", buf.String())
+		}
+	})
+
+	t.Run("abort handler passes through", func(t *testing.T) {
+		h := Chain(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			panic(http.ErrAbortHandler)
+		}), Recover(logger))
+		defer func() {
+			if recover() != http.ErrAbortHandler {
+				t.Fatal("ErrAbortHandler was swallowed")
+			}
+		}()
+		h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("GET", "/", nil))
+	})
+}
+
+// TestLogging pins the request line: method, path, status, bytes,
+// latency, and the tenant resolved by an inner Auth — observable
+// outside-in through the holder the logging middleware plants.
+func TestLogging(t *testing.T) {
+	var buf bytes.Buffer
+	h := Chain(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusTeapot)
+		fmt.Fprint(w, "short and stout")
+	}),
+		Logging(log.New(&buf, "", 0)),
+		Auth(StaticTokens{"tok": "acme"}))
+
+	r := httptest.NewRequest("GET", "/v1/sessions", nil)
+	r.Header.Set("Authorization", "Bearer tok")
+	h.ServeHTTP(httptest.NewRecorder(), r)
+	line := strings.TrimSpace(buf.String())
+	for _, want := range []string{"GET /v1/sessions", "418", "15B", "tenant=acme"} {
+		if !strings.Contains(line, want) {
+			t.Errorf("log line %q missing %q", line, want)
+		}
+	}
+
+	// Unauthenticated requests log the placeholder tenant.
+	buf.Reset()
+	h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("GET", "/v1/sessions", nil))
+	if line := strings.TrimSpace(buf.String()); !strings.Contains(line, "tenant=-") ||
+		!strings.Contains(line, "401") {
+		t.Errorf("unauthenticated log line %q", line)
+	}
+}

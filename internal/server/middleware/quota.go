@@ -1,0 +1,39 @@
+package middleware
+
+import (
+	"net/http"
+
+	"bohrium/internal/server/api"
+)
+
+// Admitter decides whether an authenticated tenant's request may
+// proceed — per-request metering in front of the handlers. The server's
+// session registry implements it against its live per-tenant usage
+// (session counts, submitted bytes, queued batches); a returned error
+// becomes the response verbatim, so admitters control the code and
+// status (quota rejections use 429/CodeQuota).
+type Admitter interface {
+	// Admit inspects the request before the handler runs; nil admits.
+	Admit(tenant string, r *http.Request) *api.Error
+}
+
+// Quota enforces an Admitter on every authenticated request. It must
+// run inside Auth — a request without a tenant in context is rejected
+// outright, because metering by tenant is the whole point.
+func Quota(a Admitter) Middleware {
+	return func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			tenant, ok := Tenant(r.Context())
+			if !ok {
+				api.WriteError(w, api.Errorf(http.StatusInternalServerError, api.CodeInternal,
+					"quota middleware ran without auth"))
+				return
+			}
+			if err := a.Admit(tenant, r); err != nil {
+				api.WriteError(w, err)
+				return
+			}
+			next.ServeHTTP(w, r)
+		})
+	}
+}

@@ -1,0 +1,40 @@
+package middleware
+
+import (
+	"log"
+	"net/http"
+	"runtime/debug"
+
+	"bohrium/internal/server/api"
+)
+
+// Recover converts a panic anywhere below it — handler or engine — into
+// a 500 envelope instead of killing the daemon: one tenant's poisonous
+// batch must not take down every other tenant's connection. The panic
+// value and stack go to l; the client only sees CodeInternal. A panic
+// after the response header is already sent cannot be converted (the
+// status is on the wire), so the handler's partial response stands and
+// the panic is only logged. http.ErrAbortHandler is re-raised — it is
+// net/http's own control flow for dropped connections, not a failure.
+func Recover(l *log.Logger) Middleware {
+	return func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			sw := &statusWriter{ResponseWriter: w}
+			defer func() {
+				v := recover()
+				if v == nil {
+					return
+				}
+				if v == http.ErrAbortHandler {
+					panic(v)
+				}
+				l.Printf("panic serving %s %s: %v\n%s", r.Method, r.URL.Path, v, debug.Stack())
+				if !sw.wrote() {
+					api.WriteError(sw, api.Errorf(http.StatusInternalServerError, api.CodeInternal,
+						"internal error"))
+				}
+			}()
+			next.ServeHTTP(sw, r)
+		})
+	}
+}

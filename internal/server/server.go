@@ -1,0 +1,504 @@
+// Package server is bhd's HTTP layer: the paper's array engine served
+// as multi-tenant middleware. Every tenant session is an API resource
+// (create / submit batch / read array / stats / close) multiplexed onto
+// ONE shared bohrium.Runtime — one worker pool, one fingerprint-keyed
+// plan cache, one buffer recycle pool — through the backend seam, so a
+// batch one tenant compiled is a plan-cache hit for every tenant
+// flushing the same structure. The wire format of a batch is the
+// docs/bytecode.md listing text, parsed by internal/bytecode; the wire
+// protocol is specified in docs/api.md and typed in
+// internal/server/api.
+//
+// The handlers sit behind the middleware chain in
+// internal/server/middleware — outermost first: request logging, panic
+// recovery (an engine panic becomes one tenant's 500, not a dead
+// daemon), bearer-token auth through a token→tenant cache, and
+// per-tenant quota admission. Sessions idle longer than the configured
+// timeout are reaped by a janitor goroutine so abandoned tenants cannot
+// leak registers, executors, or runtime registry entries.
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"log"
+	"net/http"
+	"sync"
+	"time"
+
+	"bohrium"
+	"bohrium/internal/backend"
+	"bohrium/internal/bytecode"
+	"bohrium/internal/server/api"
+	"bohrium/internal/server/middleware"
+	"bohrium/internal/tensor"
+)
+
+// syncFormat matches cmd/bhrun's register printing exactly, so a batch
+// submitted over HTTP formats its synced registers byte-identically to
+// the same listing run in process.
+var syncFormat = tensor.FormatOptions{MaxPerDim: 10, Precision: 6}
+
+// Config assembles a daemon. Auth is the only required field.
+type Config struct {
+	// Runtime is the shared runtime every session multiplexes onto; nil
+	// selects bohrium.DefaultRuntime().
+	Runtime *bohrium.Runtime
+	// DefaultBackend is opened when a create request names none; empty
+	// selects the registry default ("inprocess").
+	DefaultBackend string
+	// Auth resolves bearer tokens to tenants. Required. It is wrapped
+	// in a token→tenant cache with TokenTTL.
+	Auth middleware.Authenticator
+	// TokenTTL bounds the token cache entries (0: one minute).
+	TokenTTL time.Duration
+	// Quotas meters each tenant; zero fields are unlimited.
+	Quotas Quotas
+	// MaxBodyBytes caps any request body (0: 1 MiB). Larger bodies get
+	// the 413 envelope.
+	MaxBodyBytes int64
+	// IdleTimeout reaps sessions with no request for this long
+	// (0: five minutes).
+	IdleTimeout time.Duration
+	// JanitorInterval is the reaper period (0: IdleTimeout/4, floored
+	// at one second; negative: no janitor goroutine — tests drive
+	// ReapIdle directly).
+	JanitorInterval time.Duration
+	// Logger receives request lines, panics, and janitor reports; nil
+	// discards.
+	Logger *log.Logger
+	// Now is the clock (nil: time.Now), injectable for janitor tests.
+	Now func() time.Time
+}
+
+// Server is one bhd daemon: registry, middleware chain, janitor.
+type Server struct {
+	cfg     Config
+	rt      *bohrium.Runtime
+	reg     *registry
+	tokens  *middleware.TokenCache
+	handler http.Handler
+
+	stopJanitor chan struct{}
+	janitorDone chan struct{}
+	closeOnce   sync.Once
+}
+
+// New builds a daemon from cfg, starting the janitor unless disabled.
+// Close it to tear down every session.
+func New(cfg Config) (*Server, error) {
+	if cfg.Auth == nil {
+		return nil, errors.New("server: Config.Auth is required")
+	}
+	if cfg.Runtime == nil {
+		cfg.Runtime = bohrium.DefaultRuntime()
+	}
+	if cfg.DefaultBackend == "" {
+		cfg.DefaultBackend = backend.DefaultName
+	}
+	if cfg.TokenTTL == 0 {
+		cfg.TokenTTL = time.Minute
+	}
+	if cfg.MaxBodyBytes == 0 {
+		cfg.MaxBodyBytes = 1 << 20
+	}
+	if cfg.IdleTimeout == 0 {
+		cfg.IdleTimeout = 5 * time.Minute
+	}
+	if cfg.JanitorInterval == 0 {
+		cfg.JanitorInterval = cfg.IdleTimeout / 4
+		if cfg.JanitorInterval < time.Second {
+			cfg.JanitorInterval = time.Second
+		}
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = log.New(io.Discard, "", 0)
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+
+	s := &Server{
+		cfg:    cfg,
+		rt:     cfg.Runtime,
+		reg:    newRegistry(cfg.Runtime, cfg.DefaultBackend, cfg.Quotas, cfg.Now),
+		tokens: middleware.NewTokenCache(cfg.Auth, cfg.TokenTTL, cfg.Now),
+	}
+
+	apiMux := http.NewServeMux()
+	apiMux.HandleFunc("POST /v1/sessions", s.handleCreate)
+	apiMux.HandleFunc("GET /v1/sessions", s.handleList)
+	apiMux.HandleFunc("POST /v1/sessions/{id}/batches", s.handleBatch)
+	apiMux.HandleFunc("GET /v1/sessions/{id}/arrays/{reg}", s.handleArray)
+	apiMux.HandleFunc("GET /v1/sessions/{id}/stats", s.handleSessionStats)
+	apiMux.HandleFunc("DELETE /v1/sessions/{id}", s.handleDelete)
+	apiMux.HandleFunc("GET /v1/stats", s.handleServerStats)
+
+	chained := middleware.Chain(apiMux,
+		middleware.Logging(cfg.Logger),
+		middleware.Recover(cfg.Logger),
+		middleware.Auth(s.tokens),
+		middleware.Quota(s.reg),
+	)
+
+	root := http.NewServeMux()
+	root.Handle("/v1/", chained)
+	root.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		api.WriteJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	s.handler = root
+
+	if s.cfg.JanitorInterval > 0 {
+		s.stopJanitor = make(chan struct{})
+		s.janitorDone = make(chan struct{})
+		go s.janitor()
+	}
+	return s, nil
+}
+
+// Handler returns the daemon's root handler (the /v1 chain plus the
+// unauthenticated /healthz).
+func (s *Server) Handler() http.Handler { return s.handler }
+
+// TokenCacheLookups reports the auth cache's hit/miss counters.
+func (s *Server) TokenCacheLookups() (hits, misses int64) { return s.tokens.Lookups() }
+
+// ReapIdle runs one janitor sweep now, returning the reaped session
+// ids. The janitor goroutine calls it on its ticker; tests with a fake
+// clock call it directly.
+func (s *Server) ReapIdle() []string {
+	return s.reg.reapIdle(s.cfg.Now().Add(-s.cfg.IdleTimeout))
+}
+
+func (s *Server) janitor() {
+	defer close(s.janitorDone)
+	tick := time.NewTicker(s.cfg.JanitorInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-s.stopJanitor:
+			return
+		case <-tick.C:
+			if reaped := s.ReapIdle(); len(reaped) > 0 {
+				s.cfg.Logger.Printf("janitor: reaped %d idle session(s): %v", len(reaped), reaped)
+			}
+		}
+	}
+}
+
+// Close stops the janitor and tears down every session. The shared
+// runtime is the caller's: Close never touches its worker pool.
+func (s *Server) Close() {
+	s.closeOnce.Do(func() {
+		if s.stopJanitor != nil {
+			close(s.stopJanitor)
+			<-s.janitorDone
+		}
+		s.reg.closeAll()
+	})
+}
+
+// tenant extracts the authenticated tenant; the auth middleware
+// guarantees it is present on every /v1 request.
+func tenant(r *http.Request) string {
+	t, _ := middleware.Tenant(r.Context())
+	return t
+}
+
+// touch refreshes the session's idle clock. Caller holds s.mu.
+func (s *Server) touch(sess *session) { sess.lastUsed = s.cfg.Now() }
+
+// handleCreate: POST /v1/sessions.
+func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
+	body, apiErr := s.readBody(w, r)
+	if apiErr != nil {
+		api.WriteError(w, apiErr)
+		return
+	}
+	var req api.CreateSession
+	if len(body) > 0 {
+		if err := json.Unmarshal(body, &req); err != nil {
+			api.WriteError(w, api.Errorf(http.StatusBadRequest, api.CodeBadRequest,
+				"malformed create request: %v", err))
+			return
+		}
+	}
+	sess, apiErr := s.reg.create(tenant(r), req)
+	if apiErr != nil {
+		api.WriteError(w, apiErr)
+		return
+	}
+	sess.mu.Lock()
+	snap := sess.snapshot()
+	sess.mu.Unlock()
+	api.WriteJSON(w, http.StatusCreated, snap)
+}
+
+// handleList: GET /v1/sessions.
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	api.WriteJSON(w, http.StatusOK, api.SessionList{Sessions: s.reg.list(tenant(r))})
+}
+
+// handleDelete: DELETE /v1/sessions/{id}. A second delete of the same
+// session is a 404: the resource is gone.
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	if apiErr := s.reg.close(tenant(r), r.PathValue("id")); apiErr != nil {
+		api.WriteError(w, apiErr)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// handleBatch: POST /v1/sessions/{id}/batches. The body is a
+// docs/bytecode.md listing; it is parsed, validated, optionally
+// optimized, compiled through the shared plan cache, and executed —
+// synchronously (200 with the synced registers) or onto the session's
+// async executor (202, read an array to fence).
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	ten := tenant(r)
+	sess, apiErr := s.reg.lookup(ten, r.PathValue("id"))
+	if apiErr != nil {
+		api.WriteError(w, apiErr)
+		return
+	}
+	body, apiErr := s.readBody(w, r)
+	if apiErr != nil {
+		api.WriteError(w, apiErr)
+		return
+	}
+	if apiErr := s.reg.chargeBytes(ten, int64(len(body))); apiErr != nil {
+		api.WriteError(w, apiErr)
+		return
+	}
+
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	if sess.closed {
+		api.WriteError(w, api.Errorf(http.StatusNotFound, api.CodeNotFound,
+			"tenant %q has no session %q", ten, sess.id))
+		return
+	}
+	s.touch(sess)
+	if sess.exec != nil {
+		if err := sess.exec.Err(); err != nil {
+			api.WriteError(w, api.Errorf(http.StatusConflict, api.CodePipeline,
+				"session pipeline failed: %v", err))
+			return
+		}
+	}
+
+	prog, names, err := bytecode.ParseNames(string(body))
+	if err != nil {
+		api.WriteError(w, api.Errorf(http.StatusBadRequest, api.CodeParse, "%v", err))
+		return
+	}
+	if err := prog.Validate(); err != nil {
+		api.WriteError(w, api.Errorf(http.StatusBadRequest, api.CodeInvalid, "%v", err))
+		return
+	}
+	if sess.pipeline != nil {
+		optimized, _, err := sess.pipeline.Optimize(prog)
+		if err != nil {
+			api.WriteError(w, api.Errorf(http.StatusBadRequest, api.CodeInvalid,
+				"optimizer rejected batch: %v", err))
+			return
+		}
+		prog = optimized
+	}
+
+	plan, apiErr := s.compile(sess, prog)
+	if apiErr != nil {
+		api.WriteError(w, apiErr)
+		return
+	}
+
+	// The batch is admitted: remember where its names landed so reads
+	// can address the registers, and count it.
+	for name, id := range names {
+		if info, ok := prog.Reg(id); ok {
+			sess.regs[name] = regEntry{id: id, dtype: info.DType, n: info.Len}
+		}
+	}
+	sess.batches++
+	sess.submittedBytes += int64(len(body))
+
+	result := api.BatchResult{
+		Session:      sess.id,
+		Batch:        sess.batches,
+		Instructions: prog.Len(),
+	}
+
+	if sess.exec != nil {
+		if plan != nil {
+			sess.exec.Submit(plan)
+		}
+		result.Async = true
+		api.WriteJSON(w, http.StatusAccepted, result)
+		return
+	}
+
+	if plan != nil {
+		if err := sess.be.Execute(plan); err != nil {
+			api.WriteError(w, api.Errorf(http.StatusUnprocessableEntity, api.CodeExec, "%v", err))
+			return
+		}
+	}
+	result.Synced = s.syncedRegisters(sess, prog, names)
+	api.WriteJSON(w, http.StatusOK, result)
+}
+
+// compile runs the plan-cache path bhrun uses, with the server's meta
+// tag: lookups only accept plans this server compiled under the same
+// optimizer setting, so sessions sharing the engine share compiles
+// without ever replaying a foreign or differently-optimized plan.
+// Caller holds sess.mu.
+func (s *Server) compile(sess *session, prog *bytecode.Program) (backend.Plan, *api.Error) {
+	meta := planMeta{optimize: sess.optimize}
+	accept := func(m any) bool { return m == any(meta) }
+	if !sess.be.PlanCacheEnabled() {
+		plan, err := sess.be.Compile(prog)
+		if err != nil {
+			return nil, api.Errorf(http.StatusBadRequest, api.CodeInvalid, "%v", err)
+		}
+		return plan, nil
+	}
+	fp := prog.Fingerprint()
+	consts := prog.Constants()
+	if plan, _, ok := sess.be.LookupPlan(fp, consts, accept); ok {
+		return plan, nil
+	}
+	plan, err := sess.be.Compile(prog)
+	if err != nil {
+		return nil, api.Errorf(http.StatusBadRequest, api.CodeInvalid, "%v", err)
+	}
+	sess.be.InsertPlan(fp, consts, false, plan, meta)
+	return plan, nil
+}
+
+// syncedRegisters formats every BH_SYNCed register of an executed
+// program, exactly as cmd/bhrun prints them. Caller holds sess.mu.
+func (s *Server) syncedRegisters(sess *session, prog *bytecode.Program, names map[string]bytecode.RegID) []api.SyncedRegister {
+	rev := make(map[bytecode.RegID]string, len(names))
+	for name, id := range names {
+		rev[id] = name
+	}
+	var out []api.SyncedRegister
+	for i := range prog.Instrs {
+		in := &prog.Instrs[i]
+		if in.Op != bytecode.OpSync {
+			continue
+		}
+		name, ok := rev[in.Out.Reg]
+		if !ok {
+			name = in.Out.Reg.String()
+		}
+		sr := api.SyncedRegister{Reg: name}
+		if t, ok := sess.be.Tensor(in.Out.Reg, in.Out.View); ok {
+			sr.Text = t.Format(syncFormat)
+		} else {
+			sr.Text = "<freed>"
+		}
+		out = append(out, sr)
+	}
+	return out
+}
+
+// handleArray: GET /v1/sessions/{id}/arrays/{reg}. Reads the register's
+// current contents through its full declared view. On an async session
+// the read fences first — every submitted batch finishes (or the sticky
+// pipeline error surfaces as a 409).
+func (s *Server) handleArray(w http.ResponseWriter, r *http.Request) {
+	ten := tenant(r)
+	sess, apiErr := s.reg.lookup(ten, r.PathValue("id"))
+	if apiErr != nil {
+		api.WriteError(w, apiErr)
+		return
+	}
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	if sess.closed {
+		api.WriteError(w, api.Errorf(http.StatusNotFound, api.CodeNotFound,
+			"tenant %q has no session %q", ten, sess.id))
+		return
+	}
+	s.touch(sess)
+	if sess.exec != nil {
+		if err := sess.exec.Wait(); err != nil {
+			api.WriteError(w, api.Errorf(http.StatusConflict, api.CodePipeline,
+				"session pipeline failed: %v", err))
+			return
+		}
+	}
+
+	name := r.PathValue("reg")
+	entry, ok := sess.regs[name]
+	if !ok {
+		api.WriteError(w, api.Errorf(http.StatusNotFound, api.CodeNotFound,
+			"session %q has no array %q", sess.id, name))
+		return
+	}
+	t, ok := sess.be.Tensor(entry.id, tensor.NewView(tensor.MustShape(entry.n)))
+	if !ok {
+		api.WriteError(w, api.Errorf(http.StatusNotFound, api.CodeNotFound,
+			"array %q has no buffer (freed and not redefined)", name))
+		return
+	}
+	api.WriteJSON(w, http.StatusOK, api.Array{
+		Reg:    name,
+		DType:  entry.dtype.String(),
+		Len:    entry.n,
+		Text:   t.Format(syncFormat),
+		Values: t.Float64Slice(),
+	})
+}
+
+// handleSessionStats: GET /v1/sessions/{id}/stats.
+func (s *Server) handleSessionStats(w http.ResponseWriter, r *http.Request) {
+	sess, apiErr := s.reg.lookup(tenant(r), r.PathValue("id"))
+	if apiErr != nil {
+		api.WriteError(w, apiErr)
+		return
+	}
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	if sess.closed {
+		api.WriteError(w, api.Errorf(http.StatusNotFound, api.CodeNotFound,
+			"tenant %q has no session %q", tenant(r), sess.id))
+		return
+	}
+	s.touch(sess)
+	if sess.exec != nil {
+		sess.exec.Wait() // counters are deterministic after the fence
+	}
+	api.WriteJSON(w, http.StatusOK, api.SessionStats{
+		Session: sess.snapshot(),
+		VM:      api.StatsFromVM(sess.be.Stats()),
+	})
+}
+
+// handleServerStats: GET /v1/stats — the shared engine as a whole.
+func (s *Server) handleServerStats(w http.ResponseWriter, r *http.Request) {
+	api.WriteJSON(w, http.StatusOK, api.ServerStats{
+		Backends:     backend.Names(),
+		Sessions:     s.rt.Sessions(),
+		PlanCacheLen: s.rt.PlanCacheLen(),
+		VM:           api.StatsFromVM(s.rt.Stats()),
+	})
+}
+
+// readBody reads a capped request body, mapping the cap to the 413
+// envelope.
+func (s *Server) readBody(w http.ResponseWriter, r *http.Request) ([]byte, *api.Error) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	if err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			return nil, api.Errorf(http.StatusRequestEntityTooLarge, api.CodeTooLarge,
+				"request body exceeds %d bytes", tooLarge.Limit)
+		}
+		return nil, api.Errorf(http.StatusBadRequest, api.CodeBadRequest,
+			"reading request body: %v", err)
+	}
+	return body, nil
+}

@@ -1,0 +1,465 @@
+package server_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"bohrium"
+	"bohrium/internal/backend"
+	"bohrium/internal/bytecode"
+	"bohrium/internal/rewrite"
+	"bohrium/internal/server"
+	"bohrium/internal/server/api"
+	"bohrium/internal/server/middleware"
+	"bohrium/internal/tensor"
+	"bohrium/internal/vm"
+)
+
+// syncFormat mirrors the format the server (and bhrun) prints registers
+// with — the differential suites compare its output byte-for-byte.
+var syncFormat = tensor.FormatOptions{MaxPerDim: 10, Precision: 6}
+
+// newTestServer builds a daemon on a fresh private runtime and hosts it
+// with httptest. The janitor is disabled (tests drive ReapIdle through
+// the injected clock when they need it).
+func newTestServer(t *testing.T, mutate func(*server.Config)) (*httptest.Server, *server.Server) {
+	t.Helper()
+	rt := bohrium.NewRuntime(nil)
+	t.Cleanup(rt.Close)
+	cfg := server.Config{
+		Runtime: rt,
+		Auth: middleware.StaticTokens{
+			"secret-a": "tenant-a",
+			"secret-b": "tenant-b",
+		},
+		JanitorInterval: -1,
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	srv, err := server.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	hs := httptest.NewServer(srv.Handler())
+	t.Cleanup(hs.Close)
+	return hs, srv
+}
+
+// client drives the wire protocol for one tenant.
+type client struct {
+	t     *testing.T
+	base  string
+	token string
+}
+
+// do performs one request, returning the status and raw body.
+func (c *client) do(method, path string, body []byte) (int, []byte) {
+	c.t.Helper()
+	req, err := http.NewRequest(method, c.base+path, bytes.NewReader(body))
+	if err != nil {
+		c.t.Fatal(err)
+	}
+	if c.token != "" {
+		req.Header.Set("Authorization", "Bearer "+c.token)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		c.t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		c.t.Fatal(err)
+	}
+	return resp.StatusCode, data
+}
+
+// expect performs a request that must succeed with wantStatus, decoding
+// the response into out (when non-nil).
+func (c *client) expect(method, path string, body []byte, wantStatus int, out any) {
+	c.t.Helper()
+	status, data := c.do(method, path, body)
+	if status != wantStatus {
+		c.t.Fatalf("%s %s: status %d, want %d; body:\n%s", method, path, status, wantStatus, data)
+	}
+	if out != nil {
+		if err := json.Unmarshal(data, out); err != nil {
+			c.t.Fatalf("%s %s: decoding response: %v; body:\n%s", method, path, err, data)
+		}
+	}
+}
+
+// expectError performs a request that must fail with the given status
+// and envelope code, returning the envelope.
+func (c *client) expectError(method, path string, body []byte, wantStatus int, wantCode string) *api.Error {
+	c.t.Helper()
+	status, data := c.do(method, path, body)
+	apiErr, err := api.DecodeError(data)
+	if err != nil {
+		c.t.Fatalf("%s %s: status %d, no envelope: %v; body:\n%s", method, path, status, err, data)
+	}
+	if status != wantStatus || apiErr.Code != wantCode || apiErr.Status != status {
+		c.t.Fatalf("%s %s: got status %d code %q (envelope status %d), want %d %q",
+			method, path, status, apiErr.Code, apiErr.Status, wantStatus, wantCode)
+	}
+	return apiErr
+}
+
+func (c *client) createSession(req api.CreateSession) api.Session {
+	c.t.Helper()
+	body, _ := json.Marshal(req)
+	var sess api.Session
+	c.expect("POST", "/v1/sessions", body, http.StatusCreated, &sess)
+	return sess
+}
+
+func (c *client) submit(id, src string, wantStatus int) api.BatchResult {
+	c.t.Helper()
+	var res api.BatchResult
+	c.expect("POST", "/v1/sessions/"+id+"/batches", []byte(src), wantStatus, &res)
+	return res
+}
+
+func (c *client) array(id, reg string) api.Array {
+	c.t.Helper()
+	var arr api.Array
+	c.expect("GET", "/v1/sessions/"+id+"/arrays/"+reg, nil, http.StatusOK, &arr)
+	return arr
+}
+
+// listings returns every committed examples/*/listing.bh source.
+func listings(t *testing.T) map[string]string {
+	t.Helper()
+	paths, err := filepath.Glob(filepath.Join("..", "..", "examples", "*", "listing.bh"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) == 0 {
+		t.Fatal("no example listings found")
+	}
+	out := make(map[string]string, len(paths))
+	for _, p := range paths {
+		src, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[filepath.Base(filepath.Dir(p))] = string(src)
+	}
+	return out
+}
+
+// directRun executes a listing straight through backend.Open on a
+// private engine — the in-process reference the HTTP path must match
+// byte-for-byte. It returns the BH_SYNCed registers (formatted through
+// the sync view, as the batch response reports them) and every named
+// register's full-view text (as the array endpoint reports it).
+func directRun(t *testing.T, src, backName string, chunk int, optimize bool) ([]api.SyncedRegister, map[string]string) {
+	t.Helper()
+	eng := vm.NewEngine(vm.EngineConfig{})
+	defer eng.Close()
+	be, err := backend.Open(backName, eng, backend.Config{
+		VM:         vm.Config{Fusion: true},
+		ChunkBytes: chunk,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer be.Close()
+
+	prog, names, err := bytecode.ParseNames(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := prog.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if optimize {
+		optimized, _, err := rewrite.Default().Optimize(prog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prog = optimized
+	}
+	plan, err := be.Compile(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := be.Execute(plan); err != nil {
+		t.Fatal(err)
+	}
+
+	rev := make(map[bytecode.RegID]string, len(names))
+	for name, id := range names {
+		rev[id] = name
+	}
+	var synced []api.SyncedRegister
+	for i := range prog.Instrs {
+		in := &prog.Instrs[i]
+		if in.Op != bytecode.OpSync {
+			continue
+		}
+		name, ok := rev[in.Out.Reg]
+		if !ok {
+			name = in.Out.Reg.String()
+		}
+		sr := api.SyncedRegister{Reg: name}
+		if tn, ok := be.Tensor(in.Out.Reg, in.Out.View); ok {
+			sr.Text = tn.Format(syncFormat)
+		} else {
+			sr.Text = "<freed>"
+		}
+		synced = append(synced, sr)
+	}
+
+	arrays := map[string]string{}
+	for name, id := range names {
+		info, ok := prog.Reg(id)
+		if !ok {
+			continue
+		}
+		if tn, ok := be.Tensor(id, tensor.NewView(tensor.MustShape(info.Len))); ok {
+			arrays[name] = tn.Format(syncFormat)
+		}
+	}
+	return synced, arrays
+}
+
+// TestDifferentialListingsOverHTTP is the end-to-end differential
+// contract of the daemon: every committed example listing, submitted
+// over HTTP to a bhd-hosted session, must produce byte-identical
+// register text to the same listing executed directly through
+// backend.Open — on the in-process AND the out-of-core backend, with
+// the optimizer off and on, synchronously and through the async
+// pipeline (where reads fence first).
+func TestDifferentialListingsOverHTTP(t *testing.T) {
+	hs, _ := newTestServer(t, nil)
+	c := &client{t: t, base: hs.URL, token: "secret-a"}
+
+	backends := []struct {
+		name  string
+		chunk int
+	}{
+		{"inprocess", 0},
+		{"outofcore", 4096},
+	}
+	for name, src := range listings(t) {
+		t.Run(name, func(t *testing.T) {
+			for _, bk := range backends {
+				for _, optimize := range []bool{false, true} {
+					wantSynced, wantArrays := directRun(t, src, bk.name, bk.chunk, optimize)
+					if len(wantSynced) == 0 {
+						t.Fatalf("%s: listing syncs nothing — differential is vacuous", name)
+					}
+					for _, async := range []bool{false, true} {
+						label := fmt.Sprintf("%s/optimize=%v/async=%v", bk.name, optimize, async)
+						sess := c.createSession(api.CreateSession{
+							Backend:    bk.name,
+							ChunkBytes: bk.chunk,
+							Optimize:   optimize,
+							Async:      async,
+						})
+
+						if async {
+							res := c.submit(sess.ID, src, http.StatusAccepted)
+							if !res.Async || res.Synced != nil {
+								t.Fatalf("%s: async submit returned %+v", label, res)
+							}
+						} else {
+							res := c.submit(sess.ID, src, http.StatusOK)
+							if len(res.Synced) != len(wantSynced) {
+								t.Fatalf("%s: %d synced registers, want %d", label, len(res.Synced), len(wantSynced))
+							}
+							for i, sr := range res.Synced {
+								if sr != wantSynced[i] {
+									t.Errorf("%s: synced[%d] diverged from in-process:\n--- direct\n%s = %s\n--- http\n%s = %s",
+										label, i, wantSynced[i].Reg, wantSynced[i].Text, sr.Reg, sr.Text)
+								}
+							}
+						}
+
+						// The array endpoint (which fences async sessions)
+						// must match the direct run's full-view text for
+						// every register that still has a buffer.
+						names := make([]string, 0, len(wantArrays))
+						for rn := range wantArrays {
+							names = append(names, rn)
+						}
+						sort.Strings(names)
+						for _, rn := range names {
+							arr := c.array(sess.ID, rn)
+							if arr.Text != wantArrays[rn] {
+								t.Errorf("%s: array %s diverged from in-process:\n--- direct\n%s\n--- http\n%s",
+									label, rn, wantArrays[rn], arr.Text)
+							}
+							if len(arr.Values) != arr.Len {
+								t.Errorf("%s: array %s carries %d values, len says %d",
+									label, rn, len(arr.Values), arr.Len)
+							}
+						}
+						c.expect("DELETE", "/v1/sessions/"+sess.ID, nil, http.StatusNoContent, nil)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestSessionLifecycle drives one session through the whole protocol
+// surface: create, list, batch, array, stats, delete, and the
+// unauthenticated health endpoint.
+func TestSessionLifecycle(t *testing.T) {
+	hs, srv := newTestServer(t, nil)
+	c := &client{t: t, base: hs.URL, token: "secret-a"}
+
+	var health map[string]string
+	(&client{t: t, base: hs.URL}).expect("GET", "/healthz", nil, http.StatusOK, &health)
+	if health["status"] != "ok" {
+		t.Fatalf("healthz: %v", health)
+	}
+
+	sess := c.createSession(api.CreateSession{})
+	if sess.Tenant != "tenant-a" || sess.Backend != "inprocess" || sess.Batches != 0 {
+		t.Fatalf("created session %+v", sess)
+	}
+
+	var list api.SessionList
+	c.expect("GET", "/v1/sessions", nil, http.StatusOK, &list)
+	if len(list.Sessions) != 1 || list.Sessions[0].ID != sess.ID {
+		t.Fatalf("list: %+v", list)
+	}
+
+	src := listings(t)["quickstart"]
+	res := c.submit(sess.ID, src, http.StatusOK)
+	if res.Batch != 1 || res.Session != sess.ID || len(res.Synced) != 1 {
+		t.Fatalf("batch result %+v", res)
+	}
+
+	arr := c.array(sess.ID, "a0")
+	if arr.Len != 10 || arr.DType != "float64" {
+		t.Fatalf("array %+v", arr)
+	}
+	for i, v := range arr.Values {
+		if v != 3 {
+			t.Fatalf("a0[%d] = %v, want 3 (three adds over zeros)", i, v)
+		}
+	}
+
+	var st api.SessionStats
+	c.expect("GET", "/v1/sessions/"+sess.ID+"/stats", nil, http.StatusOK, &st)
+	if st.Session.Batches != 1 || st.Session.SubmittedBytes != int64(len(src)) {
+		t.Fatalf("session stats %+v", st.Session)
+	}
+	if st.VM.Instructions == 0 || st.VM.Elements == 0 {
+		t.Fatalf("vm stats empty: %+v", st.VM)
+	}
+
+	var ss api.ServerStats
+	c.expect("GET", "/v1/stats", nil, http.StatusOK, &ss)
+	if len(ss.Sessions) != 1 || ss.Sessions[0] != "tenant-a/"+sess.ID {
+		t.Fatalf("server sessions %v", ss.Sessions)
+	}
+	if ss.PlanCacheLen == 0 {
+		t.Fatal("plan cache empty after a compiled batch")
+	}
+
+	c.expect("DELETE", "/v1/sessions/"+sess.ID, nil, http.StatusNoContent, nil)
+	c.expect("GET", "/v1/sessions", nil, http.StatusOK, &list)
+	if len(list.Sessions) != 0 {
+		t.Fatalf("list after delete: %+v", list)
+	}
+
+	// Every request above carried the same token: the auth cache resolved
+	// it once and served the rest from memory.
+	hits, misses := srv.TokenCacheLookups()
+	if misses != 1 || hits == 0 {
+		t.Fatalf("token cache: %d hits, %d misses; want many hits over exactly 1 miss", hits, misses)
+	}
+}
+
+// TestSharedPlanCacheAcrossSessions pins the paper's headline win in
+// service form: two sessions (different tenants) submitting the same
+// batch structure share one compiled plan through the runtime's
+// fingerprint-keyed cache — the second submit is a plan hit, not a
+// compile.
+func TestSharedPlanCacheAcrossSessions(t *testing.T) {
+	hs, _ := newTestServer(t, nil)
+	a := &client{t: t, base: hs.URL, token: "secret-a"}
+	b := &client{t: t, base: hs.URL, token: "secret-b"}
+	src := listings(t)["quickstart"]
+
+	sa := a.createSession(api.CreateSession{})
+	sb := b.createSession(api.CreateSession{})
+	a.submit(sa.ID, src, http.StatusOK)
+
+	var before api.ServerStats
+	a.expect("GET", "/v1/stats", nil, http.StatusOK, &before)
+	b.submit(sb.ID, src, http.StatusOK)
+	var after api.ServerStats
+	a.expect("GET", "/v1/stats", nil, http.StatusOK, &after)
+
+	if after.VM.PlanHits != before.VM.PlanHits+1 {
+		t.Fatalf("second tenant's identical batch: plan hits %d -> %d, want +1 (shared cache)",
+			before.VM.PlanHits, after.VM.PlanHits)
+	}
+	if after.PlanCacheLen != before.PlanCacheLen {
+		t.Fatalf("plan cache grew %d -> %d on an identical batch", before.PlanCacheLen, after.PlanCacheLen)
+	}
+}
+
+// TestIdleJanitor drives the reaper with an injected clock: an idle
+// session is reaped after the timeout, an active one survives, and a
+// reaped session's id turns into a 404.
+func TestIdleJanitor(t *testing.T) {
+	clock := &fakeClock{}
+	hs, srv := newTestServer(t, func(cfg *server.Config) {
+		cfg.Now = clock.now
+		cfg.IdleTimeout = 100 * time.Millisecond
+	})
+	c := &client{t: t, base: hs.URL, token: "secret-a"}
+
+	idle := c.createSession(api.CreateSession{})
+	busy := c.createSession(api.CreateSession{})
+	src := listings(t)["quickstart"]
+
+	clock.advance(60)
+	c.submit(busy.ID, src, http.StatusOK) // refreshes busy's idle clock
+	clock.advance(60)                     // idle is now 120 ticks stale, busy 60
+
+	reaped := srv.ReapIdle()
+	if len(reaped) != 1 || reaped[0] != idle.ID {
+		t.Fatalf("reaped %v, want exactly [%s]", reaped, idle.ID)
+	}
+	c.expectError("GET", "/v1/sessions/"+idle.ID+"/arrays/a0", nil, http.StatusNotFound, api.CodeNotFound)
+	c.array(busy.ID, "a0") // busy must still serve
+}
+
+// fakeClock is a manually advanced test clock; one tick is a
+// millisecond against the test's 100ms idle timeout.
+type fakeClock struct {
+	mu    sync.Mutex
+	ticks int
+}
+
+func (f *fakeClock) now() time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return time.Unix(0, 0).Add(time.Duration(f.ticks) * time.Millisecond)
+}
+
+func (f *fakeClock) advance(n int) {
+	f.mu.Lock()
+	f.ticks += n
+	f.mu.Unlock()
+}

@@ -1,0 +1,378 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"bohrium"
+	"bohrium/internal/backend"
+	"bohrium/internal/bytecode"
+	"bohrium/internal/rewrite"
+	"bohrium/internal/server/api"
+	"bohrium/internal/tensor"
+	"bohrium/internal/vm"
+)
+
+// Quotas bounds one tenant's use of the shared runtime. Zero fields are
+// unlimited. Rejections are deterministic: a tenant driving requests
+// sequentially sees exactly the same 429s on every run.
+type Quotas struct {
+	// MaxSessions caps a tenant's live sessions.
+	MaxSessions int
+	// MaxSubmittedBytes caps a tenant's cumulative batch bytes over the
+	// daemon's lifetime — metering, not a sliding window: closing
+	// sessions does not refund the budget.
+	MaxSubmittedBytes int64
+	// MaxQueuedBatches caps a tenant's async batches that are submitted
+	// but not yet executed, summed over the tenant's sessions.
+	MaxQueuedBatches int
+}
+
+// planMeta tags plans the server inserts into the shared plan cache.
+// Lookups only accept plans carrying an equal tag: a plan compiled from
+// an optimized program must never serve a session with the optimizer
+// off (and vice versa), and plans other hosts of the same engine insert
+// under foreign meta types are never replayed here.
+type planMeta struct {
+	optimize bool
+}
+
+// session is one tenant's execution state: a backend on the shared
+// engine, the name→register map of its batches, and (in async mode) the
+// background executor. mu serializes the HTTP handlers driving it — the
+// backend keeps its single-goroutine contract even when a tenant's
+// requests race each other.
+type session struct {
+	id       string
+	tenant   string
+	backName string
+	optimize bool
+	pipeline *rewrite.Pipeline // nil unless optimize
+
+	mu             sync.Mutex
+	be             backend.Backend
+	exec           *backend.Executor // nil unless async
+	regs           map[string]regEntry
+	batches        int
+	submittedBytes int64
+	lastUsed       time.Time
+	closed         bool
+	release        func() // runtime session-registry hook
+}
+
+// regEntry remembers where a listing name landed: the register id and
+// the declared geometry reads address it through.
+type regEntry struct {
+	id    bytecode.RegID
+	dtype tensor.DType
+	n     int
+}
+
+// pending reports the session's submitted-not-yet-executed batches.
+// Safe without mu: the executor's counter is atomic.
+func (s *session) pending() int {
+	if s.exec == nil {
+		return 0
+	}
+	return s.exec.Pending()
+}
+
+// snapshot builds the session's wire form. Caller holds s.mu or has the
+// session otherwise quiesced.
+func (s *session) snapshot() api.Session {
+	return api.Session{
+		ID:             s.id,
+		Tenant:         s.tenant,
+		Backend:        s.backName,
+		Optimize:       s.optimize,
+		Async:          s.exec != nil,
+		Batches:        s.batches,
+		SubmittedBytes: s.submittedBytes,
+		Pending:        s.pending(),
+	}
+}
+
+// closeLocked tears the session down. Caller holds s.mu.
+func (s *session) closeLocked() {
+	if s.closed {
+		return
+	}
+	s.closed = true
+	if s.exec != nil {
+		s.exec.Close() // drains; a sticky pipeline error dies with the session
+	}
+	s.be.Close()
+	s.release()
+}
+
+// registry owns every live session and the per-tenant usage the quota
+// middleware meters. The registry lock covers the maps and tenant
+// counters only — never a session's mu — so slow batches on one session
+// cannot stall another tenant's admission.
+type registry struct {
+	rt             *bohrium.Runtime
+	defaultBackend string
+	quotas         Quotas
+	now            func() time.Time
+
+	mu       sync.Mutex
+	sessions map[string]*session
+	tenants  map[string]*tenantUsage
+	nextID   uint64
+}
+
+// tenantUsage is one tenant's metered footprint.
+type tenantUsage struct {
+	live           int
+	submittedBytes int64
+}
+
+func newRegistry(rt *bohrium.Runtime, defaultBackend string, q Quotas, now func() time.Time) *registry {
+	return &registry{
+		rt:             rt,
+		defaultBackend: defaultBackend,
+		quotas:         q,
+		now:            now,
+		sessions:       map[string]*session{},
+		tenants:        map[string]*tenantUsage{},
+	}
+}
+
+// usage returns (creating if needed) tenant's counters. Caller holds mu.
+func (reg *registry) usage(tenant string) *tenantUsage {
+	u := reg.tenants[tenant]
+	if u == nil {
+		u = &tenantUsage{}
+		reg.tenants[tenant] = u
+	}
+	return u
+}
+
+// Admit implements middleware.Admitter: the per-request quota gate, run
+// after auth and before any handler. It meters by route shape — session
+// creation against MaxSessions, batch submission against the byte and
+// queue quotas. The byte check here uses Content-Length as an early
+// rejection; chargeBytes re-checks authoritatively once the body is
+// actually read.
+func (reg *registry) Admit(tenant string, r *http.Request) *api.Error {
+	reg.mu.Lock()
+	defer reg.mu.Unlock()
+	u := reg.usage(tenant)
+	switch {
+	case r.Method == http.MethodPost && r.URL.Path == "/v1/sessions":
+		if reg.quotas.MaxSessions > 0 && u.live >= reg.quotas.MaxSessions {
+			return api.Errorf(http.StatusTooManyRequests, api.CodeQuota,
+				"tenant %q has %d live sessions (max %d)", tenant, u.live, reg.quotas.MaxSessions)
+		}
+	case r.Method == http.MethodPost && strings.HasSuffix(r.URL.Path, "/batches"):
+		if max := reg.quotas.MaxSubmittedBytes; max > 0 && r.ContentLength > 0 &&
+			u.submittedBytes+r.ContentLength > max {
+			return api.Errorf(http.StatusTooManyRequests, api.CodeQuota,
+				"tenant %q submitted %d bytes; %d more would exceed the %d-byte quota",
+				tenant, u.submittedBytes, r.ContentLength, max)
+		}
+		if max := reg.quotas.MaxQueuedBatches; max > 0 {
+			queued := 0
+			for _, s := range reg.sessions {
+				if s.tenant == tenant {
+					queued += s.pending()
+				}
+			}
+			if queued >= max {
+				return api.Errorf(http.StatusTooManyRequests, api.CodeQuota,
+					"tenant %q has %d queued batches (max %d)", tenant, queued, max)
+			}
+		}
+	}
+	return nil
+}
+
+// chargeBytes books n submitted bytes against tenant's budget — the
+// authoritative check behind Admit's Content-Length preflight.
+func (reg *registry) chargeBytes(tenant string, n int64) *api.Error {
+	reg.mu.Lock()
+	defer reg.mu.Unlock()
+	u := reg.usage(tenant)
+	if max := reg.quotas.MaxSubmittedBytes; max > 0 && u.submittedBytes+n > max {
+		return api.Errorf(http.StatusTooManyRequests, api.CodeQuota,
+			"tenant %q submitted %d bytes; %d more would exceed the %d-byte quota",
+			tenant, u.submittedBytes, n, max)
+	}
+	u.submittedBytes += n
+	return nil
+}
+
+// create opens a session for tenant on the shared engine. The quota is
+// re-checked under the registry lock: Admit runs outside it, and two
+// racing creates must not both slip under MaxSessions.
+func (reg *registry) create(tenant string, req api.CreateSession) (*session, *api.Error) {
+	name := req.Backend
+	if name == "" {
+		name = reg.defaultBackend
+	}
+	be, err := backend.Open(name, reg.rt.Engine(), backend.Config{
+		VM:         vm.Config{Fusion: true},
+		ChunkBytes: req.ChunkBytes,
+	})
+	if err != nil {
+		return nil, api.Errorf(http.StatusBadRequest, api.CodeBadRequest, "%v", err)
+	}
+
+	reg.mu.Lock()
+	u := reg.usage(tenant)
+	if reg.quotas.MaxSessions > 0 && u.live >= reg.quotas.MaxSessions {
+		reg.mu.Unlock()
+		be.Close()
+		return nil, api.Errorf(http.StatusTooManyRequests, api.CodeQuota,
+			"tenant %q has %d live sessions (max %d)", tenant, u.live, reg.quotas.MaxSessions)
+	}
+	reg.nextID++
+	s := &session{
+		id:       fmt.Sprintf("s-%d", reg.nextID),
+		tenant:   tenant,
+		backName: name,
+		optimize: req.Optimize,
+		be:       be,
+		regs:     map[string]regEntry{},
+		lastUsed: reg.now(),
+	}
+	if req.Optimize {
+		s.pipeline = rewrite.Default()
+	}
+	if req.Async {
+		s.exec = backend.NewExecutor(be, 0)
+	}
+	s.release = reg.rt.Register(tenant + "/" + s.id)
+	reg.sessions[s.id] = s
+	u.live++
+	reg.mu.Unlock()
+	return s, nil
+}
+
+// lookup finds tenant's session id. Sessions are tenant-scoped: another
+// tenant's id — even a correctly guessed one — is indistinguishable
+// from a nonexistent session.
+func (reg *registry) lookup(tenant, id string) (*session, *api.Error) {
+	reg.mu.Lock()
+	s := reg.sessions[id]
+	reg.mu.Unlock()
+	if s == nil || s.tenant != tenant {
+		return nil, api.Errorf(http.StatusNotFound, api.CodeNotFound,
+			"tenant %q has no session %q", tenant, id)
+	}
+	return s, nil
+}
+
+// list snapshots tenant's sessions, oldest first.
+func (reg *registry) list(tenant string) []api.Session {
+	reg.mu.Lock()
+	var own []*session
+	for _, s := range reg.sessions {
+		if s.tenant == tenant {
+			own = append(own, s)
+		}
+	}
+	reg.mu.Unlock()
+	out := make([]api.Session, 0, len(own))
+	for _, s := range own {
+		s.mu.Lock()
+		if !s.closed {
+			out = append(out, s.snapshot())
+		}
+		s.mu.Unlock()
+	}
+	// nextID is monotonic, so id length then value sorts by age.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && older(out[j].ID, out[j-1].ID); j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// older orders "s-<n>" ids by their numeric suffix.
+func older(a, b string) bool {
+	if len(a) != len(b) {
+		return len(a) < len(b)
+	}
+	return a < b
+}
+
+// close removes and tears down tenant's session id. The registry entry
+// goes first (no new requests can find it), then the session closes
+// under its own lock, after any in-flight batch finishes.
+func (reg *registry) close(tenant, id string) *api.Error {
+	reg.mu.Lock()
+	s := reg.sessions[id]
+	if s == nil || s.tenant != tenant {
+		reg.mu.Unlock()
+		return api.Errorf(http.StatusNotFound, api.CodeNotFound,
+			"tenant %q has no session %q", tenant, id)
+	}
+	delete(reg.sessions, id)
+	reg.usage(tenant).live--
+	reg.mu.Unlock()
+
+	s.mu.Lock()
+	s.closeLocked()
+	s.mu.Unlock()
+	return nil
+}
+
+// reapIdle closes every session idle since before the cutoff — one
+// janitor sweep. The idle re-check happens under the session lock: a
+// request that slipped in after the scan refreshes lastUsed and saves
+// the session. Returns the ids reaped, for logs and tests.
+func (reg *registry) reapIdle(cutoff time.Time) []string {
+	reg.mu.Lock()
+	stale := make([]*session, 0)
+	for _, s := range reg.sessions {
+		stale = append(stale, s)
+	}
+	reg.mu.Unlock()
+
+	var reaped []string
+	for _, s := range stale {
+		s.mu.Lock()
+		idle := !s.closed && s.lastUsed.Before(cutoff)
+		if idle {
+			// Remove from the registry before closing, mirroring close.
+			reg.mu.Lock()
+			if reg.sessions[s.id] == s {
+				delete(reg.sessions, s.id)
+				reg.usage(s.tenant).live--
+			} else {
+				idle = false // raced with an explicit DELETE
+			}
+			reg.mu.Unlock()
+		}
+		if idle {
+			s.closeLocked()
+			reaped = append(reaped, s.id)
+		}
+		s.mu.Unlock()
+	}
+	return reaped
+}
+
+// closeAll tears down every session (server shutdown).
+func (reg *registry) closeAll() {
+	reg.mu.Lock()
+	all := make([]*session, 0, len(reg.sessions))
+	for _, s := range reg.sessions {
+		all = append(all, s)
+	}
+	reg.sessions = map[string]*session{}
+	for _, s := range all {
+		reg.usage(s.tenant).live--
+	}
+	reg.mu.Unlock()
+	for _, s := range all {
+		s.mu.Lock()
+		s.closeLocked()
+		s.mu.Unlock()
+	}
+}

@@ -96,12 +96,47 @@ func (v View) Validate(n int) error {
 	if len(v.Strides) != len(v.Shape) {
 		return fmt.Errorf("tensor: %d strides for %d dims", len(v.Strides), len(v.Shape))
 	}
-	lo, hi, ok := v.MinMaxIndex()
-	if !ok {
+	for _, d := range v.Shape {
+		if d < 0 {
+			return fmt.Errorf("tensor: negative extent %d in shape %v", d, v.Shape)
+		}
+	}
+	if v.Size() == 0 {
 		return nil // empty views touch nothing
 	}
-	if lo < 0 || hi >= n {
+	// Accumulate the touchable range like MinMaxIndex, but reject overflow
+	// instead of wrapping: views come off the wire (bhd batches), and a
+	// wrapped bound could smuggle an out-of-range view past this check
+	// into a bounds panic mid-sweep. Each step keeps lo and hi inside
+	// [0, n), so the additions below can only overflow via span itself,
+	// which the multiplication guard rejects first.
+	outside := func(lo, hi int) error {
 		return fmt.Errorf("tensor: view range [%d, %d] outside buffer of %d elements", lo, hi, n)
+	}
+	lo, hi := v.Offset, v.Offset
+	if lo < 0 || hi >= n {
+		return outside(lo, hi)
+	}
+	for i, d := range v.Shape {
+		st := v.Strides[i]
+		if d <= 1 || st == 0 {
+			continue
+		}
+		span := (d - 1) * st
+		if span/(d-1) != st {
+			return fmt.Errorf("tensor: view extent (%d-1)*%d overflows", d, st)
+		}
+		if span >= 0 {
+			if hi+span < hi || hi+span >= n {
+				return outside(lo, hi+span)
+			}
+			hi += span
+		} else {
+			if lo+span > lo || lo+span < 0 {
+				return outside(lo+span, hi)
+			}
+			lo += span
+		}
 	}
 	return nil
 }

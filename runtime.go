@@ -1,6 +1,7 @@
 package bohrium
 
 import (
+	"sort"
 	"sync"
 
 	"bohrium/internal/vm"
@@ -44,6 +45,15 @@ type Runtime struct {
 	// isDefault marks the process-wide DefaultRuntime, whose Close is a
 	// no-op. Set once, before the runtime is ever visible to callers.
 	isDefault bool
+
+	// Session registry: every live session attached to this runtime —
+	// Contexts and external backend sessions alike (the bhd daemon's
+	// tenants) — registers a label here so hosts can enumerate who is
+	// sharing the engine. Guarded by mu; nextSession disambiguates
+	// sessions sharing a label.
+	mu          sync.Mutex
+	nextSession uint64
+	sessions    map[uint64]string
 }
 
 // NewRuntime builds a shared runtime. Pass nil for defaults. Close it
@@ -95,6 +105,61 @@ func (r *Runtime) NewContext(cfg *Config) *Context {
 		c = *cfg
 	}
 	return newContext(r, false, c)
+}
+
+// Engine exposes the shared vm.Engine so hosts outside the array front
+// end can open backend sessions on it directly through backend.Open —
+// the bhd daemon multiplexes every tenant onto one Runtime this way.
+// Such sessions should announce themselves with Register so they show
+// up in Sessions alongside the runtime's Contexts.
+func (r *Runtime) Engine() *vm.Engine { return r.eng }
+
+// Register records a live session under label and returns its release
+// hook. Contexts register themselves; external hosts (internal/server
+// sessions) call it when they open a backend on Engine and release on
+// close. The release func is idempotent and safe from any goroutine.
+func (r *Runtime) Register(label string) (release func()) {
+	r.mu.Lock()
+	if r.sessions == nil {
+		r.sessions = map[uint64]string{}
+	}
+	id := r.nextSession
+	r.nextSession++
+	r.sessions[id] = label
+	r.mu.Unlock()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			r.mu.Lock()
+			delete(r.sessions, id)
+			r.mu.Unlock()
+		})
+	}
+}
+
+// Sessions enumerates the labels of every live registered session, in
+// registration order. It is a snapshot: sessions may come and go the
+// moment the lock is released.
+func (r *Runtime) Sessions() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	ids := make([]uint64, 0, len(r.sessions))
+	for id := range r.sessions {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	out := make([]string, len(ids))
+	for i, id := range ids {
+		out[i] = r.sessions[id]
+	}
+	return out
+}
+
+// SessionCount reports how many registered sessions are live.
+func (r *Runtime) SessionCount() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.sessions)
 }
 
 // Stats returns the process-wide aggregate counters over every session

@@ -347,6 +347,44 @@ func TestSharedRuntimeConcurrentCacheCounters(t *testing.T) {
 // is clean, idempotent, and a session created on a closed runtime would
 // be a programming error the pool degrades gracefully on (sweeps run
 // inline) rather than a crash.
+// TestRuntimeSessionRegistry: every live session on a runtime —
+// Contexts and externally registered backend sessions alike — shows up
+// in Sessions until its release hook runs, and the hook is idempotent.
+// This is the enumeration surface the bhd daemon's janitor and stats
+// endpoints stand on.
+func TestRuntimeSessionRegistry(t *testing.T) {
+	rt := NewRuntime(nil)
+	defer rt.Close()
+	if n := rt.SessionCount(); n != 0 {
+		t.Fatalf("fresh runtime has %d sessions", n)
+	}
+
+	ctx := rt.NewContext(nil)
+	release := rt.Register("tenant-a/s1")
+	if got := rt.Sessions(); len(got) != 2 || got[0] != "context/inprocess" || got[1] != "tenant-a/s1" {
+		t.Fatalf("Sessions() = %v, want [context/inprocess tenant-a/s1]", got)
+	}
+
+	release()
+	release() // idempotent: must not disturb other sessions
+	if got := rt.Sessions(); len(got) != 1 || got[0] != "context/inprocess" {
+		t.Fatalf("Sessions() after release = %v", got)
+	}
+
+	ctx.Close()
+	if n := rt.SessionCount(); n != 0 {
+		t.Fatalf("SessionCount() = %d after all closed, want 0", n)
+	}
+
+	// A private-runtime Context registers on its own runtime, not a
+	// shared one, and deregisters on Close like any session.
+	priv := NewContext(nil)
+	priv.Close()
+	if n := rt.SessionCount(); n != 0 {
+		t.Fatalf("private context leaked into shared runtime: %d", n)
+	}
+}
+
 func TestRuntimeCloseAfterSessions(t *testing.T) {
 	rt := NewRuntime(nil)
 	ctx := rt.NewContext(nil)
