@@ -196,7 +196,7 @@ func newContext(rt *Runtime, ownsRT bool, c Config) *Context {
 	}
 	ctx.unregister = rt.Register("context/" + be.Name())
 	if c.Async {
-		ctx.exec = backend.NewExecutor(be, c.AsyncDepth)
+		ctx.exec = backend.NewExecutor(be, c.AsyncDepth, "")
 	}
 	return ctx
 }

@@ -10,7 +10,9 @@
 //	bhd [-addr host:port] [-token tenant=secret]... [-backend name]
 //	    [-workers n] [-max-sessions n] [-max-submitted-bytes n]
 //	    [-max-queued-batches n] [-body-limit n] [-idle-timeout d]
-//	    [-token-ttl d] [-quiet]
+//	    [-token-ttl d] [-submit-timeout d] [-wait-timeout d]
+//	    [-queue-depth n] [-memory-watermark n] [-drain-timeout d]
+//	    [-quiet]
 //
 // -token is repeatable: each occurrence maps one bearer secret to the
 // tenant it authenticates. At least one is required — bhd refuses to
@@ -18,8 +20,18 @@
 // set the per-tenant quotas (0 = unlimited); -idle-timeout bounds how
 // long an untouched session survives before the janitor reaps it.
 //
-// bhd exits cleanly on SIGINT/SIGTERM: in-flight requests drain,
-// every session closes, and the engine shuts down.
+// The overload knobs bound how long the daemon holds a request before
+// shedding it with a retryable 503 + Retry-After: -submit-timeout for
+// batch admission (session lock plus an async queue slot),
+// -wait-timeout for reads fencing an async pipeline, -queue-depth for
+// each async session's executor queue, and -memory-watermark for the
+// engine's graceful-degradation byte budget (0 = unlimited; over it,
+// shareable caches shed before allocations are denied).
+//
+// bhd exits cleanly on SIGINT/SIGTERM: new work is refused with 503 +
+// Retry-After while in-flight batches drain (bounded by
+// -drain-timeout), then every session closes and the engine shuts
+// down.
 package main
 
 import (
@@ -88,6 +100,11 @@ func run(args []string, stdout, stderr io.Writer, ctx context.Context) error {
 	bodyLimit := fs.Int64("body-limit", 0, "request body size cap in bytes (0 = 1 MiB)")
 	idleTimeout := fs.Duration("idle-timeout", 5*time.Minute, "reap sessions idle this long")
 	tokenTTL := fs.Duration("token-ttl", time.Minute, "token→tenant cache entry lifetime")
+	submitTimeout := fs.Duration("submit-timeout", time.Second, "shed batch submissions not admitted within this deadline")
+	waitTimeout := fs.Duration("wait-timeout", time.Minute, "shed reads whose pipeline fence outruns this deadline")
+	queueDepth := fs.Int("queue-depth", 0, "async executor queue depth per session (0 = default)")
+	memWatermark := fs.Int("memory-watermark", 0, "engine memory high watermark in bytes (0 = unlimited)")
+	drainTimeout := fs.Duration("drain-timeout", 10*time.Second, "bound on draining in-flight batches at shutdown")
 	quiet := fs.Bool("quiet", false, "suppress per-request log lines")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -98,13 +115,31 @@ func run(args []string, stdout, stderr io.Writer, ctx context.Context) error {
 	if len(tokens.tokens) == 0 {
 		return errors.New("no -token tenant=secret credentials given; refusing to serve unauthenticatable engine")
 	}
+	if *drainTimeout <= 0 {
+		return fmt.Errorf("-drain-timeout must be positive, got %v", *drainTimeout)
+	}
+	if *submitTimeout <= 0 {
+		return fmt.Errorf("-submit-timeout must be positive, got %v", *submitTimeout)
+	}
+	if *waitTimeout <= 0 {
+		return fmt.Errorf("-wait-timeout must be positive, got %v", *waitTimeout)
+	}
+	if *queueDepth < 0 {
+		return fmt.Errorf("-queue-depth must not be negative, got %d", *queueDepth)
+	}
+	if *memWatermark < 0 {
+		return fmt.Errorf("-memory-watermark must not be negative, got %d", *memWatermark)
+	}
 
 	logger := log.New(stderr, "bhd: ", log.LstdFlags)
 	if *quiet {
 		logger = log.New(io.Discard, "", 0)
 	}
 
-	rt := bohrium.NewRuntime(&bohrium.RuntimeConfig{Workers: *workers})
+	rt := bohrium.NewRuntime(&bohrium.RuntimeConfig{
+		Workers:             *workers,
+		MemoryHighWatermark: *memWatermark,
+	})
 	defer rt.Close()
 
 	srv, err := server.New(server.Config{
@@ -117,9 +152,12 @@ func run(args []string, stdout, stderr io.Writer, ctx context.Context) error {
 			MaxSubmittedBytes: *maxBytes,
 			MaxQueuedBatches:  *maxQueued,
 		},
-		MaxBodyBytes: *bodyLimit,
-		IdleTimeout:  *idleTimeout,
-		Logger:       logger,
+		MaxBodyBytes:  *bodyLimit,
+		IdleTimeout:   *idleTimeout,
+		Logger:        logger,
+		SubmitTimeout: *submitTimeout,
+		WaitTimeout:   *waitTimeout,
+		QueueDepth:    *queueDepth,
 	})
 	if err != nil {
 		return err
@@ -146,6 +184,16 @@ func run(args []string, stdout, stderr io.Writer, ctx context.Context) error {
 	case err := <-serveErr:
 		return err
 	case <-ctx.Done():
+	}
+
+	// Graceful shutdown: refuse new work (503 + Retry-After via the
+	// Drain middleware) while in-flight batches complete, bounded by
+	// -drain-timeout; then close the listener and connections.
+	logger.Printf("draining: refusing new work, waiting up to %v for in-flight batches", *drainTimeout)
+	drainCtx, cancelDrain := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancelDrain()
+	if err := srv.Drain(drainCtx); err != nil {
+		logger.Printf("drain timed out with %d batch(es) still in flight; closing anyway", srv.InFlightBatches())
 	}
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()

@@ -9,6 +9,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"bohrium/internal/faultinject"
 )
 
 // TestFlagValidation pins the daemon's refusal paths: it never serves
@@ -25,6 +27,11 @@ func TestFlagValidation(t *testing.T) {
 		{"empty tenant", []string{"-token", "=s"}, "tenant=secret"},
 		{"ambiguous secret", []string{"-token", "a=s", "-token", "b=s"}, "already maps"},
 		{"stray argument", []string{"-token", "a=s", "listing.bh"}, "unexpected argument"},
+		{"zero drain-timeout", []string{"-token", "a=s", "-drain-timeout", "0s"}, "-drain-timeout must be positive"},
+		{"negative submit-timeout", []string{"-token", "a=s", "-submit-timeout", "-1s"}, "-submit-timeout must be positive"},
+		{"zero wait-timeout", []string{"-token", "a=s", "-wait-timeout", "0s"}, "-wait-timeout must be positive"},
+		{"negative queue-depth", []string{"-token", "a=s", "-queue-depth", "-1"}, "-queue-depth must not be negative"},
+		{"negative memory-watermark", []string{"-token", "a=s", "-memory-watermark", "-1"}, "-memory-watermark must not be negative"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -119,5 +126,120 @@ func TestServeSmoke(t *testing.T) {
 		}
 	case <-time.After(10 * time.Second):
 		t.Fatal("daemon did not shut down after cancellation")
+	}
+}
+
+// TestChaosDrainOverTCP pins graceful shutdown on the real daemon: with
+// a deliberately slow batch in flight, cancellation (the SIGINT path)
+// flips the daemon into drain mode — new POSTs are refused with 503 +
+// Retry-After while the slow batch keeps executing, its results stay
+// readable through the drain, and run() exits nil once everything in
+// flight has completed within -drain-timeout.
+func TestChaosDrainOverTCP(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	outR, outW := io.Pipe()
+	runErr := make(chan error, 1)
+	go func() {
+		defer outW.Close()
+		runErr <- run([]string{
+			"-addr", "localhost:0",
+			"-token", "acme=sesame",
+			"-drain-timeout", "5s",
+			"-quiet",
+		}, outW, io.Discard, ctx)
+	}()
+
+	var banner [256]byte
+	n, err := outR.Read(banner[:])
+	if err != nil {
+		t.Fatalf("reading banner: %v (run: %v)", err, <-runErr)
+	}
+	line := strings.TrimSpace(string(banner[:n]))
+	base := strings.TrimPrefix(line, "bhd listening on ")
+	if base == line {
+		t.Fatalf("unexpected banner %q", line)
+	}
+
+	do := func(method, path, body string) (int, http.Header, []byte) {
+		t.Helper()
+		req, err := http.NewRequest(method, base+path, strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("Authorization", "Bearer sesame")
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		data, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, resp.Header, data
+	}
+
+	var sess struct {
+		ID string `json:"id"`
+	}
+	status, _, data := do("POST", "/v1/sessions", `{"async": true}`)
+	if status != http.StatusCreated {
+		t.Fatalf("create: status %d, body %s", status, data)
+	}
+	if err := json.Unmarshal(data, &sess); err != nil {
+		t.Fatal(err)
+	}
+
+	disarm := faultinject.Arm(faultinject.SlowExec, faultinject.Fault{
+		Label: "acme", Delay: 800 * time.Millisecond, Times: 1,
+	})
+	defer disarm()
+	listing := ".reg a0 float64 4\nBH_IDENTITY a0 [0:4:1] 2\nBH_MULTIPLY a0 [0:4:1] a0 [0:4:1] 21\nBH_SYNC a0 [0:4:1]\n"
+	if status, _, data := do("POST", "/v1/sessions/"+sess.ID+"/batches", listing); status != http.StatusAccepted {
+		t.Fatalf("async submit: status %d, body %s", status, data)
+	}
+
+	// SIGINT path: the slow batch is mid-execution when the drain begins.
+	cancel()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		status, hdr, data := do("POST", "/v1/sessions/"+sess.ID+"/batches", listing)
+		if status == http.StatusServiceUnavailable {
+			if hdr.Get("Retry-After") == "" {
+				t.Fatalf("drain 503 carries no Retry-After header; body %s", data)
+			}
+			break
+		}
+		if status != http.StatusAccepted {
+			t.Fatalf("submit during drain transition: status %d, body %s", status, data)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("daemon never refused new work after cancellation")
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+
+	// Reads pass through the drain: the fence waits out the slow batch
+	// and returns its results — in-flight work was completed, not dropped.
+	status, _, data = do("GET", "/v1/sessions/"+sess.ID+"/arrays/a0", "")
+	if status != http.StatusOK {
+		t.Fatalf("read during drain: status %d, body %s", status, data)
+	}
+	var arr struct {
+		Values []float64 `json:"values"`
+	}
+	if err := json.Unmarshal(data, &arr); err != nil {
+		t.Fatal(err)
+	}
+	if len(arr.Values) != 4 || arr.Values[0] != 42 {
+		t.Fatalf("array read through the drain: %v, want four 42s", arr.Values)
+	}
+
+	select {
+	case err := <-runErr:
+		if err != nil {
+			t.Fatalf("daemon exit after drain: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not shut down after draining")
 	}
 }

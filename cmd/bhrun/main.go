@@ -153,7 +153,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	sessionRun := func(b backend.Backend, p *bytecode.Program) (err error) {
 		var exec *backend.Executor
 		if *async {
-			exec = backend.NewExecutor(b, 0)
+			exec = backend.NewExecutor(b, 0, "")
 			// Close on every path — an early compile/execute error must
 			// not leave the executor goroutine or queued plans behind.
 			defer func() {

@@ -277,7 +277,7 @@ func TestExecutorSticky(t *testing.T) {
 	b.Bind(0, at)
 	b.Bind(1, bt)
 
-	e := NewExecutor(b, 2)
+	e := NewExecutor(b, 2, "")
 	e.Submit(pl) // fails
 	e.Submit(pl) // skipped
 	err = e.Wait()
@@ -307,7 +307,7 @@ func TestExecutorPending(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	e := NewExecutor(b, 4)
+	e := NewExecutor(b, 4, "")
 	if got := e.Pending(); got != 0 {
 		t.Fatalf("Pending() = %d before any submit, want 0", got)
 	}

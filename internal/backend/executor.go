@@ -1,29 +1,36 @@
 package backend
 
 import (
+	"context"
+	"fmt"
 	"sync"
 	"sync/atomic"
 
+	"bohrium/internal/faultinject"
 	"bohrium/internal/vm"
 )
 
 // Executor runs backend plans on a background goroutine so a front end
 // can record batch N+1 while batch N executes — the seam-level twin of
 // vm.Executor, with identical semantics over any Backend. Exactly one
-// goroutine (the "recorder") may call Submit, Wait and Close; the
-// executor goroutine is the only one driving the backend's register state
-// while jobs are in flight. The recorder keeps ownership of plan lookup
-// and compilation — both are register-free on every backend.
+// goroutine (the "recorder") may call Submit, SubmitCtx, Wait, WaitCtx
+// and Close; the executor goroutine is the only one driving the
+// backend's register state while jobs are in flight. The recorder keeps
+// ownership of plan lookup and compilation — both are register-free on
+// every backend.
 //
 // The first execution error poisons the pipeline: queued and future jobs
 // are skipped, and Wait (and every later Wait) returns that error. The
 // register file may hold partial results, exactly as after a failed
-// synchronous Execute.
+// synchronous Execute. A panic while executing a queued plan is
+// converted into a sticky pipeline error too — the failure belongs to
+// the session that submitted the plan, never to the process.
 type Executor struct {
-	b    Backend
-	jobs chan Plan
-	wg   sync.WaitGroup
-	done chan struct{}
+	b     Backend
+	label string // faultinject site label (the host's tenant name)
+	jobs  chan Plan
+	wg    sync.WaitGroup
+	done  chan struct{}
 	// pending counts submitted-not-yet-finished plans (queued or in
 	// flight) for admission control and monitoring.
 	pending atomic.Int64
@@ -31,16 +38,22 @@ type Executor struct {
 	mu     sync.Mutex
 	err    error
 	closed bool
+	// quiet is closed when pending drops to zero; created lazily on the
+	// 0→1 transition. WaitCtx snapshots it so a deadline-bounded wait
+	// can select against cancellation without consuming wg state.
+	quiet chan struct{}
 }
 
 // NewExecutor starts a background executor for b with the given queue
-// depth (0 selects vm.DefaultAsyncDepth). Close it before closing the
-// backend: the backend must outlive every in-flight plan.
-func NewExecutor(b Backend, depth int) *Executor {
+// depth (0 selects vm.DefaultAsyncDepth). label names the session for
+// fault-injection targeting (empty matches any armed fault). Close the
+// executor before closing the backend: the backend must outlive every
+// in-flight plan.
+func NewExecutor(b Backend, depth int, label string) *Executor {
 	if depth <= 0 {
 		depth = vm.DefaultAsyncDepth
 	}
-	e := &Executor{b: b, jobs: make(chan Plan, depth), done: make(chan struct{})}
+	e := &Executor{b: b, label: label, jobs: make(chan Plan, depth), done: make(chan struct{})}
 	go e.loop()
 	return e
 }
@@ -48,9 +61,10 @@ func NewExecutor(b Backend, depth int) *Executor {
 func (e *Executor) loop() {
 	defer close(e.done)
 	for pl := range e.jobs {
+		faultinject.Delay(faultinject.ExecStall, e.label)
 		if e.Err() == nil {
 			e.b.CountPipelined()
-			if err := e.b.Execute(pl); err != nil {
+			if err := e.execOne(pl); err != nil {
 				e.mu.Lock()
 				if e.err == nil {
 					e.err = err
@@ -58,9 +72,43 @@ func (e *Executor) loop() {
 				e.mu.Unlock()
 			}
 		}
-		e.pending.Add(-1)
-		e.wg.Done()
+		e.finishOne()
 	}
+}
+
+// execOne executes a single queued plan, converting a panic (a backend
+// bug, an injected worker-panic fault) into a pipeline error instead of
+// killing the whole process.
+func (e *Executor) execOne(pl Plan) (err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = fmt.Errorf("%w: panic during pipelined execution: %v", vm.ErrExec, v)
+		}
+	}()
+	return e.b.Execute(pl)
+}
+
+// noteSubmit books one plan into the pending account before the enqueue
+// attempt; pair with finishOne on completion OR on a failed SubmitCtx.
+func (e *Executor) noteSubmit() {
+	e.wg.Add(1)
+	e.mu.Lock()
+	if e.pending.Add(1) == 1 {
+		e.quiet = make(chan struct{})
+	}
+	e.mu.Unlock()
+}
+
+// finishOne retires one booked plan, closing the quiet channel when the
+// pipeline goes idle.
+func (e *Executor) finishOne() {
+	e.mu.Lock()
+	if e.pending.Add(-1) == 0 && e.quiet != nil {
+		close(e.quiet)
+		e.quiet = nil
+	}
+	e.mu.Unlock()
+	e.wg.Done()
 }
 
 // Submit queues one plan for background execution. The plan must not be
@@ -68,9 +116,30 @@ func (e *Executor) loop() {
 // this. Submit blocks only when the queue is full (backpressure), never
 // on execution itself.
 func (e *Executor) Submit(pl Plan) {
-	e.wg.Add(1)
-	e.pending.Add(1)
+	e.noteSubmit()
 	e.jobs <- pl
+}
+
+// SubmitCtx queues one plan like Submit, but gives the backpressure
+// block a deadline: when the queue is full and ctx expires (or is
+// canceled) before a slot frees, the plan is NOT queued and the ctx
+// error is returned wrapped — the pipeline's committed work is
+// untouched, so the caller can shed this one submission as retryable.
+// A nil error means the plan is queued exactly as Submit would have.
+func (e *Executor) SubmitCtx(ctx context.Context, pl Plan) error {
+	e.noteSubmit()
+	select {
+	case e.jobs <- pl:
+		return nil
+	default:
+	}
+	select {
+	case e.jobs <- pl:
+		return nil
+	case <-ctx.Done():
+		e.finishOne()
+		return fmt.Errorf("executor queue full (depth %d): %w", cap(e.jobs), ctx.Err())
+	}
 }
 
 // Pending reports how many submitted plans have not yet finished
@@ -87,6 +156,26 @@ func (e *Executor) Pending() int { return int(e.pending.Load()) }
 func (e *Executor) Wait() error {
 	e.wg.Wait()
 	return e.Err()
+}
+
+// WaitCtx is Wait with a deadline: it returns the sticky pipeline error
+// once every submitted plan has finished, or ctx.Err() when ctx expires
+// first. Cancellation abandons only the WAIT — queued and in-flight
+// plans keep executing and their results land normally, so a later
+// Wait/WaitCtx observes them; nothing in flight is ever canceled.
+func (e *Executor) WaitCtx(ctx context.Context) error {
+	e.mu.Lock()
+	ch := e.quiet
+	e.mu.Unlock()
+	if ch == nil {
+		return e.Err()
+	}
+	select {
+	case <-ch:
+		return e.Err()
+	case <-ctx.Done():
+		return ctx.Err()
+	}
 }
 
 // Err returns the sticky pipeline error without waiting.

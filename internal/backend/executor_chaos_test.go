@@ -1,0 +1,111 @@
+package backend
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"bohrium/internal/faultinject"
+	"bohrium/internal/vm"
+)
+
+// TestChaosSubmitCtxShedsOnFullQueue pins deadline-bounded admission at
+// the executor seam: with the queue full behind a stalled executor, a
+// SubmitCtx whose context expires sheds ONLY its own submission — the
+// ctx error comes back wrapped, the queued work is untouched, and the
+// pipeline drains clean.
+func TestChaosSubmitCtxShedsOnFullQueue(t *testing.T) {
+	ref2, ref3, _ := runChain(t, "inprocess", Config{}, 64, true)
+
+	b, _ := openTest(t, "inprocess", Config{VM: vm.Config{Fusion: true}})
+	e := NewExecutor(b, 1, "stall-victim")
+	defer e.Close()
+	pl, err := b.Compile(chainProg(64, 1.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bindVec(t, b, 0, irregularVals(64))
+
+	disarm := faultinject.Arm(faultinject.ExecStall, faultinject.Fault{
+		Label: "stall-victim", Delay: 300 * time.Millisecond, Times: 1,
+	})
+	defer disarm()
+	e.Submit(pl)                      // dequeued immediately, then stalls
+	time.Sleep(20 * time.Millisecond) // let the executor enter the stall
+	e.Submit(pl)                      // fills the depth-1 queue
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	serr := e.SubmitCtx(ctx, pl)
+	if !errors.Is(serr, context.DeadlineExceeded) {
+		t.Fatalf("submit into a full queue: %v, want a DeadlineExceeded chain", serr)
+	}
+	if !strings.Contains(serr.Error(), "executor queue full") {
+		t.Fatalf("shed error does not name the full queue: %v", serr)
+	}
+
+	// The shed submission left no trace: both admitted plans execute,
+	// the pipeline ends clean, and the results match the reference.
+	if err := e.Wait(); err != nil {
+		t.Fatalf("wait after a shed submission: %v", err)
+	}
+	if n := e.Pending(); n != 0 {
+		t.Fatalf("pending = %d after wait, want 0 (shed submission still booked?)", n)
+	}
+	got2, got3 := regVals(t, b, 2, 64), regVals(t, b, 3, 1)
+	for i := range ref2 {
+		if got2[i] != ref2[i] {
+			t.Fatalf("a2[%d] = %v, want %v", i, got2[i], ref2[i])
+		}
+	}
+	if got3[0] != ref3[0] {
+		t.Fatalf("a3 = %v, want %v", got3[0], ref3[0])
+	}
+}
+
+// TestChaosWaitCtxHonorsCancelWithoutKillingWork pins the wait side of
+// the deadline contract: WaitCtx returns the ctx error when the fence
+// outruns its deadline, but abandoning the wait cancels nothing — the
+// slow plan completes, a later unbounded Wait observes it, and an idle
+// pipeline's WaitCtx returns immediately.
+func TestChaosWaitCtxHonorsCancelWithoutKillingWork(t *testing.T) {
+	ref2, ref3, _ := runChain(t, "inprocess", Config{}, 64, true)
+
+	b, _ := openTest(t, "inprocess", Config{VM: vm.Config{Fusion: true, FaultLabel: "slow-victim"}})
+	e := NewExecutor(b, 0, "slow-victim")
+	defer e.Close()
+	pl, err := b.Compile(chainProg(64, 1.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bindVec(t, b, 0, irregularVals(64))
+
+	disarm := faultinject.Arm(faultinject.SlowExec, faultinject.Fault{
+		Label: "slow-victim", Delay: 300 * time.Millisecond, Times: 1,
+	})
+	defer disarm()
+	e.Submit(pl)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	if werr := e.WaitCtx(ctx); !errors.Is(werr, context.DeadlineExceeded) {
+		t.Fatalf("fence against a slow plan: %v, want a DeadlineExceeded chain", werr)
+	}
+
+	if err := e.Wait(); err != nil {
+		t.Fatalf("unbounded wait after an abandoned fence: %v", err)
+	}
+	got2, got3 := regVals(t, b, 2, 64), regVals(t, b, 3, 1)
+	for i := range ref2 {
+		if got2[i] != ref2[i] {
+			t.Fatalf("a2[%d] = %v, want %v (abandoned fence corrupted execution?)", i, got2[i], ref2[i])
+		}
+	}
+	if got3[0] != ref3[0] {
+		t.Fatalf("a3 = %v, want %v", got3[0], ref3[0])
+	}
+	// Idle pipeline: WaitCtx needs no deadline headroom at all.
+	if werr := e.WaitCtx(context.Background()); werr != nil {
+		t.Fatalf("idle WaitCtx: %v", werr)
+	}
+}

@@ -218,7 +218,7 @@ func deadAfter(p *bytecode.Program, end int, r bytecode.RegID) bool {
 func (b *outOfCore) Compile(p *bytecode.Program) (Plan, error) {
 	if !b.m.SkipsValidation() {
 		if err := p.Validate(); err != nil {
-			return nil, fmt.Errorf("%w: %v", vm.ErrExec, err)
+			return nil, fmt.Errorf("%w: %w", vm.ErrExec, err)
 		}
 	}
 	pl := &oocPlan{prog: p}
@@ -351,7 +351,7 @@ func (b *outOfCore) compileBody(p *bytecode.Program, seg *oocSegment, L int) (*v
 	}
 	pl, err := b.cm.Compile(body)
 	if err != nil {
-		return nil, fmt.Errorf("%w: outofcore body [%d,%d): %v", vm.ErrExec, seg.start, seg.end, err)
+		return nil, fmt.Errorf("%w: outofcore body [%d,%d): %w", vm.ErrExec, seg.start, seg.end, err)
 	}
 	return pl, nil
 }
@@ -412,7 +412,7 @@ func (b *outOfCore) execSegment(p *bytecode.Program, seg *oocSegment) error {
 		if r.liveOut {
 			full, err := b.m.Materialize(p, r.id)
 			if err != nil {
-				return fmt.Errorf("%w: segment [%d,%d): %v", vm.ErrExec, seg.start, seg.end, err)
+				return fmt.Errorf("%w: segment [%d,%d): %w", vm.ErrExec, seg.start, seg.end, err)
 			}
 			outs = append(outs, liveOut{role: r, full: full})
 		}
@@ -428,7 +428,7 @@ func (b *outOfCore) execSegment(p *bytecode.Program, seg *oocSegment) error {
 	for i := range ins {
 		buf, err := b.m.AcquireBuffer(ins[i].role.dt, stagingLen)
 		if err != nil {
-			return fmt.Errorf("%w: segment [%d,%d): %v", vm.ErrExec, seg.start, seg.end, err)
+			return fmt.Errorf("%w: segment [%d,%d): %w", vm.ErrExec, seg.start, seg.end, err)
 		}
 		ins[i].staging = buf
 		b.cm.Bind(ins[i].role.local, tensor.Tensor{Buf: buf, View: tensor.NewView(tensor.MustShape(stagingLen))})
@@ -453,7 +453,7 @@ func (b *outOfCore) execSegment(p *bytecode.Program, seg *oocSegment) error {
 		}
 		for i := range ins {
 			if err := tensor.CopyFlat(ins[i].staging, 0, ins[i].full, lo, L); err != nil {
-				return fmt.Errorf("%w: segment [%d,%d): %v", vm.ErrExec, seg.start, seg.end, err)
+				return fmt.Errorf("%w: segment [%d,%d): %w", vm.ErrExec, seg.start, seg.end, err)
 			}
 		}
 		if err := body.Execute(b.cm); err != nil {
@@ -466,7 +466,7 @@ func (b *outOfCore) execSegment(p *bytecode.Program, seg *oocSegment) error {
 					vm.ErrExec, seg.start, seg.end, outs[i].role.id)
 			}
 			if err := tensor.CopyFlat(outs[i].full, lo, t.Buf, 0, L); err != nil {
-				return fmt.Errorf("%w: segment [%d,%d): %v", vm.ErrExec, seg.start, seg.end, err)
+				return fmt.Errorf("%w: segment [%d,%d): %w", vm.ErrExec, seg.start, seg.end, err)
 			}
 		}
 		b.m.CountChunks(1)

@@ -1,0 +1,137 @@
+package faultinject
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestChaosInertWhenUnarmed: every hook is a no-op (and error-free)
+// with nothing armed — the always-compiled-in contract.
+func TestChaosInertWhenUnarmed(t *testing.T) {
+	Reset()
+	if err := Error(AllocFail, "any"); err != nil {
+		t.Fatalf("unarmed Error = %v, want nil", err)
+	}
+	Delay(SlowExec, "any") // must not sleep (test would time out under -count)
+	Panic(WorkerPanic, "") // must not panic
+	now := time.Unix(100, 0)
+	if got := Clock(JanitorSkew, "janitor", now); !got.Equal(now) {
+		t.Fatalf("unarmed Clock shifted time: %v", got)
+	}
+	if Fired(AllocFail) != 0 {
+		t.Fatalf("Fired counted an unarmed hook")
+	}
+}
+
+// TestChaosTimesAndDisarm: a Times-bounded fault fires exactly that
+// often, Fired counts it, and disarm (idempotent) silences the point.
+func TestChaosTimesAndDisarm(t *testing.T) {
+	Reset()
+	disarm := Arm(AllocFail, Fault{Times: 2, Msg: "boom"})
+	defer disarm()
+
+	for i := 0; i < 2; i++ {
+		err := Error(AllocFail, "tenant-a")
+		if !errors.Is(err, ErrInjected) || !strings.Contains(err.Error(), "boom") {
+			t.Fatalf("fire %d: %v", i, err)
+		}
+	}
+	if err := Error(AllocFail, "tenant-a"); err != nil {
+		t.Fatalf("third fire after Times=2: %v", err)
+	}
+	if got := Fired(AllocFail); got != 2 {
+		t.Fatalf("Fired = %d, want 2", got)
+	}
+	disarm()
+	disarm() // idempotent
+	if err := Error(AllocFail, "tenant-a"); err != nil {
+		t.Fatalf("after disarm: %v", err)
+	}
+}
+
+// TestChaosLabelTargeting: a labeled fault only strikes sites carrying
+// that label — the per-tenant isolation the chaos suite depends on.
+func TestChaosLabelTargeting(t *testing.T) {
+	Reset()
+	defer Arm(AllocFail, Fault{Label: "tenant-a", Times: 1})()
+
+	if err := Error(AllocFail, "tenant-b"); err != nil {
+		t.Fatalf("wrong-label site fired: %v", err)
+	}
+	if err := Error(AllocFail, ""); err != nil {
+		t.Fatalf("unlabeled site fired a labeled fault: %v", err)
+	}
+	if err := Error(AllocFail, "tenant-a"); err == nil {
+		t.Fatal("matching site did not fire")
+	}
+	if got := Fired(AllocFail); got != 1 {
+		t.Fatalf("Fired = %d, want 1 (misses must not count)", got)
+	}
+}
+
+// TestChaosCustomError: a fault carrying its own Err returns it
+// verbatim, so sites can inject typed sentinel errors.
+func TestChaosCustomError(t *testing.T) {
+	Reset()
+	custom := errors.New("custom failure")
+	defer Arm(AllocFail, Fault{Err: custom, Times: 1})()
+	if err := Error(AllocFail, "x"); !errors.Is(err, custom) {
+		t.Fatalf("Error = %v, want %v", err, custom)
+	}
+}
+
+// TestChaosDelayAndClock: Delay sleeps at least the configured
+// duration; Clock shifts by Skew.
+func TestChaosDelayAndClock(t *testing.T) {
+	Reset()
+	defer Arm(SlowExec, Fault{Delay: 30 * time.Millisecond, Times: 1})()
+	start := time.Now()
+	Delay(SlowExec, "x")
+	if elapsed := time.Since(start); elapsed < 30*time.Millisecond {
+		t.Fatalf("Delay slept %v, want >= 30ms", elapsed)
+	}
+
+	defer Arm(JanitorSkew, Fault{Label: "janitor", Skew: time.Hour})()
+	now := time.Unix(0, 0)
+	if got := Clock(JanitorSkew, "janitor", now); got.Sub(now) != time.Hour {
+		t.Fatalf("Clock shifted by %v, want 1h", got.Sub(now))
+	}
+}
+
+// TestChaosPanicHook: an armed WorkerPanic site panics with the fault's
+// message; the default message names the point.
+func TestChaosPanicHook(t *testing.T) {
+	Reset()
+	defer Arm(WorkerPanic, Fault{Times: 1})()
+	defer func() {
+		v := recover()
+		if v == nil {
+			t.Fatal("armed Panic did not panic")
+		}
+		if s, ok := v.(string); !ok || !strings.Contains(s, string(WorkerPanic)) {
+			t.Fatalf("panic value %v does not name the point", v)
+		}
+	}()
+	Panic(WorkerPanic, "x")
+}
+
+// TestChaosRearmReplaces: arming a point twice replaces the fault
+// without leaking the armed count (the fast-path gate must return to
+// zero after one disarm).
+func TestChaosRearmReplaces(t *testing.T) {
+	Reset()
+	Arm(AllocFail, Fault{Times: 1, Msg: "first"})
+	disarm := Arm(AllocFail, Fault{Times: 1, Msg: "second"})
+	if err := Error(AllocFail, "x"); err == nil || !strings.Contains(err.Error(), "second") {
+		t.Fatalf("re-arm did not replace: %v", err)
+	}
+	disarm()
+	if err := Error(AllocFail, "x"); err != nil {
+		t.Fatalf("after disarm: %v", err)
+	}
+	if armedCount.Load() != 0 {
+		t.Fatalf("armedCount = %d after full disarm, want 0", armedCount.Load())
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"strconv"
 
 	"bohrium/internal/vm"
 )
@@ -44,6 +45,19 @@ const (
 	// CodeInternal: a handler or engine panic converted to a response by
 	// the recovery middleware (500).
 	CodeInternal = "internal"
+	// CodeOverloaded: the server shed this request under load — the
+	// executor queue stayed full past the submit deadline, a session
+	// lock could not be taken in time, or a read fence outran the wait
+	// deadline (503, retryable; honor Retry-After).
+	CodeOverloaded = "overloaded"
+	// CodeUnavailable: the server is draining for shutdown and refuses
+	// new work; in-flight work is completing (503, retryable against a
+	// replacement instance; honor Retry-After).
+	CodeUnavailable = "unavailable"
+	// CodeMemoryPressure: the engine's memory high watermark denied an
+	// allocation after shedding its caches (503, retryable — pressure
+	// clears as other sessions free buffers; honor Retry-After).
+	CodeMemoryPressure = "memory_pressure"
 )
 
 // Error is the wire form of every bhd failure. It implements error so
@@ -57,10 +71,26 @@ type Error struct {
 	Message string `json:"message"`
 	// Status echoes the HTTP status the envelope was sent with.
 	Status int `json:"status"`
+	// Retryable marks errors a client should retry verbatim after a
+	// backoff: the failure is a transient server condition (overload,
+	// drain, memory pressure), not a property of the request. Omitted
+	// (false) for every terminal error.
+	Retryable bool `json:"retryable,omitempty"`
+	// RetryAfter, when nonzero, is the server's backoff hint in seconds;
+	// it is also sent as the Retry-After response header.
+	RetryAfter int `json:"retry_after,omitempty"`
 }
 
 // Error implements the error interface.
 func (e *Error) Error() string { return e.Message }
+
+// Retry marks e retryable with the given backoff hint (seconds) and
+// returns it, for fluent construction of shed/drain/pressure envelopes.
+func (e *Error) Retry(afterSeconds int) *Error {
+	e.Retryable = true
+	e.RetryAfter = afterSeconds
+	return e
+}
 
 // Errorf builds an *Error with a formatted message.
 func Errorf(status int, code, format string, args ...any) *Error {
@@ -73,8 +103,13 @@ type envelope struct {
 }
 
 // WriteError sends err as the structured JSON envelope with its status.
+// A nonzero RetryAfter is also sent as the Retry-After header, so
+// clients that only look at headers back off correctly too.
 func WriteError(w http.ResponseWriter, err *Error) {
 	w.Header().Set("Content-Type", "application/json")
+	if err.RetryAfter > 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(err.RetryAfter))
+	}
 	w.WriteHeader(err.Status)
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")

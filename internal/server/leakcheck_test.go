@@ -1,0 +1,40 @@
+package server_test
+
+import (
+	"net/http"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// leakCheck arms a goroutine-leak assertion for the current test: it
+// snapshots the goroutine count now and registers a cleanup that fails
+// the test if the count has not returned to the baseline shortly after
+// everything else torn down by the test (HTTP server, bhd server,
+// runtime) has closed. newTestServer calls it FIRST, before creating
+// anything, so the LIFO cleanup order runs it LAST — a janitor, session
+// executor, or drain sequencer goroutine that outlives Server.Close
+// fails every server test, not just a dedicated one. Keep-alive
+// connections parked by http.DefaultClient are closed while polling so
+// their background goroutines don't count as leaks.
+func leakCheck(t *testing.T) {
+	t.Helper()
+	baseline := runtime.NumGoroutine()
+	t.Cleanup(func() {
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			http.DefaultClient.CloseIdleConnections()
+			if runtime.NumGoroutine() <= baseline {
+				return
+			}
+			if time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		buf := make([]byte, 1<<20)
+		n := runtime.Stack(buf, true)
+		t.Errorf("goroutine leak: %d live, baseline %d; stacks:\n%s",
+			runtime.NumGoroutine(), baseline, buf[:n])
+	})
+}

@@ -1,0 +1,28 @@
+package middleware
+
+import (
+	"net/http"
+
+	"bohrium/internal/server/api"
+)
+
+// Drain rejects new work while the server winds down. When draining
+// reports true, every request that would CREATE work — POSTs (session
+// creation, batch submission) — is answered with 503 unavailable plus a
+// Retry-After hint, without reaching the handler. Reads and DELETEs
+// pass through: clients draining alongside the server can still fetch
+// results of batches already executed and close their sessions. The
+// daemon installs it between Recover and Auth, so shedding costs no
+// token lookup and is logged like any other response.
+func Drain(draining func() bool, retryAfterSeconds int) Middleware {
+	return func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if r.Method == http.MethodPost && draining() {
+				api.WriteError(w, api.Errorf(http.StatusServiceUnavailable, api.CodeUnavailable,
+					"server is draining; retry against a replacement instance").Retry(retryAfterSeconds))
+				return
+			}
+			next.ServeHTTP(w, r)
+		})
+	}
+}

@@ -19,20 +19,24 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"io"
 	"log"
 	"net/http"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"bohrium"
 	"bohrium/internal/backend"
 	"bohrium/internal/bytecode"
+	"bohrium/internal/faultinject"
 	"bohrium/internal/server/api"
 	"bohrium/internal/server/middleware"
 	"bohrium/internal/tensor"
+	"bohrium/internal/vm"
 )
 
 // syncFormat matches cmd/bhrun's register printing exactly, so a batch
@@ -70,6 +74,24 @@ type Config struct {
 	Logger *log.Logger
 	// Now is the clock (nil: time.Now), injectable for janitor tests.
 	Now func() time.Time
+	// SubmitTimeout bounds how long a batch submission may wait for the
+	// session lock plus (async) an executor queue slot before it is shed
+	// with a retryable 503 (0: one second). The client disconnecting
+	// sheds it immediately.
+	SubmitTimeout time.Duration
+	// WaitTimeout bounds how long a read may wait for the session lock
+	// plus the async pipeline fence before it is shed with a retryable
+	// 503 (0: one minute). Cancellation abandons only the wait — queued
+	// batches keep executing and a later read observes their results.
+	WaitTimeout time.Duration
+	// QueueDepth is each async session's executor queue depth — how many
+	// batches may sit submitted-not-yet-executed before submissions block
+	// and then shed (0: vm.DefaultAsyncDepth).
+	QueueDepth int
+	// RetryAfterSeconds is the backoff hint attached to every shed
+	// response, in the Retry-After header and the envelope (0: one
+	// second).
+	RetryAfterSeconds int
 }
 
 // Server is one bhd daemon: registry, middleware chain, janitor.
@@ -83,6 +105,12 @@ type Server struct {
 	stopJanitor chan struct{}
 	janitorDone chan struct{}
 	closeOnce   sync.Once
+
+	// draining flips once at shutdown: the Drain middleware sheds new
+	// POSTs while in-flight work completes. inflight counts batch
+	// handlers currently executing, for the drain sequencer.
+	draining atomic.Bool
+	inflight atomic.Int64
 }
 
 // New builds a daemon from cfg, starting the janitor unless disabled.
@@ -118,11 +146,20 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Now == nil {
 		cfg.Now = time.Now
 	}
+	if cfg.SubmitTimeout == 0 {
+		cfg.SubmitTimeout = time.Second
+	}
+	if cfg.WaitTimeout == 0 {
+		cfg.WaitTimeout = time.Minute
+	}
+	if cfg.RetryAfterSeconds == 0 {
+		cfg.RetryAfterSeconds = 1
+	}
 
 	s := &Server{
 		cfg:    cfg,
 		rt:     cfg.Runtime,
-		reg:    newRegistry(cfg.Runtime, cfg.DefaultBackend, cfg.Quotas, cfg.Now),
+		reg:    newRegistry(cfg.Runtime, cfg.DefaultBackend, cfg.Quotas, cfg.Now, cfg.QueueDepth),
 		tokens: middleware.NewTokenCache(cfg.Auth, cfg.TokenTTL, cfg.Now),
 	}
 
@@ -138,6 +175,7 @@ func New(cfg Config) (*Server, error) {
 	chained := middleware.Chain(apiMux,
 		middleware.Logging(cfg.Logger),
 		middleware.Recover(cfg.Logger),
+		middleware.Drain(s.Draining, cfg.RetryAfterSeconds),
 		middleware.Auth(s.tokens),
 		middleware.Quota(s.reg),
 	)
@@ -166,9 +204,47 @@ func (s *Server) TokenCacheLookups() (hits, misses int64) { return s.tokens.Look
 
 // ReapIdle runs one janitor sweep now, returning the reaped session
 // ids. The janitor goroutine calls it on its ticker; tests with a fake
-// clock call it directly.
+// clock call it directly. The janitor-skew fault site lets chaos tests
+// jump the janitor's clock without touching the request-path clock.
 func (s *Server) ReapIdle() []string {
-	return s.reg.reapIdle(s.cfg.Now().Add(-s.cfg.IdleTimeout))
+	now := faultinject.Clock(faultinject.JanitorSkew, "janitor", s.cfg.Now())
+	return s.reg.reapIdle(now.Add(-s.cfg.IdleTimeout))
+}
+
+// BeginDrain flips the server into drain mode: the Drain middleware
+// answers every new POST with 503 unavailable + Retry-After while
+// reads, deletes, and already-admitted work proceed. Idempotent; there
+// is no way back — drain precedes Close.
+func (s *Server) BeginDrain() { s.draining.Store(true) }
+
+// Draining reports whether BeginDrain has been called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// InFlightBatches reports batch handlers currently executing plus async
+// batches queued behind session executors — the work Drain waits on.
+func (s *Server) InFlightBatches() int {
+	return int(s.inflight.Load()) + s.reg.pendingBatches()
+}
+
+// Drain begins drain mode and waits until every in-flight batch handler
+// has returned and every queued async batch has executed, or until ctx
+// expires (returning ctx.Err() with work still pending — the caller
+// decides whether to Close anyway). New work is shed the moment Drain
+// is called; results of completed batches stay readable until Close.
+func (s *Server) Drain(ctx context.Context) error {
+	s.BeginDrain()
+	tick := time.NewTicker(5 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		if s.InFlightBatches() == 0 {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-tick.C:
+		}
+	}
 }
 
 func (s *Server) janitor() {
@@ -206,8 +282,17 @@ func tenant(r *http.Request) string {
 	return t
 }
 
-// touch refreshes the session's idle clock. Caller holds s.mu.
+// touch refreshes the session's idle clock. Caller holds the session
+// lock.
 func (s *Server) touch(sess *session) { sess.lastUsed = s.cfg.Now() }
+
+// overloaded builds the retryable 503 every shed path returns: queue
+// full past the submit deadline, session lock not acquired in time, or
+// a read fence outrunning the wait deadline.
+func (s *Server) overloaded(format string, args ...any) *api.Error {
+	return api.Errorf(http.StatusServiceUnavailable, api.CodeOverloaded,
+		format, args...).Retry(s.cfg.RetryAfterSeconds)
+}
 
 // handleCreate: POST /v1/sessions.
 func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
@@ -229,9 +314,9 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		api.WriteError(w, apiErr)
 		return
 	}
-	sess.mu.Lock()
+	sess.lock()
 	snap := sess.snapshot()
-	sess.mu.Unlock()
+	sess.unlock()
 	api.WriteJSON(w, http.StatusCreated, snap)
 }
 
@@ -256,6 +341,8 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 // synchronously (200 with the synced registers) or onto the session's
 // async executor (202, read an array to fence).
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	s.inflight.Add(1)
+	defer s.inflight.Add(-1)
 	ten := tenant(r)
 	sess, apiErr := s.reg.lookup(ten, r.PathValue("id"))
 	if apiErr != nil {
@@ -272,8 +359,21 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	sess.mu.Lock()
-	defer sess.mu.Unlock()
+	// Admission deadline: the session lock and (async) an executor queue
+	// slot must both be acquired within SubmitTimeout or the submission
+	// is shed with a retryable 503 — bounded latency instead of a hung
+	// handler. The deadline derives from r.Context(), so a client that
+	// disconnects sheds immediately; shed submissions refund their byte
+	// charge (the retry must not pay twice).
+	actx, cancel := context.WithTimeout(r.Context(), s.cfg.SubmitTimeout)
+	defer cancel()
+	if !sess.lockCtx(actx) {
+		s.reg.refundBytes(ten, int64(len(body)))
+		api.WriteError(w, s.overloaded(
+			"session %q is busy: no session lock within the %v submit deadline", sess.id, s.cfg.SubmitTimeout))
+		return
+	}
+	defer sess.unlock()
 	if sess.closed {
 		api.WriteError(w, api.Errorf(http.StatusNotFound, api.CodeNotFound,
 			"tenant %q has no session %q", ten, sess.id))
@@ -313,33 +413,52 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	// The batch is admitted: remember where its names landed so reads
-	// can address the registers, and count it.
-	for name, id := range names {
-		if info, ok := prog.Reg(id); ok {
-			sess.regs[name] = regEntry{id: id, dtype: info.DType, n: info.Len}
+	// admit books the batch once it is committed to execute: remember
+	// where its names landed so reads can address the registers, and
+	// count it. An async submission that is SHED must book nothing —
+	// the shed batch never existed as far as the session is concerned.
+	admit := func() {
+		for name, id := range names {
+			if info, ok := prog.Reg(id); ok {
+				sess.regs[name] = regEntry{id: id, dtype: info.DType, n: info.Len}
+			}
 		}
+		sess.batches++
+		sess.submittedBytes += int64(len(body))
 	}
-	sess.batches++
-	sess.submittedBytes += int64(len(body))
 
+	if sess.exec != nil {
+		if plan != nil {
+			if err := sess.exec.SubmitCtx(actx, plan); err != nil {
+				s.reg.refundBytes(ten, int64(len(body)))
+				api.WriteError(w, s.overloaded(
+					"session %q shed a batch after the %v submit deadline: %v", sess.id, s.cfg.SubmitTimeout, err))
+				return
+			}
+		}
+		admit()
+		api.WriteJSON(w, http.StatusAccepted, api.BatchResult{
+			Session:      sess.id,
+			Batch:        sess.batches,
+			Instructions: prog.Len(),
+			Async:        true,
+		})
+		return
+	}
+
+	admit()
 	result := api.BatchResult{
 		Session:      sess.id,
 		Batch:        sess.batches,
 		Instructions: prog.Len(),
 	}
-
-	if sess.exec != nil {
-		if plan != nil {
-			sess.exec.Submit(plan)
-		}
-		result.Async = true
-		api.WriteJSON(w, http.StatusAccepted, result)
-		return
-	}
-
 	if plan != nil {
 		if err := sess.be.Execute(plan); err != nil {
+			if errors.Is(err, vm.ErrMemoryPressure) {
+				api.WriteError(w, api.Errorf(http.StatusServiceUnavailable, api.CodeMemoryPressure,
+					"%v", err).Retry(s.cfg.RetryAfterSeconds))
+				return
+			}
 			api.WriteError(w, api.Errorf(http.StatusUnprocessableEntity, api.CodeExec, "%v", err))
 			return
 		}
@@ -352,7 +471,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 // tag: lookups only accept plans this server compiled under the same
 // optimizer setting, so sessions sharing the engine share compiles
 // without ever replaying a foreign or differently-optimized plan.
-// Caller holds sess.mu.
+// Caller holds the session lock.
 func (s *Server) compile(sess *session, prog *bytecode.Program) (backend.Plan, *api.Error) {
 	meta := planMeta{optimize: sess.optimize}
 	accept := func(m any) bool { return m == any(meta) }
@@ -377,7 +496,7 @@ func (s *Server) compile(sess *session, prog *bytecode.Program) (backend.Plan, *
 }
 
 // syncedRegisters formats every BH_SYNCed register of an executed
-// program, exactly as cmd/bhrun prints them. Caller holds sess.mu.
+// program, exactly as cmd/bhrun prints them. Caller holds the session lock.
 func (s *Server) syncedRegisters(sess *session, prog *bytecode.Program, names map[string]bytecode.RegID) []api.SyncedRegister {
 	rev := make(map[bytecode.RegID]string, len(names))
 	for name, id := range names {
@@ -407,7 +526,11 @@ func (s *Server) syncedRegisters(sess *session, prog *bytecode.Program, names ma
 // handleArray: GET /v1/sessions/{id}/arrays/{reg}. Reads the register's
 // current contents through its full declared view. On an async session
 // the read fences first — every submitted batch finishes (or the sticky
-// pipeline error surfaces as a 409).
+// pipeline error surfaces as a 409). The fence is bounded by WaitTimeout
+// and by the client's connection: expiry or disconnect abandons only
+// the WAIT (a retryable 503) — queued batches keep executing and a
+// later read observes their results; in-flight execution is never
+// canceled.
 func (s *Server) handleArray(w http.ResponseWriter, r *http.Request) {
 	ten := tenant(r)
 	sess, apiErr := s.reg.lookup(ten, r.PathValue("id"))
@@ -415,8 +538,14 @@ func (s *Server) handleArray(w http.ResponseWriter, r *http.Request) {
 		api.WriteError(w, apiErr)
 		return
 	}
-	sess.mu.Lock()
-	defer sess.mu.Unlock()
+	wctx, cancel := context.WithTimeout(r.Context(), s.cfg.WaitTimeout)
+	defer cancel()
+	if !sess.lockCtx(wctx) {
+		api.WriteError(w, s.overloaded(
+			"session %q is busy: no session lock within the %v wait deadline", sess.id, s.cfg.WaitTimeout))
+		return
+	}
+	defer sess.unlock()
 	if sess.closed {
 		api.WriteError(w, api.Errorf(http.StatusNotFound, api.CodeNotFound,
 			"tenant %q has no session %q", ten, sess.id))
@@ -424,7 +553,13 @@ func (s *Server) handleArray(w http.ResponseWriter, r *http.Request) {
 	}
 	s.touch(sess)
 	if sess.exec != nil {
-		if err := sess.exec.Wait(); err != nil {
+		if err := sess.exec.WaitCtx(wctx); err != nil {
+			if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+				api.WriteError(w, s.overloaded(
+					"session %q: pipeline fence abandoned after the %v wait deadline; queued batches continue",
+					sess.id, s.cfg.WaitTimeout))
+				return
+			}
 			api.WriteError(w, api.Errorf(http.StatusConflict, api.CodePipeline,
 				"session pipeline failed: %v", err))
 			return
@@ -460,8 +595,14 @@ func (s *Server) handleSessionStats(w http.ResponseWriter, r *http.Request) {
 		api.WriteError(w, apiErr)
 		return
 	}
-	sess.mu.Lock()
-	defer sess.mu.Unlock()
+	wctx, cancel := context.WithTimeout(r.Context(), s.cfg.WaitTimeout)
+	defer cancel()
+	if !sess.lockCtx(wctx) {
+		api.WriteError(w, s.overloaded(
+			"session %q is busy: no session lock within the %v wait deadline", sess.id, s.cfg.WaitTimeout))
+		return
+	}
+	defer sess.unlock()
 	if sess.closed {
 		api.WriteError(w, api.Errorf(http.StatusNotFound, api.CodeNotFound,
 			"tenant %q has no session %q", tenant(r), sess.id))
@@ -469,7 +610,15 @@ func (s *Server) handleSessionStats(w http.ResponseWriter, r *http.Request) {
 	}
 	s.touch(sess)
 	if sess.exec != nil {
-		sess.exec.Wait() // counters are deterministic after the fence
+		// Counters are deterministic after the fence; a sticky pipeline
+		// error is ignored here as before (reads report it), but an
+		// expired fence sheds — counters mid-pipeline are not stats.
+		if err := sess.exec.WaitCtx(wctx); err != nil &&
+			(errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled)) {
+			api.WriteError(w, s.overloaded(
+				"session %q: stats fence abandoned after the %v wait deadline", sess.id, s.cfg.WaitTimeout))
+			return
+		}
 	}
 	api.WriteJSON(w, http.StatusOK, api.SessionStats{
 		Session: sess.snapshot(),

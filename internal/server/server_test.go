@@ -31,10 +31,21 @@ var syncFormat = tensor.FormatOptions{MaxPerDim: 10, Precision: 6}
 
 // newTestServer builds a daemon on a fresh private runtime and hosts it
 // with httptest. The janitor is disabled (tests drive ReapIdle through
-// the injected clock when they need it).
+// the injected clock when they need it). Every test built this way gets
+// the leak check for free: after the HTTP server, the daemon, and the
+// runtime have closed, the goroutine count must return to its pre-test
+// baseline and the runtime's session registry must be empty.
 func newTestServer(t *testing.T, mutate func(*server.Config)) (*httptest.Server, *server.Server) {
+	return newTestServerRT(t, nil, mutate)
+}
+
+// newTestServerRT is newTestServer with an explicit runtime
+// configuration, for tests that need engine-level knobs (the memory
+// high watermark).
+func newTestServerRT(t *testing.T, rtCfg *bohrium.RuntimeConfig, mutate func(*server.Config)) (*httptest.Server, *server.Server) {
 	t.Helper()
-	rt := bohrium.NewRuntime(nil)
+	leakCheck(t) // registered first, so it runs after every teardown below
+	rt := bohrium.NewRuntime(rtCfg)
 	t.Cleanup(rt.Close)
 	cfg := server.Config{
 		Runtime: rt,
@@ -51,7 +62,12 @@ func newTestServer(t *testing.T, mutate func(*server.Config)) (*httptest.Server,
 	if err != nil {
 		t.Fatal(err)
 	}
-	t.Cleanup(srv.Close)
+	t.Cleanup(func() {
+		srv.Close()
+		if n := rt.SessionCount(); n != 0 {
+			t.Errorf("runtime still has %d registered session(s) after server close", n)
+		}
+	})
 	hs := httptest.NewServer(srv.Handler())
 	t.Cleanup(hs.Close)
 	return hs, srv

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"fmt"
 	"net/http"
 	"strings"
@@ -42,9 +43,12 @@ type planMeta struct {
 
 // session is one tenant's execution state: a backend on the shared
 // engine, the name→register map of its batches, and (in async mode) the
-// background executor. mu serializes the HTTP handlers driving it — the
+// background executor. sem serializes the HTTP handlers driving it — the
 // backend keeps its single-goroutine contract even when a tenant's
-// requests race each other.
+// requests race each other. It is a one-slot channel rather than a
+// sync.Mutex so deadline-bearing handlers can bound how long they wait
+// for the session (lockCtx): a slow batch on one connection must turn
+// into the OTHER connection's structured 503, not a hung handler.
 type session struct {
 	id       string
 	tenant   string
@@ -52,7 +56,7 @@ type session struct {
 	optimize bool
 	pipeline *rewrite.Pipeline // nil unless optimize
 
-	mu             sync.Mutex
+	sem            chan struct{} // 1-slot handler lock; lock/lockCtx/unlock
 	be             backend.Backend
 	exec           *backend.Executor // nil unless async
 	regs           map[string]regEntry
@@ -62,6 +66,28 @@ type session struct {
 	closed         bool
 	release        func() // runtime session-registry hook
 }
+
+// lock acquires the session unconditionally (registry teardown paths,
+// which must not shed).
+func (s *session) lock() { s.sem <- struct{}{} }
+
+// lockCtx acquires the session or gives up when ctx expires, reporting
+// whether the lock was taken. The fast path never builds a timer.
+func (s *session) lockCtx(ctx context.Context) bool {
+	select {
+	case s.sem <- struct{}{}:
+		return true
+	default:
+	}
+	select {
+	case s.sem <- struct{}{}:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+func (s *session) unlock() { <-s.sem }
 
 // regEntry remembers where a listing name landed: the register id and
 // the declared geometry reads address it through.
@@ -95,7 +121,7 @@ func (s *session) snapshot() api.Session {
 	}
 }
 
-// closeLocked tears the session down. Caller holds s.mu.
+// closeLocked tears the session down. Caller holds the session lock.
 func (s *session) closeLocked() {
 	if s.closed {
 		return
@@ -117,6 +143,7 @@ type registry struct {
 	defaultBackend string
 	quotas         Quotas
 	now            func() time.Time
+	queueDepth     int // async executor queue depth (0: vm.DefaultAsyncDepth)
 
 	mu       sync.Mutex
 	sessions map[string]*session
@@ -130,15 +157,29 @@ type tenantUsage struct {
 	submittedBytes int64
 }
 
-func newRegistry(rt *bohrium.Runtime, defaultBackend string, q Quotas, now func() time.Time) *registry {
+func newRegistry(rt *bohrium.Runtime, defaultBackend string, q Quotas, now func() time.Time, queueDepth int) *registry {
 	return &registry{
 		rt:             rt,
 		defaultBackend: defaultBackend,
 		quotas:         q,
 		now:            now,
+		queueDepth:     queueDepth,
 		sessions:       map[string]*session{},
 		tenants:        map[string]*tenantUsage{},
 	}
+}
+
+// pendingBatches sums submitted-not-yet-executed batches across every
+// live session — the drain sequencer polls it to know when in-flight
+// async work has landed.
+func (reg *registry) pendingBatches() int {
+	reg.mu.Lock()
+	defer reg.mu.Unlock()
+	total := 0
+	for _, s := range reg.sessions {
+		total += s.pending()
+	}
+	return total
 }
 
 // usage returns (creating if needed) tenant's counters. Caller holds mu.
@@ -205,6 +246,15 @@ func (reg *registry) chargeBytes(tenant string, n int64) *api.Error {
 	return nil
 }
 
+// refundBytes returns n booked bytes to tenant's budget. A shed
+// submission executed nothing, so it must not consume quota either —
+// the client is told to retry, and the retry must not pay twice.
+func (reg *registry) refundBytes(tenant string, n int64) {
+	reg.mu.Lock()
+	reg.usage(tenant).submittedBytes -= n
+	reg.mu.Unlock()
+}
+
 // create opens a session for tenant on the shared engine. The quota is
 // re-checked under the registry lock: Admit runs outside it, and two
 // racing creates must not both slip under MaxSessions.
@@ -214,7 +264,7 @@ func (reg *registry) create(tenant string, req api.CreateSession) (*session, *ap
 		name = reg.defaultBackend
 	}
 	be, err := backend.Open(name, reg.rt.Engine(), backend.Config{
-		VM:         vm.Config{Fusion: true},
+		VM:         vm.Config{Fusion: true, FaultLabel: tenant},
 		ChunkBytes: req.ChunkBytes,
 	})
 	if err != nil {
@@ -235,6 +285,7 @@ func (reg *registry) create(tenant string, req api.CreateSession) (*session, *ap
 		tenant:   tenant,
 		backName: name,
 		optimize: req.Optimize,
+		sem:      make(chan struct{}, 1),
 		be:       be,
 		regs:     map[string]regEntry{},
 		lastUsed: reg.now(),
@@ -243,7 +294,7 @@ func (reg *registry) create(tenant string, req api.CreateSession) (*session, *ap
 		s.pipeline = rewrite.Default()
 	}
 	if req.Async {
-		s.exec = backend.NewExecutor(be, 0)
+		s.exec = backend.NewExecutor(be, reg.queueDepth, tenant)
 	}
 	s.release = reg.rt.Register(tenant + "/" + s.id)
 	reg.sessions[s.id] = s
@@ -278,11 +329,11 @@ func (reg *registry) list(tenant string) []api.Session {
 	reg.mu.Unlock()
 	out := make([]api.Session, 0, len(own))
 	for _, s := range own {
-		s.mu.Lock()
+		s.lock()
 		if !s.closed {
 			out = append(out, s.snapshot())
 		}
-		s.mu.Unlock()
+		s.unlock()
 	}
 	// nextID is monotonic, so id length then value sorts by age.
 	for i := 1; i < len(out); i++ {
@@ -316,9 +367,9 @@ func (reg *registry) close(tenant, id string) *api.Error {
 	reg.usage(tenant).live--
 	reg.mu.Unlock()
 
-	s.mu.Lock()
+	s.lock()
 	s.closeLocked()
-	s.mu.Unlock()
+	s.unlock()
 	return nil
 }
 
@@ -336,7 +387,7 @@ func (reg *registry) reapIdle(cutoff time.Time) []string {
 
 	var reaped []string
 	for _, s := range stale {
-		s.mu.Lock()
+		s.lock()
 		idle := !s.closed && s.lastUsed.Before(cutoff)
 		if idle {
 			// Remove from the registry before closing, mirroring close.
@@ -353,7 +404,7 @@ func (reg *registry) reapIdle(cutoff time.Time) []string {
 			s.closeLocked()
 			reaped = append(reaped, s.id)
 		}
-		s.mu.Unlock()
+		s.unlock()
 	}
 	return reaped
 }
@@ -371,8 +422,8 @@ func (reg *registry) closeAll() {
 	}
 	reg.mu.Unlock()
 	for _, s := range all {
-		s.mu.Lock()
+		s.lock()
 		s.closeLocked()
-		s.mu.Unlock()
+		s.unlock()
 	}
 }

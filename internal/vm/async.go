@@ -1,6 +1,9 @@
 package vm
 
-import "sync"
+import (
+	"fmt"
+	"sync"
+)
 
 // DefaultAsyncDepth is the submit-queue depth when Executor callers pass
 // zero: how many compiled batches may sit between the recording goroutine
@@ -53,7 +56,7 @@ func (e *Executor) loop() {
 	for pl := range e.jobs {
 		if e.Err() == nil {
 			e.m.stats.pipelined.Add(1)
-			if err := pl.Execute(e.m); err != nil {
+			if err := e.runOne(pl); err != nil {
 				e.mu.Lock()
 				if e.err == nil {
 					e.err = err
@@ -63,6 +66,19 @@ func (e *Executor) loop() {
 		}
 		e.wg.Done()
 	}
+}
+
+// runOne executes a single queued plan, converting a panic in execution
+// (a worker bug, an injected worker-panic fault) into a sticky pipeline
+// error instead of killing the whole process: the failure belongs to the
+// session that submitted the plan, not to every session on the engine.
+func (e *Executor) runOne(pl *Plan) (err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = fmt.Errorf("%w: panic during pipelined execution: %v", ErrExec, v)
+		}
+	}()
+	return pl.Execute(e.m)
 }
 
 // Submit queues one plan for background execution. The plan must not be

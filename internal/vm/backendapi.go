@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"bohrium/internal/bytecode"
+	"bohrium/internal/faultinject"
 	"bohrium/internal/tensor"
 )
 
@@ -57,9 +58,9 @@ func (m *Machine) ExecOne(p *bytecode.Program, idx int) error {
 		return nil
 	}
 	if m.cfg.Fusion {
-		return fmt.Errorf("%w: cluster [%d,%d): %v", ErrExec, idx, idx+1, instrErr(p, idx, err))
+		return fmt.Errorf("%w: cluster [%d,%d): %w", ErrExec, idx, idx+1, instrErr(p, idx, err))
 	}
-	return fmt.Errorf("%w: instr %d (%s): %v", ErrExec, idx, p.Instrs[idx].String(), err)
+	return fmt.Errorf("%w: instr %d (%s): %w", ErrExec, idx, p.Instrs[idx].String(), err)
 }
 
 // Bound reports whether register r currently has a buffer (bound from
@@ -88,17 +89,26 @@ func (m *Machine) Materialize(p *bytecode.Program, r bytecode.RegID) (tensor.Buf
 // lifecycle register materialization uses, exposed for backend staging
 // buffers that are not registers. Pair with ReleaseBuffer.
 func (m *Machine) AcquireBuffer(dt tensor.DType, n int) (tensor.Buffer, error) {
+	if err := faultinject.Error(faultinject.AllocFail, m.cfg.FaultLabel); err != nil {
+		return nil, err
+	}
+	bytes := n * dt.Size()
 	if buf := m.eng.bufs.take(poolKey{dt: dt, n: n}); buf != nil {
 		buf.Zero()
+		m.eng.adoptBytes(bytes)
 		m.stats.poolHits.Add(1)
 		return buf, nil
 	}
+	if err := m.eng.reserveBytes(bytes); err != nil {
+		return nil, err
+	}
 	buf, err := tensor.NewBuffer(dt, n)
 	if err != nil {
+		m.eng.releaseBytes(bytes)
 		return nil, err
 	}
 	m.stats.buffersAllocated.Add(1)
-	m.stats.bytesAllocated.Add(int64(n * dt.Size()))
+	m.stats.bytesAllocated.Add(int64(bytes))
 	return buf, nil
 }
 
@@ -107,6 +117,7 @@ func (m *Machine) AcquireBuffer(dt tensor.DType, n int) (tensor.Buffer, error) {
 // full). The buffer must not be used afterwards.
 func (m *Machine) ReleaseBuffer(buf tensor.Buffer) {
 	if buf != nil {
+		m.eng.releaseBytes(buf.Len() * buf.DType().Size())
 		m.eng.bufs.put(buf)
 	}
 }

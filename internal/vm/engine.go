@@ -1,8 +1,10 @@
 package vm
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
 // EngineConfig tunes the shared execution substrate. The zero value gives
@@ -20,6 +22,16 @@ type EngineConfig struct {
 	// PoolCapBytes bounds the bytes parked in the shared buffer recycle
 	// pool; zero selects the default (256 MiB).
 	PoolCapBytes int
+	// MemoryHighWatermark is the engine's graceful-degradation budget in
+	// bytes; zero means unlimited. When a fresh allocation would push
+	// live bytes (buffers held by register files and backend staging)
+	// plus parked recycle-pool bytes past it, the engine sheds its
+	// shareable caches first — every compiled plan, every parked
+	// buffer — and re-checks; only if live bytes alone still exceed the
+	// watermark is the allocation denied with ErrMemoryPressure. Recycle
+	// hits never trip it: taking a parked buffer moves bytes between
+	// accounts without growing the total.
+	MemoryHighWatermark int
 }
 
 // Engine is the shared execution substrate behind one or more Machines:
@@ -35,6 +47,15 @@ type Engine struct {
 	plans *planCache
 	bufs  *bufferPool
 
+	// watermark is the MemoryHighWatermark byte budget (0: unlimited);
+	// liveBytes tracks buffers currently held by register files and
+	// backend staging (recycle-pool bytes are accounted separately on
+	// the pool); memSheds counts the times pressure forced the caches
+	// out.
+	watermark int
+	liveBytes atomic.Int64
+	memSheds  atomic.Int64
+
 	mu       sync.Mutex
 	machines map[*Machine]struct{}
 	retired  Stats // folded-in counters of machines closed so far
@@ -47,9 +68,10 @@ func NewEngine(cfg EngineConfig) *Engine {
 		cfg.Workers = runtime.GOMAXPROCS(0)
 	}
 	e := &Engine{
-		pool:     newWorkerPool(cfg.Workers),
-		bufs:     newBufferPool(cfg.PoolCapBytes),
-		machines: map[*Machine]struct{}{},
+		pool:      newWorkerPool(cfg.Workers),
+		bufs:      newBufferPool(cfg.PoolCapBytes),
+		machines:  map[*Machine]struct{}{},
+		watermark: cfg.MemoryHighWatermark,
 	}
 	if cfg.PlanCacheSize >= 0 {
 		size := cfg.PlanCacheSize
@@ -87,6 +109,8 @@ func (e *Engine) NewMachine(cfg Config) *Machine {
 	m.par = parRunner{pool: e.pool, width: cfg.Workers}
 	m.regs.stats = &m.stats
 	m.regs.shared = e.bufs
+	m.regs.eng = e
+	m.regs.label = cfg.FaultLabel
 	e.mu.Lock()
 	e.machines[m] = struct{}{}
 	e.mu.Unlock()
@@ -117,6 +141,59 @@ func (e *Engine) Stats() Stats {
 	}
 	return out
 }
+
+// reserveBytes books n bytes of fresh allocation against the engine's
+// live-byte account and, when a high watermark is configured, enforces
+// the graceful-degradation policy: over the watermark, shed the
+// shareable caches (compiled plans, parked recycle buffers) and
+// re-check; still over on live bytes alone, undo the booking and deny
+// with ErrMemoryPressure. The optimistic add keeps the common path one
+// atomic; concurrent allocators racing past the watermark at worst shed
+// twice, never under-count.
+func (e *Engine) reserveBytes(n int) error {
+	if n > 0 {
+		e.liveBytes.Add(int64(n))
+	}
+	if e.watermark <= 0 || n <= 0 {
+		return nil
+	}
+	live := e.liveBytes.Load()
+	if live+int64(e.bufs.bytes()) <= int64(e.watermark) {
+		return nil
+	}
+	e.memSheds.Add(1)
+	if e.plans != nil {
+		e.plans.purge()
+	}
+	e.bufs.drain()
+	if e.liveBytes.Load() <= int64(e.watermark) {
+		return nil
+	}
+	e.liveBytes.Add(int64(-n))
+	return fmt.Errorf("%w: a %d-byte allocation would hold %d live bytes over the %d-byte high watermark (plan cache and recycle pool already shed)",
+		ErrMemoryPressure, n, live, e.watermark)
+}
+
+// adoptBytes moves n bytes from the recycle pool's parked account to
+// the live account (a pool take): the total against the watermark is
+// unchanged, so no check runs and a recycle hit can never be denied.
+func (e *Engine) adoptBytes(n int) { e.liveBytes.Add(int64(n)) }
+
+// releaseBytes credits n bytes back to the live account — a freed
+// buffer heading for the recycle pool (whose own account the pool
+// keeps) or the GC.
+func (e *Engine) releaseBytes(n int) { e.liveBytes.Add(int64(-n)) }
+
+// LiveBytes reports the bytes currently held by register files and
+// backend staging buffers across every machine on the engine
+// (recycle-pool bytes are parked, not live). A racy snapshot, exact
+// when the engine is quiesced.
+func (e *Engine) LiveBytes() int { return int(e.liveBytes.Load()) }
+
+// MemorySheds reports how many times memory pressure forced the plan
+// cache and recycle pool out (whether or not the triggering allocation
+// then succeeded).
+func (e *Engine) MemorySheds() int { return int(e.memSheds.Load()) }
 
 // PlanCacheLen returns the number of plans cached across all shards.
 func (e *Engine) PlanCacheLen() int {

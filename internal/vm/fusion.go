@@ -234,9 +234,10 @@ func (a *accessTracker) compatible(in *bytecode.Instruction) bool {
 const fusedBlockSize = 8192
 
 // instrErr annotates err with the index and disassembly of the failing
-// instruction.
+// instruction. The cause is wrapped (%w, identical text) so typed
+// sentinels like ErrMemoryPressure survive to errors.Is at the host.
 func instrErr(p *bytecode.Program, i int, err error) error {
-	return fmt.Errorf("instr %d (%s): %v", i, p.Instrs[i].String(), err)
+	return fmt.Errorf("instr %d (%s): %w", i, p.Instrs[i].String(), err)
 }
 
 func (m *Machine) execCluster(p *bytecode.Program, cl cluster) error {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"bohrium/internal/bytecode"
+	"bohrium/internal/faultinject"
 )
 
 // Plan is the reusable compilation of one program: validation, fusion
@@ -113,8 +114,14 @@ func (pl *Plan) PatchConstants(vals []bytecode.Constant) error {
 
 // Execute runs the plan against m's current register bindings. On error
 // the register file may hold partial results; the error reports the
-// failing instruction.
+// failing instruction. Errors wrap their cause with %w all the way
+// down, so typed sentinels (ErrMemoryPressure, an injected fault's Err)
+// survive to errors.Is at the host.
 func (pl *Plan) Execute(m *Machine) error {
+	// Chaos sites: a deliberately slow plan and a crashing worker, armed
+	// per session label, inert otherwise.
+	faultinject.Delay(faultinject.SlowExec, m.cfg.FaultLabel)
+	faultinject.Panic(faultinject.WorkerPanic, m.cfg.FaultLabel)
 	p := pl.prog
 	m.regs.grow(len(p.Regs))
 	for _, r := range p.Inputs {
@@ -125,7 +132,7 @@ func (pl *Plan) Execute(m *Machine) error {
 	if !pl.fused {
 		for idx := range p.Instrs {
 			if err := m.exec(p, &p.Instrs[idx]); err != nil {
-				return fmt.Errorf("%w: instr %d (%s): %v", ErrExec, idx, p.Instrs[idx].String(), err)
+				return fmt.Errorf("%w: instr %d (%s): %w", ErrExec, idx, p.Instrs[idx].String(), err)
 			}
 		}
 		return nil
@@ -149,7 +156,7 @@ func (pl *Plan) Execute(m *Machine) error {
 			err = m.execClusterStrided(p, cl, cl.shape)
 		}
 		if err != nil {
-			return fmt.Errorf("%w: cluster [%d,%d): %v", ErrExec, cl.start, cl.end, err)
+			return fmt.Errorf("%w: cluster [%d,%d): %w", ErrExec, cl.start, cl.end, err)
 		}
 	}
 	return nil

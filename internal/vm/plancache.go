@@ -128,6 +128,18 @@ func (c *planCache) shardFor(fp bytecode.Fingerprint) *planShard {
 	return c.shards[int(fp[0])%len(c.shards)]
 }
 
+// purge drops every cached plan across all shards — the memory-pressure
+// release valve. In-flight executions of purged plans are unaffected
+// (plans are immutable); future lookups recompile and refill normally.
+func (c *planCache) purge() {
+	for _, s := range c.shards {
+		s.mu.Lock()
+		s.order.Init()
+		s.byFP = map[bytecode.Fingerprint][]*list.Element{}
+		s.mu.Unlock()
+	}
+}
+
 func (c *planCache) len() int {
 	total := 0
 	for _, s := range c.shards {

@@ -1,0 +1,180 @@
+package vm
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"bohrium/internal/bytecode"
+	"bohrium/internal/faultinject"
+	"bohrium/internal/tensor"
+)
+
+// TestChaosWatermarkShedsThenDenies pins the graceful-degradation
+// policy at the engine level: an allocation pushing live+parked bytes
+// over the high watermark sheds the shareable caches (every compiled
+// plan, every parked recycle buffer) and succeeds if live bytes alone
+// then fit; only an allocation that cannot fit even after the shed is
+// denied with ErrMemoryPressure, and the denial undoes its booking.
+func TestChaosWatermarkShedsThenDenies(t *testing.T) {
+	eng := NewEngine(EngineConfig{MemoryHighWatermark: 1024})
+	defer eng.Close()
+	m := eng.NewMachine(Config{Fusion: true})
+	defer m.Close()
+
+	// Seed the plan cache so the shed has something to drop.
+	prog := planTestProg(1)
+	pl, err := m.Compile(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.InsertPlan(prog.Fingerprint(), prog.Constants(), true, pl, nil)
+	if eng.PlanCacheLen() == 0 {
+		t.Fatal("plan cache empty after insert")
+	}
+
+	small, err := m.AcquireBuffer(tensor.Float64, 64) // 512 B live, fits
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := eng.LiveBytes(); got != 512 {
+		t.Fatalf("live bytes = %d, want 512", got)
+	}
+	m.ReleaseBuffer(small) // 0 live, 512 parked
+
+	// 1024 B fresh: live+parked = 1536 > 1024 → shed; live alone fits.
+	big, err := m.AcquireBuffer(tensor.Float64, 128)
+	if err != nil {
+		t.Fatalf("allocation within the watermark denied after shed: %v", err)
+	}
+	if sheds := eng.MemorySheds(); sheds != 1 {
+		t.Fatalf("memory sheds = %d, want 1", sheds)
+	}
+	if n := eng.PlanCacheLen(); n != 0 {
+		t.Fatalf("plan cache holds %d entries after pressure shed, want 0", n)
+	}
+	if got := eng.LiveBytes(); got != 1024 {
+		t.Fatalf("live bytes = %d, want 1024", got)
+	}
+
+	// 512 B more cannot fit even with nothing left to shed: denied, and
+	// the optimistic booking is undone.
+	_, err = m.AcquireBuffer(tensor.Float64, 64)
+	if !errors.Is(err, ErrMemoryPressure) {
+		t.Fatalf("over-watermark allocation: %v, want ErrMemoryPressure", err)
+	}
+	if !strings.Contains(err.Error(), "high watermark") {
+		t.Fatalf("denial does not explain the watermark: %v", err)
+	}
+	if sheds := eng.MemorySheds(); sheds != 2 {
+		t.Fatalf("memory sheds = %d, want 2", sheds)
+	}
+	if got := eng.LiveBytes(); got != 1024 {
+		t.Fatalf("denied allocation leaked its booking: live bytes = %d, want 1024", got)
+	}
+
+	// A recycle hit moves parked bytes to live without growing the total,
+	// so it can never be denied — even exactly at the watermark.
+	m.ReleaseBuffer(big)
+	again, err := m.AcquireBuffer(tensor.Float64, 128)
+	if err != nil {
+		t.Fatalf("recycle hit denied: %v", err)
+	}
+	if sheds := eng.MemorySheds(); sheds != 2 {
+		t.Fatalf("recycle hit tripped a shed: %d sheds, want 2", sheds)
+	}
+	m.ReleaseBuffer(again)
+}
+
+// TestChaosMemoryPressureSurfacesThroughRun pins that ErrMemoryPressure
+// survives every layer of wrapping between a register materialization
+// deep in a sweep and the error Run returns — the contract the bhd
+// daemon's errors.Is mapping to a retryable 503 depends on.
+func TestChaosMemoryPressureSurfacesThroughRun(t *testing.T) {
+	eng := NewEngine(EngineConfig{MemoryHighWatermark: 1024})
+	defer eng.Close()
+	m := eng.NewMachine(Config{Fusion: true})
+	defer m.Close()
+
+	sized := func(n int) *bytecode.Program {
+		p := bytecode.NewProgram()
+		a := p.NewReg(tensor.Float64, n)
+		v := tensor.NewView(tensor.MustShape(n))
+		p.EmitIdentity(bytecode.Reg(a, v), bytecode.Const(bytecode.ConstFloat(1)))
+		p.EmitSync(bytecode.Reg(a, v))
+		p.MarkOutput(a)
+		return p
+	}
+
+	err := m.Run(sized(1024)) // 8 KiB register vs a 1 KiB watermark
+	if !errors.Is(err, ErrMemoryPressure) {
+		t.Fatalf("oversized run: %v, want an ErrMemoryPressure chain", err)
+	}
+	// The machine is degraded, not dead: a batch that fits still runs.
+	if err := m.Run(sized(16)); err != nil {
+		t.Fatalf("within-watermark run after a denial: %v", err)
+	}
+}
+
+// TestChaosAllocFailTargetsLabeledMachine pins the fault-injection
+// label plumbing at the vm level: an armed alloc-fail with a label
+// strikes only machines configured with that FaultLabel, wraps
+// ErrInjected through the execution error chain, and stops the moment
+// it is disarmed.
+func TestChaosAllocFailTargetsLabeledMachine(t *testing.T) {
+	eng := NewEngine(EngineConfig{})
+	defer eng.Close()
+	victim := eng.NewMachine(Config{Fusion: true, FaultLabel: "victim"})
+	bystander := eng.NewMachine(Config{Fusion: true, FaultLabel: "bystander"})
+	defer victim.Close()
+	defer bystander.Close()
+	bindVec(t, victim, 0, []float64{1, 2, 3, 4, 5, 6, 7, 8})
+	bindVec(t, bystander, 0, []float64{1, 2, 3, 4, 5, 6, 7, 8})
+
+	disarm := faultinject.Arm(faultinject.AllocFail, faultinject.Fault{Label: "victim"})
+	defer disarm()
+	if err := victim.Run(planTestProg(1)); !errors.Is(err, faultinject.ErrInjected) {
+		t.Fatalf("victim run: %v, want an ErrInjected chain", err)
+	}
+	if err := bystander.Run(planTestProg(1)); err != nil {
+		t.Fatalf("bystander run while victim's fault armed: %v", err)
+	}
+
+	disarm()
+	if err := victim.Run(planTestProg(1)); err != nil {
+		t.Fatalf("victim run after disarm: %v", err)
+	}
+}
+
+// TestChaosExecutorPanicBecomesStickyError pins async panic
+// containment at the vm level: a panic while the background executor
+// runs a queued plan becomes the pipeline's sticky ErrExec-wrapped
+// error — reported by every Wait and by Close — instead of killing the
+// process.
+func TestChaosExecutorPanicBecomesStickyError(t *testing.T) {
+	m := New(Config{Fusion: true, FaultLabel: "sess"})
+	defer m.Close()
+	e := m.NewExecutor(2)
+	bindVec(t, m, 0, []float64{1, 2, 3, 4, 5, 6, 7, 8})
+	pl, err := m.Compile(planTestProg(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	disarm := faultinject.Arm(faultinject.WorkerPanic, faultinject.Fault{Label: "sess", Times: 1})
+	defer disarm()
+	e.Submit(pl)
+	werr := e.Wait()
+	if !errors.Is(werr, ErrExec) {
+		t.Fatalf("wait after injected panic: %v, want an ErrExec chain", werr)
+	}
+	if !strings.Contains(werr.Error(), "panic during pipelined execution") {
+		t.Fatalf("pipeline error does not name the recovered panic: %v", werr)
+	}
+	if again := e.Wait(); again == nil || again.Error() != werr.Error() {
+		t.Fatalf("sticky error changed across waits: %v then %v", werr, again)
+	}
+	if cerr := e.Close(); cerr == nil || cerr.Error() != werr.Error() {
+		t.Fatalf("close lost the sticky error: %v", cerr)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"bohrium/internal/bytecode"
+	"bohrium/internal/faultinject"
 	"bohrium/internal/tensor"
 )
 
@@ -76,6 +77,22 @@ func (bp *bufferPool) put(buf tensor.Buffer) {
 	}
 }
 
+// bytes reports the bytes currently parked across all buckets.
+func (bp *bufferPool) bytes() int {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	return bp.pooledBytes
+}
+
+// drain empties every bucket, handing all parked buffers to the GC —
+// the memory-pressure release valve. Future puts refill normally.
+func (bp *bufferPool) drain() {
+	bp.mu.Lock()
+	bp.buckets = map[poolKey][]tensor.Buffer{}
+	bp.pooledBytes = 0
+	bp.mu.Unlock()
+}
+
 // registerFile maps byte-code registers to buffers. Buffers are allocated
 // lazily at first definition and released by BH_FREE, mirroring Bohrium's
 // base-array lifecycle. Released buffers that the VM itself allocated are
@@ -90,6 +107,8 @@ type registerFile struct {
 	owned  []bool       // owned[r]: bufs[r] was allocated here, safe to recycle
 	shared *bufferPool  // engine-owned freelist; nil in zero-value files
 	stats  *atomicStats // counters live on the Machine; nil in zero-value files
+	eng    *Engine      // live-byte accounting + watermark; nil in zero-value files
+	label  string       // faultinject site label (the machine's Config.FaultLabel)
 }
 
 func (rf *registerFile) grow(n int) {
@@ -125,9 +144,16 @@ func (rf *registerFile) ensure(p *bytecode.Program, r bytecode.RegID) (tensor.Bu
 	if !ok {
 		return nil, fmt.Errorf("register %s not declared", r)
 	}
+	if err := faultinject.Error(faultinject.AllocFail, rf.label); err != nil {
+		return nil, err
+	}
+	bytes := info.Len * info.DType.Size()
 	if rf.shared != nil {
 		if buf := rf.shared.take(poolKey{dt: info.DType, n: info.Len}); buf != nil {
 			buf.Zero() // fresh allocations are zeroed; reuse must match
+			if rf.eng != nil {
+				rf.eng.adoptBytes(bytes)
+			}
 			if rf.stats != nil {
 				rf.stats.poolHits.Add(1)
 			}
@@ -136,13 +162,21 @@ func (rf *registerFile) ensure(p *bytecode.Program, r bytecode.RegID) (tensor.Bu
 			return buf, nil
 		}
 	}
+	if rf.eng != nil {
+		if err := rf.eng.reserveBytes(bytes); err != nil {
+			return nil, err
+		}
+	}
 	buf, err := tensor.NewBuffer(info.DType, info.Len)
 	if err != nil {
+		if rf.eng != nil {
+			rf.eng.releaseBytes(bytes)
+		}
 		return nil, err
 	}
 	if rf.stats != nil {
 		rf.stats.buffersAllocated.Add(1)
-		rf.stats.bytesAllocated.Add(int64(info.Len * info.DType.Size()))
+		rf.stats.bytesAllocated.Add(int64(bytes))
 	}
 	rf.bufs[r] = buf
 	rf.owned[r] = true
@@ -161,6 +195,9 @@ func (rf *registerFile) free(r bytecode.RegID) {
 		return
 	}
 	rf.owned[r] = false
+	if rf.eng != nil {
+		rf.eng.releaseBytes(buf.Len() * buf.DType().Size())
+	}
 	if rf.shared != nil {
 		rf.shared.put(buf)
 	}

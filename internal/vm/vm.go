@@ -20,6 +20,16 @@ import (
 // ErrExec wraps runtime execution failures.
 var ErrExec = errors.New("vm: execution error")
 
+// ErrMemoryPressure marks allocations the engine denied because its
+// high-watermark byte budget is exhausted even after shedding the plan
+// cache and the recycle pool (EngineConfig.MemoryHighWatermark). It is
+// graceful degradation, not corruption: the failing batch's registers
+// may hold partial results, but the session — and every other session
+// on the engine — keeps working, and retrying after other sessions free
+// memory can succeed. Execution paths wrap it with %w, so hosts map it
+// with errors.Is (the bhd daemon turns it into a retryable 503).
+var ErrMemoryPressure = errors.New("vm: memory pressure")
+
 // Config selects the execution strategy.
 type Config struct {
 	// Workers is the goroutine pool width for data-parallel sweeps.
@@ -49,6 +59,12 @@ type Config struct {
 	// (Engine.NewMachine) capacity is fixed by EngineConfig.PlanCacheSize
 	// and only this field's sign is consulted.
 	PlanCacheSize int
+	// FaultLabel tags this machine's faultinject sites (allocation
+	// failure, slow or panicking execution) so a chaos harness can
+	// target one session among many — the bhd daemon labels every
+	// session's machine with its tenant. Empty machines only match
+	// label-less faults. Inert unless a fault is armed.
+	FaultLabel string
 }
 
 // DefaultParallelThreshold is the sweep size below which goroutine fan-out
@@ -303,12 +319,15 @@ func (m *Machine) Run(p *bytecode.Program) error {
 // Engine returns the (possibly shared) engine this machine runs on.
 func (m *Machine) Engine() *Engine { return m.eng }
 
-// Close detaches the machine from its engine: the session's counters fold
-// into the engine's process-wide totals and the machine must not be used
-// afterwards. A machine made by New owns its engine and closes it too; a
-// machine made by Engine.NewMachine never touches the shared pool — other
-// sessions keep running.
+// Close detaches the machine from its engine: the session's registers
+// are released (owned buffers recycle into the shared pool, the
+// engine's live-byte account is credited), the session's counters fold
+// into the engine's process-wide totals, and the machine must not be
+// used afterwards. A machine made by New owns its engine and closes it
+// too; a machine made by Engine.NewMachine never touches the shared
+// pool — other sessions keep running.
 func (m *Machine) Close() {
+	m.ReleaseRegisters()
 	m.eng.detach(m)
 	if m.private {
 		m.eng.Close()

@@ -22,6 +22,12 @@ type RuntimeConfig struct {
 	// PoolCapBytes bounds the bytes parked in the shared buffer recycle
 	// pool (0: 256 MiB).
 	PoolCapBytes int
+	// MemoryHighWatermark is the engine's graceful-degradation byte
+	// budget (0: unlimited). Over it, the engine sheds its shareable
+	// caches — compiled plans and parked recycle buffers — before
+	// denying fresh allocations with vm.ErrMemoryPressure, which the
+	// bhd daemon maps to a retryable 503.
+	MemoryHighWatermark int
 }
 
 // Runtime is the shared component stack of the paper's middleware: one
@@ -65,9 +71,10 @@ func NewRuntime(cfg *RuntimeConfig) *Runtime {
 		c = *cfg
 	}
 	return &Runtime{eng: vm.NewEngine(vm.EngineConfig{
-		Workers:       c.Workers,
-		PlanCacheSize: c.PlanCacheSize,
-		PoolCapBytes:  c.PoolCapBytes,
+		Workers:             c.Workers,
+		PlanCacheSize:       c.PlanCacheSize,
+		PoolCapBytes:        c.PoolCapBytes,
+		MemoryHighWatermark: c.MemoryHighWatermark,
 	})}
 }
 
