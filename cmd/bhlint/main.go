@@ -1,0 +1,135 @@
+// Command bhlint runs the repo's static-invariant analyzers (package
+// internal/analysis) over the whole module and prints findings as
+// "file:line: [analyzer] message", one per line, sorted by position.
+//
+// Usage:
+//
+//	bhlint [-list] [-run name,name] [dir]
+//
+// dir defaults to the current directory; bhlint walks up from it to the
+// enclosing go.mod, so "go run ./cmd/bhlint ./..." from anywhere in the
+// module lints the whole module (the "./..."-style argument is accepted
+// and trimmed for familiarity — the unit of analysis is always the
+// module).
+//
+// Exit status: 0 when clean, 1 when any analyzer reported a finding,
+// 2 on usage or load errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"bohrium/internal/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("bhlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	list := fs.Bool("list", false, "print the registered analyzers and exit")
+	runNames := fs.String("run", "", "comma-separated analyzer names to run (default: all)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *list {
+		for _, a := range analysis.All {
+			fmt.Fprintf(stdout, "%-14s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	analyzers, err := selectAnalyzers(*runNames)
+	if err != nil {
+		fmt.Fprintln(stderr, "bhlint:", err)
+		return 2
+	}
+
+	dir := "."
+	if fs.NArg() > 1 {
+		fmt.Fprintln(stderr, "bhlint: at most one directory argument")
+		return 2
+	}
+	if fs.NArg() == 1 {
+		// Accept the conventional "./..." spelling: analysis is always
+		// module-wide, so the pattern suffix is just trimmed.
+		dir = strings.TrimSuffix(fs.Arg(0), "...")
+		if dir == "" {
+			dir = "."
+		}
+	}
+	root, err := findModuleRoot(dir)
+	if err != nil {
+		fmt.Fprintln(stderr, "bhlint:", err)
+		return 2
+	}
+
+	mod, err := analysis.LoadModule(root)
+	if err != nil {
+		fmt.Fprintln(stderr, "bhlint:", err)
+		return 2
+	}
+	diags := analysis.Run(mod, analyzers)
+	for _, d := range diags {
+		// Report paths relative to the module root: stable across
+		// machines, clickable from the repo checkout.
+		if rel, err := filepath.Rel(root, d.Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+			d.Pos.Filename = rel
+		}
+		fmt.Fprintln(stdout, d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(stderr, "bhlint: %d finding(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}
+
+// selectAnalyzers resolves the -run list against the registry; an empty
+// list means all analyzers.
+func selectAnalyzers(names string) ([]*analysis.Analyzer, error) {
+	if names == "" {
+		return analysis.All, nil
+	}
+	byName := map[string]*analysis.Analyzer{}
+	for _, a := range analysis.All {
+		byName[a.Name] = a
+	}
+	var out []*analysis.Analyzer
+	for _, name := range strings.Split(names, ",") {
+		name = strings.TrimSpace(name)
+		a := byName[name]
+		if a == nil {
+			return nil, fmt.Errorf("unknown analyzer %q (see bhlint -list)", name)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// findModuleRoot walks up from dir to the nearest directory containing
+// go.mod.
+func findModuleRoot(dir string) (string, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for d := abs; ; {
+		if _, err := os.Stat(filepath.Join(d, "go.mod")); err == nil {
+			return d, nil
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", fmt.Errorf("no go.mod found above %s", abs)
+		}
+		d = parent
+	}
+}

@@ -1,0 +1,55 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestSelfRun is the gate the CI step relies on: the real module, as
+// committed, carries zero findings. Any invariant regression turns this
+// test (and the CI bhlint step) red.
+func TestSelfRun(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"../../..."}, &out, &errb); code != 0 {
+		t.Fatalf("bhlint on the real module: exit %d\n%s%s", code, out.String(), errb.String())
+	}
+	if out.Len() != 0 {
+		t.Errorf("clean run printed findings:\n%s", out.String())
+	}
+}
+
+func TestListPrintsEveryAnalyzer(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"-list"}, &out, &errb); code != 0 {
+		t.Fatalf("-list: exit %d: %s", code, errb.String())
+	}
+	for _, name := range []string{"errwrap", "guardedfield", "atomicfield", "ctxflow", "wirecontract", "boundary"} {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("-list output lacks %q:\n%s", name, out.String())
+		}
+	}
+}
+
+func TestRunSubset(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"-run", "errwrap,boundary", "../.."}, &out, &errb); code != 0 {
+		t.Fatalf("-run subset: exit %d\n%s%s", code, out.String(), errb.String())
+	}
+}
+
+func TestUnknownAnalyzer(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"-run", "nope"}, &out, &errb); code != 2 {
+		t.Fatalf("unknown analyzer: exit %d, want 2", code)
+	}
+	if !strings.Contains(errb.String(), "unknown analyzer") {
+		t.Errorf("stderr %q lacks the unknown-analyzer hint", errb.String())
+	}
+}
+
+func TestTooManyArgs(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"a", "b"}, &out, &errb); code != 2 {
+		t.Fatalf("two dirs: exit %d, want 2", code)
+	}
+}

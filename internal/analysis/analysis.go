@@ -1,0 +1,188 @@
+// Package analysis is the repo's static-invariant checker: a small
+// analyzer framework on the standard library only (go/parser + go/types
+// with the source importer — go.mod stays dependency-free) plus the
+// analyzers that encode the conventions this codebase's concurrency and
+// error handling depend on. The type system cannot see that a field is
+// guarded by a mutex, that an error chain must stay errors.Is-able, or
+// that a wire code is part of a stable contract; each analyzer here
+// turns one such convention into a machine-checked rule, so a regression
+// is a CI failure, not a code-review catch (or a cross-tenant incident
+// under load).
+//
+// cmd/bhlint is the driver: it loads the whole module once, runs every
+// analyzer over every package in its scope, and prints
+// "file:line: [analyzer] message" diagnostics with a non-zero exit on
+// findings. ARCHITECTURE.md section 9 documents each invariant, the
+// incident that motivated it, and how to annotate code for it.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one invariant checker. Run is called once per package in
+// scope; it reports findings through the Pass.
+type Analyzer struct {
+	// Name labels diagnostics ("[errwrap]") and selects analyzers on the
+	// bhlint command line.
+	Name string
+	// Doc is the one-line invariant statement bhlint -list prints.
+	Doc string
+	// Scope lists the module-relative package paths this analyzer runs
+	// on: "" is the module root, a path ending in "/..." matches the
+	// package and everything below it. Nil means every package.
+	Scope []string
+	// Run inspects one package and reports findings.
+	Run func(*Pass)
+}
+
+// AppliesTo reports whether the analyzer's scope covers the
+// module-relative package path rel ("" for the module root).
+func (a *Analyzer) AppliesTo(rel string) bool {
+	if a.Scope == nil {
+		return true
+	}
+	for _, s := range a.Scope {
+		if prefix, ok := strings.CutSuffix(s, "/..."); ok {
+			if rel == prefix || strings.HasPrefix(rel, prefix+"/") {
+				return true
+			}
+		} else if rel == s {
+			return true
+		}
+	}
+	return false
+}
+
+// Pass is one analyzer's view of one type-checked package.
+type Pass struct {
+	Analyzer *Analyzer
+	Module   *Module
+	Pkg      *Package
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Module.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Diagnostic is one finding: position, owning analyzer, message.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+// String renders the canonical "file:line: [analyzer] message" form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Analyzer, d.Message)
+}
+
+// Run executes each analyzer over every module package in its scope and
+// returns the findings sorted by file, line, and analyzer.
+func Run(mod *Module, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		for _, pkg := range mod.Pkgs {
+			if !a.AppliesTo(pkg.RelPath) {
+				continue
+			}
+			a.Run(&Pass{Analyzer: a, Module: mod, Pkg: pkg, diags: &diags})
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags
+}
+
+// errorType is the universe's error interface, shared by analyzers that
+// ask "does this expression's type implement error".
+var errorType = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+// implementsError reports whether t satisfies the error interface.
+func implementsError(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	return types.Implements(t, errorType)
+}
+
+// calleeFunc resolves a call expression to the function or method it
+// invokes, or nil for builtins, conversions, and indirect calls through
+// function values.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var obj types.Object
+	switch fn := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = info.Uses[fn]
+	case *ast.SelectorExpr:
+		obj = info.Uses[fn.Sel]
+	}
+	f, _ := obj.(*types.Func)
+	return f
+}
+
+// isPkgFunc reports whether call invokes the package-level function
+// pkgPath.name (e.g. "fmt", "Errorf").
+func isPkgFunc(info *types.Info, call *ast.CallExpr, pkgPath, name string) bool {
+	f := calleeFunc(info, call)
+	return f != nil && f.Pkg() != nil && f.Pkg().Path() == pkgPath &&
+		f.Name() == name && f.Type().(*types.Signature).Recv() == nil
+}
+
+// namedOrigin unwraps pointers and aliases down to the *types.Named type,
+// or nil.
+func namedOrigin(t types.Type) *types.Named {
+	for {
+		switch u := t.(type) {
+		case *types.Pointer:
+			t = u.Elem()
+		case *types.Alias:
+			t = types.Unalias(u)
+		case *types.Named:
+			return u
+		default:
+			return nil
+		}
+	}
+}
+
+// isSyncType reports whether t is the named type sync.<name>.
+func isSyncType(t types.Type, name string) bool {
+	n := namedOrigin(t)
+	return n != nil && n.Obj().Pkg() != nil &&
+		n.Obj().Pkg().Path() == "sync" && n.Obj().Name() == name
+}
+
+// atomicTypeName returns the sync/atomic value-type name of t
+// ("Int64", "Bool", ...) or "" when t is not one. Arrays of atomics
+// report their element type.
+func atomicTypeName(t types.Type) string {
+	if arr, ok := t.Underlying().(*types.Array); ok {
+		t = arr.Elem()
+	}
+	n := namedOrigin(t)
+	if n == nil || n.Obj().Pkg() == nil || n.Obj().Pkg().Path() != "sync/atomic" {
+		return ""
+	}
+	return n.Obj().Name()
+}

@@ -1,0 +1,12 @@
+package analysis
+
+// All is the registry cmd/bhlint runs by default, in reporting-precedence
+// order (diagnostics are sorted by position regardless).
+var All = []*Analyzer{
+	Errwrap,
+	Guardedfield,
+	Atomicfield,
+	Ctxflow,
+	Wirecontract,
+	Boundary,
+}

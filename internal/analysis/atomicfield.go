@@ -1,0 +1,100 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Atomicfield guards the lock-free counters (engine live-byte accounting,
+// executor in-flight counts, server drain flags): a struct field of a
+// sync/atomic value type (atomic.Int64, atomic.Bool, ...) may appear only
+// as the receiver of one of its own methods — s.n.Add(1), s.flag.Load()
+// — optionally through an index for arrays of atomics, plus len/cap and
+// index-only range over such arrays. Anything else (copying the value,
+// taking its address to pass elsewhere, ranging element-wise) either
+// tears the atomicity or trips the vet copylocks check later; this
+// analyzer catches it at the access site.
+var Atomicfield = &Analyzer{
+	Name: "atomicfield",
+	Doc:  "sync/atomic-typed fields are only used as receivers of their atomic methods",
+	Run:  runAtomicfield,
+}
+
+func runAtomicfield(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		// Walk with an explicit parent stack: legality of an atomic-field
+		// selector depends on the expression it is embedded in.
+		var stack []ast.Node
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			stack = append(stack, n)
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			s := info.Selections[sel]
+			if s == nil || s.Kind() != types.FieldVal {
+				return true
+			}
+			v, ok := s.Obj().(*types.Var)
+			if !ok || atomicTypeName(v.Type()) == "" {
+				return true
+			}
+			if !atomicUseOK(info, sel, stack) {
+				pass.Reportf(sel.Pos(),
+					"atomic field %s used outside an atomic method call; go through its Load/Store/Add/CompareAndSwap methods", v.Name())
+			}
+			return true
+		})
+	}
+}
+
+// atomicUseOK reports whether the atomic-field selector sel sits in a
+// permitted context. stack ends with sel itself.
+func atomicUseOK(info *types.Info, sel *ast.SelectorExpr, stack []ast.Node) bool {
+	parent := parentOf(stack, 1)
+	// s.arr[i].Add(1): step through the index to judge the method access.
+	if idx, ok := parent.(*ast.IndexExpr); ok && idx.X == sel {
+		return indexedAtomicUseOK(info, idx, parentOf(stack, 2))
+	}
+	return indexedAtomicUseOK(info, sel, parent)
+}
+
+// indexedAtomicUseOK judges the context of expr, which denotes an atomic
+// value (the field selector, possibly wrapped in one index expression).
+func indexedAtomicUseOK(info *types.Info, expr ast.Expr, parent ast.Node) bool {
+	switch p := parent.(type) {
+	case *ast.SelectorExpr:
+		// Receiver position of an atomic method: s.n.Add, s.arr[i].Load.
+		if p.X == expr {
+			if ms := info.Selections[p]; ms != nil && ms.Kind() == types.MethodVal {
+				return true
+			}
+		}
+	case *ast.CallExpr:
+		// len(s.arr) / cap(s.arr) are reads of the (constant) shape only.
+		if id, ok := ast.Unparen(p.Fun).(*ast.Ident); ok {
+			if b, ok := info.Uses[id].(*types.Builtin); ok && (b.Name() == "len" || b.Name() == "cap") {
+				return true
+			}
+		}
+	case *ast.RangeStmt:
+		// Index-only range over an array of atomics never loads elements.
+		if p.X == expr && p.Value == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// parentOf returns the stack entry n levels above the top, or nil.
+func parentOf(stack []ast.Node, n int) ast.Node {
+	if len(stack) <= n {
+		return nil
+	}
+	return stack[len(stack)-1-n]
+}

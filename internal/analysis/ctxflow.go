@@ -1,0 +1,104 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Ctxflow encodes the cancellation discipline the daemon's drain path and
+// the executor's quiesce path depend on: once a function has been handed
+// a context it must stay on that context's cancellation tree. Inside
+// internal/server and internal/backend, a function with a
+// context.Context parameter must not
+//
+//   - mint a fresh root with context.Background() or context.TODO() —
+//     work on a detached tree outlives the request and stalls drain; nor
+//   - call a callee's context-blind variant when a ctx-taking sibling
+//     exists (sess.lock() where sess.lockCtx(ctx) is defined): the blind
+//     call blocks past cancellation, which is exactly the bug class the
+//     lockCtx helpers were added to kill.
+var Ctxflow = &Analyzer{
+	Name:  "ctxflow",
+	Doc:   "ctx-receiving functions in server/backend neither mint fresh roots nor call context-blind siblings",
+	Scope: []string{"internal/server/...", "internal/backend/..."},
+	Run:   runCtxflow,
+}
+
+func runCtxflow(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !declTakesContext(info, fd) {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if isPkgFunc(info, call, "context", "Background") || isPkgFunc(info, call, "context", "TODO") {
+					pass.Reportf(call.Pos(),
+						"%s receives a ctx but mints a fresh root; derive from the incoming ctx instead", fd.Name.Name)
+					return true
+				}
+				fn := calleeFunc(info, call)
+				if fn == nil || funcTakesContext(fn) {
+					return true
+				}
+				if sib := ctxSibling(fn); sib != nil {
+					pass.Reportf(call.Pos(),
+						"%s holds a ctx but calls context-blind %s; use %s so cancellation propagates", fd.Name.Name, fn.Name(), sib.Name())
+				}
+				return true
+			})
+		}
+	}
+}
+
+// declTakesContext reports whether the function declaration has a
+// context.Context parameter.
+func declTakesContext(info *types.Info, fd *ast.FuncDecl) bool {
+	fn, _ := info.Defs[fd.Name].(*types.Func)
+	return fn != nil && funcTakesContext(fn)
+}
+
+// funcTakesContext reports whether any parameter of fn is a
+// context.Context.
+func funcTakesContext(fn *types.Func) bool {
+	params := fn.Type().(*types.Signature).Params()
+	for i := 0; i < params.Len(); i++ {
+		if isContextType(params.At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+func isContextType(t types.Type) bool {
+	n := namedOrigin(t)
+	return n != nil && n.Obj().Pkg() != nil &&
+		n.Obj().Pkg().Path() == "context" && n.Obj().Name() == "Context"
+}
+
+// ctxSibling finds the ctx-taking variant of a context-blind function:
+// a method (or package function) named <fn>Ctx with a context parameter,
+// looked up on the receiver type or in the declaring package.
+func ctxSibling(fn *types.Func) *types.Func {
+	name := fn.Name() + "Ctx"
+	sig := fn.Type().(*types.Signature)
+	if recv := sig.Recv(); recv != nil {
+		obj, _, _ := types.LookupFieldOrMethod(recv.Type(), true, fn.Pkg(), name)
+		if sib, ok := obj.(*types.Func); ok && funcTakesContext(sib) {
+			return sib
+		}
+		return nil
+	}
+	if fn.Pkg() == nil {
+		return nil
+	}
+	if sib, ok := fn.Pkg().Scope().Lookup(name).(*types.Func); ok && funcTakesContext(sib) {
+		return sib
+	}
+	return nil
+}

@@ -1,0 +1,92 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+)
+
+// Errwrap encodes the error-chain invariant behind the daemon's
+// retryable-503 classification: an execution-path fmt.Errorf whose
+// argument is itself an error must wrap it with %w, never format it with
+// %v or %s. Formatting flattens the chain — errors.Is(err,
+// vm.ErrMemoryPressure) (and ErrParse/ErrInvalid/ErrExec/ErrRewrite)
+// stops matching through the wrap, so a retryable condition misclassifies
+// as terminal. The %w form prints identically to %v for errors, which is
+// why the PR-8 sweep could fix wraps without moving a single byte of the
+// differential-pinned error text.
+var Errwrap = &Analyzer{
+	Name: "errwrap",
+	Doc:  "fmt.Errorf over an error-typed argument must use %w so errors.Is survives the wrap",
+	Scope: []string{
+		"internal/vm/...", "internal/backend/...", "internal/bytecode/...",
+		"internal/rewrite/...", "internal/server/...",
+	},
+	Run: runErrwrap,
+}
+
+func runErrwrap(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isPkgFunc(info, call, "fmt", "Errorf") || len(call.Args) < 2 {
+				return true
+			}
+			tv, ok := info.Types[call.Args[0]]
+			if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+				return true
+			}
+			verbs := formatVerbs(constant.StringVal(tv.Value))
+			for i, verb := range verbs {
+				argIdx := 1 + i
+				if argIdx >= len(call.Args) {
+					break
+				}
+				if verb != 'v' && verb != 's' {
+					continue
+				}
+				arg := call.Args[argIdx]
+				if atv, ok := info.Types[arg]; ok && implementsError(atv.Type) {
+					pass.Reportf(arg.Pos(),
+						"error-typed argument formatted with %%%c; use %%w so errors.Is can match through the wrap", verb)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// formatVerbs extracts the argument-consuming verb letters of a fmt
+// format string, in argument order. Explicit argument indexes (%[n]d)
+// and star widths are rare enough here that any format using them is
+// skipped entirely (returns nil) rather than mis-mapped.
+func formatVerbs(format string) []byte {
+	var verbs []byte
+	for i := 0; i < len(format); i++ {
+		if format[i] != '%' {
+			continue
+		}
+		i++
+		// Flags, width, precision.
+		for i < len(format) {
+			c := format[i]
+			if c == '[' || c == '*' {
+				return nil // explicit index or star width: bail out
+			}
+			if c == '+' || c == '-' || c == '#' || c == ' ' || c == '0' ||
+				c == '.' || (c >= '1' && c <= '9') {
+				i++
+				continue
+			}
+			break
+		}
+		if i >= len(format) {
+			break
+		}
+		if format[i] == '%' {
+			continue
+		}
+		verbs = append(verbs, format[i])
+	}
+	return verbs
+}

@@ -1,0 +1,272 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// Guardedfield encodes the locking conventions the shared runtime relies
+// on (the ones PR 5's shared-engine split and PR 7's session registry
+// were built around, and the ones a missed lock turns into a cross-tenant
+// incident):
+//
+//   - A struct field annotated "// guarded by <mu>" may only be accessed
+//     inside a function that, on some path, acquires that guard: a
+//     <mu>.Lock()/RLock() call, a send on a channel-semaphore guard, or a
+//     call to the owning type's lock/lockCtx helper. The check is
+//     deliberately conservative and same-function: acquiring anywhere in
+//     the function admits every access in it (and its closures).
+//   - A function whose doc comment declares the caller's obligation
+//     ("Caller holds mu.", "Call with the shard lock held") is trusted:
+//     its accesses pass, and the comment is the contract reviewers hold
+//     callers to.
+//   - A function that constructs the struct with a composite literal is
+//     its constructor: the value is not shared yet, so accesses pass.
+//   - Every other field of a mutex-carrying struct must say what
+//     synchronizes it: "guarded by <mu>", or an immutability/ownership
+//     note ("immutable after construction", "set once ...", "owned by
+//     the recorder goroutine", "not guarded: ..."). sync.Mutex/RWMutex/
+//     WaitGroup/Once fields and sync/atomic value types need no note —
+//     they synchronize themselves.
+var Guardedfield = &Analyzer{
+	Name: "guardedfield",
+	Doc:  "fields annotated 'guarded by <mu>' are only touched while holding <mu>; mutex-carrying structs annotate every field",
+	Run:  runGuardedfield,
+}
+
+var (
+	guardedByRe = regexp.MustCompile(`guarded by (\w+)`)
+	exemptRe    = regexp.MustCompile(`(?i)immutable|set once|owned by|not guarded|self-synchron`)
+	holdsDocRe  = regexp.MustCompile(`(?i)caller holds|lock held|while holding|holds the`)
+	lockNameRe  = regexp.MustCompile(`^r?lock`)
+)
+
+// guardInfo is the per-package annotation index Enforcement builds on.
+type guardInfo struct {
+	// guardOf maps an annotated field to the mutex/semaphore field that
+	// guards it.
+	guardOf map[*types.Var]*types.Var
+	// owners maps each struct type carrying guards to every guard field
+	// declared on it (for the constructor and lock-helper rules).
+	owners map[*types.Named][]*types.Var
+}
+
+func runGuardedfield(pass *Pass) {
+	gi := collectGuards(pass)
+	if len(gi.guardOf) == 0 {
+		return
+	}
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fd.Doc != nil && holdsDocRe.MatchString(fd.Doc.Text()) {
+				continue // documented caller-holds contract
+			}
+			checkGuardedAccesses(pass, gi, fd)
+		}
+	}
+}
+
+// collectGuards walks the package's struct declarations: it validates
+// the annotation discipline (Enforcement A) and indexes field→guard for
+// the access check (Enforcement B).
+func collectGuards(pass *Pass) *guardInfo {
+	info := pass.Pkg.Info
+	gi := &guardInfo{
+		guardOf: map[*types.Var]*types.Var{},
+		owners:  map[*types.Named][]*types.Var{},
+	}
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			named, _ := info.Defs[ts.Name].Type().(*types.Named)
+
+			// First sweep: find the struct's guards — mutex fields plus
+			// any field some annotation names as its guard (channel
+			// semaphores enroll this way).
+			fieldVar := map[string]*types.Var{}
+			var mutexes []*types.Var
+			guardNames := map[string]bool{}
+			for _, field := range st.Fields.List {
+				for _, name := range field.Names {
+					v, _ := info.Defs[name].(*types.Var)
+					if v == nil {
+						continue
+					}
+					fieldVar[name.Name] = v
+					if isSyncType(v.Type(), "Mutex") || isSyncType(v.Type(), "RWMutex") {
+						mutexes = append(mutexes, v)
+						guardNames[name.Name] = true
+					}
+				}
+				for _, m := range guardedByRe.FindAllStringSubmatch(fieldComment(field), -1) {
+					guardNames[m[1]] = true
+				}
+			}
+
+			// Second sweep: bind annotations and enforce completeness.
+			for _, field := range st.Fields.List {
+				comment := fieldComment(field)
+				m := guardedByRe.FindStringSubmatch(comment)
+				for _, name := range field.Names {
+					v := fieldVar[name.Name]
+					if v == nil || guardNames[name.Name] {
+						continue
+					}
+					if m != nil {
+						guard := fieldVar[m[1]]
+						if guard == nil {
+							pass.Reportf(name.Pos(),
+								"field %s.%s is 'guarded by %s', but the struct has no field %s",
+								ts.Name.Name, name.Name, m[1], m[1])
+							continue
+						}
+						gi.guardOf[v] = guard
+						if named != nil {
+							gi.owners[named] = appendUnique(gi.owners[named], guard)
+						}
+						continue
+					}
+					if selfSynchronized(v.Type()) || exemptRe.MatchString(comment) {
+						continue
+					}
+					if len(mutexes) > 0 {
+						pass.Reportf(name.Pos(),
+							"field %s.%s shares a struct with mutex %s but has no '// guarded by <mu>' annotation or immutability note",
+							ts.Name.Name, name.Name, mutexes[0].Name())
+					}
+				}
+			}
+			return true
+		})
+	}
+	return gi
+}
+
+// checkGuardedAccesses walks one function: every selector that resolves
+// to a guarded field must be covered by a guard this function acquires
+// or a struct it constructs.
+func checkGuardedAccesses(pass *Pass, gi *guardInfo, fd *ast.FuncDecl) {
+	info := pass.Pkg.Info
+	held := map[*types.Var]bool{}
+	constructed := map[*types.Named]bool{}
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			sel, ok := n.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			// Direct acquisition: x.mu.Lock() / x.mu.RLock().
+			if sel.Sel.Name == "Lock" || sel.Sel.Name == "RLock" {
+				if inner, ok := ast.Unparen(sel.X).(*ast.SelectorExpr); ok {
+					if s := info.Selections[inner]; s != nil {
+						if v, ok := s.Obj().(*types.Var); ok {
+							held[v] = true
+						}
+					}
+				}
+			}
+			// Lock-helper acquisition: sess.lock(), sess.lockCtx(ctx) —
+			// a method of the guard's owner whose name says it locks.
+			if fn := calleeFunc(info, n); fn != nil && lockNameRe.MatchString(strings.ToLower(fn.Name())) &&
+				!strings.Contains(strings.ToLower(fn.Name()), "unlock") {
+				if recv := fn.Type().(*types.Signature).Recv(); recv != nil {
+					if named := namedOrigin(recv.Type()); named != nil {
+						for _, g := range gi.owners[named.Origin()] {
+							held[g] = true
+						}
+					}
+				}
+			}
+		case *ast.SendStmt:
+			// Channel-semaphore acquisition: s.sem <- struct{}{}.
+			if sel, ok := ast.Unparen(n.Chan).(*ast.SelectorExpr); ok {
+				if s := info.Selections[sel]; s != nil {
+					if v, ok := s.Obj().(*types.Var); ok {
+						held[v] = true
+					}
+				}
+			}
+		case *ast.CompositeLit:
+			// Constructor: the fresh value is unshared.
+			if tv, ok := info.Types[n]; ok {
+				if named := namedOrigin(tv.Type); named != nil {
+					constructed[named.Origin()] = true
+				}
+			}
+		}
+		return true
+	})
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		s := info.Selections[sel]
+		if s == nil {
+			return true
+		}
+		v, ok := s.Obj().(*types.Var)
+		if !ok {
+			return true
+		}
+		guard, guarded := gi.guardOf[v]
+		if !guarded || held[guard] {
+			return true
+		}
+		if owner := namedOrigin(s.Recv()); owner != nil && constructed[owner.Origin()] {
+			return true
+		}
+		pass.Reportf(sel.Pos(),
+			"%s is guarded by %s, but %s neither acquires it nor documents a caller-holds contract",
+			v.Name(), guard.Name(), fd.Name.Name)
+		return true
+	})
+}
+
+// fieldComment joins a field's doc comment and its trailing line comment.
+func fieldComment(f *ast.Field) string {
+	var parts []string
+	if f.Doc != nil {
+		parts = append(parts, f.Doc.Text())
+	}
+	if f.Comment != nil {
+		parts = append(parts, f.Comment.Text())
+	}
+	return strings.Join(parts, " ")
+}
+
+// selfSynchronized reports field types that need no guard annotation:
+// the sync primitives themselves and sync/atomic value types.
+func selfSynchronized(t types.Type) bool {
+	for _, n := range []string{"Mutex", "RWMutex", "WaitGroup", "Once"} {
+		if isSyncType(t, n) {
+			return true
+		}
+	}
+	return atomicTypeName(t) != ""
+}
+
+func appendUnique(vars []*types.Var, v *types.Var) []*types.Var {
+	for _, have := range vars {
+		if have == v {
+			return vars
+		}
+	}
+	return append(vars, v)
+}

@@ -1,0 +1,225 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one type-checked module package.
+type Package struct {
+	// RelPath is the module-relative directory ("" for the module root,
+	// "internal/vm", ...). Analyzer scopes match against it.
+	RelPath string
+	// Path is the full import path.
+	Path string
+	// Files holds the package's non-test files, parsed with comments.
+	Files []*ast.File
+	// Types and Info are the go/types results for the package.
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Module is a whole module loaded for analysis: every non-test package,
+// parsed and type-checked against one shared FileSet.
+type Module struct {
+	// Root is the absolute module root directory (where go.mod lives).
+	Root string
+	// Path is the module path declared in go.mod.
+	Path string
+	Fset *token.FileSet
+	// Pkgs lists every loaded package, sorted by RelPath.
+	Pkgs []*Package
+
+	byPath map[string]*Package
+}
+
+// Lookup finds a loaded package by full import path, or nil.
+func (m *Module) Lookup(path string) *Package { return m.byPath[path] }
+
+// sharedFset is the process-wide FileSet behind every load. The stdlib
+// source importer is constructed against it once and caches the standard
+// library across loads, so tests loading many small fixture modules pay
+// for type-checking "fmt" and "sync" from source only once.
+var (
+	sharedFset  = token.NewFileSet()
+	stdImporter = importer.ForCompiler(sharedFset, "source", nil)
+)
+
+// moduleImporter resolves module-internal import paths from the packages
+// loaded so far and delegates everything else to the stdlib source
+// importer.
+type moduleImporter struct {
+	mod *Module
+}
+
+func (mi moduleImporter) Import(path string) (*types.Package, error) {
+	if pkg := mi.mod.byPath[path]; pkg != nil {
+		if pkg.Types == nil {
+			return nil, fmt.Errorf("import cycle through %q", path)
+		}
+		return pkg.Types, nil
+	}
+	if path == mi.mod.Path || strings.HasPrefix(path, mi.mod.Path+"/") {
+		return nil, fmt.Errorf("module package %q not found on disk", path)
+	}
+	return stdImporter.Import(path)
+}
+
+// LoadModule parses and type-checks every non-test package under the
+// module rooted at dir (the directory containing go.mod). Test files are
+// excluded: the invariants are about production code, and test packages
+// may deliberately violate them to prove error paths.
+func LoadModule(dir string) (*Module, error) {
+	root, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	modPath, err := readModulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	mod := &Module{Root: root, Path: modPath, Fset: sharedFset, byPath: map[string]*Package{}}
+
+	// Discover package directories: every directory holding at least one
+	// non-test .go file, skipping VCS metadata and testdata trees.
+	dirSet := map[string]bool{}
+	err = filepath.WalkDir(root, func(p string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if p != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(p, ".go") && !strings.HasSuffix(p, "_test.go") {
+			dirSet[filepath.Dir(p)] = true
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	dirs := make([]string, 0, len(dirSet))
+	for d := range dirSet {
+		dirs = append(dirs, d)
+	}
+	sort.Strings(dirs)
+
+	for _, d := range dirs {
+		rel, err := filepath.Rel(root, d)
+		if err != nil {
+			return nil, err
+		}
+		if rel == "." {
+			rel = ""
+		}
+		rel = filepath.ToSlash(rel)
+		pkg := &Package{RelPath: rel, Path: modPath}
+		if rel != "" {
+			pkg.Path = modPath + "/" + rel
+		}
+		entries, err := os.ReadDir(d)
+		if err != nil {
+			return nil, err
+		}
+		for _, e := range entries {
+			if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") || strings.HasSuffix(e.Name(), "_test.go") {
+				continue
+			}
+			f, err := parser.ParseFile(sharedFset, filepath.Join(d, e.Name()), nil, parser.ParseComments)
+			if err != nil {
+				return nil, err
+			}
+			pkg.Files = append(pkg.Files, f)
+		}
+		if len(pkg.Files) == 0 {
+			continue
+		}
+		mod.Pkgs = append(mod.Pkgs, pkg)
+		mod.byPath[pkg.Path] = pkg
+	}
+
+	// Type-check in dependency order: repeatedly check packages whose
+	// module-internal imports are all done. The module is small enough
+	// that the quadratic sweep is free, and a leftover package means an
+	// import cycle.
+	remaining := len(mod.Pkgs)
+	for remaining > 0 {
+		progress := false
+		for _, pkg := range mod.Pkgs {
+			if pkg.Types != nil || !importsReady(mod, pkg) {
+				continue
+			}
+			if err := typecheck(mod, pkg); err != nil {
+				return nil, err
+			}
+			remaining--
+			progress = true
+		}
+		if !progress {
+			return nil, fmt.Errorf("import cycle among module packages")
+		}
+	}
+	return mod, nil
+}
+
+// importsReady reports whether every module-internal import of pkg has
+// been type-checked already.
+func importsReady(mod *Module, pkg *Package) bool {
+	for _, f := range pkg.Files {
+		for _, imp := range f.Imports {
+			path := strings.Trim(imp.Path.Value, `"`)
+			if dep := mod.byPath[path]; dep != nil && dep.Types == nil {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func typecheck(mod *Module, pkg *Package) error {
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{Importer: moduleImporter{mod}}
+	tpkg, err := conf.Check(pkg.Path, sharedFset, pkg.Files, info)
+	if err != nil {
+		return fmt.Errorf("type-checking %s: %w", pkg.Path, err)
+	}
+	pkg.Types = tpkg
+	pkg.Info = info
+	return nil
+}
+
+// readModulePath extracts the module path from a go.mod file.
+func readModulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			path := strings.TrimSpace(rest)
+			path = strings.Trim(path, `"`)
+			if path != "" {
+				return path, nil
+			}
+		}
+	}
+	return "", fmt.Errorf("%s: no module directive", gomod)
+}

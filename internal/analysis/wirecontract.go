@@ -1,0 +1,124 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+)
+
+// Wirecontract pins the two stringly-typed contracts that cross the
+// process boundary:
+//
+//   - Wire error codes. The HTTP envelope's "code" field is part of the
+//     client contract (clients switch on it to decide retry vs fail).
+//     Any call that passes a constant string as a "code" parameter to
+//     the api package's constructors must pass one of the declared
+//     api.Code* constants — a typo'd or ad-hoc code ships a value no
+//     client recognizes and no test pins.
+//   - Fault-injection point names. The faultinject registry matches
+//     hooks by Point name; a misspelled point silently never fires, so
+//     the chaos test it backs quietly stops testing anything. Constant
+//     Point arguments must be one of the registered Point constants.
+//
+// The declaring packages themselves are skipped — that is where the
+// canonical lists live.
+var Wirecontract = &Analyzer{
+	Name: "wirecontract",
+	Doc:  "constant wire error codes and faultinject point names come from the declared constant sets",
+	Run:  runWirecontract,
+}
+
+// wireSets is the module-wide index of declared contract values.
+type wireSets struct {
+	codes     map[string]bool // value -> declared, from Code* string consts
+	codePkgs  map[string]bool // package paths declaring Code* consts
+	points    map[string]bool // value -> declared, from Point-typed consts
+	pointType map[*types.TypeName]bool
+	pointPkgs map[string]bool
+}
+
+func runWirecontract(pass *Pass) {
+	ws := collectWireSets(pass.Module)
+	if ws.codePkgs[pass.Pkg.Path] || ws.pointPkgs[pass.Pkg.Path] {
+		return // the declaring package is the source of truth
+	}
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(info, call)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			sig := fn.Type().(*types.Signature)
+			for i := 0; i < sig.Params().Len() && i < len(call.Args); i++ {
+				p := sig.Params().At(i)
+				val := constStringArg(info, call.Args[i])
+				if val == nil {
+					continue
+				}
+				if ws.codePkgs[fn.Pkg().Path()] && p.Name() == "code" && isStringParam(p) && !ws.codes[*val] {
+					pass.Reportf(call.Args[i].Pos(),
+						"error code %q is not a declared Code* constant in %s", *val, fn.Pkg().Path())
+				}
+				if tn := namedOrigin(p.Type()); tn != nil && ws.pointType[tn.Obj()] && !ws.points[*val] {
+					pass.Reportf(call.Args[i].Pos(),
+						"fault-injection point %q is not a registered Point constant in %s", *val, tn.Obj().Pkg().Path())
+				}
+			}
+			return true
+		})
+	}
+}
+
+// collectWireSets scans every module package for the contract
+// declarations: Code*-named string constants, and constants of a named
+// string type called Point.
+func collectWireSets(mod *Module) *wireSets {
+	ws := &wireSets{
+		codes:     map[string]bool{},
+		codePkgs:  map[string]bool{},
+		points:    map[string]bool{},
+		pointType: map[*types.TypeName]bool{},
+		pointPkgs: map[string]bool{},
+	}
+	for _, pkg := range mod.Pkgs {
+		scope := pkg.Types.Scope()
+		for _, name := range scope.Names() {
+			switch obj := scope.Lookup(name).(type) {
+			case *types.Const:
+				if strings.HasPrefix(name, "Code") && obj.Val().Kind() == constant.String {
+					ws.codes[constant.StringVal(obj.Val())] = true
+					ws.codePkgs[pkg.Path] = true
+				}
+				if tn := namedOrigin(obj.Type()); tn != nil && tn.Obj().Name() == "Point" &&
+					obj.Val().Kind() == constant.String {
+					ws.points[constant.StringVal(obj.Val())] = true
+					ws.pointType[tn.Obj()] = true
+					ws.pointPkgs[pkg.Path] = true
+				}
+			}
+		}
+	}
+	return ws
+}
+
+// constStringArg folds arg to its constant string value, or nil when the
+// argument is not a compile-time string.
+func constStringArg(info *types.Info, arg ast.Expr) *string {
+	tv, ok := info.Types[arg]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return nil
+	}
+	s := constant.StringVal(tv.Value)
+	return &s
+}
+
+func isStringParam(p *types.Var) bool {
+	b, ok := p.Type().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.String
+}

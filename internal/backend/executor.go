@@ -26,21 +26,22 @@ import (
 // converted into a sticky pipeline error too — the failure belongs to
 // the session that submitted the plan, never to the process.
 type Executor struct {
-	b     Backend
-	label string // faultinject site label (the host's tenant name)
-	jobs  chan Plan
+	b     Backend   // immutable after NewExecutor
+	label string    // immutable after NewExecutor: faultinject site label (the host's tenant name)
+	jobs  chan Plan // immutable after NewExecutor (the channel; Close closes it under mu)
 	wg    sync.WaitGroup
-	done  chan struct{}
+	done  chan struct{} // immutable after NewExecutor
 	// pending counts submitted-not-yet-finished plans (queued or in
 	// flight) for admission control and monitoring.
 	pending atomic.Int64
 
 	mu     sync.Mutex
-	err    error
-	closed bool
+	err    error // guarded by mu
+	closed bool  // guarded by mu
 	// quiet is closed when pending drops to zero; created lazily on the
 	// 0→1 transition. WaitCtx snapshots it so a deadline-bounded wait
 	// can select against cancellation without consuming wg state.
+	// guarded by mu.
 	quiet chan struct{}
 }
 

@@ -1,0 +1,45 @@
+package bytecode
+
+import (
+	"errors"
+	"strconv"
+	"testing"
+)
+
+// The parse and validation wraps chain with %w end to end, so callers
+// can match both the package sentinel AND the underlying cause. These
+// tests pin the chain the errwrap analyzer enforces: if a wrap regresses
+// to %v, the deep match goes dark while the error text stays identical —
+// exactly the failure mode a text assertion cannot catch.
+
+func TestParseErrorChainExposesCause(t *testing.T) {
+	_, err := Parse(".reg a0 float64 4\nBH_IDENTITY a0 0\nBH_ADD_REDUCE a0 a0 axis=x\n")
+	if err == nil {
+		t.Fatal("parse accepted a malformed axis")
+	}
+	if !errors.Is(err, ErrParse) {
+		t.Errorf("error %v does not match ErrParse", err)
+	}
+	// The malformed integer surfaces through two %w wraps: the sentinel
+	// wrap on the line error and the "bad axis" wrap on strconv's.
+	if !errors.Is(err, strconv.ErrSyntax) {
+		t.Errorf("error %v does not expose strconv.ErrSyntax through the chain", err)
+	}
+}
+
+func TestValidateErrorChainKeepsSentinel(t *testing.T) {
+	p, err := Parse(".reg a0 float64 4\n.reg a1 float64 4\nBH_ADD a0 a1 a1\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// a1 is read but never written: validation fails inside
+	// validateInstr, and the instr-context wrap must keep ErrInvalid
+	// matchable.
+	verr := p.Validate()
+	if verr == nil {
+		t.Fatal("validation accepted a read of a never-written register")
+	}
+	if !errors.Is(verr, ErrInvalid) {
+		t.Errorf("error %v does not match ErrInvalid through the instr wrap", verr)
+	}
+}

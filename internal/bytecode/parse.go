@@ -53,7 +53,7 @@ func ParseNames(src string) (*Program, map[string]RegID, error) {
 			continue
 		}
 		if err := ps.parseLine(line); err != nil {
-			return nil, nil, fmt.Errorf("%w: line %d: %v", ErrParse, lineNo+1, err)
+			return nil, nil, fmt.Errorf("%w: line %d: %w", ErrParse, lineNo+1, err)
 		}
 	}
 	ps.resolvePending()
@@ -105,7 +105,7 @@ func (ps *parseState) parseLine(line string) error {
 	if len(rest) > 0 && strings.HasPrefix(rest[len(rest)-1], "axis=") {
 		axis, err := strconv.Atoi(strings.TrimPrefix(rest[len(rest)-1], "axis="))
 		if err != nil {
-			return fmt.Errorf("bad axis: %v", err)
+			return fmt.Errorf("bad axis: %w", err)
 		}
 		in.Axis = axis
 		rest = rest[:len(rest)-1]

@@ -26,7 +26,7 @@ func (p *Program) Validate() error {
 	}
 	for idx := range p.Instrs {
 		if err := p.validateInstr(&p.Instrs[idx], live); err != nil {
-			return fmt.Errorf("%w: instr %d (%s): %v", ErrInvalid, idx, p.Instrs[idx].String(), err)
+			return fmt.Errorf("%w: instr %d (%s): %w", ErrInvalid, idx, p.Instrs[idx].String(), err)
 		}
 	}
 	return nil
@@ -46,7 +46,7 @@ func (p *Program) validateInstr(in *Instruction, live []bool) error {
 		return fmt.Errorf("result operand must be a register")
 	}
 	if err := p.checkRegOperand(in.Out); err != nil {
-		return fmt.Errorf("result: %v", err)
+		return fmt.Errorf("result: %w", err)
 	}
 
 	switch in.Op {
@@ -72,7 +72,7 @@ func (p *Program) validateInstr(in *Instruction, live []bool) error {
 			continue
 		}
 		if err := p.checkRegOperand(opnd); err != nil {
-			return fmt.Errorf("input %d: %v", i+1, err)
+			return fmt.Errorf("input %d: %w", i+1, err)
 		}
 		if !live[opnd.Reg] {
 			return fmt.Errorf("input %d reads undefined or freed register %s", i+1, opnd.Reg)

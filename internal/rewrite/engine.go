@@ -100,11 +100,11 @@ func (pl *Pipeline) Run(p *bytecode.Program) (*Report, error) {
 		for _, rule := range pl.rules {
 			n, err := rule.Apply(p)
 			if err != nil {
-				return report, fmt.Errorf("%w: rule %s: %v", ErrRewrite, rule.Name(), err)
+				return report, fmt.Errorf("%w: rule %s: %w", ErrRewrite, rule.Name(), err)
 			}
 			if n > 0 && pl.Validate {
 				if err := p.Validate(); err != nil {
-					return report, fmt.Errorf("%w: rule %s produced invalid program: %v",
+					return report, fmt.Errorf("%w: rule %s produced invalid program: %w",
 						ErrRewrite, rule.Name(), err)
 				}
 			}

@@ -1,0 +1,30 @@
+package rewrite
+
+import (
+	"errors"
+	"testing"
+
+	"bohrium/internal/bytecode"
+)
+
+// TestRewriteErrorChainExposesInvalidCause pins the double-%w chain at
+// the pipeline's post-rule validation: when a rule corrupts the program,
+// the error must match ErrRewrite (the pipeline sentinel) AND
+// bytecode.ErrInvalid (the underlying validation failure) — callers
+// attribute the failure to the optimizer while still classifying what
+// went wrong. A %v regression on either wrap breaks the deep match
+// without changing the message, which is why the errwrap analyzer and
+// this test exist together.
+func TestRewriteErrorChainExposesInvalidCause(t *testing.T) {
+	p := bytecode.MustParse(listing2)
+	_, err := NewPipeline(brokenRule{}).Run(p)
+	if err == nil {
+		t.Fatal("pipeline accepted a corrupted program")
+	}
+	if !errors.Is(err, ErrRewrite) {
+		t.Errorf("error %v does not match ErrRewrite", err)
+	}
+	if !errors.Is(err, bytecode.ErrInvalid) {
+		t.Errorf("error %v does not expose bytecode.ErrInvalid through the rewrite wrap", err)
+	}
+}

@@ -63,13 +63,13 @@ func (r PowerExpandRule) Apply(p *bytecode.Program) (int, error) {
 
 		chain, err := chains.Generate(strategy, n)
 		if err != nil {
-			return total, fmt.Errorf("power-expand: %v", err)
+			return total, fmt.Errorf("power-expand: %w", err)
 		}
 		if !r.AllowTemporaries && !chain.TwoTensorSafe() {
 			// Fall back to the best chain that honors the two-tensor
 			// constraint.
 			if chain, err = chains.Binary(n); err != nil {
-				return total, fmt.Errorf("power-expand: %v", err)
+				return total, fmt.Errorf("power-expand: %w", err)
 			}
 		}
 		if !r.DisableCostModel {

@@ -34,14 +34,14 @@ func (s StaticTokens) TenantOf(token string) (string, bool) {
 // window. Negative results are not cached: a token created upstream
 // mid-window must start working without waiting out the TTL.
 type TokenCache struct {
-	auth Authenticator
-	ttl  time.Duration
-	now  func() time.Time
+	auth Authenticator    // immutable after NewTokenCache
+	ttl  time.Duration    // immutable after NewTokenCache
+	now  func() time.Time // immutable after NewTokenCache
 
 	mu      sync.Mutex
-	entries map[string]tokenEntry
-	hits    int64
-	misses  int64
+	entries map[string]tokenEntry // guarded by mu
+	hits    int64                 // guarded by mu
+	misses  int64                 // guarded by mu
 }
 
 type tokenEntry struct {

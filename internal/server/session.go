@@ -50,21 +50,21 @@ type planMeta struct {
 // for the session (lockCtx): a slow batch on one connection must turn
 // into the OTHER connection's structured 503, not a hung handler.
 type session struct {
-	id       string
-	tenant   string
-	backName string
-	optimize bool
-	pipeline *rewrite.Pipeline // nil unless optimize
+	id       string            // immutable after construction
+	tenant   string            // immutable after construction
+	backName string            // immutable after construction
+	optimize bool              // immutable after construction
+	pipeline *rewrite.Pipeline // immutable after construction: nil unless optimize
 
-	sem            chan struct{} // 1-slot handler lock; lock/lockCtx/unlock
-	be             backend.Backend
-	exec           *backend.Executor // nil unless async
-	regs           map[string]regEntry
-	batches        int
-	submittedBytes int64
-	lastUsed       time.Time
-	closed         bool
-	release        func() // runtime session-registry hook
+	sem            chan struct{}       // 1-slot handler lock; lock/lockCtx/unlock
+	be             backend.Backend     // immutable after construction (calls through it hold sem)
+	exec           *backend.Executor   // immutable after construction: nil unless async
+	regs           map[string]regEntry // guarded by sem
+	batches        int                 // guarded by sem
+	submittedBytes int64               // guarded by sem
+	lastUsed       time.Time           // guarded by sem
+	closed         bool                // guarded by sem
+	release        func()              // immutable after construction: runtime session-registry hook
 }
 
 // lock acquires the session unconditionally (registry teardown paths,
@@ -106,8 +106,8 @@ func (s *session) pending() int {
 	return s.exec.Pending()
 }
 
-// snapshot builds the session's wire form. Caller holds s.mu or has the
-// session otherwise quiesced.
+// snapshot builds the session's wire form. Caller holds the session
+// lock (sem) or has the session otherwise quiesced.
 func (s *session) snapshot() api.Session {
 	return api.Session{
 		ID:             s.id,
@@ -139,16 +139,16 @@ func (s *session) closeLocked() {
 // counters only — never a session's mu — so slow batches on one session
 // cannot stall another tenant's admission.
 type registry struct {
-	rt             *bohrium.Runtime
-	defaultBackend string
-	quotas         Quotas
-	now            func() time.Time
-	queueDepth     int // async executor queue depth (0: vm.DefaultAsyncDepth)
+	rt             *bohrium.Runtime // immutable after newRegistry
+	defaultBackend string           // immutable after newRegistry
+	quotas         Quotas           // immutable after newRegistry
+	now            func() time.Time // immutable after newRegistry
+	queueDepth     int              // immutable after newRegistry: async executor queue depth (0: vm.DefaultAsyncDepth)
 
 	mu       sync.Mutex
-	sessions map[string]*session
-	tenants  map[string]*tenantUsage
-	nextID   uint64
+	sessions map[string]*session     // guarded by mu
+	tenants  map[string]*tenantUsage // guarded by mu
+	nextID   uint64                  // guarded by mu
 }
 
 // tenantUsage is one tenant's metered footprint.

@@ -29,14 +29,14 @@ const DefaultAsyncDepth = 8
 // register file may hold partial results, exactly as after a failed
 // synchronous Run.
 type Executor struct {
-	m    *Machine
-	jobs chan *Plan
+	m    *Machine   // immutable after NewExecutor
+	jobs chan *Plan // immutable after NewExecutor (the channel; Close closes it under mu)
 	wg   sync.WaitGroup
-	done chan struct{}
+	done chan struct{} // immutable after NewExecutor
 
 	mu     sync.Mutex
-	err    error
-	closed bool
+	err    error // guarded by mu
+	closed bool  // guarded by mu
 }
 
 // NewExecutor starts a background executor for m with the given queue

@@ -43,22 +43,22 @@ type EngineConfig struct {
 // different goroutines may execute plans, hit the plan cache, and recycle
 // buffers simultaneously.
 type Engine struct {
-	pool  *workerPool
-	plans *planCache
-	bufs  *bufferPool
+	pool  *workerPool // immutable after NewEngine
+	plans *planCache  // immutable after NewEngine
+	bufs  *bufferPool // immutable after NewEngine
 
-	// watermark is the MemoryHighWatermark byte budget (0: unlimited);
-	// liveBytes tracks buffers currently held by register files and
-	// backend staging (recycle-pool bytes are accounted separately on
-	// the pool); memSheds counts the times pressure forced the caches
-	// out.
+	// watermark is the MemoryHighWatermark byte budget (0: unlimited),
+	// immutable after NewEngine; liveBytes tracks buffers currently held
+	// by register files and backend staging (recycle-pool bytes are
+	// accounted separately on the pool); memSheds counts the times
+	// pressure forced the caches out.
 	watermark int
 	liveBytes atomic.Int64
 	memSheds  atomic.Int64
 
 	mu       sync.Mutex
-	machines map[*Machine]struct{}
-	retired  Stats // folded-in counters of machines closed so far
+	machines map[*Machine]struct{} // guarded by mu
+	retired  Stats                 // guarded by mu: folded-in counters of machines closed so far
 }
 
 // NewEngine builds a shared engine. Close it after every Machine created

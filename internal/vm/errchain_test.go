@@ -1,0 +1,34 @@
+package vm
+
+import (
+	"errors"
+	"testing"
+
+	"bohrium/internal/bytecode"
+)
+
+// TestCompileErrorChainExposesInvalidCause pins the double-%w chain at
+// Compile's validation gate: handing the VM an invalid program must
+// yield an error matching both ErrExec (the VM's sentinel — "this batch
+// did not execute") and bytecode.ErrInvalid (why). The daemon's error
+// classifier and the front end's retry logic each match a different
+// link; flattening either wrap to %v silently breaks one of them while
+// the printed message stays byte-identical.
+func TestCompileErrorChainExposesInvalidCause(t *testing.T) {
+	p, err := bytecode.Parse(".reg a0 float64 4\n.reg a1 float64 4\nBH_ADD a0 a1 a1\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := New(Config{})
+	defer m.Close()
+	_, cerr := m.Compile(p)
+	if cerr == nil {
+		t.Fatal("Compile accepted an invalid program")
+	}
+	if !errors.Is(cerr, ErrExec) {
+		t.Errorf("error %v does not match ErrExec", cerr)
+	}
+	if !errors.Is(cerr, bytecode.ErrInvalid) {
+		t.Errorf("error %v does not expose bytecode.ErrInvalid through the exec wrap", cerr)
+	}
+}

@@ -10,18 +10,18 @@ import "sync"
 // and close waits for every in-flight parallelFor before tearing the
 // workers down, so a session mid-sweep can never send on a closed channel.
 type workerPool struct {
-	jobs    chan func()
+	jobs    chan func() // immutable after newWorkerPool (the channel; close closes it under mu)
 	done    sync.WaitGroup
-	workers int
+	workers int // immutable after newWorkerPool
 
-	// mu guards closed; inflight counts parallelFor calls that are (or are
-	// about to be) submitting chunk jobs. close flips closed first, then
-	// waits out inflight, so every submitted chunk runs before the jobs
-	// channel goes away, and a parallelFor that starts after close falls
-	// back to running inline on its caller.
+	// inflight counts parallelFor calls that are (or are about to be)
+	// submitting chunk jobs. close flips closed first, then waits out
+	// inflight, so every submitted chunk runs before the jobs channel
+	// goes away, and a parallelFor that starts after close falls back to
+	// running inline on its caller.
 	mu       sync.Mutex
 	inflight sync.WaitGroup
-	closed   bool
+	closed   bool // guarded by mu
 }
 
 func newWorkerPool(workers int) *workerPool {

@@ -34,7 +34,7 @@ type Plan struct {
 func (m *Machine) Compile(p *bytecode.Program) (*Plan, error) {
 	if !m.cfg.SkipValidation {
 		if err := p.Validate(); err != nil {
-			return nil, fmt.Errorf("%w: %v", ErrExec, err)
+			return nil, fmt.Errorf("%w: %w", ErrExec, err)
 		}
 	}
 	pl := &Plan{prog: p, fused: m.cfg.Fusion}

@@ -72,9 +72,9 @@ type planEntry struct {
 
 type planShard struct {
 	mu    sync.Mutex
-	cap   int
-	order *list.List // of *planEntry; front = most recently used
-	byFP  map[bytecode.Fingerprint][]*list.Element
+	cap   int                                      // guarded by mu
+	order *list.List                               // guarded by mu: of *planEntry; front = most recently used
+	byFP  map[bytecode.Fingerprint][]*list.Element // guarded by mu
 }
 
 type planCache struct {

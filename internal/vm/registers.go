@@ -37,9 +37,9 @@ const defaultPoolCapBytes = 256 << 20
 // fingerprint (the byte budget then splits per shard).
 type bufferPool struct {
 	mu          sync.Mutex
-	buckets     map[poolKey][]tensor.Buffer
-	pooledBytes int // bytes currently parked across all buckets
-	capBytes    int // pooledBytes bound
+	buckets     map[poolKey][]tensor.Buffer // guarded by mu
+	pooledBytes int                         // guarded by mu: bytes currently parked across all buckets
+	capBytes    int                         // immutable after newBufferPool: pooledBytes bound
 }
 
 func newBufferPool(capBytes int) *bufferPool {

@@ -47,7 +47,7 @@ type RuntimeConfig struct {
 // into a hit. Hosts that want the sharing create a Runtime (or use
 // DefaultRuntime) explicitly.
 type Runtime struct {
-	eng *vm.Engine
+	eng *vm.Engine // immutable after NewRuntime
 	// isDefault marks the process-wide DefaultRuntime, whose Close is a
 	// no-op. Set once, before the runtime is ever visible to callers.
 	isDefault bool
@@ -55,11 +55,11 @@ type Runtime struct {
 	// Session registry: every live session attached to this runtime —
 	// Contexts and external backend sessions alike (the bhd daemon's
 	// tenants) — registers a label here so hosts can enumerate who is
-	// sharing the engine. Guarded by mu; nextSession disambiguates
-	// sessions sharing a label.
+	// sharing the engine. nextSession disambiguates sessions sharing a
+	// label.
 	mu          sync.Mutex
-	nextSession uint64
-	sessions    map[uint64]string
+	nextSession uint64            // guarded by mu
+	sessions    map[uint64]string // guarded by mu
 }
 
 // NewRuntime builds a shared runtime. Pass nil for defaults. Close it
