@@ -302,7 +302,11 @@ func (a *Array) reduceAxis(op bytecode.Opcode, axis int) *Array {
 			outShape = append(outShape, n)
 		}
 	}
-	out := a.ctx.newTempArray(a.dt, outShape)
+	dt := a.dt
+	if op.ArgReduce() {
+		dt = tensor.Int64 // index reductions always produce indices
+	}
+	out := a.ctx.newTempArray(dt, outShape)
 	a.ctx.pending.EmitReduce(op, out.operand(), a.operand(), axis)
 	return out
 }
@@ -318,6 +322,33 @@ func (a *Array) MaxAxis(axis int) *Array { return a.reduceAxis(bytecode.OpMaximu
 
 // MinAxis reduces one axis with minimum.
 func (a *Array) MinAxis(axis int) *Array { return a.reduceAxis(bytecode.OpMinimumReduce, axis) }
+
+// ArgminAxis reduces one axis to the int64 index of its minimum, with
+// NumPy semantics: the lowest index wins a tie and the first NaN beats
+// every number. The result dtype is always int64, whatever the input.
+func (a *Array) ArgminAxis(axis int) *Array { return a.reduceAxis(bytecode.OpArgminReduce, axis) }
+
+// ArgmaxAxis reduces one axis to the int64 index of its maximum; see
+// ArgminAxis for the tie and NaN rules.
+func (a *Array) ArgmaxAxis(axis int) *Array { return a.reduceAxis(bytecode.OpArgmaxReduce, axis) }
+
+// Argmin returns the index of a 1-D array's minimum as a scalar int64
+// array. Flattened argmin of a higher-rank array records no byte-code
+// today; reduce per axis instead.
+func (a *Array) Argmin() *Array {
+	if a.NDim() != 1 {
+		panic(fmt.Sprintf("bohrium: Argmin needs a 1-d array, got %d-d (use ArgminAxis)", a.NDim()))
+	}
+	return a.ArgminAxis(0)
+}
+
+// Argmax is Argmin for the maximum.
+func (a *Array) Argmax() *Array {
+	if a.NDim() != 1 {
+		panic(fmt.Sprintf("bohrium: Argmax needs a 1-d array, got %d-d (use ArgmaxAxis)", a.NDim()))
+	}
+	return a.ArgmaxAxis(0)
+}
 
 // Sum reduces all axes to a scalar array.
 func (a *Array) Sum() *Array {

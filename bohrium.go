@@ -27,6 +27,7 @@ import (
 
 	"bohrium/internal/backend"
 	"bohrium/internal/bytecode"
+	"bohrium/internal/faultinject"
 	"bohrium/internal/rewrite"
 	"bohrium/internal/tensor"
 	"bohrium/internal/vm"
@@ -92,6 +93,25 @@ type Config struct {
 	// (Backend: "outofcore"); zero selects the backend's default (1 MiB).
 	// Ignored by backends without the Chunked capability.
 	ChunkBytes int
+	// XPlanFuse enables cross-plan fusion of repeated flush sequences.
+	// When the same batch structure heads a back-to-back pair twice, the
+	// next Submit of that structure defers: the batch stays in the
+	// recording buffer, the following batch records into the same program,
+	// and the combined program goes through the completely ordinary
+	// fingerprint → plan-cache → optimize → fuse path. The optimizer then
+	// sees across the old plan boundary — a value one iteration produces,
+	// reduces, and frees that the next iteration recomputes identically
+	// collapses to a single sweep (rewrite's seq-reuse rule), and the
+	// boundary fence disappears. At most one batch defers at a time, a
+	// batch containing BH_SYNC (observed values) never defers, and Stats
+	// force-submits any deferral so counters stay deterministic. Deferring
+	// shifts *when* a Flush's work executes (the nil return reports only
+	// recording-side success; execution errors surface at the next
+	// synchronizing call, exactly as in Async mode) — values and error
+	// text are unchanged, which the cross-plan differential suite pins.
+	// Requires the plan cache and a backend with the SequenceFusion
+	// capability (out-of-core opts out); silently inert otherwise.
+	XPlanFuse bool
 }
 
 // Context owns a byte-code recording buffer and the per-session virtual
@@ -136,6 +156,17 @@ type Context struct {
 	// aliases (Slice/Transpose handles of a freed array).
 	regGen  map[bytecode.RegID]uint64
 	lastRep *rewrite.Report
+	// Cross-plan fusion state (Config.XPlanFuse). lastFP/haveLast remember
+	// the previous single-batch submission's structural fingerprint; pairs
+	// counts observations of each (prev, cur) sequence fingerprint;
+	// hotHeads marks fingerprints that repeatedly head such a pair and are
+	// therefore worth holding back; deferred marks that the pending
+	// program already carries one deferred batch.
+	lastFP   bytecode.Fingerprint
+	haveLast bool
+	pairs    map[bytecode.Fingerprint]int
+	hotHeads map[bytecode.Fingerprint]bool
+	deferred bool
 	// exec is the background plan executor of async mode (Config.Async);
 	// nil in synchronous mode. Everything else in this struct belongs to
 	// the recording goroutine — the executor only ever sees compiled
@@ -193,6 +224,8 @@ func newContext(rt *Runtime, ownsRT bool, c Config) *Context {
 		keptRegs: map[bytecode.RegID]bool{},
 		inFree:   map[bytecode.RegID]bool{},
 		regGen:   map[bytecode.RegID]uint64{},
+		pairs:    map[bytecode.Fingerprint]int{},
+		hotHeads: map[bytecode.Fingerprint]bool{},
 	}
 	ctx.unregister = rt.Register("context/" + be.Name())
 	if c.Async {
@@ -246,6 +279,14 @@ func (c *Context) LastReport() *rewrite.Report { return c.lastRep }
 func (c *Context) Stats() (vm.Stats, error) {
 	if c.closed {
 		return vm.Stats{}, ErrClosed
+	}
+	// A cross-plan deferral still sits in the recording buffer; submit it
+	// so the counters describe every flush the caller issued. Deferral is
+	// blocked while deferred is set, so this is always a real submission.
+	if c.deferred {
+		if err := c.Submit(); err != nil {
+			return vm.Stats{}, err
+		}
 	}
 	if c.exec != nil {
 		c.exec.Wait()
@@ -312,6 +353,7 @@ func (c *Context) Submit() error {
 		return nil
 	}
 	c.markPendingOutputs()
+	wasDeferred := c.deferred
 
 	cached := c.backend.PlanCacheEnabled()
 	var fp bytecode.Fingerprint
@@ -319,6 +361,14 @@ func (c *Context) Submit() error {
 	if cached {
 		fp = c.pending.Fingerprint()
 		consts = c.pending.Constants()
+		// Cross-plan fusion: a batch structure that repeatedly heads a
+		// back-to-back pair is held in the recording buffer instead of
+		// sealing; the next batch records into the same program and the
+		// combined structure takes this very path on the following Submit.
+		if c.xplanShouldDefer(fp) {
+			c.deferred = true
+			return nil
+		}
 		// A parametric hit under new constants comes back as a patched
 		// clone (the cached plan is immutable), so the same lookup is safe
 		// in both modes: the executor may still be running the previous
@@ -334,6 +384,7 @@ func (c *Context) Submit() error {
 					return err
 				}
 			}
+			c.xplanAccount(fp, cached, wasDeferred)
 			c.advanceBatch(pm)
 			return nil
 		}
@@ -361,6 +412,7 @@ func (c *Context) Submit() error {
 		if cached {
 			c.backend.InsertPlan(fp, consts, parametric, nil, pm)
 		}
+		c.xplanAccount(fp, cached, wasDeferred)
 		c.advanceBatch(pm)
 		return nil
 	}
@@ -378,8 +430,72 @@ func (c *Context) Submit() error {
 		// parametric on every backend — there is nothing to patch.
 		c.backend.InsertPlan(fp, consts, parametric, plan, pm)
 	}
+	c.xplanAccount(fp, cached, wasDeferred)
 	c.advanceBatch(pm)
 	return nil
+}
+
+// xplanShouldDefer decides whether the pending batch should be held back
+// and combined with the next one. Only reached when the plan cache is
+// enabled (the fingerprint exists). One deferral at most; the backend
+// must advertise SequenceFusion (out-of-core budgets residency per batch
+// and opts out); the batch must be sequence-fusible (no BH_SYNC — its
+// values are observed now — and no extension ops); and the structure must
+// have been seen heading a repeated pair. The faultinject point lets the
+// chaos suite yank fusion away mid-stream and prove recovery.
+func (c *Context) xplanShouldDefer(fp bytecode.Fingerprint) bool {
+	if !c.cfg.XPlanFuse || c.deferred {
+		return false
+	}
+	if !c.backend.Capabilities().SequenceFusion {
+		return false
+	}
+	if !c.hotHeads[fp] {
+		return false
+	}
+	if !rewrite.SequenceFusible(c.pending) {
+		return false
+	}
+	if err := faultinject.Error(faultinject.XPlanDisarm, ""); err != nil {
+		c.backend.CountXPlanDisarm()
+		return false
+	}
+	return true
+}
+
+// xplanAccount runs after a successful submission: it counts a combined
+// (previously deferred) submission and trains the pair predictor on
+// single-batch submissions. A combined batch is a different structure
+// from the singles that trained the predictor, so pair learning does not
+// chain across it. The pair table is capped; overflowing it resets the
+// predictor rather than letting an adversarial stream grow it without
+// bound.
+func (c *Context) xplanAccount(fp bytecode.Fingerprint, cached, wasDeferred bool) {
+	if !c.cfg.XPlanFuse {
+		return
+	}
+	c.deferred = false
+	if wasDeferred {
+		c.backend.CountXPlanFused()
+		c.haveLast = false
+		return
+	}
+	if !cached {
+		return
+	}
+	if c.haveLast {
+		seq := bytecode.SequenceFingerprint(c.lastFP, fp)
+		c.pairs[seq]++
+		if c.pairs[seq] >= 2 {
+			c.hotHeads[c.lastFP] = true
+		}
+		if len(c.pairs) > 256 {
+			c.pairs = map[bytecode.Fingerprint]int{}
+			c.hotHeads = map[bytecode.Fingerprint]bool{}
+		}
+	}
+	c.lastFP = fp
+	c.haveLast = true
 }
 
 // execute runs one compiled plan: inline in synchronous mode, enqueued on

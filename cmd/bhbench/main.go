@@ -1,17 +1,22 @@
 // Command bhbench regenerates the paper's evaluation tables (experiments
-// E1–E10 in DESIGN.md / EXPERIMENTS.md): byte-code counts before/after
-// optimization, baseline vs optimized wall-clock times, the ablation rows
-// for the design decisions D1–D4, the dtype-generalized fusion sweep with
-// its reduction-epilogue counters, the plan-cache rows for iterative
-// flush-per-sweep workloads, the async submit/wait pipeline rows, and the
-// shared-runtime multi-session rows.
+// E1–E10 and E12 in DESIGN.md / EXPERIMENTS.md): byte-code counts
+// before/after optimization, baseline vs optimized wall-clock times, the
+// ablation rows for the design decisions D1–D4, the dtype-generalized
+// fusion sweep with its reduction-epilogue counters, the plan-cache rows
+// for iterative flush-per-sweep workloads, the async submit/wait pipeline
+// rows, the shared-runtime multi-session rows, and the cross-plan fusion
+// rows. Every row with sweep work also reports its achieved memory
+// bandwidth (gbs) and the fraction of the machine's memcpy ceiling it
+// reaches (%roof) — the roofline the memory-bound rows are measured
+// against.
 //
 // Usage:
 //
-//	bhbench [-experiment all|E1|...|E10] [-n elements] [-repeats r]
+//	bhbench [-experiment all|E1|...|E10|E12] [-n elements] [-repeats r]
 //	        [-sessions k] [-backend name] [-chunk-bytes n] [-json path]
 //	        [-schema-check file] [-require-plan-hits]
 //	        [-require-pipelined] [-require-shared-hits]
+//	        [-require-xplan-fuse]
 //
 // -sessions sets how many concurrent sessions the E10 rows drive against
 // one shared Runtime (and against K private runtimes as the baseline).
@@ -39,7 +44,9 @@
 // -require-shared-hits is the E10 guard: it exits non-zero when the
 // shared-runtime sessions scored zero cross-session plan-cache hits, when
 // no workload reduced BuffersAllocated versus the private baseline, or on
-// a value mismatch.
+// a value mismatch. -require-xplan-fuse is the E12 guard: it exits
+// non-zero when the stream workloads submitted zero combined cross-plan
+// batches or any fused value diverged from its unfused twin.
 package main
 
 import (
@@ -74,6 +81,7 @@ func run(args []string, stdout io.Writer) error {
 	requireHits := fs.Bool("require-plan-hits", false, "fail if the E8 iterative workloads record zero plan-cache hits")
 	requirePipelined := fs.Bool("require-pipelined", false, "fail if the E9 async workloads pipelined zero plans or mismatch their sync values")
 	requireShared := fs.Bool("require-shared-hits", false, "fail if the E10 shared-runtime sessions score zero cross-session plan hits, save no allocations, or mismatch values")
+	requireXPlan := fs.Bool("require-xplan-fuse", false, "fail if the E12 stream workloads submit zero combined cross-plan batches or mismatch their unfused values")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -103,6 +111,7 @@ func run(args []string, stdout io.Writer) error {
 		"E8":  bench.E8PlanCache,
 		"E9":  bench.E9Pipeline,
 		"E10": bench.E10MultiSession,
+		"E12": bench.E12XPlanFuse,
 	}
 
 	var rows []bench.Row
@@ -146,6 +155,25 @@ func run(args []string, stdout io.Writer) error {
 		}
 		if pipelined == 0 {
 			return fmt.Errorf("pipeline smoke: zero plans executed on the async executor across %d workloads — pipelining is broken or disabled", rowsSeen)
+		}
+	}
+	if *requireXPlan {
+		fused, rowsSeen := 0, 0
+		for _, r := range rows {
+			if r.Experiment != "E12" {
+				continue
+			}
+			rowsSeen++
+			fused += r.XPlanFused
+			if strings.Contains(r.Note, "MISMATCH") {
+				return fmt.Errorf("cross-plan smoke: %s: %s", r.Workload, r.Note)
+			}
+		}
+		if rowsSeen == 0 {
+			return fmt.Errorf("cross-plan smoke: no E12 rows ran (pass -experiment E12 or all)")
+		}
+		if fused == 0 {
+			return fmt.Errorf("cross-plan smoke: zero combined cross-plan submissions across %d workloads — deferral is broken or disabled", rowsSeen)
 		}
 	}
 	if *requireShared {

@@ -116,6 +116,34 @@ func listings() []listing {
 			},
 		},
 		{
+			name:    "kmeans",
+			comment: "k-means assignment step: (3, 96) squared distances, int64 labels via BH_ARGMIN_REDUCE, labels and inertia synced.",
+			record: func(ctx *bohrium.Context) {
+				const k, n = 3, 96
+				centersX := []float64{-2, 0, 3}
+				centersY := []float64{1, -2, 2}
+				cx := []float64{-0.1, 0, 0.1}
+				cy := []float64{0.1, 0, -0.1}
+				px := ctx.Zeros(n)
+				py := ctx.Zeros(n)
+				seg := n / k
+				for j := 0; j < k; j++ {
+					jx := ctx.Random(uint64(2*j+1), seg)
+					jy := ctx.Random(uint64(2*j+2), seg)
+					px.MustSlice(0, j*seg, (j+1)*seg, 1).Assign(jx.SubC(0.5).MulC(0.8).AddC(centersX[j]))
+					py.MustSlice(0, j*seg, (j+1)*seg, 1).Assign(jy.SubC(0.5).MulC(0.8).AddC(centersY[j]))
+				}
+				dist := ctx.Zeros(k, n)
+				for j := 0; j < k; j++ {
+					dx := px.PlusC(-cx[j])
+					dy := py.PlusC(-cy[j])
+					dist.MustSlice(0, j, j+1, 1).Assign(dx.Times(dx).Plus(dy.Times(dy)))
+				}
+				dist.ArgminAxis(0).Sync()
+				dist.MinAxis(0).Sum().Sync()
+			},
+		},
+		{
 			name:    "montecarlo",
 			comment: "Monte Carlo call price, 4096 Box-Muller GBM paths, discounted mean payoff synced.",
 			record: func(ctx *bohrium.Context) {

@@ -1,0 +1,129 @@
+// k-means clustering via argmin reductions.
+//
+// Each sweep stacks the squared distances to every centroid into a
+// (k, n) matrix and labels each point with BH_ARGMIN_REDUCE over the
+// centroid axis — an int64 result computed from float64 inputs. The
+// update step goes the other way: the integer labels convert back to
+// float64 membership masks whose sums average the members into new
+// centroids. The int/float round trip is exactly the mixed-dtype
+// traffic the generalized fusion engine and the arg-reduction epilogue
+// handle.
+//
+//	go run ./examples/kmeans
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"bohrium"
+	"bohrium/internal/tensor"
+)
+
+const (
+	k     = 3
+	n     = 3 * 4096
+	iters = 8
+)
+
+// The blobs the points scatter around; k-means should recover these.
+var (
+	trueX = [k]float64{-2, 0, 3}
+	trueY = [k]float64{1, -2, 2}
+)
+
+func main() {
+	ctx := bohrium.NewContext(nil)
+	defer ctx.Close()
+
+	px, py := makePoints(ctx, n)
+	// A deliberately poor start: all three centroids bunched near the
+	// origin, so the assignment actually has work to do.
+	cx := []float64{-0.1, 0, 0.1}
+	cy := []float64{0.1, 0, -0.1}
+
+	fmt.Printf("k-means, %d points, %d centroids\n\n", n, k)
+	for it := 0; it < iters; it++ {
+		labels, inertia, err := assignPoints(ctx, px, py, cx, cy)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := updateCentroids(px, py, labels, cx, cy); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("iter %d  inertia %12.2f  centroids", it, inertia)
+		for j := 0; j < k; j++ {
+			fmt.Printf("  (%+.3f, %+.3f)", cx[j], cy[j])
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("\ntrue centers:")
+	for j := 0; j < k; j++ {
+		fmt.Printf("  (%+.3f, %+.3f)\n", trueX[j], trueY[j])
+	}
+}
+
+// makePoints scatters n points (n divisible by k) in k jittered blobs
+// around the true centers: blob j owns the j-th slice of n/k points.
+func makePoints(ctx *bohrium.Context, n int) (px, py *bohrium.Array) {
+	px = ctx.Zeros(n)
+	py = ctx.Zeros(n)
+	seg := n / k
+	for j := 0; j < k; j++ {
+		jx := ctx.Random(uint64(2*j+1), seg)
+		jy := ctx.Random(uint64(2*j+2), seg)
+		px.MustSlice(0, j*seg, (j+1)*seg, 1).Assign(jx.SubC(0.5).MulC(0.8).AddC(trueX[j]))
+		py.MustSlice(0, j*seg, (j+1)*seg, 1).Assign(jy.SubC(0.5).MulC(0.8).AddC(trueY[j]))
+	}
+	return px, py
+}
+
+// assignPoints labels every point with its nearest centroid: squared
+// distances to each centroid stacked into a (k, n) matrix, reduced by
+// ArgminAxis over the centroid axis. The labels come back int64; the
+// returned inertia is the summed nearest-centroid distance.
+func assignPoints(ctx *bohrium.Context, px, py *bohrium.Array, cx, cy []float64) (*bohrium.Array, float64, error) {
+	dist := ctx.Zeros(k, px.Size())
+	for j := 0; j < k; j++ {
+		dx := px.PlusC(-cx[j])
+		dy := py.PlusC(-cy[j])
+		dist.MustSlice(0, j, j+1, 1).Assign(dx.Times(dx).Plus(dy.Times(dy)))
+	}
+	labels := dist.ArgminAxis(0)
+	inertia, err := dist.MinAxis(0).Sum().Scalar()
+	if err != nil {
+		return nil, 0, err
+	}
+	return labels, inertia, nil
+}
+
+// updateCentroids recomputes each centroid as the mean of its members.
+// The int64 labels convert to float64 so two comparisons bracket the
+// index j into a 0/1 membership mask; the mask's sum is the member
+// count and the masked coordinate sums are the member totals.
+func updateCentroids(px, py, labels *bohrium.Array, cx, cy []float64) error {
+	lf := labels.AsType(tensor.Float64)
+	for j := 0; j < k; j++ {
+		above := lf.GreaterC(float64(j) - 0.5).AsType(tensor.Float64)
+		below := lf.LessC(float64(j) + 0.5).AsType(tensor.Float64)
+		mask := above.Times(below)
+		cnt, err := mask.Sum().Scalar()
+		if err != nil {
+			return err
+		}
+		if cnt == 0 {
+			continue // empty cluster keeps its centroid
+		}
+		sx, err := px.Times(mask).Sum().Scalar()
+		if err != nil {
+			return err
+		}
+		sy, err := py.Times(mask).Sum().Scalar()
+		if err != nil {
+			return err
+		}
+		cx[j], cy[j] = sx/cnt, sy/cnt
+	}
+	return nil
+}

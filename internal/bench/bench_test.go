@@ -4,6 +4,7 @@ import (
 	"math"
 	"strings"
 	"testing"
+	"time"
 
 	"bohrium"
 	"bohrium/internal/bytecode"
@@ -432,21 +433,83 @@ func TestE10Shape(t *testing.T) {
 // TestJSONSchema locks the BENCH_*.json document shape tools depend on.
 func TestJSONSchema(t *testing.T) {
 	rows := []Row{{
-		Experiment: "E8", Workload: "w", Params: "p",
+		Experiment: "E8", Workload: "w", Params: "p", Backend: "inprocess",
 		Baseline: 2000, Optimized: 1000, Speedup: 2,
-		PlanHits: 9, PlanMisses: 1, Pipelined: 4, Note: "n",
+		PlanHits: 9, PlanMisses: 1, Pipelined: 4, XPlanFused: 7,
+		GBs: 3.5, PctRoof: 42.5, Note: "n",
 	}}
 	data, err := JSON(rows)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, want := range []string{
-		`"schema": "bohrium-bench/v1"`, `"rows"`, `"experiment": "E8"`,
+		`"schema": "bohrium-bench/v1"`, `"roofline_gbs"`, `"rows"`, `"experiment": "E8"`,
 		`"baseline_ns": 2000`, `"optimized_ns": 1000`,
 		`"plan_hits": 9`, `"plan_misses": 1`, `"pipelined": 4`,
+		`"xplan_fused": 7`, `"gbs": 3.5`, `"pct_roof": 42.5`,
 	} {
 		if !strings.Contains(string(data), want) {
 			t.Errorf("JSON missing %s:\n%s", want, data)
 		}
+	}
+	// The generated document must satisfy its own schema guard.
+	if err := CheckSchema(data); err != nil {
+		t.Errorf("fresh document fails CheckSchema: %v", err)
+	}
+}
+
+// TestE12Shape checks the cross-plan fusion experiment defers on every
+// stream workload and reports bit-identical values against the unfused
+// baseline.
+func TestE12Shape(t *testing.T) {
+	rows, err := E12XPlanFuse(tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("E12 rows = %d, want 3", len(rows))
+	}
+	for _, r := range rows {
+		if r.XPlanFused == 0 {
+			t.Errorf("%s: zero combined cross-plan submissions", r.Workload)
+		}
+		if r.PlanHits == 0 {
+			t.Errorf("%s: zero plan-cache hits (misses=%d)", r.Workload, r.PlanMisses)
+		}
+		if strings.Contains(r.Note, "MISMATCH") {
+			t.Errorf("%s: %s", r.Workload, r.Note)
+		}
+		if r.GBs <= 0 || r.PctRoof <= 0 {
+			t.Errorf("%s: roofline columns empty (gbs=%v pct=%v)", r.Workload, r.GBs, r.PctRoof)
+		}
+	}
+}
+
+// TestRoofline pins the ceiling measurement and the per-row bandwidth
+// model: the ceiling is positive and cached, and a row over N elements
+// in time T reports 16·N/T bytes against it.
+func TestRoofline(t *testing.T) {
+	ceil := RooflineGBs()
+	if ceil <= 0 {
+		t.Fatalf("RooflineGBs = %v, want > 0", ceil)
+	}
+	if again := RooflineGBs(); again != ceil {
+		t.Errorf("RooflineGBs not cached: %v then %v", ceil, again)
+	}
+	var r Row
+	st := vm.Stats{Elements: 1 << 20}
+	r.fillRoofline(st, 10*time.Millisecond)
+	wantGBs := float64(16*(1<<20)) / 0.010 / 1e9
+	if math.Abs(r.GBs-wantGBs) > 1e-9 {
+		t.Errorf("GBs = %v, want %v", r.GBs, wantGBs)
+	}
+	if want := 100 * wantGBs / ceil; math.Abs(r.PctRoof-want) > 1e-9 {
+		t.Errorf("PctRoof = %v, want %v", r.PctRoof, want)
+	}
+	// Rows without sweep work keep the columns empty.
+	var empty Row
+	empty.fillRoofline(vm.Stats{}, 10*time.Millisecond)
+	if empty.GBs != 0 || empty.PctRoof != 0 {
+		t.Errorf("empty row got gbs=%v pct=%v", empty.GBs, empty.PctRoof)
 	}
 }

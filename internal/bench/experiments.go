@@ -247,7 +247,7 @@ func E5Workloads(s Scale) ([]Row, error) {
 		if !w.check(lastVal) || math.Abs(lastVal-baseVal) > 1e-6*(1+math.Abs(baseVal)) {
 			note = fmt.Sprintf("VALUE MISMATCH base=%v opt=%v", baseVal, lastVal)
 		}
-		rows = append(rows, Row{
+		row := Row{
 			Experiment: "E5", Workload: w.name, Params: w.param,
 			Baseline: base, Optimized: opt,
 			Speedup:  float64(base) / float64(opt),
@@ -255,7 +255,9 @@ func E5Workloads(s Scale) ([]Row, error) {
 			FusedReductions: optStats.FusedReductions,
 			PlanHits:        optStats.PlanHits, PlanMisses: optStats.PlanMisses,
 			Note: note,
-		})
+		}
+		row.fillRoofline(optStats, opt)
+		rows = append(rows, row)
 	}
 	return stamp(rows, s), nil
 }
@@ -410,14 +412,16 @@ func E7DTypeFusion(s Scale) ([]Row, error) {
 		if err != nil {
 			return nil, fmt.Errorf("%s fused: %w", w.name, err)
 		}
-		rows = append(rows, Row{
+		row := Row{
 			Experiment: "E7", Workload: w.name, Params: fmt.Sprintf("N=%d", s.VectorN),
 			BytecodesBefore: w.prog.Len(), BytecodesAfter: w.prog.Len(),
 			Baseline: base, Optimized: opt, Speedup: float64(base) / float64(opt),
 			PoolHits: st.PoolHits, BuffersAlloc: st.BuffersAllocated,
 			FusedReductions: st.FusedReductions,
 			Note:            "fused " + st.FusedByDType.String(),
-		})
+		}
+		row.fillRoofline(st, opt)
+		rows = append(rows, row)
 	}
 	return stamp(rows, s), nil
 }
@@ -486,7 +490,7 @@ func E8PlanCache(s Scale) ([]Row, error) {
 		if optVal != baseVal {
 			note = fmt.Sprintf("VALUE MISMATCH uncached=%v cached=%v", baseVal, optVal)
 		}
-		rows = append(rows, Row{
+		row := Row{
 			Experiment: "E8", Workload: w.name, Params: w.params,
 			Baseline: base, Optimized: opt,
 			Speedup:  float64(base) / float64(opt),
@@ -494,7 +498,9 @@ func E8PlanCache(s Scale) ([]Row, error) {
 			FusedReductions: optStats.FusedReductions,
 			PlanHits:        optStats.PlanHits, PlanMisses: optStats.PlanMisses,
 			Note: note,
-		})
+		}
+		row.fillRoofline(optStats, opt)
+		rows = append(rows, row)
 	}
 	return stamp(rows, s), nil
 }
@@ -572,7 +578,7 @@ func E9Pipeline(s Scale) ([]Row, error) {
 		if math.Float64bits(asyncVal) != math.Float64bits(syncVal) {
 			note = fmt.Sprintf("VALUE MISMATCH sync=%v async=%v", syncVal, asyncVal)
 		}
-		rows = append(rows, Row{
+		row := Row{
 			Experiment: "E9", Workload: w.name, Params: w.params,
 			Baseline: base, Optimized: opt,
 			Speedup:  float64(base) / float64(opt),
@@ -581,7 +587,9 @@ func E9Pipeline(s Scale) ([]Row, error) {
 			PlanHits:        asyncStats.PlanHits, PlanMisses: asyncStats.PlanMisses,
 			Pipelined: asyncStats.Pipelined,
 			Note:      note,
-		})
+		}
+		row.fillRoofline(asyncStats, opt)
+		rows = append(rows, row)
 	}
 	return stamp(rows, s), nil
 }
@@ -715,7 +723,7 @@ func E10MultiSession(s Scale) ([]Row, error) {
 		if shStats.PlanMisses == 0 {
 			cross = shStats.PlanHits
 		}
-		rows = append(rows, Row{
+		row := Row{
 			Experiment: "E10", Workload: w.name, Params: w.params,
 			Baseline: base, Optimized: opt,
 			Speedup:  float64(base) / float64(opt),
@@ -726,7 +734,103 @@ func E10MultiSession(s Scale) ([]Row, error) {
 			CrossSessionHits: cross,
 			BaselineAllocs:   privStats.BuffersAllocated,
 			Note:             note,
+		}
+		row.fillRoofline(shStats, opt)
+		rows = append(rows, row)
+	}
+	return stamp(rows, s), nil
+}
+
+// E12XPlanFuse measures cross-plan fusion on the iterative stream
+// workloads: baseline flushes one batch per iteration with the plan
+// cache warm (the E8 optimized configuration — the best the runtime does
+// without crossing plan boundaries), optimized additionally turns on
+// Config.XPlanFuse, so the sequence predictor defers hot batches and
+// submits them combined with their successor. The combined program goes
+// through the ordinary rewrite pipeline, so repeated identical
+// computation dedups (seq-reuse) and fusion clusters span the former
+// boundary; the xplan column counts the combined submissions. Values
+// must be bit-identical to the unfused run; a mismatch is flagged in the
+// note.
+func E12XPlanFuse(s Scale) ([]Row, error) {
+	s = s.withDefaults()
+	vec := s.VectorN >> 6
+	if vec < 256 {
+		vec = 256
+	}
+	// The power-accum row runs on a larger vector than the other streams:
+	// its combined batches dedup whole sweeps (seq-reuse), a win that
+	// scales with the array, so the row measures execution-work elision
+	// rather than compile-overhead amortization.
+	pvec := s.VectorN >> 3
+	if pvec < 4096 {
+		pvec = 4096
+	}
+	grid := 64
+	iters := 90
+	type wl struct {
+		name   string
+		params string
+		run    func(*bohrium.Context) (float64, error)
+	}
+	workloads := []wl{
+		{
+			name: "heat-2d-stream", params: fmt.Sprintf("grid=%dx%d iters=%d", grid, grid, iters),
+			run: func(c *bohrium.Context) (float64, error) { return Heat2DStream(c, grid, iters) },
+		},
+		{
+			name: "power-accum-stream", params: fmt.Sprintf("N=%d iters=%d", pvec, iters),
+			run: func(c *bohrium.Context) (float64, error) {
+				return PowerAccumStreamStep(c, pvec, iters, c.Flush)
+			},
+		},
+		{
+			name: "jacobi-1d-stream", params: fmt.Sprintf("N=%d iters=%d", vec, iters),
+			run: func(c *bohrium.Context) (float64, error) { return Jacobi1DStream(c, vec, iters) },
+		},
+	}
+	var rows []Row
+	for _, w := range workloads {
+		var baseVal float64
+		base, err := bestOf(s.Repeats, func() error {
+			ctx := bohrium.NewContext(&bohrium.Config{Backend: s.Backend, ChunkBytes: s.ChunkBytes})
+			defer ctx.Close()
+			v, err := w.run(ctx)
+			baseVal = v
+			return err
 		})
+		if err != nil {
+			return nil, fmt.Errorf("%s unfused: %w", w.name, err)
+		}
+		var optVal float64
+		var optStats vm.Stats
+		opt, err := bestOf(s.Repeats, func() error {
+			ctx := bohrium.NewContext(&bohrium.Config{XPlanFuse: true, Backend: s.Backend, ChunkBytes: s.ChunkBytes})
+			defer ctx.Close()
+			v, err := w.run(ctx)
+			optVal = v
+			optStats = ctx.MustStats()
+			return err
+		})
+		if err != nil {
+			return nil, fmt.Errorf("%s fused: %w", w.name, err)
+		}
+		note := fmt.Sprintf("value=%.5g", optVal)
+		if math.Float64bits(optVal) != math.Float64bits(baseVal) {
+			note = fmt.Sprintf("VALUE MISMATCH unfused=%v fused=%v", baseVal, optVal)
+		}
+		row := Row{
+			Experiment: "E12", Workload: w.name, Params: w.params,
+			Baseline: base, Optimized: opt,
+			Speedup:  float64(base) / float64(opt),
+			PoolHits: optStats.PoolHits, BuffersAlloc: optStats.BuffersAllocated,
+			FusedReductions: optStats.FusedReductions,
+			PlanHits:        optStats.PlanHits, PlanMisses: optStats.PlanMisses,
+			XPlanFused: optStats.XPlanFused,
+			Note:       note,
+		}
+		row.fillRoofline(optStats, opt)
+		rows = append(rows, row)
 	}
 	return stamp(rows, s), nil
 }
@@ -735,7 +839,7 @@ func E10MultiSession(s Scale) ([]Row, error) {
 func All(s Scale) ([]Row, error) {
 	var rows []Row
 	for _, fn := range []func(Scale) ([]Row, error){
-		E1AddMerge, E2PowerChain, E3PowerSweep, E4Solve, E5Workloads, E6Ablations, E7DTypeFusion, E8PlanCache, E9Pipeline, E10MultiSession,
+		E1AddMerge, E2PowerChain, E3PowerSweep, E4Solve, E5Workloads, E6Ablations, E7DTypeFusion, E8PlanCache, E9Pipeline, E10MultiSession, E12XPlanFuse,
 	} {
 		r, err := fn(s)
 		if err != nil {

@@ -44,6 +44,18 @@ type Row struct {
 	// background executor — batches whose execution overlapped the
 	// recording of the next batch.
 	Pipelined int
+	// XPlanFused counts combined cross-plan submissions of the optimized
+	// run: deferred batches executed together with their successor (E12;
+	// zero for experiments that never defer).
+	XPlanFused int
+	// GBs is the optimized run's achieved memory bandwidth under the
+	// 16-bytes-per-processed-element traffic model (see fillRoofline);
+	// zero when the row has no sweep work to model.
+	GBs float64
+	// PctRoof is GBs as a percentage of this machine's memcpy ceiling
+	// (RooflineGBs), the roofline the memory-bound rows are measured
+	// against.
+	PctRoof float64
 	// Sessions is the concurrent-session count of a multi-session row
 	// (E10); zero for single-session experiments.
 	Sessions int
@@ -63,26 +75,35 @@ type Row struct {
 // EXPERIMENTS.md embed.
 func Table(rows []Row) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%-4s %-22s %-26s %-10s %9s %9s %12s %12s %8s %9s %6s %9s %5s %6s  %s\n",
-		"exp", "workload", "params", "backend", "bc-before", "bc-after", "baseline", "optimized", "speedup", "pool", "fredux", "plan", "pipe", "xsess", "note")
+	fmt.Fprintf(&b, "%-4s %-22s %-26s %-10s %9s %9s %12s %12s %8s %9s %6s %9s %5s %5s %6s %7s %6s  %s\n",
+		"exp", "workload", "params", "backend", "bc-before", "bc-after", "baseline", "optimized", "speedup", "pool", "fredux", "plan", "pipe", "xplan", "xsess", "gbs", "%roof", "note")
 	for _, r := range rows {
 		// pool prints hits/materializations for the optimized run: 3/5
 		// means five register buffers were needed and three were recycled.
 		// fredux counts reductions folded into their producer sweep.
 		// plan prints plan-cache hits/lookups: 58/60 means sixty flushes,
 		// fifty-eight served from a cached compilation. pipe counts plans
-		// executed on the async executor (0 for synchronous runs). xsess
-		// counts cross-session plan-cache hits of a shared-runtime row
-		// ("-" for single-session experiments).
+		// executed on the async executor (0 for synchronous runs). xplan
+		// counts combined cross-plan submissions (0 unless deferral ran).
+		// xsess counts cross-session plan-cache hits of a shared-runtime
+		// row ("-" for single-session experiments). gbs/%roof report the
+		// optimized run's achieved bandwidth against the machine's memcpy
+		// ceiling ("-" for rows without sweep work).
 		xsess := "-"
 		if r.Sessions > 0 {
 			xsess = fmt.Sprintf("%d", r.CrossSessionHits)
 		}
-		fmt.Fprintf(&b, "%-4s %-22s %-26s %-10s %9d %9d %12s %12s %7.2fx %9s %6d %9s %5d %6s  %s\n",
+		gbs, roof := "-", "-"
+		if r.GBs > 0 {
+			gbs = fmt.Sprintf("%.1f", r.GBs)
+			roof = fmt.Sprintf("%.0f%%", r.PctRoof)
+		}
+		fmt.Fprintf(&b, "%-4s %-22s %-26s %-10s %9d %9d %12s %12s %7.2fx %9s %6d %9s %5d %5d %6s %7s %6s  %s\n",
 			r.Experiment, r.Workload, r.Params, r.Backend, r.BytecodesBefore, r.BytecodesAfter,
 			round(r.Baseline), round(r.Optimized), r.Speedup,
 			fmt.Sprintf("%d/%d", r.PoolHits, r.PoolHits+r.BuffersAlloc), r.FusedReductions,
-			fmt.Sprintf("%d/%d", r.PlanHits, r.PlanHits+r.PlanMisses), r.Pipelined, xsess, r.Note)
+			fmt.Sprintf("%d/%d", r.PlanHits, r.PlanHits+r.PlanMisses), r.Pipelined, r.XPlanFused,
+			xsess, gbs, roof, r.Note)
 	}
 	return b.String()
 }
@@ -108,6 +129,9 @@ func JSON(rows []Row) ([]byte, error) {
 		PlanHits        int     `json:"plan_hits"`
 		PlanMisses      int     `json:"plan_misses"`
 		Pipelined       int     `json:"pipelined"`
+		XPlanFused      int     `json:"xplan_fused"`
+		GBs             float64 `json:"gbs"`
+		PctRoof         float64 `json:"pct_roof"`
 		// sessions keys multi-session rows (always > 0 for them); the two
 		// measurement fields below are never omitted, so a measured zero —
 		// the failure the guard looks for — stays distinguishable from
@@ -118,9 +142,13 @@ func JSON(rows []Row) ([]byte, error) {
 		Note             string `json:"note"`
 	}
 	doc := struct {
-		Schema string    `json:"schema"`
-		Rows   []jsonRow `json:"rows"`
-	}{Schema: "bohrium-bench/v1"}
+		Schema string `json:"schema"`
+		// RooflineGBs is the machine's memcpy ceiling every row's
+		// pct_roof is measured against, recorded so snapshots from
+		// different machines stay interpretable.
+		RooflineGBs float64   `json:"roofline_gbs"`
+		Rows        []jsonRow `json:"rows"`
+	}{Schema: "bohrium-bench/v1", RooflineGBs: RooflineGBs()}
 	for _, r := range rows {
 		doc.Rows = append(doc.Rows, jsonRow{
 			Experiment:       r.Experiment,
@@ -138,6 +166,9 @@ func JSON(rows []Row) ([]byte, error) {
 			PlanHits:         r.PlanHits,
 			PlanMisses:       r.PlanMisses,
 			Pipelined:        r.Pipelined,
+			XPlanFused:       r.XPlanFused,
+			GBs:              r.GBs,
+			PctRoof:          r.PctRoof,
 			Sessions:         r.Sessions,
 			CrossSessionHits: r.CrossSessionHits,
 			BaselineAllocs:   r.BaselineAllocs,
@@ -248,7 +279,7 @@ func comparePrograms(exp, workload, params string, prog *bytecode.Program,
 	if err != nil {
 		return Row{}, err
 	}
-	return Row{
+	row := Row{
 		Experiment:      exp,
 		Workload:        workload,
 		Params:          params,
@@ -261,7 +292,9 @@ func comparePrograms(exp, workload, params string, prog *bytecode.Program,
 		PoolHits:        optStats.PoolHits,
 		BuffersAlloc:    optStats.BuffersAllocated,
 		FusedReductions: optStats.FusedReductions,
-	}, nil
+	}
+	row.fillRoofline(optStats, opt)
+	return row, nil
 }
 
 // bindSolveInputs binds deterministic diagonally dominant data to the E4
@@ -302,7 +335,8 @@ func CheckSchema(data []byte) error {
 		"experiment", "workload", "params", "backend",
 		"bc_before", "bc_after", "baseline_ns", "optimized_ns", "speedup",
 		"pool_hits", "buffers_alloc", "fused_reductions",
-		"plan_hits", "plan_misses", "pipelined",
+		"plan_hits", "plan_misses", "pipelined", "xplan_fused",
+		"gbs", "pct_roof",
 		"cross_session_hits", "baseline_allocs", "note",
 	}
 	for i, row := range doc.Rows {

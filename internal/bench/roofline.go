@@ -1,0 +1,72 @@
+package bench
+
+import (
+	"sync"
+	"time"
+
+	"bohrium/internal/vm"
+)
+
+// The roofline columns put every timing in machine context: an
+// elementwise sweep is memory-bound, so its natural ceiling is the rate
+// at which this machine can stream bytes through main memory, not FLOPS.
+// RooflineGBs measures that ceiling once per process — a large memcpy,
+// best-of several passes — and each row's achieved bandwidth is reported
+// as gbs and as %roof against it. A fused pipeline at a high %roof has
+// nothing left to win from further fusion; a low %roof says the row is
+// dominated by overhead (compilation, dispatch, small shapes), which is
+// exactly the regime the plan cache and cross-plan rows attack.
+
+var (
+	rooflineOnce sync.Once
+	rooflineGBs  float64
+)
+
+// RooflineGBs returns this machine's streaming-memory ceiling in GB/s:
+// the best-of-five bandwidth of a 64 MiB memcpy (counting both the bytes
+// read and the bytes written), measured on first use and cached for the
+// process lifetime. The copy is single-threaded, so multi-worker sweeps
+// on machines with more memory channels than one core can saturate may
+// legitimately report above 100 %roof.
+func RooflineGBs() float64 {
+	rooflineOnce.Do(func() {
+		const n = 1 << 23 // 8 Mi float64 = 64 MiB per buffer
+		src := make([]float64, n)
+		dst := make([]float64, n)
+		for i := range src {
+			src[i] = float64(i)
+		}
+		copy(dst, src) // fault the pages in before timing
+		var best time.Duration
+		for r := 0; r < 5; r++ {
+			start := time.Now()
+			copy(dst, src)
+			if d := time.Since(start); best == 0 || d < best {
+				best = d
+			}
+		}
+		if best > 0 {
+			rooflineGBs = float64(16*n) / best.Seconds() / 1e9
+		}
+	})
+	return rooflineGBs
+}
+
+// fillRoofline derives the optimized run's achieved bandwidth from the
+// VM's processed-element counter and the best-of wall-clock time, using
+// a deliberately simple traffic model: 16 bytes per processed element —
+// one float64 stream read and one written. Kernels with two array
+// operands move more than the model counts and integer/float32 sweeps
+// move less, so gbs is a first-order figure, not a measurement of the
+// bus; its job is to make rows comparable to the memcpy ceiling and to
+// each other. Rows without sweep work (extension barriers, rewrite-only
+// ablations) keep gbs = 0 and print "-".
+func (r *Row) fillRoofline(st vm.Stats, opt time.Duration) {
+	if st.Elements <= 0 || opt <= 0 {
+		return
+	}
+	r.GBs = float64(st.Elements) * 16 / opt.Seconds() / 1e9
+	if ceil := RooflineGBs(); ceil > 0 {
+		r.PctRoof = 100 * r.GBs / ceil
+	}
+}

@@ -134,6 +134,13 @@ const (
 	OpMaximumReduce
 	OpLogicalAndReduce
 	OpLogicalOrReduce
+	// Index reductions: fold one axis to the int64 index of its extreme
+	// element (first occurrence wins on ties; a NaN wins over any number,
+	// NumPy-style). They have no ReduceBase — the accumulator carries a
+	// (value, index) pair, not a plain folded value — so rewrite rules and
+	// scan paths keyed on ReduceBase skip them automatically.
+	OpArgminReduce
+	OpArgmaxReduce
 
 	// Scans.
 	OpAddAccumulate
@@ -240,6 +247,8 @@ var infos = [numOpcodes]Info{
 	OpMaximumReduce:    {Name: "BH_MAXIMUM_REDUCE", Kind: KindReduction, Arity: 1, Cost: 1},
 	OpLogicalAndReduce: {Name: "BH_LOGICAL_AND_REDUCE", Kind: KindReduction, Arity: 1, Cost: 1, Bool: true},
 	OpLogicalOrReduce:  {Name: "BH_LOGICAL_OR_REDUCE", Kind: KindReduction, Arity: 1, Cost: 1, Bool: true},
+	OpArgminReduce:     {Name: "BH_ARGMIN_REDUCE", Kind: KindReduction, Arity: 1, Cost: 1},
+	OpArgmaxReduce:     {Name: "BH_ARGMAX_REDUCE", Kind: KindReduction, Arity: 1, Cost: 1},
 
 	OpAddAccumulate:      {Name: "BH_ADD_ACCUMULATE", Kind: KindScan, Arity: 1, Cost: 1},
 	OpMultiplyAccumulate: {Name: "BH_MULTIPLY_ACCUMULATE", Kind: KindScan, Arity: 1, Cost: 1},
@@ -314,6 +323,14 @@ func (op Opcode) Elementwise() bool {
 	default:
 		return false
 	}
+}
+
+// ArgReduce reports whether op is an index reduction (BH_ARGMIN_REDUCE /
+// BH_ARGMAX_REDUCE): a KindReduction op whose accumulator is a
+// (value, index) pair and whose output is always int64, regardless of the
+// input dtype. Index reductions have no ReduceBase.
+func (op Opcode) ArgReduce() bool {
+	return op == OpArgminReduce || op == OpArgmaxReduce
 }
 
 // ReduceBase returns the binary op-code a reduction or scan folds with

@@ -25,6 +25,10 @@ type Options struct {
 	PowerAllowTemporaries bool
 	// CSE enables common-subexpression reuse of expensive sweeps.
 	CSE bool
+	// SeqReuse enables zero-copy deduplication of repeated sweeps — the
+	// rule that collapses the duplicate halves of cross-plan combined
+	// batches (it can sink one BH_FREE, which CSE must treat as a write).
+	SeqReuse bool
 	// SolveRewrite enables the equation (2) inverse→solve rewrite.
 	SolveRewrite bool
 	// DCE enables dead-code elimination.
@@ -43,6 +47,7 @@ func DefaultOptions() Options {
 		IdentityFold: true,
 		PowerExpand:  true,
 		CSE:          true,
+		SeqReuse:     true,
 		SolveRewrite: true,
 		DCE:          true,
 	}
@@ -65,6 +70,12 @@ func Build(opts Options) *Pipeline {
 	}
 	if opts.IdentityElim {
 		rules = append(rules, IdentityElimRule{})
+	}
+	if opts.SeqReuse {
+		// Before PowerExpand: a duplicated BH_POWER must be deduplicated
+		// while it is still one recognizable sweep, not two independently
+		// expanded multiply chains over distinct temporaries.
+		rules = append(rules, ReuseRule{})
 	}
 	if opts.PowerExpand {
 		rules = append(rules, PowerExpandRule{

@@ -1,0 +1,225 @@
+package rewrite
+
+import (
+	"testing"
+
+	"bohrium/internal/bytecode"
+)
+
+// combinedPowerBatch is the program the cross-plan deferral path submits
+// for two iterations of the power-accumulate stream: each half computes
+// x^10, reduces it, accumulates the scalar, and frees its temporaries.
+// CSE cannot merge the halves (the BH_FREEs between them count as
+// writes); seq-reuse must collapse them to one power sweep and one
+// reduction.
+const combinedPowerBatch = `
+.reg a0 float64 10
+.reg a1 float64 10
+.reg a2 float64 1
+.reg a3 float64 1
+.reg a4 float64 10
+.reg a5 float64 1
+.in a0
+.in a3
+.out a3
+BH_POWER a1 a0 10.0
+BH_ADD_REDUCE a2 a1 axis=0
+BH_ADD a3 a3 a2
+BH_FREE a1
+BH_FREE a2
+BH_POWER a4 a0 10.0
+BH_ADD_REDUCE a5 a4 axis=0
+BH_ADD a3 a3 a5
+BH_FREE a4
+BH_FREE a5
+`
+
+func countOps(p *bytecode.Program, op bytecode.Opcode) int {
+	n := 0
+	for i := range p.Instrs {
+		if p.Instrs[i].Op == op {
+			n++
+		}
+	}
+	return n
+}
+
+func TestSeqReuseCollapsesDuplicateHalves(t *testing.T) {
+	p := bytecode.MustParse(combinedPowerBatch)
+	report, err := NewPipeline(ReuseRule{}).Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.TotalApplied() != 2 {
+		t.Errorf("applied %d rewrites, want 2 (power pair, reduce pair)", report.TotalApplied())
+	}
+	if got := len(p.Instrs); got != 6 {
+		t.Fatalf("program has %d instructions, want 6:\n%s", got, p)
+	}
+	if n := countOps(p, bytecode.OpPower); n != 1 {
+		t.Errorf("%d BH_POWER left, want 1:\n%s", n, p)
+	}
+	if n := countOps(p, bytecode.OpAddReduce); n != 1 {
+		t.Errorf("%d BH_ADD_REDUCE left, want 1:\n%s", n, p)
+	}
+	if n := countOps(p, bytecode.OpAdd); n != 2 {
+		t.Errorf("%d BH_ADD left, want 2 (the accumulation runs twice):\n%s", n, p)
+	}
+	// Register fate must match the unoptimized batch: both surviving
+	// temporaries freed exactly once, duplicates gone entirely.
+	frees := map[bytecode.RegID]int{}
+	for i := range p.Instrs {
+		in := &p.Instrs[i]
+		if in.Op == bytecode.OpFree {
+			frees[in.Out.Reg]++
+		}
+		if in.ReadsReg(4) || in.ReadsReg(5) || (in.Out.IsReg() && (in.Out.Reg == 4 || in.Out.Reg == 5)) {
+			t.Errorf("instruction %d still references a duplicate register:\n%s", i, p)
+		}
+	}
+	if frees[1] != 1 || frees[2] != 1 {
+		t.Errorf("frees = %v, want a1 and a2 freed exactly once", frees)
+	}
+}
+
+func TestSeqReuseBlockedBySyncedDuplicate(t *testing.T) {
+	// The duplicate's result is materialized for an observer: redirecting
+	// it would leave the SYNC pointing at a register the rewrite retired.
+	p := bytecode.MustParse(`
+.reg a0 float64 10
+.reg a1 float64 1
+.reg a2 float64 1
+.in a0
+BH_ADD_REDUCE a1 a0 axis=0
+BH_ADD_REDUCE a2 a0 axis=0
+BH_SYNC a2
+BH_FREE a1
+BH_FREE a2
+`)
+	report, err := NewPipeline(ReuseRule{}).Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.TotalApplied() != 0 {
+		t.Errorf("applied %d rewrites across a SYNC of the duplicate, want 0", report.TotalApplied())
+	}
+}
+
+func TestSeqReuseBlockedByInputWrite(t *testing.T) {
+	// The shared input changes between the two sweeps: they are not the
+	// same computation.
+	p := bytecode.MustParse(`
+.reg a0 float64 10
+.reg a1 float64 10
+.reg a2 float64 10
+.in a0
+BH_POWER a1 a0 10.0
+BH_ADD a0 a0 1.0
+BH_POWER a2 a0 10.0
+BH_FREE a1
+BH_FREE a2
+`)
+	report, err := NewPipeline(ReuseRule{}).Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.TotalApplied() != 0 {
+		t.Errorf("applied %d rewrites across a write to the shared input, want 0", report.TotalApplied())
+	}
+}
+
+func TestSeqReuseAxisMismatchIsNotADuplicate(t *testing.T) {
+	// Same opcode, same operands, same output shape — but different
+	// reduction axes produce different values on a square input.
+	p := bytecode.MustParse(`
+.reg a0 float64 4
+.reg a1 float64 2
+.reg a2 float64 2
+.in a0
+BH_ADD_REDUCE a1 [0:2:1] a0 [0:2:2][0:2:1] axis=0
+BH_ADD_REDUCE a2 [0:2:1] a0 [0:2:2][0:2:1] axis=1
+BH_FREE a1
+BH_FREE a2
+`)
+	report, err := NewPipeline(ReuseRule{}).Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.TotalApplied() != 0 {
+		t.Errorf("applied %d rewrites across an axis mismatch, want 0", report.TotalApplied())
+	}
+}
+
+func TestSeqReuseWithoutGapFree(t *testing.T) {
+	// The producer's result stays live past the duplicate: no free to
+	// sink, the duplicate and its free simply vanish.
+	p := bytecode.MustParse(`
+.reg a0 float64 10
+.reg a1 float64 1
+.reg a2 float64 1
+.reg a3 float64 1
+.in a0
+.out a3
+BH_ADD_REDUCE a1 a0 axis=0
+BH_ADD_REDUCE a2 a0 axis=0
+BH_ADD a3 a1 a2
+BH_FREE a1
+BH_FREE a2
+`)
+	report, err := NewPipeline(ReuseRule{}).Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.TotalApplied() != 1 {
+		t.Fatalf("applied %d rewrites, want 1:\n%s", report.TotalApplied(), p)
+	}
+	if got := len(p.Instrs); got != 3 {
+		t.Errorf("program has %d instructions, want 3:\n%s", got, p)
+	}
+	// a1 feeds both ADD operands now and keeps its single free.
+	frees := 0
+	for i := range p.Instrs {
+		in := &p.Instrs[i]
+		if in.Op == bytecode.OpFree {
+			frees++
+			if in.Out.Reg != 1 {
+				t.Errorf("free of a%d left, want only a1:\n%s", in.Out.Reg, p)
+			}
+		}
+	}
+	if frees != 1 {
+		t.Errorf("%d frees left, want 1:\n%s", frees, p)
+	}
+}
+
+func TestSequenceFusible(t *testing.T) {
+	fusible := bytecode.MustParse(`
+.reg a0 float64 10
+.reg a1 float64 1
+.in a0
+BH_ADD_REDUCE a1 a0 axis=0
+BH_FREE a1
+`)
+	if !SequenceFusible(fusible) {
+		t.Error("plain sweep batch reported non-fusible")
+	}
+	synced := bytecode.MustParse(`
+.reg a0 float64 10
+.in a0
+BH_SYNC a0
+`)
+	if SequenceFusible(synced) {
+		t.Error("batch with BH_SYNC reported fusible")
+	}
+	ext := bytecode.MustParse(`
+.reg a0 float64 4
+.reg a1 float64 4
+.reg a2 float64 4
+.in a0
+.in a1
+BH_MATMUL a2 [0:2:2][0:2:1] a0 [0:2:2][0:2:1] a1 [0:2:2][0:2:1]
+`)
+	if SequenceFusible(ext) {
+		t.Error("batch with extension byte-code reported fusible")
+	}
+}

@@ -1,0 +1,33 @@
+package rewrite
+
+import "bohrium/internal/bytecode"
+
+// SequenceFusible reports whether a recorded batch may legally be held
+// back and combined with the next batch by the front end's cross-plan
+// deferral (ARCHITECTURE.md, "Cross-plan fusion"). Two things disqualify
+// a batch:
+//
+//   - BH_SYNC: a sync materializes a register for an external observer
+//     at the flush boundary; deferring the batch would move that
+//     observation point. The front end flushes immediately after every
+//     sync anyway, so a deferred sync batch would also stall the
+//     observer an extra iteration.
+//   - Extension byte-codes (BH_MATMUL, BH_LU, BH_SOLVE, BH_INVERSE):
+//     they execute as barriers on every backend, so a combined plan
+//     gains nothing, and the out-of-core backend's segment planner
+//     budgets them per batch.
+//
+// Everything else — elementwise sweeps, reductions, scans, frees — keeps
+// identical semantics whether executed as two programs or one: batch
+// boundaries are not observation points, and the differential suites
+// hold the combined submission to bit-for-bit equality with the split
+// one.
+func SequenceFusible(p *bytecode.Program) bool {
+	for i := range p.Instrs {
+		op := p.Instrs[i].Op
+		if op == bytecode.OpSync || op.Info().Kind == bytecode.KindExtension {
+			return false
+		}
+	}
+	return true
+}

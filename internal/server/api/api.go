@@ -265,6 +265,17 @@ type ServerStats struct {
 	Sessions []string `json:"sessions"`
 	// PlanCacheLen is the number of plans in the shared cache.
 	PlanCacheLen int `json:"plan_cache_len"`
+	// LiveBytes is the engine's current register-file plus pool
+	// residency — the number operators watch to size tenants against
+	// the memory budget.
+	LiveBytes int `json:"live_bytes"`
+	// MemorySheds counts how many times memory pressure forced the
+	// engine to shed pooled buffers mid-plan.
+	MemorySheds int `json:"memory_sheds"`
+	// InFlightBatches is the number of batch handlers currently
+	// executing plus async batches queued behind session executors —
+	// the work a drain would wait on right now.
+	InFlightBatches int `json:"in_flight_batches"`
 	// VM aggregates counters across every session the runtime hosted.
 	VM VMStats `json:"vm"`
 }

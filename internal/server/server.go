@@ -628,11 +628,15 @@ func (s *Server) handleSessionStats(w http.ResponseWriter, r *http.Request) {
 
 // handleServerStats: GET /v1/stats — the shared engine as a whole.
 func (s *Server) handleServerStats(w http.ResponseWriter, r *http.Request) {
+	eng := s.rt.Engine()
 	api.WriteJSON(w, http.StatusOK, api.ServerStats{
-		Backends:     backend.Names(),
-		Sessions:     s.rt.Sessions(),
-		PlanCacheLen: s.rt.PlanCacheLen(),
-		VM:           api.StatsFromVM(s.rt.Stats()),
+		Backends:        backend.Names(),
+		Sessions:        s.rt.Sessions(),
+		PlanCacheLen:    s.rt.PlanCacheLen(),
+		LiveBytes:       eng.LiveBytes(),
+		MemorySheds:     eng.MemorySheds(),
+		InFlightBatches: s.InFlightBatches(),
+		VM:              api.StatsFromVM(s.rt.Stats()),
 	})
 }
 

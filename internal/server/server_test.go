@@ -389,6 +389,15 @@ func TestSessionLifecycle(t *testing.T) {
 	if ss.PlanCacheLen == 0 {
 		t.Fatal("plan cache empty after a compiled batch")
 	}
+	if ss.LiveBytes == 0 {
+		t.Fatal("live_bytes zero with a session holding arrays")
+	}
+	if ss.MemorySheds != 0 {
+		t.Fatalf("memory_sheds = %d on an unpressured engine, want 0", ss.MemorySheds)
+	}
+	if ss.InFlightBatches != 0 {
+		t.Fatalf("in_flight_batches = %d between requests, want 0", ss.InFlightBatches)
+	}
 
 	c.expect("DELETE", "/v1/sessions/"+sess.ID, nil, http.StatusNoContent, nil)
 	c.expect("GET", "/v1/sessions", nil, http.StatusOK, &list)

@@ -1,0 +1,175 @@
+package vm
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"bohrium/internal/bytecode"
+	"bohrium/internal/tensor"
+)
+
+func bindInts(t *testing.T, m *Machine, r bytecode.RegID, vals []int64) {
+	t.Helper()
+	buf, err := tensor.NewBuffer(tensor.Int64, len(vals))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range vals {
+		buf.SetInt(i, v)
+	}
+	m.Bind(r, tensor.Tensor{Buf: buf, View: tensor.NewView(tensor.MustShape(len(vals)))})
+}
+
+func runBound(t *testing.T, cfg Config, src string, bind func(m *Machine)) *Machine {
+	t.Helper()
+	p, err := bytecode.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := New(cfg)
+	t.Cleanup(m.Close)
+	bind(m)
+	if err := m.Run(p); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestArgReduceFloatRows(t *testing.T) {
+	// Ties keep the lowest index; the first NaN beats every number and
+	// nothing displaces it afterwards (NumPy semantics).
+	nan := math.NaN()
+	rows := []float64{
+		3, 1, 2, 1, // argmin 1 (first of the tie), argmax 0
+		5, nan, 7, nan, // the NaN at 1 wins both directions
+		-1, -1, 4, 0, // argmin 0, argmax 2
+	}
+	m := runBound(t, Config{}, `
+.reg a0 float64 12
+.reg a1 int64 3
+.reg a2 int64 3
+.in a0
+BH_ARGMIN_REDUCE a1 [0:3:1] a0 [0:12:4][0:4:1] axis=1
+BH_ARGMAX_REDUCE a2 [0:3:1] a0 [0:12:4][0:4:1] axis=1
+`, func(m *Machine) { bindVec(t, m, 0, rows) })
+	wantMin := []float64{1, 1, 0}
+	wantMax := []float64{0, 1, 2}
+	if got := regVals(t, m, 1, 3); !floatsEqual(got, wantMin) {
+		t.Errorf("argmin = %v, want %v", got, wantMin)
+	}
+	if got := regVals(t, m, 2, 3); !floatsEqual(got, wantMax) {
+		t.Errorf("argmax = %v, want %v", got, wantMax)
+	}
+}
+
+func TestArgReduceNonLastAxis(t *testing.T) {
+	vals := []float64{
+		9, 1, 2, 3,
+		0, 8, 1, 7,
+		4, 2, 6, 5,
+	}
+	m := runBound(t, Config{}, `
+.reg a0 float64 12
+.reg a1 int64 4
+.in a0
+BH_ARGMAX_REDUCE a1 [0:4:1] a0 [0:12:4][0:4:1] axis=0
+`, func(m *Machine) { bindVec(t, m, 0, vals) })
+	want := []float64{0, 1, 2, 1}
+	if got := regVals(t, m, 1, 4); !floatsEqual(got, want) {
+		t.Errorf("argmax axis=0 = %v, want %v", got, want)
+	}
+}
+
+func TestArgReduceIntInput(t *testing.T) {
+	vals := []int64{5, 3, 3, 9, -2, 7, -2, 0}
+	m := runBound(t, Config{}, `
+.reg a0 int64 8
+.reg a1 int64 2
+.in a0
+BH_ARGMIN_REDUCE a1 [0:2:1] a0 [0:8:4][0:4:1] axis=1
+`, func(m *Machine) { bindInts(t, m, 0, vals) })
+	want := []float64{1, 0}
+	if got := regVals(t, m, 1, 2); !floatsEqual(got, want) {
+		t.Errorf("int argmin = %v, want %v", got, want)
+	}
+}
+
+// TestArgReduceStrategiesBitEqual pins the strategy-independence claim:
+// the chunk-axis and split-outputs strategies must produce bitwise the
+// same indices as the serial fold — comparisons never re-associate, so
+// unlike float sum reductions this holds exactly.
+func TestArgReduceStrategiesBitEqual(t *testing.T) {
+	serialCfg := Config{ParallelThreshold: 1 << 30}
+	parCfg := Config{Workers: 4}
+
+	// One output over a long axis: the parallel machine chunks the axis.
+	longVals := make([]float64, 40000)
+	for i := range longVals {
+		longVals[i] = float64((i*2654435761 + 7) % 4999)
+	}
+	longVals[31337] = math.NaN()
+	longSrc := `
+.reg a0 float64 40000
+.reg a1 int64 1
+.in a0
+BH_ARGMIN_REDUCE a1 a0 [0:40000:1] axis=0
+`
+	ms := runBound(t, serialCfg, longSrc, func(m *Machine) { bindVec(t, m, 0, longVals) })
+	mp := runBound(t, parCfg, longSrc, func(m *Machine) { bindVec(t, m, 0, longVals) })
+	got, want := regVals(t, mp, 1, 1), regVals(t, ms, 1, 1)
+	if got[0] != want[0] {
+		t.Errorf("chunked argmin = %v, serial = %v", got, want)
+	}
+	if want[0] != 31337 {
+		t.Errorf("serial argmin = %v, want the NaN at 31337", want)
+	}
+
+	// Many lines: the parallel machine splits the output sweep.
+	wideVals := make([]float64, 256*200)
+	for i := range wideVals {
+		wideVals[i] = float64((i*40503 + 11) % 977)
+	}
+	wideSrc := `
+.reg a0 float64 51200
+.reg a1 int64 256
+.in a0
+BH_ARGMAX_REDUCE a1 [0:256:1] a0 [0:51200:200][0:200:1] axis=1
+`
+	ws := runBound(t, serialCfg, wideSrc, func(m *Machine) { bindVec(t, m, 0, wideVals) })
+	wp := runBound(t, parCfg, wideSrc, func(m *Machine) { bindVec(t, m, 0, wideVals) })
+	if gotW, wantW := regVals(t, wp, 1, 256), regVals(t, ws, 1, 256); !floatsEqual(gotW, wantW) {
+		t.Error("split-outputs argmax differs from serial")
+	}
+}
+
+func TestArgReduceEmptyAxisErrors(t *testing.T) {
+	src := `
+.reg a0 float64 10
+.reg a1 int64 3
+BH_RANDOM a0 5 0
+BH_ARGMIN_REDUCE a1 [0:3:1] a0 [0:3:0][0:0:1] axis=1
+`
+	p, err := bytecode.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := New(Config{})
+	defer m.Close()
+	err = m.Run(p)
+	if err == nil || !strings.Contains(err.Error(), "identity") {
+		t.Errorf("argmin over empty axis: err = %v, want identity error", err)
+	}
+}
+
+func floatsEqual(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -688,6 +688,89 @@ BH_SYNC a2
 `,
 		out: 2, n: 1, serialTol: 1e-9, wantFR: 1,
 	},
+	{
+		// Leading-axis reduce: the any-axis epilogue path (the linear
+		// blockwise fold only serves the last axis). Per-line folds are
+		// exact, so serial comparison is bitwise too.
+		name: "sum-axis0-float64",
+		src: `
+.reg a0 float64 40000
+.reg a1 float64 40000
+.reg a2 float64 200
+BH_RANDOM a0 31 0
+BH_MULTIPLY a1 [0:40000:200][0:200:1] a0 [0:40000:200][0:200:1] 1.5
+BH_ADD_REDUCE a2 [0:200:1] a1 [0:40000:200][0:200:1] axis=0
+BH_FREE a1
+BH_SYNC a2
+`,
+		out: 2, n: 200, serialTol: 0, wantFR: 1,
+	},
+	{
+		// Interior axis of a 3-D producer: lines are the (outer, inner)
+		// pairs around axis 1.
+		name: "sum-midaxis-float64",
+		src: `
+.reg a0 float64 27000
+.reg a1 float64 27000
+.reg a2 float64 900
+BH_RANDOM a0 53 0
+BH_MULTIPLY a1 [0:27000:900][0:900:30][0:30:1] a0 [0:27000:900][0:900:30][0:30:1] a0 [0:27000:900][0:900:30][0:30:1]
+BH_ADD_REDUCE a2 [0:900:30][0:30:1] a1 [0:27000:900][0:900:30][0:30:1] axis=1
+BH_FREE a1
+BH_SYNC a2
+`,
+		out: 2, n: 900, serialTol: 0, wantFR: 1,
+	},
+	{
+		// Argmin epilogue over rows: the (value, index) fold through the
+		// split-outputs strategy, bit-exact everywhere.
+		name: "argmin-rows-float64",
+		src: `
+.reg a0 float64 40000
+.reg a1 float64 40000
+.reg a2 int64 200
+BH_RANDOM a0 37 0
+BH_SUBTRACT a1 [0:40000:200][0:200:1] a0 [0:40000:200][0:200:1] 0.5
+BH_ABSOLUTE a1 [0:40000:200][0:200:1] a1 [0:40000:200][0:200:1]
+BH_ARGMIN_REDUCE a2 [0:200:1] a1 [0:40000:200][0:200:1] axis=1
+BH_FREE a1
+BH_SYNC a2
+`,
+		out: 2, n: 200, serialTol: 0, wantFR: 1,
+	},
+	{
+		// Argmax epilogue over one long axis whose producer makes NaNs
+		// (sqrt of negatives): the chunked (value, index) fold must
+		// reproduce the serial first-NaN-wins winner exactly.
+		name: "argmax-nan-chunked-float64",
+		src: `
+.reg a0 float64 40000
+.reg a1 float64 40000
+.reg a2 int64 1
+BH_RANDOM a0 41 0
+BH_SUBTRACT a1 a0 0.5
+BH_SQRT a1 a1
+BH_ARGMAX_REDUCE a2 [0:1:1] a1 axis=0
+BH_FREE a1
+BH_SYNC a2
+`,
+		out: 2, n: 1, serialTol: 0, wantFR: 1,
+	},
+	{
+		// Integer argmin epilogue: comparisons run in the int64 class.
+		name: "argmin-int32",
+		src: `
+.reg a0 int32 40000
+.reg a1 int32 40000
+.reg a2 int64 1
+BH_RANDOM a0 43 0
+BH_MOD a1 a0 997
+BH_ARGMIN_REDUCE a2 [0:1:1] a1 axis=0
+BH_FREE a1
+BH_SYNC a2
+`,
+		out: 2, n: 1, serialTol: 0, wantFR: 1,
+	},
 }
 
 // TestReductionEpilogueDifferential pins the folded sweep against the
@@ -717,7 +800,12 @@ func TestReductionEpilogueDifferential(t *testing.T) {
 // TestEpilogueLiveProducerValues: a materialized producer register holds
 // the same values the interpreter writes.
 func TestEpilogueLiveProducerValues(t *testing.T) {
-	src := epilogueCases[len(epilogueCases)-1].src // sum-live-producer
+	var src string
+	for _, tc := range epilogueCases {
+		if tc.name == "sum-live-producer" {
+			src = tc.src
+		}
+	}
 	interp := run(t, Config{Fusion: false}, src)
 	fused := run(t, Config{Fusion: true}, src)
 	compareRegs(t, interp, fused, 1, 40000, 0)

@@ -123,29 +123,31 @@ func (m *Machine) fusibleAt(p *bytecode.Program, i int) (tensor.Shape, bool, boo
 
 // reduceEpilogueAt reports whether the reduction at index j can fold the
 // preceding elementwise cluster cl into its accumulation loop. The legal
-// shape: a full or last-axis reduction whose input is a register the
-// cluster wrote, through exactly the window of the cluster's final write,
-// into an output register the cluster does not write. Buffer-level
-// aliasing between the reduction output and the producers' operands is
-// checked at execution time (execClusterReduce falls back).
+// shape: a reduction over any axis — including the argmin/argmax index
+// reductions, whose fold carries a (value, index) pair — whose input is
+// a register the cluster wrote, through exactly the window of the
+// cluster's final write, into an output register the cluster does not
+// write. The folded sweep walks the reduced line space in the same
+// row-major order the interpreted two-sweep path does, so no axis is
+// special. Buffer-level aliasing between the reduction output and the
+// producers' operands is checked at execution time (execClusterReduce
+// falls back).
 func reduceEpilogueAt(p *bytecode.Program, cl cluster, j int) bool {
 	in := &p.Instrs[j]
 	if in.Op.Info().Kind != bytecode.KindReduction {
 		return false
 	}
-	if _, ok := in.Op.ReduceBase(); !ok {
+	if _, ok := in.Op.ReduceBase(); !ok && !in.Op.ArgReduce() {
 		return false
 	}
 	if !in.In1.IsReg() || !in.Out.IsReg() {
 		return false
 	}
-	// Only full (1-D) or last-axis reductions traverse the producer's
-	// iteration space in line order; other axes keep the two-sweep path.
 	nd := in.In1.View.NDim()
-	if nd == 0 || in.Axis != nd-1 {
+	if nd == 0 || in.Axis < 0 || in.Axis >= nd {
 		return false
 	}
-	if in.In1.View.Shape[nd-1] == 0 {
+	if in.In1.View.Shape[in.Axis] == 0 {
 		return false // empty axis takes the identity-fill path
 	}
 	if !in.In1.View.Shape.Equal(cl.shape) {

@@ -2,15 +2,17 @@ package vm
 
 import (
 	"fmt"
+	"math"
 
 	"bohrium/internal/bytecode"
 	"bohrium/internal/tensor"
 )
 
-// Reduction-epilogue fusion: when a full or last-axis reduction consumes
-// the output of the elementwise cluster right before it, the producer
-// chain folds into the reduction's accumulation loop — sum(x*y) becomes
-// one sweep with no materialized temporary. Producer steps evaluate per
+// Reduction-epilogue fusion: when a reduction over any axis — including
+// the argmin/argmax index reductions — consumes the output of the
+// elementwise cluster right before it, the producer chain folds into the
+// reduction's accumulation loop — sum(x*y) becomes one sweep with no
+// materialized temporary. Producer steps evaluate per
 // element into *virtual registers* (one slot per cluster-written
 // register); a register that is still referenced after the reduction is
 // additionally written through to memory, so only dead temporaries skip
@@ -52,6 +54,7 @@ type epiPlan struct {
 	redIdx   int
 	red      *bytecode.Instruction
 	shape    tensor.Shape
+	axis     int // reduced axis within shape
 	lineDims []int
 	axLen    int
 	lines    int
@@ -105,15 +108,21 @@ func analyzeEpilogue(p *bytecode.Program, cl cluster) (*epiPlan, bool) {
 	redIdx := cl.end - 1
 	red := &p.Instrs[redIdx]
 	shape := cl.shape
-	last := len(shape) - 1
-	lineShape := tensor.Shape(shape[:last])
+	axis := red.Axis
+	lineShape := make(tensor.Shape, 0, len(shape)-1)
+	for d := range shape {
+		if d != axis {
+			lineShape = append(lineShape, shape[d])
+		}
+	}
 	plan := &epiPlan{
 		cl:       cl,
 		redIdx:   redIdx,
 		red:      red,
 		shape:    shape,
+		axis:     axis,
 		lineDims: []int(lineShape),
-		axLen:    shape[last],
+		axLen:    shape[axis],
 		lines:    lineShape.Size(),
 		slotOf:   map[bytecode.RegID]int{},
 	}
@@ -209,9 +218,9 @@ type epiMem struct {
 	base       int
 }
 
-func newEpiMem(v tensor.View) *epiMem {
-	lineView, lastStride, _ := removeAxis(v, v.NDim()-1)
-	return &epiMem{lineCur: newCursor(lineView), lastStride: lastStride}
+func newEpiMem(v tensor.View, axis int) *epiMem {
+	lineView, axStride, _ := removeAxis(v, axis)
+	return &epiMem{lineCur: newCursor(lineView), lastStride: axStride}
 }
 
 // epiEval is one worker's compiled evaluator. Slots and cursor positions
@@ -321,7 +330,7 @@ func buildEpiStep[T tensor.Elem](m *Machine, p *bytecode.Program, plan *epiPlan,
 			return nil, fmt.Errorf("fused output %s is not %v", sd.in.Out.Reg, dt)
 		}
 		dstArr = arr
-		dstMem = newEpiMem(sd.in.Out.View)
+		dstMem = newEpiMem(sd.in.Out.View, plan.axis)
 		ev.mems = append(ev.mems, dstMem)
 		ev.bufs = append(ev.bufs, buf)
 	}
@@ -355,7 +364,7 @@ func buildEpiStep[T tensor.Elem](m *Machine, p *bytecode.Program, plan *epiPlan,
 			}
 			view = bv
 		}
-		mem := newEpiMem(view)
+		mem := newEpiMem(view, plan.axis)
 		ev.mems = append(ev.mems, mem)
 		ev.bufs = append(ev.bufs, buf)
 		return epiSrc[T]{arr: arr, mem: mem, slot: -1}, nil
@@ -544,7 +553,10 @@ func (m *Machine) tryReduceEpilogue(p *bytecode.Program, cl cluster, plan *epiPl
 	if err != nil {
 		return false, instrErr(p, plan.redIdx, err)
 	}
-	if cl.linear {
+	// The blockwise linear path assumes line-major element order and a
+	// plain accumulator fold, so it serves last-axis base reductions only;
+	// interior axes and (value, index) folds run the per-element evaluator.
+	if cl.linear && plan.axis == len(plan.shape)-1 && !red.Op.ArgReduce() {
 		return m.tryLinearEpilogue(p, plan, outBuf)
 	}
 	// Validate compilation once up front; this also collects the memory
@@ -559,11 +571,39 @@ func (m *Machine) tryReduceEpilogue(p *bytecode.Program, cl cluster, plan *epiPl
 		}
 	}
 
-	base, _ := red.Op.ReduceBase()
 	m.countEpilogueStats(p, plan)
-
 	strategy := m.sweepStrategyFor(red.Out.View, plan.lines, plan.axLen)
 	build := func() (*epiEval, error) { return m.buildEpiEval(p, plan) }
+
+	if red.Op.ArgReduce() {
+		// Index reductions fold a (value, index) pair with execArgReduce's
+		// exact comparison semantics: lowest index wins ties, the first NaN
+		// beats every number, and the comparison class follows the producer
+		// dtype. Comparisons never re-associate, so every strategy is
+		// bit-identical to the interpreted fold.
+		if !plan.pFloat {
+			better := func(v, best int64) bool { return v < best }
+			if red.Op == bytecode.OpArgmaxReduce {
+				better = func(v, best int64) bool { return v > best }
+			}
+			runArgEpilogue(m, strategy, build, ev0, better,
+				func(ev *epiEval) int64 { return ev.readI() }, outBuf, plan.lines, plan.axLen)
+			return true, nil
+		}
+		better := func(v, best float64) bool {
+			return v < best || (math.IsNaN(v) && !math.IsNaN(best))
+		}
+		if red.Op == bytecode.OpArgmaxReduce {
+			better = func(v, best float64) bool {
+				return v > best || (math.IsNaN(v) && !math.IsNaN(best))
+			}
+		}
+		runArgEpilogue(m, strategy, build, ev0, better,
+			func(ev *epiEval) float64 { return ev.readF() }, outBuf, plan.lines, plan.axLen)
+		return true, nil
+	}
+
+	base, _ := red.Op.ReduceBase()
 	if plan.intRed {
 		k, ok := intBinaryKernel(base)
 		if !ok {
@@ -642,6 +682,82 @@ func runEpilogue[E int64 | float64](m *Machine, strategy sweepStrategy, build fu
 			}
 			ev0.rebase(l)
 			set(out, ev0.outCur.idx, acc)
+		}
+	default:
+		for l := 0; l < lines; l++ {
+			foldLine(ev0, l)
+		}
+	}
+}
+
+// runArgEpilogue drives a folded index reduction: the producer steps
+// evaluate per element exactly as in runEpilogue, but the fold carries a
+// (value, index) pair and writes the winning axis index. The chunked
+// strategy combines chunk partials in chunk order with the same
+// comparison, which reproduces the serial winner exactly — as in
+// runArgReduce, comparisons do not re-associate.
+func runArgEpilogue[E int64 | float64](m *Machine, strategy sweepStrategy, build func() (*epiEval, error),
+	ev0 *epiEval, better func(v, best E) bool, read func(*epiEval) E,
+	out tensor.Buffer, lines, axLen int) {
+
+	foldLine := func(ev *epiEval, l int) {
+		ev.rebase(l)
+		ev.eval(0)
+		best := read(ev)
+		bestIdx := 0
+		for j := 1; j < axLen; j++ {
+			ev.eval(j)
+			if v := read(ev); better(v, best) {
+				best, bestIdx = v, j
+			}
+		}
+		out.SetInt(ev.outCur.idx, int64(bestIdx))
+	}
+
+	switch strategy {
+	case sweepSplitOutputs:
+		m.par.parallelFor(lines, 2, func(lo, hi int) {
+			ev, err := build()
+			if err != nil {
+				return // validated up front; cannot fail here
+			}
+			for l := lo; l < hi; l++ {
+				foldLine(ev, l)
+			}
+		})
+	case sweepChunkAxis:
+		size, nc := chunkParams(axLen)
+		vals := make([]E, nc)
+		idxs := make([]int, nc)
+		for l := 0; l < lines; l++ {
+			m.par.parallelFor(nc, 2, func(lo, hi int) {
+				ev, err := build()
+				if err != nil {
+					return
+				}
+				ev.rebase(l)
+				for c := lo; c < hi; c++ {
+					start, end := chunkBounds(c, size, axLen)
+					ev.eval(start)
+					best := read(ev)
+					bestIdx := start
+					for j := start + 1; j < end; j++ {
+						ev.eval(j)
+						if v := read(ev); better(v, best) {
+							best, bestIdx = v, j
+						}
+					}
+					vals[c], idxs[c] = best, bestIdx
+				}
+			})
+			best, bestIdx := vals[0], idxs[0]
+			for c := 1; c < nc; c++ {
+				if better(vals[c], best) {
+					best, bestIdx = vals[c], idxs[c]
+				}
+			}
+			ev0.rebase(l)
+			out.SetInt(ev0.outCur.idx, int64(bestIdx))
 		}
 	default:
 		for l := 0; l < lines; l++ {

@@ -81,6 +81,11 @@ func compileFloatUnaryLoop[T tensor.Elem](op bytecode.Opcode, dst []T, s rawSrc[
 }
 
 func compileFloatBinaryLoop[T tensor.Elem](op bytecode.Opcode, dst []T, a, b rawSrc[T]) (func(lo, hi int), bool) {
+	// Specialized word-wide/unrolled kernels first; each declines unless
+	// its bit-for-bit equivalence argument holds (loops_specialized.go).
+	if loop, ok := specializedFloatBinary(op, dst, a, b); ok {
+		return loop, true
+	}
 	// Hand-inlined forms for the memory-bound sweeps the paper's
 	// transformations count.
 	switch op {
@@ -240,6 +245,10 @@ func compileIntUnaryLoop[T tensor.Elem](op bytecode.Opcode, dst []T, s rawSrc[T]
 }
 
 func compileIntBinaryLoop[T tensor.Elem](op bytecode.Opcode, dst []T, a, b rawSrc[T]) (func(lo, hi int), bool) {
+	// Specialized native-width kernels first (loops_specialized.go).
+	if loop, ok := specializedIntBinary(op, dst, a, b); ok {
+		return loop, true
+	}
 	// Hand-inlined wrap-exact forms: widening to int64 and truncating back
 	// through T is identical to native T arithmetic for +,-,* and matches
 	// the interpreted int class for every width.

@@ -1,0 +1,229 @@
+package vm
+
+import (
+	"math"
+	"testing"
+
+	"bohrium/internal/bytecode"
+)
+
+// The specialized kernels claim bit-for-bit equality with the generic
+// class-widened bodies they shadow. These suites check every claim
+// kernel by kernel against the reference formula, over inputs chosen to
+// stress the edges: subnormals, infinities, NaN, negative zero, and
+// values that overflow the narrow integer widths.
+
+func specF32Inputs() ([]float32, []float32) {
+	xs := []float32{
+		0, 1, -1, 0.5, -0.5, 1e-30, -1e-30, 1e30, -1e30,
+		math.SmallestNonzeroFloat32, -math.SmallestNonzeroFloat32,
+		math.MaxFloat32, -math.MaxFloat32,
+		float32(math.Inf(1)), float32(math.Inf(-1)),
+		float32(math.Copysign(0, -1)), 3.1415927, 2.7182817,
+	}
+	// Deterministic pseudo-random magnitudes across the exponent range.
+	r := uint32(0x9e3779b9)
+	for len(xs) < 1000 {
+		r = r*1664525 + 1013904223
+		xs = append(xs, float32(math.Ldexp(float64(int32(r))/float64(1<<31), int(r%64)-32)))
+	}
+	ys := make([]float32, len(xs))
+	for i := range ys {
+		ys[i] = xs[(i*7+3)%len(xs)]
+	}
+	return xs, ys
+}
+
+func TestSpecFloat32ArrArrBitExact(t *testing.T) {
+	xs, ys := specF32Inputs()
+	ops := []struct {
+		op bytecode.Opcode
+		k  func(a, b float64) float64
+	}{
+		{bytecode.OpAdd, func(a, b float64) float64 { return a + b }},
+		{bytecode.OpSubtract, func(a, b float64) float64 { return a - b }},
+		{bytecode.OpMultiply, func(a, b float64) float64 { return a * b }},
+		{bytecode.OpDivide, func(a, b float64) float64 { return a / b }},
+	}
+	for _, tc := range ops {
+		dst := make([]float32, len(xs))
+		loop, ok := specializedFloatBinary(tc.op, dst, rawSrc[float32]{arr: xs}, rawSrc[float32]{arr: ys})
+		if !ok {
+			t.Fatalf("%s: specialized float32 arr-arr kernel missing", tc.op)
+		}
+		loop(0, len(xs))
+		for i := range xs {
+			want := float32(tc.k(float64(xs[i]), float64(ys[i])))
+			if math.Float32bits(dst[i]) != math.Float32bits(want) && !(math.IsNaN(float64(dst[i])) && math.IsNaN(float64(want))) {
+				t.Fatalf("%s[%d]: spec %x, reference %x (x=%v y=%v)",
+					tc.op, i, math.Float32bits(dst[i]), math.Float32bits(want), xs[i], ys[i])
+			}
+		}
+	}
+}
+
+func TestSpecFloat32ConstGate(t *testing.T) {
+	xs, _ := specF32Inputs()
+	dst := make([]float32, len(xs))
+	// Exactly representable constant: the kernel compiles and matches the
+	// double-rounding reference bitwise.
+	exact := 1.5
+	loop, ok := specializedFloatBinary(bytecode.OpMultiply, dst, rawSrc[float32]{arr: xs}, rawSrc[float32]{cf: exact})
+	if !ok {
+		t.Fatal("exact float32 constant declined")
+	}
+	loop(0, len(xs))
+	for i := range xs {
+		want := float32(float64(xs[i]) * exact)
+		if math.Float32bits(dst[i]) != math.Float32bits(want) && !(math.IsNaN(float64(dst[i])) && math.IsNaN(float64(want))) {
+			t.Fatalf("mul-const[%d]: spec %x, reference %x", i, math.Float32bits(dst[i]), math.Float32bits(want))
+		}
+	}
+	// 0.1 is not a float32: the specialization must decline so the generic
+	// double-rounding body keeps the interpreted semantics.
+	if _, ok := specializedFloatBinary(bytecode.OpAdd, dst, rawSrc[float32]{arr: xs}, rawSrc[float32]{cf: 0.1}); ok {
+		t.Error("inexact float32 constant was not declined")
+	}
+	// Neither is NaN (the gate's c==c comparison fails), which is the
+	// conservative choice.
+	if _, ok := specializedFloatBinary(bytecode.OpAdd, dst, rawSrc[float32]{arr: xs}, rawSrc[float32]{cf: math.NaN()}); ok {
+		t.Error("NaN constant was not declined")
+	}
+}
+
+func TestSpecFloat64UnrolledBitExact(t *testing.T) {
+	xs := make([]float64, 1003) // deliberately not a multiple of the unroll
+	for i := range xs {
+		xs[i] = math.Ldexp(float64(i*2654435761%4999)-2500, i%40-20)
+	}
+	xs[17] = math.Inf(1)
+	xs[18] = math.NaN()
+	xs[19] = math.Copysign(0, -1)
+	ys := make([]float64, len(xs))
+	for i := range ys {
+		ys[i] = xs[(i*13+5)%len(xs)]
+	}
+	ops := []struct {
+		op bytecode.Opcode
+		k  func(a, b float64) float64
+	}{
+		{bytecode.OpAdd, func(a, b float64) float64 { return a + b }},
+		{bytecode.OpSubtract, func(a, b float64) float64 { return a - b }},
+		{bytecode.OpMultiply, func(a, b float64) float64 { return a * b }},
+	}
+	for _, tc := range ops {
+		dst := make([]float64, len(xs))
+		loop, ok := specializedFloatBinary(tc.op, dst, rawSrc[float64]{arr: xs}, rawSrc[float64]{arr: ys})
+		if !ok {
+			t.Fatalf("%s: unrolled float64 kernel missing", tc.op)
+		}
+		// Odd sub-ranges exercise both the unrolled body and the tail.
+		loop(0, 7)
+		loop(7, len(xs))
+		for i := range xs {
+			want := tc.k(xs[i], ys[i])
+			if math.Float64bits(dst[i]) != math.Float64bits(want) && !(math.IsNaN(dst[i]) && math.IsNaN(want)) {
+				t.Fatalf("%s[%d]: spec %x, reference %x", tc.op, i, math.Float64bits(dst[i]), math.Float64bits(want))
+			}
+		}
+		// Constant form too.
+		c := 1.0 / 3.0
+		dstC := make([]float64, len(xs))
+		loopC, ok := specializedFloatBinary(tc.op, dstC, rawSrc[float64]{arr: xs}, rawSrc[float64]{cf: c})
+		if !ok {
+			t.Fatalf("%s: unrolled float64 const kernel missing", tc.op)
+		}
+		loopC(0, len(xs))
+		for i := range xs {
+			want := tc.k(xs[i], c)
+			if math.Float64bits(dstC[i]) != math.Float64bits(want) && !(math.IsNaN(dstC[i]) && math.IsNaN(want)) {
+				t.Fatalf("%s-const[%d]: spec %x, reference %x", tc.op, i, math.Float64bits(dstC[i]), math.Float64bits(want))
+			}
+		}
+	}
+}
+
+func TestSpecIntWrapExact(t *testing.T) {
+	xs32 := []int32{0, 1, -1, math.MaxInt32, math.MinInt32, 1 << 30, -(1 << 30), 123456789, -987654321}
+	ys32 := []int32{1, -1, math.MaxInt32, math.MinInt32, 3, 1 << 20, 7, -13, 2}
+	ops := []struct {
+		op bytecode.Opcode
+		k  func(a, b int64) int64
+	}{
+		{bytecode.OpAdd, func(a, b int64) int64 { return a + b }},
+		{bytecode.OpSubtract, func(a, b int64) int64 { return a - b }},
+		{bytecode.OpMultiply, func(a, b int64) int64 { return a * b }},
+	}
+	for _, tc := range ops {
+		dst := make([]int32, len(xs32))
+		loop, ok := specializedIntBinary(tc.op, dst, rawSrc[int32]{arr: xs32}, rawSrc[int32]{arr: ys32})
+		if !ok {
+			t.Fatalf("%s: specialized int32 kernel missing", tc.op)
+		}
+		loop(0, len(xs32))
+		for i := range xs32 {
+			// Reference: the generic body's widen-compute-truncate.
+			want := int32(tc.k(int64(xs32[i]), int64(ys32[i])))
+			if dst[i] != want {
+				t.Fatalf("%s int32[%d]: spec %d, reference %d", tc.op, i, dst[i], want)
+			}
+		}
+		// Constant form with a constant that wraps at int32 width: the
+		// truncate-first evaluation must still match truncate-last.
+		bigC := int64(math.MaxInt32) + 12345
+		dstC := make([]int32, len(xs32))
+		loopC, ok := specializedIntBinary(tc.op, dstC, rawSrc[int32]{arr: xs32}, rawSrc[int32]{ci: bigC})
+		if !ok {
+			t.Fatalf("%s: specialized int32 const kernel missing", tc.op)
+		}
+		loopC(0, len(xs32))
+		for i := range xs32 {
+			want := int32(tc.k(int64(xs32[i]), bigC))
+			if dstC[i] != want {
+				t.Fatalf("%s int32-const[%d]: spec %d, reference %d", tc.op, i, dstC[i], want)
+			}
+		}
+		// int64 arr-arr.
+		xs64 := []int64{0, 1, -1, math.MaxInt64, math.MinInt64, 1 << 62, -(1 << 62), 2654435761}
+		ys64 := []int64{1, -1, math.MaxInt64, 3, math.MinInt64, 7, -13, 40503}
+		dst64 := make([]int64, len(xs64))
+		loop64, ok := specializedIntBinary(tc.op, dst64, rawSrc[int64]{arr: xs64}, rawSrc[int64]{arr: ys64})
+		if !ok {
+			t.Fatalf("%s: specialized int64 kernel missing", tc.op)
+		}
+		loop64(0, len(xs64))
+		for i := range xs64 {
+			if want := tc.k(xs64[i], ys64[i]); dst64[i] != want {
+				t.Fatalf("%s int64[%d]: spec %d, reference %d", tc.op, i, dst64[i], want)
+			}
+		}
+	}
+}
+
+// TestSpecializedEndToEnd runs whole programs through the engine — which
+// now picks the specialized kernels on its fast path and in fused
+// clusters — against a machine configured below the parallel threshold,
+// and pins a float32 stream against its interpreted (Fusion: false) twin.
+func TestSpecializedEndToEnd(t *testing.T) {
+	src := `
+.reg a0 float32 10000
+.reg a1 float32 10000
+.reg a2 float32 10000
+.reg a3 int32 10000
+.reg a4 int32 10000
+BH_RANDOM a0 61 0
+BH_RANDOM a1 67 0
+BH_ADD a2 a0 a1
+BH_MULTIPLY a2 a2 1.5
+BH_DIVIDE a2 a2 a1
+BH_RANDOM a3 71 0
+BH_MULTIPLY a4 a3 2654435761
+BH_ADD a4 a4 40503
+BH_SYNC a2
+BH_SYNC a4
+`
+	plain := run(t, Config{Fusion: false}, src)
+	fused := run(t, Config{Fusion: true}, src)
+	compareRegs(t, plain, fused, 2, 10000, 0)
+	compareRegs(t, plain, fused, 4, 10000, 0)
+}

@@ -2,6 +2,7 @@ package vm
 
 import (
 	"fmt"
+	"math"
 
 	"bohrium/internal/bytecode"
 	"bohrium/internal/tensor"
@@ -113,6 +114,9 @@ func removeAxis(v tensor.View, axis int) (reduced tensor.View, stride, extent in
 // binary op, seeding the fold with the first element (so MIN/MAX need no
 // dtype-dependent identity).
 func (m *Machine) execReduce(p *bytecode.Program, in *bytecode.Instruction) error {
+	if in.Op.ArgReduce() {
+		return m.execArgReduce(p, in)
+	}
 	base, ok := in.Op.ReduceBase()
 	if !ok {
 		return fmt.Errorf("%s is not a reduction", in.Op)
@@ -186,6 +190,124 @@ func runReduce[E int64 | float64](pool parRunner, strategy sweepStrategy, k func
 		})
 	case sweepChunkAxis:
 		chunkReduce(pool, k, get, set, out, src, outView, reduced, axStride, axLen)
+	default:
+		tensor.ZipIndices(outView, reduced, fold)
+	}
+}
+
+// execArgReduce folds the input along one axis to the int64 index of its
+// extreme element. The fold carries a (value, index) pair instead of a
+// plain accumulator, which is why these reductions have no ReduceBase.
+// Tie and NaN semantics are NumPy's: the lowest index wins a tie, and
+// the first NaN beats every number (once the carried value is NaN
+// nothing can displace it). The comparison class follows the *input*
+// dtype — the output is always an index — and every strategy performs
+// the identical comparisons, so results are bitwise equal across worker
+// counts and strategies for floats too.
+func (m *Machine) execArgReduce(p *bytecode.Program, in *bytecode.Instruction) error {
+	outBuf, err := m.regs.ensure(p, in.Out.Reg)
+	if err != nil {
+		return err
+	}
+	srcBuf := m.regs.get(in.In1.Reg)
+	if srcBuf == nil {
+		return fmt.Errorf("input register %s has no buffer", in.In1.Reg)
+	}
+	srcView := in.In1.View
+	reduced, axStride, axLen := removeAxis(srcView, in.Axis)
+
+	m.stats.instructions.Add(1)
+	m.stats.sweeps.Add(1)
+	m.stats.elements.Add(int64(srcView.Size()))
+
+	if axLen == 0 {
+		// There is no index of an empty axis's extreme — same failure
+		// mode as MIN/MAX.
+		return fmt.Errorf("%s reduction over empty axis has no identity", in.Op)
+	}
+
+	outView := in.Out.View
+	strategy := m.sweepStrategyFor(outView, outView.Size(), axLen)
+	if outBuf == srcBuf && strategy == sweepSplitOutputs {
+		// Same aliasing demotion as execReduce: index writes must not race
+		// other workers' source reads.
+		strategy = sweepSerial
+	}
+
+	if !srcBuf.DType().IsFloat() {
+		better := func(v, best int64) bool { return v < best }
+		if in.Op == bytecode.OpArgmaxReduce {
+			better = func(v, best int64) bool { return v > best }
+		}
+		runArgReduce(m.par, strategy, better, tensor.Buffer.GetInt,
+			outBuf, srcBuf, outView, reduced, axStride, axLen)
+		return nil
+	}
+	// NumPy NaN rule: a NaN displaces any number, nothing displaces the
+	// carried NaN (v<best and v>best are false when either is NaN).
+	better := func(v, best float64) bool {
+		return v < best || (math.IsNaN(v) && !math.IsNaN(best))
+	}
+	if in.Op == bytecode.OpArgmaxReduce {
+		better = func(v, best float64) bool {
+			return v > best || (math.IsNaN(v) && !math.IsNaN(best))
+		}
+	}
+	runArgReduce(m.par, strategy, better, tensor.Buffer.Get,
+		outBuf, srcBuf, outView, reduced, axStride, axLen)
+	return nil
+}
+
+// runArgReduce executes one index reduction with the chosen strategy.
+// The chunked strategy is exact (unlike float chunkReduce): chunk
+// partials carry their global winning index, and combining them in chunk
+// order with the same comparison reproduces the serial scan's winner —
+// comparisons do not re-associate the way float arithmetic does.
+func runArgReduce[E int64 | float64](pool parRunner, strategy sweepStrategy,
+	better func(v, best E) bool, get func(tensor.Buffer, int) E,
+	out, src tensor.Buffer, outView, reduced tensor.View, axStride, axLen int) {
+
+	fold := func(io, is int) {
+		best := get(src, is)
+		bestIdx := 0
+		for j := 1; j < axLen; j++ {
+			if v := get(src, is+j*axStride); better(v, best) {
+				best, bestIdx = v, j
+			}
+		}
+		out.SetInt(io, int64(bestIdx))
+	}
+	switch strategy {
+	case sweepSplitOutputs:
+		pool.parallelFor(outView.Size(), 2, func(lo, hi int) {
+			tensor.ZipIndicesRange(outView, reduced, lo, hi, fold)
+		})
+	case sweepChunkAxis:
+		size, nc := chunkParams(axLen)
+		vals := make([]E, nc)
+		idxs := make([]int, nc)
+		tensor.ZipIndices(outView, reduced, func(io, is int) {
+			pool.parallelFor(nc, 2, func(lo, hi int) {
+				for c := lo; c < hi; c++ {
+					start, end := chunkBounds(c, size, axLen)
+					best := get(src, is+start*axStride)
+					bestIdx := start
+					for j := start + 1; j < end; j++ {
+						if v := get(src, is+j*axStride); better(v, best) {
+							best, bestIdx = v, j
+						}
+					}
+					vals[c], idxs[c] = best, bestIdx
+				}
+			})
+			best, bestIdx := vals[0], idxs[0]
+			for c := 1; c < nc; c++ {
+				if better(vals[c], best) {
+					best, bestIdx = vals[c], idxs[c]
+				}
+			}
+			out.SetInt(io, int64(bestIdx))
+		})
 	default:
 		tensor.ZipIndices(outView, reduced, fold)
 	}

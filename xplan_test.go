@@ -1,0 +1,360 @@
+package bohrium
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"bohrium/internal/faultinject"
+	"bohrium/internal/rewrite"
+	"bohrium/internal/tensor"
+)
+
+// This file is the cross-plan fusion half of the differential contract:
+// with Config.XPlanFuse on, the front end may hold a recorded batch back
+// and submit it combined with the next one, but every observable — array
+// values, statistics a program could branch on, and error text — must be
+// bit-for-bit identical to the unfused session. The suite runs each
+// iterative stream under fusion off/on × sync/async × optimizer
+// default/ablated × inprocess/out-of-core (which lacks the
+// SequenceFusion capability and must silently never defer), plus a
+// fault-injection case that disarms the deferral decision mid-stream and
+// a deterministic deferral-mechanics pin. CI runs the package under
+// -race, which also proves the predictor state is confined to the
+// recording goroutine.
+
+type xplanVariant struct {
+	name      string
+	cfg       Config
+	wantFused bool // XPlanFused must be >0 (deferrable streams only)
+}
+
+func xplanVariants() []xplanVariant {
+	return []xplanVariant{
+		{"inprocess-off", Config{}, false},
+		{"inprocess-off-async", Config{Async: true}, false},
+		{"inprocess-on", Config{XPlanFuse: true}, true},
+		{"inprocess-on-async", Config{XPlanFuse: true, Async: true}, true},
+		{"inprocess-on-ablated", Config{XPlanFuse: true, Optimizer: &rewrite.Options{}}, true},
+		{"inprocess-on-async-ablated", Config{XPlanFuse: true, Async: true, Optimizer: &rewrite.Options{}}, true},
+		{"outofcore-off", Config{Backend: "outofcore", ChunkBytes: 4096}, false},
+		// XPlanFuse requested but the backend opts out via its
+		// capability bits: the flag must be silently inert.
+		{"outofcore-on", Config{Backend: "outofcore", ChunkBytes: 4096, XPlanFuse: true}, false},
+		{"outofcore-on-async", Config{Backend: "outofcore", ChunkBytes: 4096, XPlanFuse: true, Async: true}, false},
+	}
+}
+
+// xplanDiff runs work under every variant and holds all results to
+// bitwise equality with the inprocess-off reference. deferrable reports
+// whether the stream's per-iteration batches qualify for deferral at
+// all; when false the XPlanFused stat must stay zero even with the flag
+// on.
+func xplanDiff(t *testing.T, deferrable bool, work func(t *testing.T, ctx *Context) []float64) {
+	t.Helper()
+	var ref []float64
+	for _, v := range xplanVariants() {
+		t.Run(v.name, func(t *testing.T) {
+			cfg := v.cfg
+			ctx := NewContext(&cfg)
+			defer ctx.Close()
+			got := work(t, ctx)
+			st := ctx.MustStats()
+			if v.wantFused && deferrable && st.XPlanFused == 0 {
+				t.Errorf("%s: XPlanFused = 0, want > 0", v.name)
+			}
+			if (!v.wantFused || !deferrable) && st.XPlanFused != 0 {
+				t.Errorf("%s: XPlanFused = %d, want 0", v.name, st.XPlanFused)
+			}
+			if ref == nil {
+				ref = got
+				return
+			}
+			if len(got) != len(ref) {
+				t.Fatalf("%s: %d values, want %d", v.name, len(got), len(ref))
+			}
+			for i := range ref {
+				if math.Float64bits(got[i]) != math.Float64bits(ref[i]) {
+					t.Fatalf("%s: value[%d] = %v (%x), want %v (%x)",
+						v.name, i, got[i], math.Float64bits(got[i]), ref[i], math.Float64bits(ref[i]))
+				}
+			}
+		})
+	}
+}
+
+// TestXPlanDifferentialPowerAccum: the canonical deferrable stream —
+// structurally identical batches with no per-iteration reads, where the
+// combined batch additionally collapses under the seq-reuse rewrite.
+func TestXPlanDifferentialPowerAccum(t *testing.T) {
+	xplanDiff(t, true, func(t *testing.T, ctx *Context) []float64 {
+		x := ctx.Full(1.0000001, 4096)
+		acc := ctx.Zeros(1)
+		for i := 0; i < 12; i++ {
+			p := x.Power(10)
+			s := p.Sum()
+			acc.Add(s)
+			p.Free()
+			s.Free()
+			if err := ctx.Flush(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return append(acc.MustData(), x.MustData()[:8]...)
+	})
+}
+
+// TestXPlanDifferentialEvolvingStencil: an evolving in-place stream —
+// iteration k+1 reads what iteration k wrote, so the combined batch has
+// real dataflow across the former plan boundary and seq-reuse cannot
+// collapse it.
+func TestXPlanDifferentialEvolvingStencil(t *testing.T) {
+	xplanDiff(t, true, func(t *testing.T, ctx *Context) []float64 {
+		const n = 2048
+		u := ctx.Linspace(0, 1, n)
+		v := ctx.Full(0.25, n)
+		for i := 0; i < 10; i++ {
+			u.MulC(0.5).Add(v).MulC(0.9999)
+			v.MulC(0.75).Add(u).MulC(0.5)
+			if err := ctx.Flush(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return append(u.MustData(), v.MustData()...)
+	})
+}
+
+// TestXPlanDifferentialArgReduceStream: argmin/argmax index reductions
+// inside deferred batches — the new any-axis reduction epilogue runs in
+// the combined plan and must agree with the interpreted split execution.
+func TestXPlanDifferentialArgReduceStream(t *testing.T) {
+	xplanDiff(t, true, func(t *testing.T, ctx *Context) []float64 {
+		x := ctx.Random(7, 48, 48)
+		acc := ctx.Zeros(48)
+		for i := 0; i < 12; i++ {
+			y := x.TimesC(1.0000001)
+			lo := y.ArgminAxis(1)
+			hi := y.ArgmaxAxis(0)
+			flo := lo.AsType(tensor.Float64)
+			fhi := hi.AsType(tensor.Float64)
+			acc.Add(flo)
+			acc.Add(fhi)
+			x.MulC(0.999)
+			y.Free()
+			lo.Free()
+			hi.Free()
+			flo.Free()
+			fhi.Free()
+			if err := ctx.Flush(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return acc.MustData()
+	})
+}
+
+// TestXPlanDifferentialNonDeferrable: a stream whose every iteration
+// reads a scalar — each batch carries a BH_SYNC, so SequenceFusible
+// rejects it and the fused session must behave exactly like the unfused
+// one, XPlanFused included.
+func TestXPlanDifferentialNonDeferrable(t *testing.T) {
+	xplanDiff(t, false, func(t *testing.T, ctx *Context) []float64 {
+		x := ctx.Full(1.0000001, 1024)
+		var out []float64
+		for i := 0; i < 6; i++ {
+			p := x.Power(8)
+			s, err := p.Sum().Scalar()
+			if err != nil {
+				t.Fatal(err)
+			}
+			out = append(out, s)
+			p.Free()
+		}
+		return out
+	})
+}
+
+// TestXPlanDeferralMechanics pins the predictor's cadence on a stream of
+// structurally identical batches. The first two flushes compile (the
+// first iteration's fresh register ids differ from the recycled steady
+// state), pairs accumulate from the first cache hit, the head goes hot
+// after two repeats, and the first deferral lands on iteration 5. A
+// combined batch's second half records while the first half's freed ids
+// are still un-recycled, so it draws fresh ids; the allocator therefore
+// settles into a period-3 orbit — defer, combined submit, single submit
+// — rather than strict alternation, and every third iteration fuses once
+// the plan cache is warm. The counts below are that exact trajectory;
+// they are deterministic, so any drift is a behavior change worth a
+// deliberate re-pin.
+func TestXPlanDeferralMechanics(t *testing.T) {
+	run := func(iters int) (int, int) {
+		cfg := Config{XPlanFuse: true}
+		ctx := NewContext(&cfg)
+		defer ctx.Close()
+		x := ctx.Full(1.0000001, 512)
+		acc := ctx.Zeros(1)
+		for i := 0; i < iters; i++ {
+			p := x.Power(10)
+			s := p.Sum()
+			acc.Add(s)
+			p.Free()
+			s.Free()
+			if err := ctx.Flush(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		st := ctx.MustStats()
+		return st.XPlanFused, st.XPlanDisarms
+	}
+	if fused, disarms := run(12); fused != 2 || disarms != 0 {
+		t.Errorf("12 iterations: XPlanFused = %d, XPlanDisarms = %d, want 2, 0", fused, disarms)
+	}
+	// Steady state: warm-up through iteration ~15, then one combined
+	// submission per 3 iterations with the plan cache fully warm.
+	if fused, disarms := run(30); fused != 8 || disarms != 0 {
+		t.Errorf("30 iterations: XPlanFused = %d, XPlanDisarms = %d, want 8, 0", fused, disarms)
+	}
+}
+
+// TestXPlanStatsDrainsDeferral: Stats is a synchronization point a
+// program can branch on, so a pending deferral must be force-submitted
+// before counters are read — and the drained value must be correct.
+func TestXPlanStatsDrainsDeferral(t *testing.T) {
+	ref := func() float64 {
+		ctx := NewContext(&Config{})
+		defer ctx.Close()
+		acc := ctx.Zeros(1)
+		x := ctx.Full(2, 64)
+		for i := 0; i < 5; i++ {
+			s := x.Sum()
+			acc.Add(s)
+			s.Free()
+			ctx.MustFlush()
+		}
+		d, err := acc.Data()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d[0]
+	}()
+
+	cfg := Config{XPlanFuse: true}
+	ctx := NewContext(&cfg)
+	defer ctx.Close()
+	acc := ctx.Zeros(1)
+	x := ctx.Full(2, 64)
+	for i := 0; i < 5; i++ {
+		s := x.Sum()
+		acc.Add(s)
+		s.Free()
+		ctx.MustFlush()
+	}
+	// Iteration 5 was deferred: the pending batch has been recorded but
+	// not executed. Stats must submit it so the counters include it.
+	st := ctx.MustStats()
+	if st.XPlanFused != 1 {
+		t.Errorf("XPlanFused after Stats drain = %d, want 1", st.XPlanFused)
+	}
+	d, err := acc.Data()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Float64bits(d[0]) != math.Float64bits(ref) {
+		t.Errorf("drained value = %v, want %v", d[0], ref)
+	}
+}
+
+// TestXPlanDisarmMidStreamRecovers: the chaos case. A fault at the
+// xplan-disarm point vetoes one deferral decision mid-stream; the front
+// end must count the disarm, submit the batch on the ordinary path, keep
+// the values bit-identical, and resume deferring afterwards.
+func TestXPlanDisarmMidStreamRecovers(t *testing.T) {
+	run := func(fuse bool, arm bool) ([]float64, int, int) {
+		if arm {
+			disarm := faultinject.Arm(faultinject.XPlanDisarm, faultinject.Fault{Times: 1})
+			defer disarm()
+		}
+		cfg := Config{XPlanFuse: fuse}
+		ctx := NewContext(&cfg)
+		defer ctx.Close()
+		x := ctx.Full(1.0000001, 2048)
+		acc := ctx.Zeros(1)
+		for i := 0; i < 12; i++ {
+			p := x.Power(10)
+			s := p.Sum()
+			acc.Add(s)
+			p.Free()
+			s.Free()
+			if err := ctx.Flush(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		st := ctx.MustStats()
+		return acc.MustData(), st.XPlanFused, st.XPlanDisarms
+	}
+
+	ref, _, _ := run(false, false)
+	got, fused, disarms := run(true, true)
+	if disarms != 1 {
+		t.Errorf("XPlanDisarms = %d, want 1", disarms)
+	}
+	if fused == 0 {
+		t.Error("XPlanFused = 0 after disarm: deferral did not recover")
+	}
+	if math.Float64bits(got[0]) != math.Float64bits(ref[0]) {
+		t.Errorf("disarmed stream value = %v, want %v", got[0], ref[0])
+	}
+}
+
+// TestXPlanErrorTextIdentical: execution errors must read byte-for-byte
+// the same with fusion on, in the two regimes where the session's
+// register-allocation history is canonical: a cold session (the
+// predictor has not yet deferred anything) and a hot stream whose every
+// deferral decision is vetoed at the xplan-disarm fault point (the
+// disarm path must restore ordinary submission exactly, allocator
+// trajectory included). After a real combined submission the combined
+// batch's second half has drawn fresh register ids, so later diagnostics
+// may name different (but consistently different) registers — values are
+// unaffected; ARCHITECTURE.md documents the caveat.
+func TestXPlanErrorTextIdentical(t *testing.T) {
+	errText := func(fuse, warm bool) string {
+		cfg := Config{XPlanFuse: fuse}
+		ctx := NewContext(&cfg)
+		defer ctx.Close()
+		if warm {
+			x := ctx.Full(2, 256)
+			acc := ctx.Zeros(1)
+			for i := 0; i < 8; i++ {
+				s := x.Sum()
+				acc.Add(s)
+				s.Free()
+				ctx.MustFlush()
+			}
+		}
+		_, err := ctx.Zeros(0).Max().Scalar()
+		if err == nil {
+			t.Fatal("empty-axis MAX did not error")
+		}
+		return err.Error()
+	}
+
+	// Cold session: identical before any deferral has happened.
+	off := errText(false, false)
+	on := errText(true, false)
+	if off != on {
+		t.Errorf("cold error text diverges with XPlanFuse:\n off: %q\n  on: %q", off, on)
+	}
+	if !strings.Contains(off, "no identity") {
+		t.Errorf("unexpected error text %q", off)
+	}
+
+	// Hot stream with every deferral vetoed: the disarm path must keep
+	// the session byte-for-byte on the unfused trajectory.
+	offWarm := errText(false, true)
+	disarm := faultinject.Arm(faultinject.XPlanDisarm, faultinject.Fault{})
+	onWarm := errText(true, true)
+	disarm()
+	if offWarm != onWarm {
+		t.Errorf("disarmed warm error text diverges:\n off: %q\n  on: %q", offWarm, onWarm)
+	}
+}
